@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the two ECC alternatives of Section IV-I for in-place
+ * logical operations.
+ *
+ *  1. XOR-check unit: read out xor(A,B) and xor(ECC_A, ECC_B) and check
+ *     ECC(A^B) == ECC(A)^ECC(B) at the controller — extra transfers per
+ *     operation, zero residual risk.
+ *  2. Cache scrubbing: periodic background check — near-zero overhead,
+ *     bounded exposure window.
+ */
+
+#include "bench_util.hh"
+#include "cc/ecc.hh"
+#include "common/rng.hh"
+#include "energy/energy_params.hh"
+
+using namespace ccache;
+using namespace ccache::cc;
+
+int
+main()
+{
+    bench::header("Ablation: ECC strategies for in-place logical ops "
+                  "(Section IV-I)");
+
+    // Alternative 1: the xor-identity is exact for the linear SECDED
+    // code; verify over a large random sample and cost the extra
+    // transfers.
+    Rng rng(42);
+    std::size_t trials = 100000;
+    std::size_t holds = 0;
+    for (std::size_t i = 0; i < trials; ++i)
+        holds += Secded::xorIdentityHolds(rng.next(), rng.next()) ? 1 : 0;
+    std::printf("xor-identity ECC(A^B) == ECC(A)^ECC(B): %zu/%zu random "
+                "word pairs\n",
+                holds, trials);
+
+    energy::EnergyParams ep;
+    double xor_extra =
+        ep.cacheOpEnergy(CacheLevel::L3, energy::CacheOp::Read) +
+        ep.cacheOpEnergy(CacheLevel::L3, energy::CacheOp::Write) * 0.2;
+    double logic = ep.cacheOpEnergy(CacheLevel::L3,
+                                    energy::CacheOp::Logic);
+    std::printf("XOR-check unit: ~%.0f pJ extra per 64-byte logical op "
+                "(op itself: %.0f pJ)\n",
+                xor_extra, logic);
+    std::printf("  -> %.0f%% energy overhead on every in-place logical "
+                "operation\n\n",
+                100.0 * xor_extra / logic);
+
+    // Alternative 2: scrubbing.
+    std::printf("%-14s %16s %24s\n", "interval", "cycle overhead",
+                "expected errors/interval");
+    bench::rule();
+    for (double interval_ms : {10.0, 100.0, 1000.0}) {
+        ScrubbingModel m;
+        m.intervalMs = interval_ms;
+        std::printf("%10.0f ms %15.4f%% %24.2e\n", interval_ms,
+                    100.0 * m.cycleOverhead(),
+                    m.expectedErrorsPerInterval());
+    }
+
+    bench::rule();
+    bench::note("With 0.7-7 soft errors/year, scrubbing at 100 ms costs");
+    bench::note("<0.01% of cycles with ~1e-9 expected errors per window —");
+    bench::note("the paper's preferred alternative. The XOR-check unit");
+    bench::note("doubles logical-op energy but leaves zero exposure.");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: sensitivity to operand locality. Sweeps the fraction of
+ * operations whose destination is page-misaligned (breaking in-place
+ * locality) and reports cycles and energy as work shifts from the
+ * bit-lines to the near-place logic unit — quantifying how much of the
+ * Compute Cache win the Section IV-C software contract protects.
+ */
+
+#include "bench_util.hh"
+#include "sim/system.hh"
+
+using namespace ccache;
+using namespace ccache::sim;
+
+namespace {
+
+struct Outcome
+{
+    Cycles cycles;
+    double dyn_nj;
+    std::size_t near_ops;
+};
+
+Outcome
+runMix(int misaligned_of_8)
+{
+    System sys;
+    const std::size_t n = 4096;
+    std::vector<std::uint8_t> data(n, 0x6b);
+
+    auto dst_of = [&](int i) {
+        // Misaligned destinations sit half a page off.
+        return 0x2000000 + i * 0x20000 +
+            (i < misaligned_of_8 ? 0x800 : 0);
+    };
+
+    for (int i = 0; i < 8; ++i) {
+        Addr src = 0x1000000 + i * 0x20000;
+        sys.load(src, data.data(), n);
+        sys.warm(CacheLevel::L3, 0, src, n);
+        sys.warm(CacheLevel::L3, 0, dst_of(i), n);
+    }
+    sys.resetMetrics();
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+
+    Outcome out{0, 0.0, 0};
+    for (int i = 0; i < 8; ++i) {
+        Addr src = 0x1000000 + i * 0x20000;
+        auto r = sys.cc().execute(
+            0, cc::CcInstruction::copy(src, dst_of(i), n));
+        out.cycles += r.latency;
+        out.near_ops += r.nearPlaceOps;
+    }
+    out.dyn_nj = sys.energy().dynamic().dynamicTotal() / 1e3;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: operand-locality sensitivity "
+                  "(8 x 4 KB copies)");
+
+    std::printf("%18s %10s %14s %14s\n", "misaligned share", "cycles",
+                "dynamic (nJ)", "near-place ops");
+    bench::rule();
+
+    Outcome aligned = runMix(0);
+    for (int mis : {0, 2, 4, 6, 8}) {
+        Outcome o = runMix(mis);
+        std::printf("%17d%% %10llu %14.0f %14zu\n", mis * 100 / 8,
+                    static_cast<unsigned long long>(o.cycles), o.dyn_nj,
+                    o.near_ops);
+    }
+
+    Outcome broken = runMix(8);
+    bench::rule();
+    std::printf("fully misaligned costs %.1fx the cycles and %.1fx the "
+                "dynamic energy\n",
+                static_cast<double>(broken.cycles) /
+                    static_cast<double>(aligned.cycles),
+                broken.dyn_nj / aligned.dyn_nj);
+    bench::note("Page alignment is cheap for software (Section IV-C) and");
+    bench::note("protects the entire in-place advantage; every misaligned");
+    bench::note("operation falls back to the serialized near-place unit.");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation: multi-core Compute Cache scaling. Each core streams in-place
+ * copies over its own NUCA slice (pages first-touch to the local slice);
+ * aggregate throughput should scale with core count because every slice
+ * computes independently — the "caches as very large vector units"
+ * claim at chip scope.
+ */
+
+#include "apps/dbbitmap.hh"
+#include "bench_util.hh"
+#include "sim/system.hh"
+
+using namespace ccache;
+using namespace ccache::sim;
+
+namespace {
+
+double
+runCores(unsigned cores)
+{
+    System sys;
+    const std::size_t n = 16384;
+
+    std::vector<std::uint8_t> data(n, 0x3d);
+    double total_blocks = 0.0;
+    Cycles makespan = 0;
+
+    for (unsigned c = 0; c < cores; ++c) {
+        // Per-core working set: first touch binds it to the local slice.
+        Addr src = 0x10000000 + c * 0x1000000;
+        Addr dst = src + 0x100000;
+        sys.load(src, data.data(), n);
+        sys.warm(CacheLevel::L3, c, src, n);
+        sys.warm(CacheLevel::L3, c, dst, n);
+    }
+    sys.resetMetrics();
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+
+    for (unsigned c = 0; c < cores; ++c) {
+        Addr src = 0x10000000 + c * 0x1000000;
+        Addr dst = src + 0x100000;
+        auto r = sys.ccEngine().copy(c, src, dst, n);
+        total_blocks += static_cast<double>(r.blockOps);
+        // Cores run concurrently on disjoint slices; the makespan is the
+        // slowest core (each slice has its own command bus + partitions).
+        makespan = std::max(makespan, r.cycles);
+    }
+
+    return total_blocks / cyclesToSeconds(makespan) / 1e9;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: multi-core CC scaling (16 KB in-place copy "
+                  "per core, local slices)");
+
+    std::printf("%8s %22s %10s\n", "cores", "aggregate Gblk-ops/s",
+                "scaling");
+    bench::rule();
+
+    double base = runCores(1);
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        double thpt = runCores(cores);
+        std::printf("%8u %22.2f %9.2fx\n", cores, thpt, thpt / base);
+    }
+
+    bench::rule();
+    bench::note("Every L3 slice is an independent compute array with its "
+                "own");
+    bench::note("command bus and partitions, so throughput scales with "
+                "the number");
+    bench::note("of slices put to work — a 16 MB L3 acts as 512 parallel "
+                "sub-arrays.");
+
+    bench::header("Parallel DB-BitMap query processing (CC, queries "
+                  "round-robin over cores)");
+    std::printf("%8s %16s %10s\n", "cores", "makespan (cyc)", "scaling");
+    bench::rule();
+    {
+        using namespace ccache::apps;
+        DbBitmapConfig cfg;
+        cfg.index.rows = 1 << 17;
+        cfg.numQueries = 16;
+        DbBitmap app(cfg);
+        Cycles base_cycles = 0;
+        for (unsigned cores : {1u, 2u, 4u, 8u}) {
+            sim::System sys;
+            auto r = app.runParallel(sys, Engine::Cc, cores);
+            if (cores == 1)
+                base_cycles = r.cycles;
+            std::printf("%8u %16llu %9.2fx\n", cores,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<double>(base_cycles) /
+                            static_cast<double>(r.cycles));
+        }
+    }
+    bench::note("Independent queries over the shared read-only index "
+                "parallelize");
+    bench::note("across cores and slices with no coherence traffic on "
+                "the bins.");
+    return 0;
+}

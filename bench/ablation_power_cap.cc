@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: the Section IV-D peak-power cap. Sweeps the maximum number
+ * of simultaneously active sub-arrays and reports the completion time of
+ * a 16 KB in-place copy at L3, showing where throughput saturates (once
+ * the cap exceeds the number of block partitions touched) and how much
+ * concurrency can be traded away for peak-power headroom.
+ */
+
+#include "bench_util.hh"
+#include "sim/system.hh"
+
+using namespace ccache;
+using namespace ccache::sim;
+
+namespace {
+
+Cycles
+runWithCap(unsigned cap)
+{
+    SystemConfig cfg;
+    cfg.cc.maxActiveSubarrays = cap;
+    System sys(cfg);
+
+    const std::size_t n = 16384;
+    std::vector<std::uint8_t> data(n, 0x5a);
+    sys.load(0x100000, data.data(), n);
+    sys.warm(CacheLevel::L3, 0, 0x100000, n);
+    sys.warm(CacheLevel::L3, 0, 0x200000, n);
+    sys.resetMetrics();
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+
+    auto r = sys.ccEngine().copy(0, 0x100000, 0x200000, n);
+    return r.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: peak-power cap (max active sub-arrays) vs "
+                  "16 KB in-place copy");
+
+    std::printf("%10s %12s %14s\n", "cap", "cycles", "vs uncapped");
+    bench::rule();
+
+    Cycles uncapped = runWithCap(0);
+    for (unsigned cap : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 0u}) {
+        Cycles c = runWithCap(cap);
+        std::printf("%10s %12llu %13.2fx\n",
+                    cap == 0 ? "none" : std::to_string(cap).c_str(),
+                    static_cast<unsigned long long>(c),
+                    static_cast<double>(c) /
+                        static_cast<double>(uncapped));
+    }
+
+    bench::rule();
+    bench::note("The shared command bus already serializes issue, so the "
+                "cap is free");
+    bench::note("once it covers the bus-limited concurrency (~16 here); "
+                "below that,");
+    bench::note("throughput degrades linearly as peak power is traded "
+                "away.");
+    return 0;
+}

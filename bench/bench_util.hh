@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared table-printing helpers for the experiment benches. Each bench
+ * binary regenerates one table or figure of the paper and prints the
+ * corresponding rows/series plus the paper's reference values.
+ */
+
+#ifndef CCACHE_BENCH_BENCH_UTIL_HH
+#define CCACHE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=====================\n%s\n"
+                "================================================="
+                "=====================\n",
+                title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("----------------------------------------------------"
+                "------------------\n");
+}
+
+} // namespace bench
+
+#endif // CCACHE_BENCH_BENCH_UTIL_HH

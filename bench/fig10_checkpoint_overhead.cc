@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 10: in-memory copy-on-write checkpointing overhead
+ * for six SPLASH-2 workloads (100k-instruction intervals), comparing the
+ * scalar Base, the Base_32 SIMD baseline, and CC_L3.
+ */
+
+#include "apps/checkpoint.hh"
+#include "bench_util.hh"
+
+using namespace ccache;
+using namespace ccache::apps;
+
+int
+main()
+{
+    bench::header("Figure 10: checkpointing performance overhead (%)");
+
+    CheckpointConfig cfg;
+    cfg.intervals = 40;
+
+    std::printf("%-11s %9s %9s %9s\n", "benchmark", "Base", "Base_32",
+                "CC_L3");
+    bench::rule();
+
+    double sum[3] = {0, 0, 0};
+    auto apps = workload::allSplashApps();
+    for (auto app : apps) {
+        double overhead[3];
+        int m = 0;
+        for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
+            sim::System sys;
+            Checkpoint ck(app, cfg);
+            auto res = ck.run(sys, e);
+            overhead[m] = res.overheadPct();
+            sum[m] += overhead[m];
+            ++m;
+        }
+        std::printf("%-11s %8.1f%% %8.1f%% %8.1f%%\n",
+                    workload::toString(app), overhead[0], overhead[1],
+                    overhead[2]);
+    }
+
+    bench::rule();
+    std::printf("%-11s %8.1f%% %8.1f%% %8.1f%%\n", "average",
+                sum[0] / apps.size(), sum[1] / apps.size(),
+                sum[2] / apps.size());
+    bench::note("");
+    bench::note("Paper: up to 68% without SIMD, 30% average with Base_32,");
+    bench::note("and a mere 6% with Compute Caches (perfect operand");
+    bench::note("locality: checkpoint copies are page-aligned).");
+    return 0;
+}

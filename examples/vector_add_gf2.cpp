@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GF(2) vector accumulation with the locality-aware allocator: shows how
+ * an application obtains operand-local buffers without knowing anything
+ * about the cache geometry, then streams cc_xor reductions over them.
+ *
+ * Run: ./build/examples/example_vector_add_gf2
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "geometry/locality_allocator.hh"
+#include "sim/system.hh"
+
+using namespace ccache;
+
+int
+main()
+{
+    sim::System sys;
+
+    // All operands of the reduction are allocated in one locality group:
+    // the allocator guarantees matching page offsets, which guarantees
+    // in-place operand locality at every cache level (Table III).
+    geometry::LocalityAllocator alloc(0x1000000, 64 << 20);
+    const geometry::GroupId group = 1;
+
+    const std::size_t n = 8192;  // 8 KB vectors
+    const int vectors = 6;
+    std::vector<Addr> srcs;
+    for (int v = 0; v < vectors; ++v) {
+        Addr a = alloc.allocate(n, group);
+        std::vector<std::uint8_t> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data[i] = static_cast<std::uint8_t>((v + 1) * (i + 3));
+        sys.load(a, data.data(), n);
+        srcs.push_back(a);
+        // Unrelated allocations interleave freely.
+        alloc.allocate(100 + 64 * v);
+    }
+    Addr acc = alloc.allocate(n, group);
+
+    // acc = srcs[0]; acc ^= srcs[1..]: one copy plus a stream of xors.
+    auto copy = sys.ccEngine().copy(0, srcs[0], acc, n);
+    Cycles cycles = copy.cycles;
+    std::size_t near_place = 0;
+    for (int v = 1; v < vectors; ++v) {
+        auto r = sys.cc().execute(
+            0, cc::CcInstruction::logicalXor(acc, srcs[v], acc, n));
+        cycles += r.latency;
+        near_place += r.nearPlaceOps;
+    }
+
+    // Verify against a host-side reduction.
+    std::vector<std::uint8_t> expect(n, 0);
+    for (int v = 0; v < vectors; ++v)
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] ^= static_cast<std::uint8_t>((v + 1) * (i + 3));
+    bool ok = sys.dump(acc, n) == expect;
+
+    std::printf("GF(2) accumulation of %d x %zu KB vectors\n", vectors,
+                n / 1024);
+    std::printf("  allocator padding : %zu bytes (cost of locality)\n",
+                alloc.padding());
+    std::printf("  cycles            : %llu\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("  near-place ops    : %zu (0 = perfect locality)\n",
+                near_place);
+    std::printf("  result            : %s\n", ok ? "verified" : "WRONG");
+    return ok && near_place == 0 ? 0 : 1;
+}

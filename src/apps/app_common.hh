@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared vocabulary for the re-designed applications of Section VI-B.
+ */
+
+#ifndef CCACHE_APPS_APP_COMMON_HH
+#define CCACHE_APPS_APP_COMMON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "sim/system.hh"
+
+namespace ccache::apps {
+
+/** Which machine runs the application. */
+enum class Engine {
+    Base,    ///< scalar core, 8-byte operations
+    Base32,  ///< 32-byte SIMD (the paper's Base_32)
+    Cc,      ///< Compute Cache
+};
+
+const char *toString(Engine e);
+
+/** Outcome of one application run. */
+struct AppRunResult
+{
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Dynamic energy breakdown at the end of the run. */
+    energy::EnergyBreakdown dynamic;
+
+    /** Static + dynamic totals at the end of the run. */
+    energy::EnergyTotals totals;
+
+    /** Application-defined functional checksum: identical across engines
+     *  when the computation is correct. */
+    std::uint64_t checksum = 0;
+};
+
+inline const char *
+toString(Engine e)
+{
+    switch (e) {
+      case Engine::Base: return "Base";
+      case Engine::Base32: return "Base_32";
+      case Engine::Cc: return "CC";
+    }
+    return "?";
+}
+
+} // namespace ccache::apps
+
+#endif // CCACHE_APPS_APP_COMMON_HH

@@ -1,0 +1,276 @@
+#include "cache/cache.hh"
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::cache {
+
+Cache::Cache(const CacheParams &params, energy::EnergyModel *energy,
+             StatRegistry *stats, std::string stat_prefix)
+    : params_(params), geom_(params.geometry),
+      tags_(geom_.numSets(), params.geometry.ways),
+      data_(geom_.numSets() * params.geometry.ways, Block{}),
+      energy_(energy), stats_(stats), prefix_(std::move(stat_prefix))
+{
+}
+
+std::optional<std::size_t>
+Cache::findWay(Addr addr) const
+{
+    auto f = geom_.decode(addr);
+    Lookup l = tags_.lookup(f.set, f.tag);
+    if (!l.hit)
+        return std::nullopt;
+    return l.way;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findWay(addr).has_value();
+}
+
+Mesi
+Cache::state(Addr addr) const
+{
+    auto way = findWay(addr);
+    if (!way)
+        return Mesi::Invalid;
+    return tags_.line(geom_.setIndex(addr), *way).state;
+}
+
+void
+Cache::setState(Addr addr, Mesi state)
+{
+    auto way = findWay(addr);
+    CC_ASSERT(way, "setState on absent line 0x", std::hex, addr);
+    tags_.line(geom_.setIndex(addr), *way).state = state;
+}
+
+void
+Cache::chargeRead()
+{
+    if (energy_)
+        energy_->chargeCacheOp(params_.level, energy::CacheOp::Read);
+    if (stats_)
+        stats_->counter(prefix_ + ".reads").inc();
+}
+
+void
+Cache::chargeWrite()
+{
+    if (energy_)
+        energy_->chargeCacheOp(params_.level, energy::CacheOp::Write);
+    if (stats_)
+        stats_->counter(prefix_ + ".writes").inc();
+}
+
+bool
+Cache::read(Addr addr, Block &out)
+{
+    auto way = findWay(addr);
+    if (!way)
+        return false;
+    std::size_t set = geom_.setIndex(addr);
+    tags_.touch(set, *way);
+    out = data_[dataIndex(set, *way)];
+    chargeRead();
+    return true;
+}
+
+bool
+Cache::write(Addr addr, const Block &data, bool set_dirty)
+{
+    auto way = findWay(addr);
+    if (!way)
+        return false;
+    std::size_t set = geom_.setIndex(addr);
+    tags_.touch(set, *way);
+    data_[dataIndex(set, *way)] = data;
+    if (set_dirty)
+        tags_.line(set, *way).dirty = true;
+    chargeWrite();
+    return true;
+}
+
+std::optional<FillResult>
+Cache::fill(Addr addr, const Block &data, Mesi state)
+{
+    CC_ASSERT(isAligned(addr, kBlockSize), "fill of unaligned 0x", std::hex,
+              addr);
+    auto f = geom_.decode(addr);
+
+    // Refill of a line that is already resident just updates it.
+    if (auto way = findWay(addr)) {
+        tags_.touch(f.set, *way);
+        Line &l = tags_.line(f.set, *way);
+        l.state = state;
+        data_[dataIndex(f.set, *way)] = data;
+        chargeWrite();
+        return FillResult{*way, std::nullopt};
+    }
+
+    auto victim_way = tags_.victim(f.set);
+    if (!victim_way) {
+        if (stats_)
+            stats_->counter(prefix_ + ".fill_blocked_pinned").inc();
+        return std::nullopt;
+    }
+
+    FillResult result{*victim_way, std::nullopt};
+    Line &line = tags_.line(f.set, *victim_way);
+    if (line.valid()) {
+        Eviction ev;
+        ev.addr = ((line.tag << geom_.setIndexBits()) | f.set)
+            << geom_.blockOffsetBits();
+        ev.data = data_[dataIndex(f.set, *victim_way)];
+        ev.dirty = line.dirty;
+        ev.state = line.state;
+        result.evicted = ev;
+        if (stats_)
+            stats_->counter(prefix_ + ".evictions").inc();
+    }
+
+    line.tag = f.tag;
+    line.state = state;
+    line.dirty = false;
+    line.pinned = false;
+    tags_.touch(f.set, *victim_way);
+    data_[dataIndex(f.set, *victim_way)] = data;
+    chargeWrite();
+    if (stats_)
+        stats_->counter(prefix_ + ".fills").inc();
+    return result;
+}
+
+std::optional<Eviction>
+Cache::invalidate(Addr addr)
+{
+    auto way = findWay(addr);
+    if (!way)
+        return std::nullopt;
+    std::size_t set = geom_.setIndex(addr);
+    Line &line = tags_.line(set, *way);
+    Eviction ev;
+    ev.addr = addr;
+    ev.data = data_[dataIndex(set, *way)];
+    ev.dirty = line.dirty;
+    ev.state = line.state;
+    line.state = Mesi::Invalid;
+    line.dirty = false;
+    line.pinned = false;
+    if (stats_)
+        stats_->counter(prefix_ + ".invalidations").inc();
+    return ev;
+}
+
+bool
+Cache::pin(Addr addr)
+{
+    auto way = findWay(addr);
+    if (!way)
+        return false;
+    tags_.line(geom_.setIndex(addr), *way).pinned = true;
+    return true;
+}
+
+void
+Cache::unpin(Addr addr)
+{
+    auto way = findWay(addr);
+    if (way)
+        tags_.line(geom_.setIndex(addr), *way).pinned = false;
+}
+
+bool
+Cache::isPinned(Addr addr) const
+{
+    auto way = findWay(addr);
+    return way && tags_.line(geom_.setIndex(addr), *way).pinned;
+}
+
+void
+Cache::promoteMRU(Addr addr)
+{
+    auto way = findWay(addr);
+    if (way)
+        tags_.touch(geom_.setIndex(addr), *way);
+}
+
+void
+Cache::markDirty(Addr addr)
+{
+    auto way = findWay(addr);
+    CC_ASSERT(way, "markDirty on absent line 0x", std::hex, addr);
+    std::size_t set = geom_.setIndex(addr);
+    tags_.line(set, *way).dirty = true;
+    tags_.line(set, *way).state = Mesi::Modified;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    auto way = findWay(addr);
+    return way && tags_.line(geom_.setIndex(addr), *way).dirty;
+}
+
+void
+Cache::clearDirty(Addr addr)
+{
+    auto way = findWay(addr);
+    if (way)
+        tags_.line(geom_.setIndex(addr), *way).dirty = false;
+}
+
+const Block *
+Cache::peek(Addr addr) const
+{
+    auto way = findWay(addr);
+    if (!way)
+        return nullptr;
+    return &data_[dataIndex(geom_.setIndex(addr), *way)];
+}
+
+bool
+Cache::poke(Addr addr, const Block &data)
+{
+    auto way = findWay(addr);
+    if (!way)
+        return false;
+    data_[dataIndex(geom_.setIndex(addr), *way)] = data;
+    return true;
+}
+
+Addr
+Cache::addrOf(std::size_t set, std::size_t way) const
+{
+    const Line &l = tags_.line(set, way);
+    return ((l.tag << geom_.setIndexBits()) | set)
+        << geom_.blockOffsetBits();
+}
+
+void
+Cache::forEachLine(
+    const std::function<void(Addr, Mesi, bool, const Block &)> &fn) const
+{
+    for (std::size_t set = 0; set < geom_.numSets(); ++set) {
+        for (std::size_t way = 0; way < params_.geometry.ways; ++way) {
+            const Line &l = tags_.line(set, way);
+            if (!l.valid())
+                continue;
+            fn(addrOf(set, way), l.state, l.dirty,
+               data_[dataIndex(set, way)]);
+        }
+    }
+}
+
+std::optional<geometry::BlockPlace>
+Cache::placeOf(Addr addr) const
+{
+    auto way = findWay(addr);
+    if (!way)
+        return std::nullopt;
+    return geom_.place(geom_.setIndex(addr), *way);
+}
+
+} // namespace ccache::cache

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * One cache level: geometry-mapped tags + data with access timing/energy.
+ *
+ * The data array is organized per the operand-locality-aware geometry of
+ * Section IV-C: CacheGeometry::place() tells the CC controller which bank,
+ * sub-array and block partition any resident line occupies, which drives
+ * both the legality of in-place operations and the parallelism schedule.
+ */
+
+#ifndef CCACHE_CACHE_CACHE_HH
+#define CCACHE_CACHE_CACHE_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/tag_array.hh"
+#include "common/block.hh"
+#include "common/stats.hh"
+#include "energy/energy_model.hh"
+#include "geometry/cache_geometry.hh"
+
+namespace ccache::cache {
+
+/** Configuration of one cache level. */
+struct CacheParams
+{
+    geometry::CacheGeometryParams geometry;
+    CacheLevel level = CacheLevel::L1;
+    Cycles accessLatency = 5;   ///< Table IV: L1 5, L2 11, L3 11 + queue
+};
+
+/** A line evicted to make room for a fill. */
+struct Eviction
+{
+    Addr addr;
+    Block data;
+    bool dirty;
+    Mesi state;
+};
+
+/** Outcome of a fill. */
+struct FillResult
+{
+    std::size_t way;
+    std::optional<Eviction> evicted;
+};
+
+/** One cache (an L1-D, an L2, or one L3 slice). */
+class Cache
+{
+  public:
+    Cache(const CacheParams &params, energy::EnergyModel *energy,
+          StatRegistry *stats, std::string stat_prefix);
+
+    const CacheParams &params() const { return params_; }
+    const geometry::CacheGeometry &geom() const { return geom_; }
+    CacheLevel level() const { return params_.level; }
+    Cycles latency() const { return params_.accessLatency; }
+
+    /** Tag probe without LRU update or energy charge. */
+    bool contains(Addr addr) const;
+
+    /** State of @p addr, Invalid if absent. */
+    Mesi state(Addr addr) const;
+
+    /** Set the MESI state of a resident line. */
+    void setState(Addr addr, Mesi state);
+
+    /**
+     * Read a resident block. Charges read energy, updates LRU.
+     * Returns false on miss.
+     */
+    bool read(Addr addr, Block &out);
+
+    /**
+     * Write a resident block (marks it dirty/Modified is left to the
+     * caller's coherence logic; this only moves data). Charges write
+     * energy, updates LRU. Returns false on miss.
+     */
+    bool write(Addr addr, const Block &data, bool set_dirty = true);
+
+    /**
+     * Insert @p addr with @p data in state @p state, evicting if needed.
+     * Returns nullopt if no victim is available (all ways pinned).
+     * Charges a write access.
+     */
+    std::optional<FillResult> fill(Addr addr, const Block &data, Mesi state);
+
+    /**
+     * Remove @p addr; returns its data and dirtiness so the caller can
+     * write it back. Returns nullopt if not present.
+     */
+    std::optional<Eviction> invalidate(Addr addr);
+
+    /** Operand pinning for the CC controller (Section IV-E). @{ */
+    bool pin(Addr addr);
+    void unpin(Addr addr);
+    bool isPinned(Addr addr) const;
+    /** Promote a line to MRU so it survives until its operation issues. */
+    void promoteMRU(Addr addr);
+    /** @} */
+
+    /** Mark a resident line dirty (after an in-place CC write). */
+    void markDirty(Addr addr);
+
+    /** True iff @p addr is resident and holds dirty data. */
+    bool isDirty(Addr addr) const;
+
+    /** Clear the dirty flag after the data has been written back. */
+    void clearDirty(Addr addr);
+
+    /**
+     * Data access for in-place compute: read/write the resident block
+     * WITHOUT charging the baseline access energy — the CC controller
+     * charges the Table V in-place cost instead. @{
+     */
+    const Block *peek(Addr addr) const;
+    bool poke(Addr addr, const Block &data);
+    /** @} */
+
+    /** Physical placement of a resident line, for the CC scheduler. */
+    std::optional<geometry::BlockPlace> placeOf(Addr addr) const;
+
+    /** Occupancy for stats. */
+    std::size_t validLines() const { return tags_.validLines(); }
+
+    /** Visit every valid line (for flushes and integrity checks). */
+    void forEachLine(
+        const std::function<void(Addr, Mesi, bool, const Block &)> &fn)
+        const;
+
+    /** Reconstruct the block address of a resident (set, way). */
+    Addr addrOf(std::size_t set, std::size_t way) const;
+
+  private:
+    std::size_t dataIndex(std::size_t set, std::size_t way) const
+    {
+        return set * params_.geometry.ways + way;
+    }
+
+    /** Locate a resident line. */
+    std::optional<std::size_t> findWay(Addr addr) const;
+
+    void chargeRead();
+    void chargeWrite();
+
+    CacheParams params_;
+    geometry::CacheGeometry geom_;
+    TagArray tags_;
+    std::vector<Block> data_;
+    energy::EnergyModel *energy_;
+    StatRegistry *stats_;
+    std::string prefix_;
+};
+
+} // namespace ccache::cache
+
+#endif // CCACHE_CACHE_CACHE_HH

@@ -1,0 +1,72 @@
+#include "cache/directory.hh"
+
+#include "common/logging.hh"
+
+namespace ccache::cache {
+
+Directory::Directory(unsigned cores) : cores_(cores)
+{
+    if (cores == 0 || cores > 32)
+        CC_FATAL("directory supports 1-32 cores, got ", cores);
+}
+
+DirEntry
+Directory::entry(Addr addr) const
+{
+    auto it = entries_.find(addr);
+    return it == entries_.end() ? DirEntry{} : it->second;
+}
+
+void
+Directory::addSharer(Addr addr, CoreId core)
+{
+    CC_ASSERT(core < cores_, "core ", core, " out of range");
+    DirEntry &e = entries_[addr];
+    e.sharers |= (1u << core);
+    if (e.owner && *e.owner != core)
+        e.owner.reset();
+}
+
+void
+Directory::setOwner(Addr addr, CoreId core)
+{
+    CC_ASSERT(core < cores_, "core ", core, " out of range");
+    DirEntry &e = entries_[addr];
+    e.sharers = (1u << core);
+    e.owner = core;
+}
+
+void
+Directory::downgradeOwner(Addr addr)
+{
+    auto it = entries_.find(addr);
+    if (it != entries_.end())
+        it->second.owner.reset();
+}
+
+void
+Directory::removeSharer(Addr addr, CoreId core)
+{
+    auto it = entries_.find(addr);
+    if (it == entries_.end())
+        return;
+    it->second.sharers &= ~(1u << core);
+    if (it->second.owner == core)
+        it->second.owner.reset();
+    if (!it->second.hasSharers())
+        entries_.erase(it);
+}
+
+void
+Directory::clear(Addr addr)
+{
+    entries_.erase(addr);
+}
+
+std::uint32_t
+Directory::sharersExcept(Addr addr, CoreId except) const
+{
+    return entry(addr).sharers & ~(1u << except);
+}
+
+} // namespace ccache::cache

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Directory for MESI coherence, co-located with each L3 slice (Table IV).
+ *
+ * Tracks which cores hold a block in their private L1/L2 caches and which
+ * (if any) owns it exclusively. The hierarchy consults the directory to
+ * forward requests, invalidate sharers and downgrade owners.
+ */
+
+#ifndef CCACHE_CACHE_DIRECTORY_HH
+#define CCACHE_CACHE_DIRECTORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ccache::cache {
+
+/** Directory entry: presence vector plus exclusive owner. */
+struct DirEntry
+{
+    std::uint32_t sharers = 0;           ///< bit per core
+    std::optional<CoreId> owner;         ///< core holding E/M
+
+    bool hasSharers() const { return sharers != 0; }
+};
+
+/** Per-slice coherence directory. */
+class Directory
+{
+  public:
+    explicit Directory(unsigned cores);
+
+    unsigned cores() const { return cores_; }
+
+    /** Entry for @p addr (empty if untracked). */
+    DirEntry entry(Addr addr) const;
+
+    /** Record that @p core obtained a shared copy. */
+    void addSharer(Addr addr, CoreId core);
+
+    /** Record that @p core obtained the exclusive copy; clears sharers. */
+    void setOwner(Addr addr, CoreId core);
+
+    /** Downgrade the owner (E/M -> S); keeps it as a sharer. */
+    void downgradeOwner(Addr addr);
+
+    /** Remove @p core's copy. */
+    void removeSharer(Addr addr, CoreId core);
+
+    /** Drop all presence info for @p addr (L3 eviction). */
+    void clear(Addr addr);
+
+    /** Cores (other than @p except) that must be invalidated for an
+     *  exclusive request. */
+    std::uint32_t sharersExcept(Addr addr, CoreId except) const;
+
+    std::size_t trackedBlocks() const { return entries_.size(); }
+
+  private:
+    unsigned cores_;
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace ccache::cache
+
+#endif // CCACHE_CACHE_DIRECTORY_HH

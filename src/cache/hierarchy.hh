@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Three-level inclusive cache hierarchy with directory MESI coherence
+ * over a ring NoC, modeled after Table IV (SandyBridge-like, Figure 1a).
+ *
+ * Eight cores each own a private L1-D and L2; a shared L3 is distributed
+ * into per-core NUCA slices on the ring. Transactions execute atomically
+ * (gem5-classic style): each access walks the hierarchy, performs all
+ * coherence actions, moves real data, and returns its total latency while
+ * charging the energy model per event.
+ *
+ * Compute Cache hooks: fetchToLevel() stages operands at a chosen level
+ * (writing back or invalidating private copies as Section IV-E requires),
+ * peek/poke give the CC controller in-place data access, and the page ->
+ * slice map realizes the paper's "pages map to the NUCA slice closest to
+ * the accessing core" assumption.
+ */
+
+#ifndef CCACHE_CACHE_HIERARCHY_HH
+#define CCACHE_CACHE_HIERARCHY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/directory.hh"
+#include "common/stats.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory.hh"
+#include "noc/ring.hh"
+
+namespace ccache::cache {
+
+/** Configuration of the full hierarchy. */
+struct HierarchyParams
+{
+    unsigned cores = 8;
+
+    CacheParams l1{geometry::CacheGeometryParams::l1d(), CacheLevel::L1, 5};
+    CacheParams l2{geometry::CacheGeometryParams::l2(), CacheLevel::L2, 11};
+    CacheParams l3{geometry::CacheGeometryParams::l3Slice(), CacheLevel::L3,
+                   11};
+
+    /** Queuing delay added to every L3 slice access (Table IV). */
+    Cycles l3QueueDelay = 4;
+
+    mem::MemoryParams memory;
+    noc::RingParams ring;
+};
+
+/** Where an access was served from. */
+enum class ServedBy { L1, L2, L3, Memory };
+
+const char *toString(ServedBy s);
+
+/** Timing outcome of one block transaction. */
+struct AccessResult
+{
+    Cycles latency = 0;
+    ServedBy servedBy = ServedBy::L1;
+};
+
+/** The full memory system. */
+class Hierarchy
+{
+  public:
+    Hierarchy(const HierarchyParams &params, energy::EnergyModel *energy,
+              StatRegistry *stats);
+
+    const HierarchyParams &params() const { return params_; }
+    unsigned cores() const { return params_.cores; }
+
+    Cache &l1(CoreId core) { return *l1_[core]; }
+    Cache &l2(CoreId core) { return *l2_[core]; }
+    Cache &l3Slice(unsigned slice) { return *l3_[slice]; }
+    Directory &directory(unsigned slice) { return *dir_[slice]; }
+    mem::Memory &memory() { return memory_; }
+    noc::Ring &ring() { return ring_; }
+
+    /** NUCA page placement (first touch binds a page to the accessing
+     *  core's slice; mapPage overrides). @{ */
+    void mapPage(Addr addr, unsigned slice);
+    unsigned sliceFor(CoreId core, Addr addr);
+    /** @} */
+
+    /**
+     * Coherent block read: data lands in the core's L1 (unless
+     * @p fill_to limits the fill depth) and is returned via @p out.
+     */
+    AccessResult read(CoreId core, Addr addr, Block *out = nullptr,
+                      CacheLevel fill_to = CacheLevel::L1);
+
+    /**
+     * Coherent block write (request-for-ownership + full-block store).
+     * With @p data null, only the ownership/dirty transition happens
+     * (used for partial-line stores after a read-for-ownership).
+     */
+    AccessResult write(CoreId core, Addr addr, const Block *data = nullptr,
+                       CacheLevel fill_to = CacheLevel::L1);
+
+    /** Byte-granular convenience wrappers (split across blocks). @{ */
+    Cycles loadBytes(CoreId core, Addr addr, void *out, std::size_t len);
+    Cycles storeBytes(CoreId core, Addr addr, const void *data,
+                      std::size_t len);
+    /** @} */
+
+    /**
+     * Stage @p addr at @p level for an in-place CC operation
+     * (Section IV-E): private copies above the level are written back
+     * (and invalidated if @p exclusive); the block is fetched from below
+     * if absent. With @p for_overwrite, an L3 miss allocates the line
+     * without reading memory — the Figure 6 optimization for operands
+     * that will be overwritten entirely.
+     *
+     * @return total latency of the staging.
+     */
+    Cycles fetchToLevel(CoreId core, Addr addr, CacheLevel level,
+                        bool exclusive, bool for_overwrite = false);
+
+    /** The cache that holds @p addr at @p level for @p core. */
+    Cache &cacheAt(CacheLevel level, CoreId core, Addr addr);
+
+    /** Highest (fastest) level at which ALL operands are present for
+     *  @p core; L3 if any operand is uncached (Section IV-E policy). */
+    CacheLevel chooseLevel(CoreId core, const std::vector<Addr> &operands);
+
+    /**
+     * Authoritative current value of a block (highest dirty copy wins),
+     * without timing or energy side effects. For checking and loaders.
+     */
+    Block debugRead(Addr addr);
+
+    /** Functional back-door write to memory AND all cached copies
+     *  (workload setup). */
+    void debugWrite(Addr addr, const Block &data);
+
+    /** Drop every cached block (between benchmark phases). Dirty data is
+     *  flushed to memory. */
+    void flushAll();
+
+  private:
+    /** Ring stop of a core (cores and slices share stops). */
+    unsigned stopOf(CoreId core) const { return core % params_.ring.nodes; }
+
+    /** Write @p victim back from L1 into L2 (inclusion guarantees a
+     *  resident line). */
+    void l1Writeback(CoreId core, const Eviction &victim);
+
+    /** Handle an L2 eviction: invalidate the L1 copy, write dirty data to
+     *  the home L3 slice, update the directory. Returns extra latency. */
+    Cycles l2Eviction(CoreId core, const Eviction &victim);
+
+    /** Handle an L3 slice eviction: back-invalidate all private copies,
+     *  write dirty data to memory. */
+    void l3Eviction(unsigned slice, const Eviction &victim);
+
+    /** Pull the newest private copy of @p addr held by @p owner into the
+     *  home slice; downgrades (read) or invalidates (exclusive) the
+     *  owner's copies. Returns added latency. */
+    Cycles recallFromOwner(CoreId requester, CoreId owner, Addr addr,
+                           unsigned slice, bool invalidate_owner);
+
+    /** Invalidate every private copy except @p keeper's. */
+    Cycles invalidateSharers(Addr addr, unsigned slice, CoreId keeper);
+
+    /** Fill path L3 -> L2 -> L1 after a slice grant. */
+    Cycles fillUpward(CoreId core, Addr addr, const Block &data, Mesi state,
+                      CacheLevel fill_to);
+
+    /** Ensure the home slice holds @p addr; fetch from memory if not.
+     *  Returns added latency. */
+    Cycles ensureInL3(unsigned slice, Addr addr, bool for_overwrite);
+
+    HierarchyParams params_;
+    energy::EnergyModel *energy_;
+    StatRegistry *stats_;
+
+    std::vector<std::unique_ptr<Cache>> l1_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l3_;
+    std::vector<std::unique_ptr<Directory>> dir_;
+    mem::Memory memory_;
+    noc::Ring ring_;
+    std::unordered_map<Addr, unsigned> pageSlice_;
+};
+
+} // namespace ccache::cache
+
+#endif // CCACHE_CACHE_HIERARCHY_HH

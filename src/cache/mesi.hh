@@ -1,0 +1,42 @@
+/**
+ * @file
+ * MESI coherence states (Table IV: directory-based MESI).
+ */
+
+#ifndef CCACHE_CACHE_MESI_HH
+#define CCACHE_CACHE_MESI_HH
+
+namespace ccache::cache {
+
+/** Classic MESI line states. */
+enum class Mesi { Invalid, Shared, Exclusive, Modified };
+
+inline const char *
+toString(Mesi state)
+{
+    switch (state) {
+      case Mesi::Invalid: return "I";
+      case Mesi::Shared: return "S";
+      case Mesi::Exclusive: return "E";
+      case Mesi::Modified: return "M";
+    }
+    return "?";
+}
+
+/** True if the state grants write permission without a coherence action. */
+inline bool
+writable(Mesi state)
+{
+    return state == Mesi::Exclusive || state == Mesi::Modified;
+}
+
+/** True if the line holds valid data. */
+inline bool
+valid(Mesi state)
+{
+    return state != Mesi::Invalid;
+}
+
+} // namespace ccache::cache
+
+#endif // CCACHE_CACHE_MESI_HH

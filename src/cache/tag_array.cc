@@ -1,0 +1,74 @@
+#include "cache/tag_array.hh"
+
+#include "common/logging.hh"
+
+namespace ccache::cache {
+
+TagArray::TagArray(std::size_t sets, std::size_t ways)
+    : sets_(sets), ways_(ways), lines_(sets * ways)
+{
+    CC_ASSERT(sets > 0 && ways > 0, "degenerate tag array");
+}
+
+Lookup
+TagArray::lookup(std::size_t set, Addr tag) const
+{
+    CC_ASSERT(set < sets_, "set ", set, " out of range");
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const Line &l = lines_[index(set, w)];
+        if (l.valid() && l.tag == tag)
+            return {true, w};
+    }
+    return {false, 0};
+}
+
+void
+TagArray::touch(std::size_t set, std::size_t way)
+{
+    lines_[index(set, way)].lastUse = ++useClock_;
+}
+
+std::optional<std::size_t>
+TagArray::victim(std::size_t set) const
+{
+    CC_ASSERT(set < sets_, "set ", set, " out of range");
+    std::optional<std::size_t> best;
+    std::uint64_t best_use = ~std::uint64_t{0};
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const Line &l = lines_[index(set, w)];
+        if (!l.valid())
+            return w;
+        if (!l.pinned && l.lastUse < best_use) {
+            best_use = l.lastUse;
+            best = w;
+        }
+    }
+    return best;
+}
+
+Line &
+TagArray::line(std::size_t set, std::size_t way)
+{
+    CC_ASSERT(set < sets_ && way < ways_, "line (", set, ",", way,
+              ") out of range");
+    return lines_[index(set, way)];
+}
+
+const Line &
+TagArray::line(std::size_t set, std::size_t way) const
+{
+    CC_ASSERT(set < sets_ && way < ways_, "line (", set, ",", way,
+              ") out of range");
+    return lines_[index(set, way)];
+}
+
+std::size_t
+TagArray::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines_)
+        n += l.valid() ? 1 : 0;
+    return n;
+}
+
+} // namespace ccache::cache

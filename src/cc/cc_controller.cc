@@ -1,0 +1,665 @@
+#include "cc/cc_controller.hh"
+
+#include <algorithm>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::cc {
+
+using cache::Cache;
+
+void
+CcController::ScheduleState::reset(unsigned power_cap)
+{
+    streaming = false;
+    issueClock = 0;
+    horizon = 0;
+    partitionFree.clear();
+    nearFree.clear();
+    powerSlots.clear();
+    if (power_cap > 0)
+        powerSlots.assign(power_cap, 0);
+    fetchLats.clear();
+}
+
+namespace {
+
+/** Overlap a set of staging latencies MLP-deep: the longest miss
+ *  dominates and the rest pipeline behind it. */
+Cycles
+foldFetchLatencies(std::vector<Cycles> &lats, unsigned mlp)
+{
+    if (lats.empty())
+        return 0;
+    std::sort(lats.begin(), lats.end(), std::greater<Cycles>());
+    Cycles total = lats.front();
+    Cycles rest = 0;
+    for (std::size_t i = 1; i < lats.size(); ++i)
+        rest += lats[i];
+    return total + rest / std::max(1u, mlp);
+}
+
+} // namespace
+
+CcController::CcController(cache::Hierarchy &hier,
+                           energy::EnergyModel *energy, StatRegistry *stats,
+                           const CcControllerParams &params)
+    : hier_(hier), energy_(energy), stats_(stats), params_(params),
+      instrTable_(params.instrTableEntries),
+      opTable_(params.opTableEntries),
+      nearPlace_(params.nearPlace, energy, stats)
+{
+    if (params_.verifyCircuit) {
+        sram::SubArrayParams sp;
+        sp.rows = 8;
+        sp.cols = 8 * kBlockSize;
+        circuit_ = std::make_unique<sram::SubArray>(sp);
+    }
+}
+
+CcExecResult
+CcController::execute(CoreId core, const CcInstruction &instr)
+{
+    instr.validate();
+
+    if (stats_)
+        stats_->counter("cc.instructions").inc();
+    if (energy_)
+        energy_->chargeVectorInstructions(1);
+
+    if (!instr.spansPage())
+        return executeOnce(core, instr);
+
+    // Section IV-D: page-spanning operands raise a pipeline exception and
+    // the handler splits the instruction per page.
+    if (stats_)
+        stats_->counter("cc.page_split_exceptions").inc();
+    CcExecResult total;
+    total.latency = params_.pageSplitPenalty;
+    std::size_t result_bits = 0;
+    for (const CcInstruction &piece : instr.splitAtPageBoundaries()) {
+        CcExecResult r = executeOnce(core, piece);
+        total.latency += r.latency;
+        total.fetchLatency += r.fetchLatency;
+        total.computeLatency += r.computeLatency;
+        total.blockOps += r.blockOps;
+        total.inPlaceOps += r.inPlaceOps;
+        total.nearPlaceOps += r.nearPlaceOps;
+        total.keyReplications += r.keyReplications;
+        total.lockRetries += r.lockRetries;
+        total.riscFallback |= r.riscFallback;
+        total.level = r.level;
+        ++total.pageSplits;
+        if (isCcR(instr.op)) {
+            std::size_t bits = piece.size / 8;
+            total.result |= r.result << result_bits;
+            result_bits += bits;
+        }
+    }
+    return total;
+}
+
+std::vector<CcExecResult>
+CcController::executeStream(CoreId core,
+                            const std::vector<CcInstruction> &instrs,
+                            Cycles *total_latency)
+{
+    sched_.reset(params_.maxActiveSubarrays);
+    sched_.streaming = true;
+    std::vector<CcExecResult> results;
+    results.reserve(instrs.size());
+    for (const CcInstruction &instr : instrs)
+        results.push_back(execute(core, instr));
+    sched_.streaming = false;
+
+    if (total_latency) {
+        Cycles fetch = foldFetchLatencies(sched_.fetchLats,
+                                          params_.fetchMlp);
+        // One completion notification covers the drained stream.
+        *total_latency = sched_.horizon + fetch +
+            hier_.ring().send(0, core % hier_.cores(),
+                              noc::MsgClass::Control);
+    }
+    return results;
+}
+
+std::optional<Cycles>
+CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
+                           bool exclusive, bool for_overwrite)
+{
+    Cycles latency = 0;
+    for (unsigned attempt = 0; attempt <= params_.maxLockRetries;
+         ++attempt) {
+        latency += hier_.fetchToLevel(core, addr, level, exclusive,
+                                      for_overwrite);
+        Cache &cache = hier_.cacheAt(level, core, addr);
+        if (cache.contains(addr)) {
+            // Pin + promote to MRU so the operand survives until issue
+            // (Section IV-E).
+            cache.pin(addr);
+            cache.promoteMRU(addr);
+            return latency;
+        }
+        if (stats_)
+            stats_->counter("cc.lock_retries").inc();
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+CcController::performBlockOp(CoreId core, const CcInstruction &instr,
+                             const BlockOp &op, CacheLevel level)
+{
+    Cache &src_cache = hier_.cacheAt(level, core, op.src1 ? op.src1
+                                                          : op.dest);
+    auto read_block = [&](Addr a) -> Block {
+        Cache &c = hier_.cacheAt(level, core, a);
+        const Block *p = c.peek(a);
+        CC_ASSERT(p, "staged operand 0x", std::hex, a, " vanished");
+        return *p;
+    };
+
+    Block a{};
+    Block b{};
+    if (op.src1)
+        a = read_block(op.src1);
+    if (op.src2)
+        b = read_block(op.src2);
+
+    std::uint64_t mask = 0;
+    energy::CacheOp cost_op = energy::cacheOpFor(sram::BitlineOp::Read);
+    switch (instr.op) {
+      case CcOpcode::Copy: cost_op = energy::CacheOp::Copy; break;
+      case CcOpcode::Buz: cost_op = energy::CacheOp::Buz; break;
+      case CcOpcode::Cmp: cost_op = energy::CacheOp::Cmp; break;
+      case CcOpcode::Search: cost_op = energy::CacheOp::Cmp; break;
+      case CcOpcode::And:
+      case CcOpcode::Or:
+      case CcOpcode::Xor: cost_op = energy::CacheOp::Logic; break;
+      case CcOpcode::Not: cost_op = energy::CacheOp::Not; break;
+      case CcOpcode::Clmul: cost_op = energy::CacheOp::Clmul; break;
+    }
+
+    if (instr.src2Replicated) {
+        // Replicated clmul: the XOR tree's parities stream into the
+        // controller's result register and land packed in dest.
+        if (energy_)
+            energy_->chargeCacheOp(level, cost_op);
+        if (stats_)
+            stats_->counter(op.inPlace ? "cc.in_place_ops"
+                                       : "cc.near_place_ops").inc();
+
+        std::size_t bits_per_op = instr.clmulBitsPerBlock();
+        std::size_t ops_per_dest = (8 * kBlockSize) / bits_per_op;
+        std::size_t bit_off = (op.index % ops_per_dest) * bits_per_op;
+
+        Block parities = BlockCompute::clmulPack(a, b,
+                                                 instr.clmulWordBits);
+        std::uint64_t bits = blockWord(parities, 0);
+
+        Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
+        const Block *cur = dst_cache.peek(op.dest);
+        CC_ASSERT(cur, "packed clmul destination vanished");
+        Block merged = *cur;
+        std::size_t word = bit_off / 64;
+        std::size_t shift = bit_off % 64;
+        std::uint64_t w = blockWord(merged, word);
+        std::uint64_t mask = bits_per_op == 64
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << bits_per_op) - 1) << shift;
+        w = (w & ~mask) | ((bits << shift) & mask);
+        setBlockWord(merged, word, w);
+        dst_cache.poke(op.dest, merged);
+        dst_cache.markDirty(op.dest);
+
+        // One result-register drain (a block write) per filled dest.
+        if (energy_ && bit_off + bits_per_op == 8 * kBlockSize)
+            energy_->chargeCacheOp(level, energy::CacheOp::Write);
+        return 0;
+    }
+
+    if (op.inPlace) {
+        if (energy_)
+            energy_->chargeCacheOp(level, cost_op);
+        if (stats_)
+            stats_->counter("cc.in_place_ops").inc();
+
+        if (isCcR(instr.op)) {
+            mask = BlockCompute::wordEqualMask(a, b);
+        } else {
+            Block result = BlockCompute::apply(instr.op, a, b,
+                                               instr.clmulWordBits);
+            Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
+            bool ok = dst_cache.poke(op.dest, result);
+            CC_ASSERT(ok, "in-place destination 0x", std::hex, op.dest,
+                      " vanished");
+            dst_cache.markDirty(op.dest);
+            if (params_.verifyCircuit)
+                verifyAgainstCircuit(instr, a, b, result);
+        }
+    } else {
+        // Near-place: the unit charges reads/logic/writeback itself.
+        NearPlaceResult res = nearPlace_.execute(
+            instr.op, level, a, b, instr.clmulWordBits);
+        if (isCcR(instr.op)) {
+            mask = res.wordEqualMask;
+        } else {
+            Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
+            bool ok = dst_cache.poke(op.dest, res.result);
+            CC_ASSERT(ok, "near-place destination 0x", std::hex, op.dest,
+                      " vanished");
+            dst_cache.markDirty(op.dest);
+        }
+    }
+
+    (void)src_cache;
+    return mask;
+}
+
+void
+CcController::verifyAgainstCircuit(const CcInstruction &instr,
+                                   const Block &a, const Block &b,
+                                   const Block &result)
+{
+    sram::BlockLoc la{0, 0}, lb{0, 1}, ld{0, 2};
+    circuit_->write(la, a);
+    circuit_->write(lb, b);
+    Block circuit_result{};
+    switch (instr.op) {
+      case CcOpcode::Copy:
+        circuit_->opCopy(la, ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::Buz:
+        circuit_->opBuz(ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::Not:
+        circuit_->opNot(la, ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::And:
+        circuit_->opAnd(la, lb, ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::Or:
+        circuit_->opOr(la, lb, ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::Xor:
+        circuit_->opXor(la, lb, ld);
+        circuit_result = circuit_->read(ld);
+        break;
+      case CcOpcode::Clmul: {
+        auto clres = circuit_->opClmul(la, lb, instr.clmulWordBits);
+        std::uint64_t packed = 0;
+        for (std::size_t i = 0; i < clres.parities.size(); ++i)
+            packed |= static_cast<std::uint64_t>(clres.parities[i]) << i;
+        setBlockWord(circuit_result, 0, packed);
+        break;
+      }
+      case CcOpcode::Cmp:
+      case CcOpcode::Search:
+        return;  // mask ops verified separately at the sub-array tests
+    }
+    CC_ASSERT(circuit_result == result,
+              "circuit/functional divergence for ", toString(instr.op));
+    if (stats_)
+        stats_->counter("cc.circuit_verifications").inc();
+}
+
+CcExecResult
+CcController::riscFallback(CoreId core, const CcInstruction &instr)
+{
+    // Section IV-E: after repeated lock failures the core translates the
+    // CC operation into RISC operations.
+    CcExecResult res;
+    res.riscFallback = true;
+    res.level = CacheLevel::L1;
+    if (stats_)
+        stats_->counter("cc.risc_fallbacks").inc();
+
+    std::size_t blocks = divCeil(instr.size, kBlockSize);
+    for (std::size_t i = 0; i < blocks; ++i) {
+        Addr off = i * kBlockSize;
+        Block a{};
+        Block b{};
+        if (instr.src1)
+            res.latency += hier_.read(core, instr.src1 + off, &a).latency;
+        if (instr.src2 && instr.op != CcOpcode::Search)
+            res.latency += hier_.read(core, instr.src2 + off, &b).latency;
+        if (instr.op == CcOpcode::Search)
+            res.latency += hier_.read(core, instr.src2, &b).latency;
+
+        if (isCcR(instr.op)) {
+            std::uint64_t mask = BlockCompute::wordEqualMask(a, b);
+            res.result |= mask << (i * kWordsPerBlock);
+        } else {
+            Block out = BlockCompute::apply(instr.op, a, b,
+                                            instr.clmulWordBits);
+            res.latency +=
+                hier_.write(core, instr.dest + off, &out).latency;
+        }
+        // Word-granular loads/stores/ALU ops on the scalar core.
+        if (energy_)
+            energy_->chargeInstructions(3 * kWordsPerBlock);
+        res.latency += kWordsPerBlock;  // ALU ops overlap the misses
+    }
+    res.blockOps = blocks;
+    return res;
+}
+
+CcExecResult
+CcController::executeOnce(CoreId core, const CcInstruction &instr)
+{
+    CcExecResult res;
+    if (!sched_.streaming)
+        sched_.reset(params_.maxActiveSubarrays);
+    else
+        sched_.issueClock += params_.issueLatency;  // dispatch serializes
+    res.latency = params_.issueLatency;
+    std::size_t blocks = divCeil(instr.size, kBlockSize);
+    res.blockOps = blocks;
+
+    // ------------------------------------------------------------------
+    // Level selection (Section IV-E): highest level where all operands
+    // hit; L3 when anything is uncached.
+    // ------------------------------------------------------------------
+    bool fixed_src2 = instr.op == CcOpcode::Search || instr.src2Replicated;
+    // Replicated clmul packs its parities densely: far fewer dest blocks.
+    std::size_t dest_blocks = blocks;
+    std::size_t ops_per_dest_block = 1;
+    if (instr.src2Replicated) {
+        ops_per_dest_block = (8 * kBlockSize) / instr.clmulBitsPerBlock();
+        dest_blocks = divCeil(blocks, ops_per_dest_block);
+    }
+
+    std::vector<Addr> all_blocks;
+    for (std::size_t i = 0; i < blocks; ++i) {
+        Addr off = i * kBlockSize;
+        if (instr.src1)
+            all_blocks.push_back(instr.src1 + off);
+        if (instr.src2 && !fixed_src2)
+            all_blocks.push_back(instr.src2 + off);
+        if (instr.dest && !instr.src2Replicated)
+            all_blocks.push_back(instr.dest + off);
+    }
+    if (fixed_src2)
+        all_blocks.push_back(instr.src2);
+    if (instr.src2Replicated) {
+        for (std::size_t i = 0; i < dest_blocks; ++i)
+            all_blocks.push_back(instr.dest + i * kBlockSize);
+    }
+
+    CacheLevel level = params_.forceLevel
+        ? *params_.forceLevel
+        : hier_.chooseLevel(core, all_blocks);
+    if (params_.useReusePredictor && !params_.forceLevel) {
+        level = reuse_.recommend(level, all_blocks);
+        if (level != CacheLevel::L3 && stats_)
+            stats_->counter("cc.reuse_hoists").inc();
+    }
+    if (params_.useReusePredictor) {
+        for (Addr a : all_blocks)
+            reuse_.touch(a);
+    }
+    res.level = level;
+
+    std::uint64_t seq = ++instrSeq_;
+    auto instr_id = instrTable_.allocate(instr, core, blocks);
+    CC_ASSERT(instr_id, "instruction table full in synchronous mode");
+
+    // ------------------------------------------------------------------
+    // Operand staging: fetch + pin every block of every operand. Misses
+    // overlap up to fetchMlp deep.
+    // ------------------------------------------------------------------
+    std::vector<Addr> pinned;
+    std::vector<Cycles> fetch_lats;
+    bool fallback = false;
+
+    auto stage = [&](Addr addr, bool exclusive, bool overwrite) {
+        auto lat = stageOperand(core, addr, level, exclusive, overwrite);
+        if (!lat) {
+            fallback = true;
+            return;
+        }
+        if (*lat > 0)
+            fetch_lats.push_back(*lat);
+        pinned.push_back(addr);
+    };
+
+    bool dest_overwritten = instr.op != CcOpcode::Clmul ||
+        instr.src2Replicated;
+    for (std::size_t i = 0; i < blocks && !fallback; ++i) {
+        Addr off = i * kBlockSize;
+        if (instr.src1)
+            stage(instr.src1 + off, false, false);
+        if (instr.src2 && !fixed_src2 && !fallback)
+            stage(instr.src2 + off, false, false);
+        if (instr.dest && !instr.src2Replicated && !fallback)
+            stage(instr.dest + off, true, dest_overwritten);
+    }
+    if (fixed_src2 && !fallback)
+        stage(instr.src2, false, false);
+    if (instr.src2Replicated) {
+        for (std::size_t i = 0; i < dest_blocks && !fallback; ++i)
+            stage(instr.dest + i * kBlockSize, true, true);
+    }
+
+    auto unpin_all = [&]() {
+        for (Addr a : pinned)
+            hier_.cacheAt(level, core, a).unpin(a);
+    };
+
+    if (fallback) {
+        unpin_all();
+        instrTable_.release(*instr_id);
+        return riscFallback(core, instr);
+    }
+
+    // Fetch latency: the longest miss dominates; the rest overlap with
+    // MLP-deep pipelining. In stream mode staging overlaps with other
+    // instructions' compute, so it folds into the stream total instead.
+    if (!fetch_lats.empty()) {
+        if (sched_.streaming) {
+            sched_.fetchLats.insert(sched_.fetchLats.end(),
+                                    fetch_lats.begin(), fetch_lats.end());
+        } else {
+            Cycles fetch = foldFetchLatencies(fetch_lats,
+                                              params_.fetchMlp);
+            res.fetchLatency = fetch;
+            res.latency += fetch;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Build block ops, resolve placement and operand locality.
+    // ------------------------------------------------------------------
+    std::vector<BlockOp> ops(blocks);
+    for (std::size_t i = 0; i < blocks; ++i) {
+        BlockOp &op = ops[i];
+        op.index = i;
+        Addr off = i * kBlockSize;
+        op.src1 = instr.src1 ? instr.src1 + off : 0;
+        op.src2 = fixed_src2 ? instr.src2
+                             : (instr.src2 ? instr.src2 + off : 0);
+        op.dest = instr.dest ? instr.dest + off : 0;
+        if (instr.src2Replicated)
+            op.dest = instr.dest + (i / ops_per_dest_block) * kBlockSize;
+
+        Addr anchor = op.src1 ? op.src1 : op.dest;
+        Cache &anchor_cache = hier_.cacheAt(level, core, anchor);
+        auto place = anchor_cache.placeOf(anchor);
+        CC_ASSERT(place, "anchor operand not resident after staging");
+        op.cacheIndex = level == CacheLevel::L3
+            ? hier_.sliceFor(core, anchor)
+            : core;
+        op.partition = place->globalPartition;
+
+        // Locality: every (non-key) operand must sit in the same cache
+        // instance and block partition. The search key is replicated, so
+        // it never constrains locality.
+        op.inPlace = !params_.forceNearPlace;
+        std::vector<Addr> members;
+        if (op.src1)
+            members.push_back(op.src1);
+        if (op.src2 && !fixed_src2)
+            members.push_back(op.src2);
+        // A replicated clmul's dest is filled by the controller's result
+        // shift register, so it does not constrain bit-line locality.
+        if (op.dest && !instr.src2Replicated)
+            members.push_back(op.dest);
+        for (Addr m : members) {
+            unsigned idx = level == CacheLevel::L3
+                ? hier_.sliceFor(core, m)
+                : core;
+            Cache &c = hier_.cacheAt(level, core, m);
+            auto p = c.placeOf(m);
+            CC_ASSERT(p, "operand 0x", std::hex, m,
+                      " not resident after staging");
+            if (idx != op.cacheIndex ||
+                p->globalPartition != op.partition) {
+                op.inPlace = false;
+            }
+        }
+
+        if (op.inPlace && (instr.op == CcOpcode::Search ||
+                           instr.src2Replicated)) {
+            // Replicate the key into this data block's partition once per
+            // instruction (Section IV-D key table). The replication write
+            // is what Table V's search row adds on top of cmp.
+            PartitionId pid{level, op.cacheIndex, op.partition};
+            if (keys_.needsReplication(seq, instr.src2, pid)) {
+                op.keyWrite = true;
+                ++res.keyReplications;
+                if (stats_)
+                    stats_->counter("cc.key_replications").inc();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Schedule: one command per cycle on the shared address bus;
+    // same-partition ops serialize; the active-sub-array cap bounds
+    // concurrency; near-place ops serialize on the controller's single
+    // logic unit.
+    // ------------------------------------------------------------------
+    Cycles finish = sched_.horizon;
+    auto &issue_clock = sched_.issueClock;
+    auto &partition_free = sched_.partitionFree;
+    auto &near_free = sched_.nearFree;
+    auto &power_slots = sched_.powerSlots;
+
+    std::uint64_t result_mask = 0;
+    std::size_t result_bits = 0;
+
+    // Key replication is an H-tree broadcast: the tree transfer is paid
+    // once per instruction, each receiving partition pays only the
+    // bit-array write component.
+    bool key_htree_charged = false;
+
+    for (BlockOp &op : ops) {
+        auto op_entry = opTable_.allocate(*instr_id, op.index,
+                                          {op.src1, op.src2, op.dest});
+        // Synchronous mode drains the table every iteration, so
+        // allocation cannot fail; the capacity still models the
+        // structure.
+        CC_ASSERT(op_entry, "operation table full");
+        for (std::size_t oi = 0; oi < 3; ++oi)
+            opTable_.markFetched(*op_entry, oi);
+
+        issue_clock += 1;  // command delivery on the shared bus
+        Cycles start = issue_clock / params_.commandIssuePerCycle;
+        Cycles end;
+
+        if (op.inPlace) {
+            auto key = std::make_pair(op.cacheIndex, op.partition);
+            Cycles interval = std::max<Cycles>(
+                1, static_cast<Cycles>(params_.partitionPipelineFactor *
+                                       static_cast<double>(
+                                           params_.inPlaceLatency(level))));
+            start = std::max(start, partition_free[key]);
+            if (op.keyWrite) {
+                // The key replication write occupies the partition before
+                // the search op can activate. Energy: one H-tree
+                // broadcast per instruction plus an array write per
+                // receiving partition.
+                start += params_.inPlaceLatency(level);
+                if (energy_) {
+                    EnergyPJ write = energy_->params().cacheOpEnergy(
+                        level, energy::CacheOp::Write);
+                    double ic = energy_->params().htreeFraction(
+                        level, energy::CacheOp::Write);
+                    if (!key_htree_charged) {
+                        energy_->addCacheIc(level, write * ic);
+                        key_htree_charged = true;
+                    }
+                    energy_->addCacheAccess(level, write * (1.0 - ic));
+                }
+            }
+            if (!power_slots.empty()) {
+                auto slot = std::min_element(power_slots.begin(),
+                                             power_slots.end());
+                start = std::max(start, *slot);
+                end = start + params_.inPlaceLatency(level);
+                *slot = end;
+            } else {
+                end = start + params_.inPlaceLatency(level);
+            }
+            partition_free[key] = start + interval;
+            ++res.inPlaceOps;
+        } else {
+            start = std::max(start, near_free[op.cacheIndex]);
+            end = start + params_.nearPlace.latency(level);
+            near_free[op.cacheIndex] = end;
+            ++res.nearPlaceOps;
+        }
+        finish = std::max(finish, end);
+
+        opTable_.markIssued(*op_entry);
+        std::uint64_t mask = performBlockOp(core, instr, op, level);
+        opTable_.markDone(*op_entry);
+        opTable_.release(*op_entry);
+
+        if (isCcR(instr.op)) {
+            std::size_t bits =
+                std::min<std::size_t>(kWordsPerBlock,
+                                      instr.size / 8 - result_bits);
+            result_mask |= (mask & ((bits == 64
+                                     ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << bits) - 1)))
+                << result_bits;
+            result_bits += bits;
+        }
+        instrTable_.complete(*instr_id, 0, 0);
+    }
+
+    sched_.horizon = std::max(sched_.horizon, finish);
+    res.computeLatency = finish;
+    res.latency += finish;
+    res.result = result_mask;
+
+    // Completion notification: the computing cache notifies the L1 CC
+    // controller, which notifies the core (Figure 6 steps 6-7).
+    if (level == CacheLevel::L3 && blocks > 0) {
+        unsigned slice = ops.front().cacheIndex;
+        Cycles notify = hier_.ring().send(slice, core % hier_.cores(),
+                                          noc::MsgClass::Control);
+        if (!sched_.streaming)
+            res.latency += notify;
+    }
+
+    unpin_all();
+    keys_.releaseInstr(seq);
+    instrTable_.release(*instr_id);
+
+    if (stats_) {
+        stats_->counter("cc.block_ops").inc(blocks);
+        stats_->counter(std::string("cc.level_") +
+                        ccache::toString(level)).inc();
+    }
+    return res;
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Compute Cache controller (Sections IV-D, IV-E).
+ *
+ * The controller turns a CC instruction into per-cache-block simple
+ * vector operations, chooses the cache level (highest level holding all
+ * operands, else L3), stages and pins operands, checks operand locality,
+ * executes in-place (bit-line) or near-place (controller logic unit),
+ * schedules the operations across block partitions under the shared
+ * address-bus and peak-power constraints, and returns the completion
+ * latency plus the cmp/search result mask.
+ *
+ * Functional results are computed with BlockCompute, whose equivalence to
+ * the circuit-level sram::SubArray model is established by the test
+ * suite; the controller can optionally re-verify every in-place op
+ * against a live sub-array (verifyCircuit mode).
+ */
+
+#ifndef CCACHE_CC_CC_CONTROLLER_HH
+#define CCACHE_CC_CC_CONTROLLER_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cc/instruction_table.hh"
+#include "cc/isa.hh"
+#include "cc/key_table.hh"
+#include "cc/near_place_unit.hh"
+#include "cc/operation_table.hh"
+#include "cc/reuse_predictor.hh"
+#include "sram/subarray.hh"
+
+namespace ccache::cc {
+
+/** Controller configuration. */
+struct CcControllerParams
+{
+    /** Latency of one in-place block operation (Section IV-J: 14 cycles
+     *  vs 22 near-place, for the large L3 sub-arrays; the smaller L1/L2
+     *  arrays activate and sense faster). @{ */
+    Cycles inPlaceOpLatency = 14;   ///< L3
+    Cycles inPlaceOpLatencyL2 = 8;
+    Cycles inPlaceOpLatencyL1 = 4;
+    /** @} */
+
+    /** Back-to-back in-place ops in one partition overlap precharge with
+     *  the previous op's write-back: the initiation interval is this
+     *  fraction of the op latency. */
+    double partitionPipelineFactor = 0.5;
+
+    /** In-place op latency at @p level. */
+    Cycles
+    inPlaceLatency(CacheLevel level) const
+    {
+        switch (level) {
+          case CacheLevel::L1: return inPlaceOpLatencyL1;
+          case CacheLevel::L2: return inPlaceOpLatencyL2;
+          case CacheLevel::L3: return inPlaceOpLatency;
+        }
+        return inPlaceOpLatency;
+    }
+
+    NearPlaceParams nearPlace;
+
+    /** Peak-power cap: sub-arrays allowed to compute simultaneously
+     *  (Section IV-D limits concurrency to bound peak power). 0 = no cap. */
+    unsigned maxActiveSubarrays = 128;
+
+    /** Commands deliverable per cycle on the shared address H-tree. */
+    unsigned commandIssuePerCycle = 1;
+
+    /** Operand-lock retry budget before RISC fallback (Section IV-E). */
+    unsigned maxLockRetries = 2;
+
+    /** Pipeline-exception penalty for page-spanning operands. */
+    Cycles pageSplitPenalty = 30;
+
+    /** Core -> L1 CC controller dispatch cost per instruction. */
+    Cycles issueLatency = 4;
+
+    /** Memory-level parallelism of the operand fetch engine. */
+    unsigned fetchMlp = 8;
+
+    /** Force every op to a fixed level (benchmark configurations
+     *  CC_L1 / CC_L2 / CC_L3). */
+    std::optional<CacheLevel> forceLevel;
+
+    /** Force the near-place path (the Figure 8a configuration). */
+    bool forceNearPlace = false;
+
+    /** Re-execute every in-place op on a circuit-level sub-array and
+     *  compare (slow; integration tests enable it). */
+    bool verifyCircuit = false;
+
+    /** Enhance level selection with the page-reuse predictor
+     *  (Section IV-E future-work extension): L3-policy instructions
+     *  whose operand pages show recent reuse are hoisted to L2. */
+    bool useReusePredictor = false;
+
+    std::size_t instrTableEntries = 8;
+    std::size_t opTableEntries = 64;
+};
+
+/** Outcome of executing one CC instruction. */
+struct CcExecResult
+{
+    Cycles latency = 0;             ///< fetch + compute + notification
+
+    /** Portion of the latency spent staging operands (cold misses). */
+    Cycles fetchLatency = 0;
+
+    /** Portion spent computing in / near the cache sub-arrays. */
+    Cycles computeLatency = 0;
+    std::uint64_t result = 0;       ///< cmp/search mask (word-granular)
+    CacheLevel level = CacheLevel::L3;
+    std::size_t blockOps = 0;
+    std::size_t inPlaceOps = 0;
+    std::size_t nearPlaceOps = 0;
+    std::size_t keyReplications = 0;
+    std::size_t pageSplits = 0;
+    std::size_t lockRetries = 0;
+    bool riscFallback = false;
+};
+
+/** The controller. One instance serves the whole hierarchy (it models
+ *  the cooperating per-cache CC controllers of Figure 1). */
+class CcController
+{
+  public:
+    CcController(cache::Hierarchy &hier, energy::EnergyModel *energy,
+                 StatRegistry *stats,
+                 const CcControllerParams &params = CcControllerParams{});
+
+    const CcControllerParams &params() const { return params_; }
+    CcControllerParams &mutableParams() { return params_; }
+
+    /** Execute one CC instruction issued by @p core to its L1 CC
+     *  controller; blocks until completion (atomic-transaction model). */
+    CcExecResult execute(CoreId core, const CcInstruction &instr);
+
+    /**
+     * Execute a stream of INDEPENDENT CC instructions with instruction-
+     * level overlap: the instruction table keeps several in flight, so
+     * successive instructions share the command bus, power slots and
+     * partition schedule instead of serializing end-to-end (how DB-BitMap
+     * issues its many independent cc_or operations, Section VI-E, and
+     * how consecutive 512-byte cc_cmp/cc_search chunks pipeline).
+     *
+     * The caller must guarantee independence (no RAW/WAW overlap between
+     * the instructions); each returned entry carries its own result mask.
+     * @p total_latency receives the overlapped makespan of the stream.
+     */
+    std::vector<CcExecResult> executeStream(
+        CoreId core, const std::vector<CcInstruction> &instrs,
+        Cycles *total_latency);
+
+    /** Tables exposed for inspection in tests. @{ */
+    const KeyTable &keyTable() const { return keys_; }
+    const ReusePredictor &reusePredictor() const { return reuse_; }
+    /** @} */
+
+  private:
+    /** One simple vector operation, decomposed and placed. */
+    struct BlockOp
+    {
+        Addr src1 = 0;
+        Addr src2 = 0;   ///< 0 when unused; key address for search
+        Addr dest = 0;   ///< 0 for CC-R
+        std::size_t index = 0;
+
+        bool inPlace = false;
+        bool keyWrite = false;          ///< search key replication first
+        unsigned cacheIndex = 0;        ///< slice (L3) or core (L1/L2)
+        std::size_t partition = 0;      ///< global partition in that cache
+        Cycles fetchLatency = 0;
+    };
+
+    CcExecResult executeOnce(CoreId core, const CcInstruction &instr);
+
+    /** Stage + pin one operand; returns latency or nullopt if the line
+     *  could not be pinned (all ways pinned by other ops). */
+    std::optional<Cycles> stageOperand(CoreId core, Addr addr,
+                                       CacheLevel level, bool exclusive,
+                                       bool for_overwrite);
+
+    /** Execute one block op functionally + charge its energy. Returns
+     *  word-equality mask for cmp/search. */
+    std::uint64_t performBlockOp(CoreId core, const CcInstruction &instr,
+                                 const BlockOp &op, CacheLevel level);
+
+    /** Optionally verify an in-place op against the circuit model. */
+    void verifyAgainstCircuit(const CcInstruction &instr, const Block &a,
+                              const Block &b, const Block &result);
+
+    /** Fallback: run the instruction as RISC loads/stores. */
+    CcExecResult riscFallback(CoreId core, const CcInstruction &instr);
+
+    cache::Hierarchy &hier_;
+    energy::EnergyModel *energy_;
+    StatRegistry *stats_;
+    CcControllerParams params_;
+
+    /** Shared scheduling state for one instruction or one stream. */
+    struct ScheduleState
+    {
+        bool streaming = false;
+        Cycles issueClock = 0;
+        Cycles horizon = 0;
+        std::map<std::pair<unsigned, std::size_t>, Cycles> partitionFree;
+        std::map<unsigned, Cycles> nearFree;
+        std::vector<Cycles> powerSlots;
+        std::vector<Cycles> fetchLats;
+
+        void reset(unsigned power_cap);
+    };
+
+    InstructionTable instrTable_;
+    OperationTable opTable_;
+    KeyTable keys_;
+    NearPlaceUnit nearPlace_;
+    ReusePredictor reuse_;
+    ScheduleState sched_;
+    std::uint64_t instrSeq_ = 0;
+
+    /** Scratch sub-array for verifyCircuit mode. */
+    std::unique_ptr<sram::SubArray> circuit_;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_CC_CONTROLLER_HH

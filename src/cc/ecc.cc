@@ -1,0 +1,192 @@
+#include "cc/ecc.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ccache::cc {
+
+namespace {
+
+/**
+ * Extended Hamming (72,64): the Hamming field spans positions 1..71,
+ * with the 7 parity bits at the power-of-two positions and the 64 data
+ * bits filling the rest; the 72nd bit is the overall parity that turns
+ * single-error correction into double-error detection.
+ */
+constexpr unsigned kCodeBits = 71;
+
+bool
+isParityPos(unsigned pos)
+{
+    return (pos & (pos - 1)) == 0;  // 1, 2, 4, ..., 64
+}
+
+/** Map data bit index (0..63) to its code position. */
+unsigned
+dataPos(unsigned data_idx)
+{
+    // Precomputable, but clarity wins: walk positions skipping parity.
+    unsigned seen = 0;
+    for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
+        if (isParityPos(pos))
+            continue;
+        if (seen == data_idx)
+            return pos;
+        ++seen;
+    }
+    CC_PANIC("data index out of range: ", data_idx);
+}
+
+/** Expand data into a 72-bit position-indexed value (bit pos-1). */
+std::array<bool, kCodeBits + 1>
+expand(std::uint64_t data)
+{
+    std::array<bool, kCodeBits + 1> code{};
+    unsigned data_idx = 0;
+    for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
+        if (isParityPos(pos))
+            continue;
+        code[pos] = (data >> data_idx) & 1;
+        ++data_idx;
+    }
+    return code;
+}
+
+/** Hamming parity bits for an expanded code word (data positions only —
+ *  parity positions must be zero or already filled consistently). */
+std::uint8_t
+hammingParities(const std::array<bool, kCodeBits + 1> &code)
+{
+    std::uint8_t parities = 0;
+    for (unsigned p = 0; p < 7; ++p) {
+        unsigned mask = 1u << p;
+        bool parity = false;
+        for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
+            if ((pos & mask) && !isParityPos(pos))
+                parity ^= code[pos];
+        }
+        parities |= static_cast<std::uint8_t>(parity) << p;
+    }
+    return parities;
+}
+
+} // namespace
+
+std::uint8_t
+Secded::encode(std::uint64_t data)
+{
+    auto code = expand(data);
+    std::uint8_t parities = hammingParities(code);
+    // Overall parity covers all data and parity bits.
+    bool overall = std::popcount(data) & 1;
+    overall ^= std::popcount(static_cast<unsigned>(parities)) & 1;
+    return static_cast<std::uint8_t>(parities |
+                                     (static_cast<std::uint8_t>(overall)
+                                      << 7));
+}
+
+EccStatus
+Secded::decode(std::uint64_t &data, std::uint8_t check)
+{
+    // Syndrome: recomputed Hamming parities vs the *stored* ones.
+    auto code = expand(data);
+    std::uint8_t syndrome = hammingParities(code) ^ (check & 0x7f);
+
+    // Overall parity is evaluated over the bits as RECEIVED (data plus
+    // the stored check byte): even for a clean word, odd for any
+    // single-bit error, even again for a double-bit error.
+    unsigned received_parity = (std::popcount(data) & 1) ^
+        (std::popcount(static_cast<unsigned>(check)) & 1);
+
+    if (syndrome == 0 && received_parity == 0)
+        return EccStatus::Ok;
+
+    if (received_parity == 0) {
+        // Syndrome set but overall parity consistent: two bits flipped.
+        return EccStatus::DetectedDoubleBit;
+    }
+
+    // Exactly one bit flipped somewhere in the 72-bit codeword.
+    if (syndrome == 0) {
+        // The overall parity bit itself; data and Hamming bits are fine.
+        return EccStatus::CorrectedSingleBit;
+    }
+    unsigned pos = syndrome;
+    if (pos > kCodeBits)
+        return EccStatus::DetectedDoubleBit;
+    if (isParityPos(pos))
+        return EccStatus::CorrectedSingleBit;  // a stored parity bit
+
+    // Locate which data bit lives at that position and flip it back.
+    unsigned data_idx = 0;
+    for (unsigned p = 1; p < pos; ++p) {
+        if (!isParityPos(p))
+            ++data_idx;
+    }
+    data ^= std::uint64_t{1} << data_idx;
+    return EccStatus::CorrectedSingleBit;
+}
+
+bool
+Secded::xorIdentityHolds(std::uint64_t a, std::uint64_t b)
+{
+    return encode(a ^ b) == (encode(a) ^ encode(b));
+}
+
+BlockEcc
+encodeBlock(const Block &block)
+{
+    BlockEcc ecc;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w)
+        ecc[w] = Secded::encode(blockWord(block, w));
+    return ecc;
+}
+
+EccStatus
+checkBlock(Block &block, const BlockEcc &ecc)
+{
+    EccStatus worst = EccStatus::Ok;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+        std::uint64_t word = blockWord(block, w);
+        EccStatus s = Secded::decode(word, ecc[w]);
+        if (s == EccStatus::CorrectedSingleBit) {
+            setBlockWord(block, w, word);
+            if (worst == EccStatus::Ok)
+                worst = s;
+        } else if (s == EccStatus::DetectedDoubleBit) {
+            worst = s;
+        }
+    }
+    return worst;
+}
+
+bool
+cmpEccMismatch(const Block &a, const BlockEcc &ecc_a, const Block &b,
+               const BlockEcc &ecc_b)
+{
+    // Section IV-I: an error is detected if the data bits match but the
+    // ECC bits don't, or vice versa.
+    bool data_equal = a == b;
+    bool ecc_equal = ecc_a == ecc_b;
+    return data_equal != ecc_equal;
+}
+
+double
+ScrubbingModel::cycleOverhead() const
+{
+    double scrub_cycles = static_cast<double>(blocks) *
+        static_cast<double>(cyclesPerBlock);
+    double interval_cycles = intervalMs * 1e-3 * kCoreFreqHz;
+    return scrub_cycles / interval_cycles;
+}
+
+double
+ScrubbingModel::expectedErrorsPerInterval() const
+{
+    double intervals_per_year = (365.25 * 24 * 3600 * 1000.0) / intervalMs;
+    return errorsPerYear / intervals_per_year;
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error detection and correction for Compute Caches (Section IV-I).
+ *
+ * Implements a (72,64) SECDED Hamming code per 64-bit word. Because the
+ * code is linear over GF(2), ECC(A xor B) == ECC(A) xor ECC(B) — the
+ * identity the paper's first alternative exploits to check operand
+ * integrity alongside in-place logical operations. The second
+ * alternative, idle-cycle cache scrubbing, is modeled as a cost/coverage
+ * estimator.
+ */
+
+#ifndef CCACHE_CC_ECC_HH
+#define CCACHE_CC_ECC_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/block.hh"
+
+namespace ccache::cc {
+
+/** Outcome of an ECC check. */
+enum class EccStatus {
+    Ok,
+    CorrectedSingleBit,
+    DetectedDoubleBit,
+};
+
+/** (72,64) SECDED codec for one 64-bit word. */
+class Secded
+{
+  public:
+    /** 8-bit check code (7 Hamming bits + overall parity). */
+    static std::uint8_t encode(std::uint64_t data);
+
+    /** Check and correct @p data in place.
+     *  @return status; on CorrectedSingleBit, @p data (or the check bits)
+     *  has been repaired; DetectedDoubleBit is uncorrectable. */
+    static EccStatus decode(std::uint64_t &data, std::uint8_t check);
+
+    /** The linearity identity used for in-place logical ops:
+     *  encode(a ^ b) == encode(a) ^ encode(b). */
+    static bool xorIdentityHolds(std::uint64_t a, std::uint64_t b);
+};
+
+/** ECC codes for one 64-byte block: one SECDED code per word. */
+using BlockEcc = std::array<std::uint8_t, kWordsPerBlock>;
+
+/** Encode all eight words of a block. */
+BlockEcc encodeBlock(const Block &block);
+
+/** Check a block against stored codes; corrects single-bit errors. */
+EccStatus checkBlock(Block &block, const BlockEcc &ecc);
+
+/**
+ * ECC handling rules per CC operation (Section IV-I):
+ *  - copy: the ECC is copied with the data;
+ *  - buz: ECC of the zero block is installed;
+ *  - cmp/search: compare data AND codes; mismatch patterns reveal errors;
+ *  - logical ops: either route xor( A, B ) + xor( ECCs ) through the ECC
+ *    logic unit (extra transfers) or rely on scrubbing.
+ */
+enum class EccStrategy {
+    XorCheckUnit,   ///< alternative 1: xor identity via the ECC logic unit
+    Scrubbing,      ///< alternative 2: periodic idle-cycle scrubbing
+};
+
+/** Compare-style ECC check: an error is flagged when data equality and
+ *  code equality disagree (Section IV-I). */
+bool cmpEccMismatch(const Block &a, const BlockEcc &ecc_a, const Block &b,
+                    const BlockEcc &ecc_b);
+
+/** Cost/coverage model for the scrubbing alternative. */
+struct ScrubbingModel
+{
+    /** Soft-error rate for the whole cache, errors per year
+     *  (Section IV-I cites 0.7-7 errors/year). */
+    double errorsPerYear = 7.0;
+
+    /** Scrub interval in milliseconds. */
+    double intervalMs = 100.0;
+
+    /** Cache capacity in 64-byte blocks. */
+    std::size_t blocks = 262144;  ///< 16 MB LLC
+
+    /** Cycles to scrub one block (read + check). */
+    Cycles cyclesPerBlock = 4;
+
+    /** Fraction of all cycles spent scrubbing at 2.66 GHz. */
+    double cycleOverhead() const;
+
+    /** Expected number of errors that strike between two scrubs (the
+     *  window in which an in-place op could consume a stale bit). */
+    double expectedErrorsPerInterval() const;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_ECC_HH

@@ -1,0 +1,86 @@
+#include "cc/instruction_table.hh"
+
+#include "common/logging.hh"
+
+namespace ccache::cc {
+
+InstructionTable::InstructionTable(std::size_t entries)
+    : entries_(entries)
+{
+    CC_ASSERT(entries > 0, "instruction table needs entries");
+}
+
+std::size_t
+InstructionTable::occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+std::optional<InstrId>
+InstructionTable::allocate(const CcInstruction &instr, CoreId core,
+                           std::size_t total_ops)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].valid)
+            continue;
+        InstrEntry &e = entries_[i];
+        e = InstrEntry{};
+        e.instr = instr;
+        e.core = core;
+        e.valid = true;
+        e.totalOps = total_ops;
+        return i;
+    }
+    return std::nullopt;
+}
+
+InstrEntry &
+InstructionTable::entry(InstrId id)
+{
+    CC_ASSERT(id < entries_.size() && entries_[id].valid,
+              "bad instruction-table id ", id);
+    return entries_[id];
+}
+
+const InstrEntry &
+InstructionTable::entry(InstrId id) const
+{
+    CC_ASSERT(id < entries_.size() && entries_[id].valid,
+              "bad instruction-table id ", id);
+    return entries_[id];
+}
+
+std::optional<std::size_t>
+InstructionTable::nextOp(InstrId id)
+{
+    InstrEntry &e = entry(id);
+    if (e.nextOp >= e.totalOps)
+        return std::nullopt;
+    return e.nextOp++;
+}
+
+bool
+InstructionTable::complete(InstrId id, std::uint64_t result_bits,
+                           std::size_t nbits)
+{
+    InstrEntry &e = entry(id);
+    CC_ASSERT(e.completedOps < e.totalOps, "over-completion of instr ", id);
+    if (nbits > 0) {
+        CC_ASSERT(e.resultBits + nbits <= 64, "result register overflow");
+        e.result |= result_bits << e.resultBits;
+        e.resultBits += nbits;
+    }
+    ++e.completedOps;
+    return e.done();
+}
+
+void
+InstructionTable::release(InstrId id)
+{
+    entry(id).valid = false;
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction table at the L1 CC controller (Section IV-D).
+ *
+ * Tracks every pending CC instruction: its accumulated result, how many of
+ * its simple vector operations have completed, and which simple operation
+ * is generated next. The table has a fixed number of entries; a full table
+ * back-pressures the core (structural stall).
+ */
+
+#ifndef CCACHE_CC_INSTRUCTION_TABLE_HH
+#define CCACHE_CC_INSTRUCTION_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cc/isa.hh"
+
+namespace ccache::cc {
+
+/** Handle into the instruction table. */
+using InstrId = std::size_t;
+
+/** State of one pending CC instruction. */
+struct InstrEntry
+{
+    CcInstruction instr;
+    CoreId core = 0;
+    bool valid = false;
+
+    std::size_t totalOps = 0;      ///< simple vector ops to generate
+    std::size_t nextOp = 0;        ///< next simple op index to generate
+    std::size_t completedOps = 0;  ///< simple ops finished
+
+    std::uint64_t result = 0;      ///< cmp/search result accumulator
+    std::uint64_t resultBits = 0;  ///< result bits produced so far
+
+    bool done() const { return completedOps == totalOps; }
+};
+
+/** Fixed-capacity instruction table. */
+class InstructionTable
+{
+  public:
+    explicit InstructionTable(std::size_t entries = 8);
+
+    std::size_t capacity() const { return entries_.size(); }
+    std::size_t occupancy() const;
+    bool full() const { return occupancy() == capacity(); }
+
+    /**
+     * Allocate an entry for @p instr issued by @p core with
+     * @p total_ops simple vector operations. Returns nullopt when full.
+     */
+    std::optional<InstrId> allocate(const CcInstruction &instr, CoreId core,
+                                    std::size_t total_ops);
+
+    InstrEntry &entry(InstrId id);
+    const InstrEntry &entry(InstrId id) const;
+
+    /** Generate the next simple-op index; nullopt when all generated. */
+    std::optional<std::size_t> nextOp(InstrId id);
+
+    /** Record completion of one simple op, optionally appending result
+     *  bits (cmp/search). Returns true when the instruction retires. */
+    bool complete(InstrId id, std::uint64_t result_bits = 0,
+                  std::size_t nbits = 0);
+
+    /** Free a retired entry (the controller notifies the core first). */
+    void release(InstrId id);
+
+  private:
+    std::vector<InstrEntry> entries_;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_INSTRUCTION_TABLE_HH

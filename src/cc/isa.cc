@@ -1,0 +1,270 @@
+#include "cc/isa.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::cc {
+
+const char *
+toString(CcOpcode op)
+{
+    switch (op) {
+      case CcOpcode::Copy: return "cc_copy";
+      case CcOpcode::Buz: return "cc_buz";
+      case CcOpcode::Cmp: return "cc_cmp";
+      case CcOpcode::Search: return "cc_search";
+      case CcOpcode::And: return "cc_and";
+      case CcOpcode::Or: return "cc_or";
+      case CcOpcode::Xor: return "cc_xor";
+      case CcOpcode::Clmul: return "cc_clmul";
+      case CcOpcode::Not: return "cc_not";
+    }
+    return "?";
+}
+
+bool
+isCcR(CcOpcode op)
+{
+    return op == CcOpcode::Cmp || op == CcOpcode::Search;
+}
+
+unsigned
+numAddrOperands(CcOpcode op)
+{
+    switch (op) {
+      case CcOpcode::Buz:
+        return 1;
+      case CcOpcode::Copy:
+      case CcOpcode::Cmp:
+      case CcOpcode::Search:
+      case CcOpcode::Not:
+        return 2;
+      case CcOpcode::And:
+      case CcOpcode::Or:
+      case CcOpcode::Xor:
+      case CcOpcode::Clmul:
+        return 3;
+    }
+    return 0;
+}
+
+CcInstruction
+CcInstruction::copy(Addr a, Addr b, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Copy;
+    i.src1 = a;
+    i.dest = b;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::buz(Addr a, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Buz;
+    i.dest = a;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::cmp(Addr a, Addr b, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Cmp;
+    i.src1 = a;
+    i.src2 = b;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::search(Addr a, Addr k, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Search;
+    i.src1 = a;
+    i.src2 = k;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::logicalAnd(Addr a, Addr b, Addr c, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::And;
+    i.src1 = a;
+    i.src2 = b;
+    i.dest = c;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::logicalOr(Addr a, Addr b, Addr c, std::size_t n)
+{
+    CcInstruction i = logicalAnd(a, b, c, n);
+    i.op = CcOpcode::Or;
+    return i;
+}
+
+CcInstruction
+CcInstruction::logicalXor(Addr a, Addr b, Addr c, std::size_t n)
+{
+    CcInstruction i = logicalAnd(a, b, c, n);
+    i.op = CcOpcode::Xor;
+    return i;
+}
+
+CcInstruction
+CcInstruction::logicalNot(Addr a, Addr b, std::size_t n)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Not;
+    i.src1 = a;
+    i.dest = b;
+    i.size = n;
+    return i;
+}
+
+CcInstruction
+CcInstruction::clmul(Addr a, Addr b, Addr c, std::size_t n,
+                     std::size_t word_bits)
+{
+    CcInstruction i = logicalAnd(a, b, c, n);
+    i.op = CcOpcode::Clmul;
+    i.clmulWordBits = word_bits;
+    return i;
+}
+
+CcInstruction
+CcInstruction::clmulReplicated(Addr a, Addr b_block, Addr c, std::size_t n,
+                               std::size_t word_bits)
+{
+    CcInstruction i = clmul(a, b_block, c, n, word_bits);
+    i.src2Replicated = true;
+    return i;
+}
+
+std::vector<Addr>
+CcInstruction::operandAddrs() const
+{
+    switch (op) {
+      case CcOpcode::Buz:
+        return {dest};
+      case CcOpcode::Copy:
+      case CcOpcode::Not:
+        return {src1, dest};
+      case CcOpcode::Cmp:
+      case CcOpcode::Search:
+        return {src1, src2};
+      case CcOpcode::And:
+      case CcOpcode::Or:
+      case CcOpcode::Xor:
+      case CcOpcode::Clmul:
+        return {src1, src2, dest};
+    }
+    return {};
+}
+
+std::vector<Addr>
+CcInstruction::writtenAddrs() const
+{
+    if (isCcR(op))
+        return {};
+    return {dest};
+}
+
+void
+CcInstruction::validate() const
+{
+    if (size == 0)
+        CC_FATAL(toString(), ": zero-length vector");
+    if (size > kMaxVectorBytes)
+        CC_FATAL(toString(), ": vector size ", size, " exceeds ",
+                 kMaxVectorBytes);
+    if (size % 8 != 0)
+        CC_FATAL(toString(), ": vector size ", size,
+                 " is not a word multiple");
+    if (isCcR(op) && size > kMaxCmpBytes)
+        CC_FATAL(toString(), ": cmp/search limited to ", kMaxCmpBytes,
+                 " bytes so the result fits a 64-bit register");
+    if (op == CcOpcode::Clmul && clmulWordBits != 64 &&
+        clmulWordBits != 128 && clmulWordBits != 256) {
+        CC_FATAL(toString(), ": clmul word width must be 64/128/256");
+    }
+    for (Addr a : operandAddrs()) {
+        if (!isAligned(a, kBlockSize))
+            CC_FATAL(toString(), ": operand 0x", std::hex, a,
+                     " is not 64-byte aligned");
+    }
+}
+
+bool
+CcInstruction::spansPage() const
+{
+    // The key operand of search is a single 64-byte block; all other
+    // operands cover the full vector size.
+    for (Addr a : operandAddrs()) {
+        std::size_t span = size;
+        if ((op == CcOpcode::Search || src2Replicated) && a == src2)
+            span = kSearchKeyBytes;
+        else if (src2Replicated && a == dest)
+            span = divCeil(size / kBlockSize * clmulBitsPerBlock(),
+                           8 * kBlockSize) * kBlockSize;
+        if (alignDown(a, kPageSize) != alignDown(a + span - 1, kPageSize))
+            return true;
+    }
+    return false;
+}
+
+std::vector<CcInstruction>
+CcInstruction::splitAtPageBoundaries() const
+{
+    std::vector<CcInstruction> pieces;
+    std::size_t done = 0;
+    while (done < size) {
+        // Next page boundary over any operand bounds this piece.
+        std::size_t chunk = size - done;
+        for (Addr a : operandAddrs()) {
+            if ((op == CcOpcode::Search || src2Replicated) && a == src2)
+                continue;  // the key / replicated block does not advance
+            Addr cur = a + done;
+            std::size_t to_boundary =
+                static_cast<std::size_t>(alignDown(cur, kPageSize) +
+                                         kPageSize - cur);
+            chunk = std::min(chunk, to_boundary);
+        }
+        CcInstruction piece = *this;
+        piece.src1 = src1 + done;
+        if (op != CcOpcode::Search && !src2Replicated)
+            piece.src2 = src2 ? src2 + done : 0;
+        piece.dest = dest ? dest + done : 0;
+        piece.size = chunk;
+        pieces.push_back(piece);
+        done += chunk;
+    }
+    return pieces;
+}
+
+std::string
+CcInstruction::toString() const
+{
+    std::ostringstream os;
+    os << cc::toString(op);
+    if (op == CcOpcode::Clmul)
+        os << clmulWordBits;
+    os << std::hex;
+    for (Addr a : operandAddrs())
+        os << " 0x" << a;
+    os << std::dec << " " << size;
+    return os.str();
+}
+
+} // namespace ccache::cc

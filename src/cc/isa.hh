@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Compute Cache ISA (paper Table II).
+ *
+ * Vector instructions whose operands are specified register-indirect and
+ * whose sizes are immediates up to 16 KB. cc_cmp / cc_search are CC-R
+ * (read-only, result to a core register); the rest are CC-RW.
+ */
+
+#ifndef CCACHE_CC_ISA_HH
+#define CCACHE_CC_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccache::cc {
+
+/** Table II opcodes. cc_clmulX is one opcode with a width field. */
+enum class CcOpcode {
+    Copy,    ///< b[i] = a[i]
+    Buz,     ///< a[i] = 0
+    Cmp,     ///< r[i] = (a[i] == b[i]), word-granular
+    Search,  ///< r[i] = (a[i] == k), 64-byte key per Section IV-A
+    And,     ///< c[i] = a[i] & b[i]
+    Or,      ///< c[i] = a[i] | b[i]
+    Xor,     ///< c[i] = a[i] ^ b[i]
+    Clmul,   ///< c_i = xor-reduce(a[i] & b[i]) at 64/128/256-bit words
+    Not,     ///< b[i] = ~a[i]
+};
+
+const char *toString(CcOpcode op);
+
+/** CC-R instructions only read memory; CC-RW also write (Section IV-H). */
+bool isCcR(CcOpcode op);
+
+/** Number of memory operands (source + destination addresses). */
+unsigned numAddrOperands(CcOpcode op);
+
+/** Maximum vector size in bytes (Section IV-A). @{ */
+inline constexpr std::size_t kMaxVectorBytes = 16 * 1024;
+inline constexpr std::size_t kMaxCmpBytes = 512;       ///< 64 words
+inline constexpr std::size_t kSearchKeyBytes = 64;
+/** @} */
+
+/** One decoded CC instruction. */
+struct CcInstruction
+{
+    CcOpcode op = CcOpcode::Copy;
+    Addr src1 = 0;          ///< a
+    Addr src2 = 0;          ///< b (cmp/and/or/xor/clmul) or key (search)
+    Addr dest = 0;          ///< b/c for RW ops; unused for CC-R
+    std::size_t size = 0;   ///< vector size in bytes
+    std::size_t clmulWordBits = 64;  ///< 64 / 128 / 256
+
+    /** Extension used by BMM: src2 is ONE 64-byte block replicated into
+     *  every partition holding src1 data — the same controller machinery
+     *  as the cc_search key (Section IV-D key table). The clmul parities
+     *  are then packed densely into dest by the controller's result
+     *  shift register (one dest block per 512 parity bits). */
+    bool src2Replicated = false;
+
+    /** Builders for each Table II mnemonic. @{ */
+    static CcInstruction copy(Addr a, Addr b, std::size_t n);
+    static CcInstruction buz(Addr a, std::size_t n);
+    static CcInstruction cmp(Addr a, Addr b, std::size_t n);
+    static CcInstruction search(Addr a, Addr k, std::size_t n);
+    static CcInstruction logicalAnd(Addr a, Addr b, Addr c, std::size_t n);
+    static CcInstruction logicalOr(Addr a, Addr b, Addr c, std::size_t n);
+    static CcInstruction logicalXor(Addr a, Addr b, Addr c, std::size_t n);
+    static CcInstruction logicalNot(Addr a, Addr b, std::size_t n);
+    static CcInstruction clmul(Addr a, Addr b, Addr c, std::size_t n,
+                               std::size_t word_bits);
+    /** @} */
+
+    /** The replicated-operand clmul extension (see src2Replicated). */
+    static CcInstruction clmulReplicated(Addr a, Addr b_block, Addr c,
+                                         std::size_t n,
+                                         std::size_t word_bits);
+
+    /** Parity bits produced per 64-byte block op of a clmul. */
+    std::size_t clmulBitsPerBlock() const
+    {
+        return 8 * 64 / clmulWordBits;
+    }
+
+    /** All memory operand base addresses in use. */
+    std::vector<Addr> operandAddrs() const;
+
+    /** Addresses the instruction writes. */
+    std::vector<Addr> writtenAddrs() const;
+
+    /**
+     * Validate against the ISA limits; throws FatalError with a
+     * diagnostic on malformed encodings (zero/oversized vectors, bad
+     * clmul width, unaligned operands).
+     */
+    void validate() const;
+
+    /** True iff any operand's address range crosses a 4 KB page
+     *  boundary — the condition that raises the pipeline exception of
+     *  Section IV-D. */
+    bool spansPage() const;
+
+    /**
+     * The exception handler's behaviour: split into sub-instructions
+     * whose operands each stay within one page.
+     */
+    std::vector<CcInstruction> splitAtPageBoundaries() const;
+
+    /** Human-readable disassembly, e.g. "cc_and 0x1000 0x2000 0x3000 256". */
+    std::string toString() const;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_ISA_HH

@@ -1,0 +1,28 @@
+#include "cc/key_table.hh"
+
+namespace ccache::cc {
+
+bool
+KeyTable::needsReplication(std::uint64_t instr, Addr key_addr,
+                           const PartitionId &where)
+{
+    auto &partitions = table_[Key{instr, key_addr}];
+    auto [it, inserted] = partitions.insert(where);
+    (void)it;
+    if (inserted)
+        ++replications_;
+    return inserted;
+}
+
+void
+KeyTable::releaseInstr(std::uint64_t instr)
+{
+    for (auto it = table_.begin(); it != table_.end();) {
+        if (it->first.instr == instr)
+            it = table_.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Key table (Section IV-D): for cc_search, the controller replicates the
+ * key block into every block partition holding source data. The key table
+ * remembers which partitions already hold the key for a given instruction
+ * so replication is not repeated.
+ */
+
+#ifndef CCACHE_CC_KEY_TABLE_HH
+#define CCACHE_CC_KEY_TABLE_HH
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace ccache::cc {
+
+/** Identity of one block partition within the whole hierarchy. */
+struct PartitionId
+{
+    CacheLevel level;
+    unsigned cacheIndex;     ///< core for L1/L2, slice for L3
+    std::size_t partition;   ///< global partition within that cache
+
+    auto operator<=>(const PartitionId &) const = default;
+};
+
+/** Tracks key replication per (instruction, key address). */
+class KeyTable
+{
+  public:
+    /**
+     * Returns true if the key at @p key_addr must still be replicated
+     * into @p where for instruction @p instr, and records the
+     * replication. Returns false if the partition already has it.
+     */
+    bool needsReplication(std::uint64_t instr, Addr key_addr,
+                          const PartitionId &where);
+
+    /** Drop all state for a retired instruction. */
+    void releaseInstr(std::uint64_t instr);
+
+    /** Total distinct replications recorded (stats). */
+    std::size_t replications() const { return replications_; }
+
+    std::size_t trackedInstructions() const { return table_.size(); }
+
+  private:
+    struct Key
+    {
+        std::uint64_t instr;
+        Addr keyAddr;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            return std::hash<std::uint64_t>{}(k.instr * 0x9e3779b97f4a7c15ULL
+                                              ^ k.keyAddr);
+        }
+    };
+
+    std::unordered_map<Key, std::set<PartitionId>, KeyHash> table_;
+    std::size_t replications_ = 0;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_KEY_TABLE_HH

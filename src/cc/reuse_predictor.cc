@@ -1,0 +1,57 @@
+#include "cc/reuse_predictor.hh"
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::cc {
+
+ReusePredictor::ReusePredictor(std::size_t entries, unsigned threshold)
+    : capacity_(entries), threshold_(threshold)
+{
+    CC_ASSERT(entries > 0, "predictor needs entries");
+}
+
+void
+ReusePredictor::touch(Addr addr)
+{
+    Addr page = alignDown(addr, kPageSize);
+    auto it = table_.find(page);
+    if (it != table_.end()) {
+        if (it->second.count < 255)
+            ++it->second.count;
+        lru_.erase(it->second.lruIt);
+        lru_.push_front(page);
+        it->second.lruIt = lru_.begin();
+        return;
+    }
+
+    if (table_.size() == capacity_) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        table_.erase(victim);
+    }
+    lru_.push_front(page);
+    table_.emplace(page, Entry{1, lru_.begin()});
+}
+
+bool
+ReusePredictor::predictsReuse(Addr addr) const
+{
+    auto it = table_.find(alignDown(addr, kPageSize));
+    return it != table_.end() && it->second.count >= threshold_;
+}
+
+CacheLevel
+ReusePredictor::recommend(CacheLevel policy_level,
+                          const std::vector<Addr> &operands) const
+{
+    if (policy_level != CacheLevel::L3)
+        return policy_level;
+    for (Addr a : operands) {
+        if (!predictsReuse(a))
+            return policy_level;
+    }
+    return CacheLevel::L2;
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cache-block reuse predictor for CC level selection — the Section IV-E
+ * future-work extension ("Cache allocation policy can be improved in
+ * future by enhancing our CC controller with a cache block reuse
+ * predictor [11]").
+ *
+ * The baseline policy computes at the highest level where all operands
+ * already hit, falling to L3 on any miss. With the predictor enabled,
+ * operand *pages* that have shown reuse across recent CC instructions
+ * are hoisted: an L3-policy operation whose pages are predicted hot is
+ * instead staged at L2 (or L1), so subsequent operations on the same
+ * data hit closer to the core.
+ */
+
+#ifndef CCACHE_CC_REUSE_PREDICTOR_HH
+#define CCACHE_CC_REUSE_PREDICTOR_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccache::cc {
+
+/** Per-page saturating reuse counters with LRU-bounded capacity. */
+class ReusePredictor
+{
+  public:
+    /** @param entries   tracked pages (LRU replacement).
+     *  @param threshold accesses after which a page predicts reuse. */
+    explicit ReusePredictor(std::size_t entries = 256,
+                            unsigned threshold = 2);
+
+    /** Record that a CC instruction touched @p addr's page. */
+    void touch(Addr addr);
+
+    /** True if the page of @p addr is predicted to be reused soon. */
+    bool predictsReuse(Addr addr) const;
+
+    /**
+     * Level recommendation for an instruction over @p operands whose
+     * baseline policy chose @p policy_level: hoist L3 to L2 when every
+     * operand page predicts reuse (higher levels are never demoted).
+     */
+    CacheLevel recommend(CacheLevel policy_level,
+                         const std::vector<Addr> &operands) const;
+
+    std::size_t trackedPages() const { return table_.size(); }
+
+  private:
+    struct Entry
+    {
+        unsigned count = 0;
+        std::list<Addr>::iterator lruIt;
+    };
+
+    std::size_t capacity_;
+    unsigned threshold_;
+    std::unordered_map<Addr, Entry> table_;
+    std::list<Addr> lru_;  ///< front = most recent
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_REUSE_PREDICTOR_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Memory disambiguation for CC vector instructions (Section IV-H).
+ *
+ * CC instructions access address *ranges*, so the core's load-store queue
+ * is split: the scalar LSQ/store-buffer checks single addresses and
+ * coalesces; the vector LSQ/store-buffer checks ranges (max 12
+ * comparisons per entry) and never coalesces, because a CC-RW result is
+ * unknown until the cache performs it. When a scalar and a vector store
+ * target the same location, the younger store stalls behind the older via
+ * a successor pointer + stall bit.
+ */
+
+#ifndef CCACHE_CC_VECTOR_LSQ_HH
+#define CCACHE_CC_VECTOR_LSQ_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cc/isa.hh"
+#include "common/types.hh"
+
+namespace ccache::cc {
+
+/** Half-open byte range [base, base+len). */
+struct AddrRange
+{
+    Addr base = 0;
+    std::size_t len = 0;
+
+    Addr end() const { return base + len; }
+
+    bool overlaps(const AddrRange &other) const
+    {
+        return base < other.end() && other.base < end();
+    }
+
+    bool contains(Addr a) const { return a >= base && a < end(); }
+};
+
+/** Ranges read and written by a CC instruction. */
+struct VectorAccess
+{
+    std::vector<AddrRange> reads;
+    std::vector<AddrRange> writes;
+
+    static VectorAccess of(const CcInstruction &instr);
+
+    /** Address-range comparator count (the paper caps this at 12). */
+    std::size_t comparisons() const { return reads.size() + writes.size(); }
+};
+
+/** Entry identifiers. */
+using LsqId = std::size_t;
+
+/** Configuration per Table IV (48 LQ, 32 SQ) plus the vector additions. */
+struct VectorLsqParams
+{
+    std::size_t scalarLoadEntries = 48;
+    std::size_t scalarStoreEntries = 32;
+    std::size_t vectorEntries = 16;
+    std::size_t maxComparisonsPerEntry = 12;
+};
+
+/**
+ * Combined model of the split LSQ / store-buffer structures. It tracks
+ * in-flight scalar stores and vector instructions, answers ordering
+ * queries, and models the stall-bit chaining between the two store
+ * buffers.
+ */
+class VectorLsq
+{
+  public:
+    explicit VectorLsq(const VectorLsqParams &params = VectorLsqParams{});
+
+    const VectorLsqParams &params() const { return params_; }
+
+    /** Insert a scalar store; nullopt when the store buffer is full.
+     *  Coalesces with an existing in-flight store to the same word. */
+    std::optional<LsqId> insertScalarStore(Addr addr);
+
+    /** Insert a vector (CC) instruction; nullopt when the vector queue
+     *  is full or the entry would need more than 12 comparators. */
+    std::optional<LsqId> insertVector(const CcInstruction &instr);
+
+    /**
+     * True if a scalar load at @p addr may execute now: no older vector
+     * store range covers it (no forwarding from vector stores).
+     */
+    bool scalarLoadMayExecute(Addr addr, std::size_t nbytes = 8) const;
+
+    /**
+     * True if the vector instruction @p id may execute now. CC-R entries
+     * order only against overlapping older stores; CC-RW entries behave
+     * like stores (RMO: no ordering against disjoint accesses).
+     */
+    bool vectorMayExecute(LsqId id) const;
+
+    /** True if the entry was stalled behind a same-address store in the
+     *  other buffer when inserted (stall bit set). */
+    bool isStalled(LsqId id) const;
+
+    /** Retire an entry; clears stall bits of its successors. */
+    void retireScalarStore(LsqId id);
+    void retireVector(LsqId id);
+
+    /** Pending-counts for occupancy stats. @{ */
+    std::size_t scalarStoresInFlight() const;
+    std::size_t vectorsInFlight() const;
+    /** @} */
+
+    /** Number of stall events recorded (same-location cross-buffer). */
+    std::uint64_t crossBufferStalls() const { return stalls_; }
+
+    /** Fence semantics: everything in flight must drain first. */
+    bool fenceMayCommit() const;
+
+  private:
+    struct ScalarEntry
+    {
+        bool valid = false;
+        Addr addr = 0;
+        std::uint64_t seq = 0;
+        bool stalled = false;
+        std::optional<LsqId> successorVector;
+    };
+
+    struct VectorEntry
+    {
+        bool valid = false;
+        CcInstruction instr;
+        VectorAccess access;
+        bool isStore = false;
+        std::uint64_t seq = 0;
+        bool stalled = false;
+        std::optional<LsqId> successorScalar;
+    };
+
+    VectorLsqParams params_;
+    std::vector<ScalarEntry> scalar_;
+    std::vector<VectorEntry> vector_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t stalls_ = 0;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_VECTOR_LSQ_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef CCACHE_COMMON_BIT_UTIL_HH
+#define CCACHE_COMMON_BIT_UTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ccache {
+
+/** True iff @p v is a power of two (and nonzero). */
+inline constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+inline unsigned
+log2Exact(std::uint64_t v)
+{
+    CC_ASSERT(isPowerOfTwo(v), "log2Exact of non-power-of-two ", v);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Ceiling log2. */
+inline constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    return v <= 1 ? 0
+                  : 64u - static_cast<unsigned>(std::countl_zero(v - 1));
+}
+
+/** Extract bits [lo, lo+width) of @p value. */
+inline constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+inline constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+inline constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True iff @p addr is a multiple of @p align (power of two). */
+inline constexpr bool
+isAligned(Addr addr, std::uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** Divide rounding up. */
+inline constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_BIT_UTIL_HH

@@ -1,0 +1,191 @@
+#include "common/bitvector.hh"
+
+#include <bit>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache {
+
+BitVector::BitVector(std::size_t nbits)
+    : nbits_(nbits), words_(divCeil(nbits, 64), 0)
+{
+}
+
+BitVector
+BitVector::fromString(const std::string &bits)
+{
+    BitVector bv(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        char c = bits[i];
+        CC_ASSERT(c == '0' || c == '1', "bad bit char '", c, "'");
+        // MSB-first string: character 0 is the highest bit index.
+        bv.set(bits.size() - 1 - i, c == '1');
+    }
+    return bv;
+}
+
+BitVector
+BitVector::fromBytes(const std::uint8_t *data, std::size_t nbytes)
+{
+    BitVector bv(nbytes * 8);
+    for (std::size_t j = 0; j < nbytes; ++j) {
+        std::uint64_t byte = data[j];
+        bv.words_[j / 8] |= byte << ((j % 8) * 8);
+    }
+    return bv;
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+    std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (value)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+void
+BitVector::setAll(bool value)
+{
+    std::uint64_t fill = value ? ~std::uint64_t{0} : 0;
+    for (auto &w : words_)
+        w = fill;
+    trimTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t count = 0;
+    for (auto w : words_)
+        count += static_cast<std::size_t>(std::popcount(w));
+    return count;
+}
+
+std::size_t
+BitVector::findFirst() const
+{
+    return findNext(0);
+}
+
+std::size_t
+BitVector::findNext(std::size_t from) const
+{
+    if (from >= nbits_)
+        return nbits_;
+    std::size_t wi = from / 64;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from % 64));
+    while (true) {
+        if (w != 0) {
+            std::size_t bit = wi * 64 +
+                static_cast<std::size_t>(std::countr_zero(w));
+            return bit < nbits_ ? bit : nbits_;
+        }
+        if (++wi >= words_.size())
+            return nbits_;
+        w = words_[wi];
+    }
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    CC_ASSERT(nbits_ == other.nbits_, "size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    CC_ASSERT(nbits_ == other.nbits_, "size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &other)
+{
+    CC_ASSERT(nbits_ == other.nbits_, "size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector result(*this);
+    for (auto &w : result.words_)
+        w = ~w;
+    result.trimTail();
+    return result;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+std::vector<std::uint8_t>
+BitVector::toBytes() const
+{
+    std::vector<std::uint8_t> bytes(divCeil(nbits_, 8), 0);
+    for (std::size_t j = 0; j < bytes.size(); ++j)
+        bytes[j] = static_cast<std::uint8_t>(words_[j / 8] >> ((j % 8) * 8));
+    return bytes;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s(nbits_, '0');
+    for (std::size_t i = 0; i < nbits_; ++i)
+        if (get(i))
+            s[nbits_ - 1 - i] = '1';
+    return s;
+}
+
+void
+BitVector::trimTail()
+{
+    std::size_t rem = nbits_ % 64;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+BitVector
+operator&(BitVector lhs, const BitVector &rhs)
+{
+    lhs &= rhs;
+    return lhs;
+}
+
+BitVector
+operator|(BitVector lhs, const BitVector &rhs)
+{
+    lhs |= rhs;
+    return lhs;
+}
+
+BitVector
+operator^(BitVector lhs, const BitVector &rhs)
+{
+    lhs ^= rhs;
+    return lhs;
+}
+
+} // namespace ccache

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic bit vector with word-level bulk logical operations.
+ *
+ * Used as the reference ("golden") implementation for the bit-line compute
+ * operations, and as the payload type for DB-BitMap bins.
+ */
+
+#ifndef CCACHE_COMMON_BITVECTOR_HH
+#define CCACHE_COMMON_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccache {
+
+/** Fixed-size-at-construction bit vector backed by 64-bit words. */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Create a vector of @p nbits bits, all cleared. */
+    explicit BitVector(std::size_t nbits);
+
+    /** Create from a string of '0'/'1' characters, MSB-first. */
+    static BitVector fromString(const std::string &bits);
+
+    /** Create from raw bytes; bit i of byte j becomes bit j*8+i. */
+    static BitVector fromBytes(const std::uint8_t *data, std::size_t nbytes);
+
+    std::size_t size() const { return nbits_; }
+    bool empty() const { return nbits_ == 0; }
+
+    bool get(std::size_t i) const;
+    void set(std::size_t i, bool value);
+    void setAll(bool value);
+
+    /** Number of set bits. */
+    std::size_t popcount() const;
+
+    /** True iff no bit is set. */
+    bool none() const { return popcount() == 0; }
+
+    /** Index of first set bit, or size() if none. */
+    std::size_t findFirst() const;
+
+    /** Index of first set bit at or after @p from, or size() if none. */
+    std::size_t findNext(std::size_t from) const;
+
+    /** Bulk logical operations; operands must have equal size. @{ */
+    BitVector &operator&=(const BitVector &other);
+    BitVector &operator|=(const BitVector &other);
+    BitVector &operator^=(const BitVector &other);
+    BitVector operator~() const;
+    /** @} */
+
+    bool operator==(const BitVector &other) const;
+
+    /** Copy bits out as packed bytes (low bit first within each byte). */
+    std::vector<std::uint8_t> toBytes() const;
+
+    /** MSB-first '0'/'1' string, for diagnostics. */
+    std::string toString() const;
+
+    /** Direct word access for the fast paths in workloads. @{ */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+    std::vector<std::uint64_t> &words() { return words_; }
+    /** @} */
+
+  private:
+    /** Clear any bits beyond nbits_ in the last word. */
+    void trimTail();
+
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+BitVector operator&(BitVector lhs, const BitVector &rhs);
+BitVector operator|(BitVector lhs, const BitVector &rhs);
+BitVector operator^(BitVector lhs, const BitVector &rhs);
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_BITVECTOR_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * 64-byte cache block payload type and conversions.
+ */
+
+#ifndef CCACHE_COMMON_BLOCK_HH
+#define CCACHE_COMMON_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bitvector.hh"
+#include "common/types.hh"
+
+namespace ccache {
+
+/** Raw bytes of one cache block. */
+using Block = std::array<std::uint8_t, kBlockSize>;
+
+/** An all-zero block. */
+inline Block
+zeroBlock()
+{
+    Block b{};
+    return b;
+}
+
+/** Bit i of byte j maps to BitVector bit j*8+i (little-endian bit order,
+ *  matching the physical column order within a block partition). */
+inline BitVector
+blockToBits(const Block &block)
+{
+    return BitVector::fromBytes(block.data(), block.size());
+}
+
+/** Inverse of blockToBits. */
+inline Block
+bitsToBlock(const BitVector &bits)
+{
+    Block block{};
+    auto bytes = bits.toBytes();
+    std::size_t n = bytes.size() < block.size() ? bytes.size() : block.size();
+    std::memcpy(block.data(), bytes.data(), n);
+    return block;
+}
+
+/** Read the @p i-th 64-bit word of a block (little endian). */
+inline std::uint64_t
+blockWord(const Block &block, std::size_t i)
+{
+    std::uint64_t w;
+    std::memcpy(&w, block.data() + i * 8, 8);
+    return w;
+}
+
+/** Write the @p i-th 64-bit word of a block (little endian). */
+inline void
+setBlockWord(Block &block, std::size_t i, std::uint64_t w)
+{
+    std::memcpy(block.data() + i * 8, &w, 8);
+}
+
+/** Words per block (8 x 64-bit words in a 64-byte block). */
+inline constexpr std::size_t kWordsPerBlock = kBlockSize / 8;
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_BLOCK_HH

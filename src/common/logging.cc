@@ -1,0 +1,70 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/types.hh"
+
+namespace ccache {
+
+namespace {
+bool g_verbose = false;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+const char *
+toString(CacheLevel level)
+{
+    switch (level) {
+      case CacheLevel::L1: return "L1";
+      case CacheLevel::L2: return "L2";
+      case CacheLevel::L3: return "L3";
+    }
+    return "?";
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " @ " << file << ":" << line;
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace ccache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for simulator bugs (never the user's fault) and aborts;
+ * fatal() is for unusable configurations and throws FatalError so that
+ * tests can assert on misconfiguration handling instead of dying.
+ */
+
+#ifndef CCACHE_COMMON_LOGGING_HH
+#define CCACHE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccache {
+
+/** Exception thrown by fatal(): the simulation cannot continue due to a
+ *  user-level configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Fold a mixed argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Toggle inform()/warn() console output (quiet by default in tests). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace ccache
+
+#define CC_PANIC(...)                                                       \
+    ::ccache::detail::panicImpl(__FILE__, __LINE__,                         \
+                                ::ccache::detail::concat(__VA_ARGS__))
+
+#define CC_FATAL(...)                                                       \
+    ::ccache::detail::fatalImpl(__FILE__, __LINE__,                         \
+                                ::ccache::detail::concat(__VA_ARGS__))
+
+#define CC_WARN(...)                                                        \
+    ::ccache::detail::warnImpl(::ccache::detail::concat(__VA_ARGS__))
+
+#define CC_INFORM(...)                                                      \
+    ::ccache::detail::informImpl(::ccache::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds; reports as a panic. */
+#define CC_ASSERT(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            CC_PANIC("assertion failed: " #cond " ", __VA_ARGS__);          \
+        }                                                                   \
+    } while (0)
+
+#endif // CCACHE_COMMON_LOGGING_HH

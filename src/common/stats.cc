@@ -1,0 +1,103 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ccache {
+
+StatHistogram::StatHistogram(std::string name, double bucket_width,
+                             std::size_t nbuckets)
+    : name_(std::move(name)), bucketWidth_(bucket_width),
+      buckets_(nbuckets + 1, 0)
+{
+    CC_ASSERT(bucket_width > 0.0, "bucket width must be positive");
+    CC_ASSERT(nbuckets > 0, "need at least one bucket");
+}
+
+void
+StatHistogram::sample(double value)
+{
+    std::size_t idx = value < 0.0
+        ? 0
+        : std::min<std::size_t>(static_cast<std::size_t>(value / bucketWidth_),
+                                buckets_.size() - 1);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+void
+StatHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+double
+StatHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+StatCounter &
+StatRegistry::counter(const std::string &name, const std::string &desc)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, StatCounter(name, desc)).first;
+    return it->second;
+}
+
+StatAccum &
+StatRegistry::accum(const std::string &name, const std::string &desc)
+{
+    auto it = accums_.find(name);
+    if (it == accums_.end())
+        it = accums_.emplace(name, StatAccum(name, desc)).first;
+    return it->second;
+}
+
+std::uint64_t
+StatRegistry::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+StatRegistry::accumValue(const std::string &name) const
+{
+    auto it = accums_.find(name);
+    return it == accums_.end() ? 0.0 : it->second.value();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, a] : accums_)
+        a.reset();
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, c] : counters_)
+        os << name << " " << c.value() << "\n";
+    for (const auto &[name, a] : accums_)
+        os << name << " " << a.value() << "\n";
+    return os.str();
+}
+
+} // namespace ccache

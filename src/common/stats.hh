@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Lightweight statistics package (gem5-stats-inspired).
+ *
+ * Components register named scalar counters and distributions with a
+ * StatRegistry; benches and tests read them back by name, and the registry
+ * can render a full dump for EXPERIMENTS.md-style reporting.
+ */
+
+#ifndef CCACHE_COMMON_STATS_HH
+#define CCACHE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccache {
+
+/** A named monotonically-updated scalar statistic. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+    explicit StatCounter(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/** A named accumulating floating-point statistic (e.g. energy). */
+class StatAccum
+{
+  public:
+    StatAccum() = default;
+    explicit StatAccum(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {
+    }
+
+    void add(double delta) { value_ += delta; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** Simple histogram with fixed uniform buckets plus an overflow bucket. */
+class StatHistogram
+{
+  public:
+    StatHistogram() = default;
+    StatHistogram(std::string name, double bucket_width, std::size_t nbuckets);
+
+    void sample(double value);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double bucketWidth_ = 1.0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Registry that owns named counters/accumulators for one simulation. */
+class StatRegistry
+{
+  public:
+    /** Get or create a counter. Names are hierarchical ("l3.read_hits"). */
+    StatCounter &counter(const std::string &name,
+                         const std::string &desc = "");
+
+    /** Get or create an accumulator. */
+    StatAccum &accum(const std::string &name, const std::string &desc = "");
+
+    /** Look up an existing counter value; 0 if absent. */
+    std::uint64_t value(const std::string &name) const;
+
+    /** Look up an existing accumulator value; 0.0 if absent. */
+    double accumValue(const std::string &name) const;
+
+    /** Reset every statistic to zero. */
+    void resetAll();
+
+    /** Render all stats, sorted by name, one per line. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, StatCounter> counters_;
+    std::map<std::string, StatAccum> accums_;
+};
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_STATS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental types shared across the Compute Cache simulator.
+ */
+
+#ifndef CCACHE_COMMON_TYPES_HH
+#define CCACHE_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccache {
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycles (core clock domain, 2.66 GHz per Table IV). */
+using Cycles = std::uint64_t;
+
+/** Energy in picojoules. */
+using EnergyPJ = double;
+
+/** Cache block size in bytes. All caches in the paper use 64 B blocks. */
+inline constexpr std::size_t kBlockSize = 64;
+
+/** Page size in bytes (4 KB pages per Section IV-C). */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** Number of address bits covered by a 4 KB page offset. */
+inline constexpr unsigned kPageOffsetBits = 12;
+
+/** Core clock frequency in Hz (Table IV: 2.66 GHz). */
+inline constexpr double kCoreFreqHz = 2.66e9;
+
+/** Convert a cycle count into seconds at the core clock. */
+inline constexpr double
+cyclesToSeconds(Cycles c)
+{
+    return static_cast<double>(c) / kCoreFreqHz;
+}
+
+/** Identifier of a processor core / ring stop. */
+using CoreId = unsigned;
+
+/** Cache levels in the hierarchy. */
+enum class CacheLevel : unsigned { L1 = 1, L2 = 2, L3 = 3 };
+
+/** Human-readable name of a cache level. */
+const char *toString(CacheLevel level);
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_TYPES_HH

@@ -1,0 +1,59 @@
+#include "geometry/locality_allocator.hh"
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+#include "geometry/operand_locality.hh"
+
+namespace ccache::geometry {
+
+LocalityAllocator::LocalityAllocator(Addr base, std::size_t size)
+    : base_(base), size_(size), next_(base)
+{
+    if (!isAligned(base, kPageSize))
+        CC_FATAL("allocator base 0x", std::hex, base,
+                 " must be page aligned");
+    if (size < kPageSize)
+        CC_FATAL("allocator region must cover at least one page");
+}
+
+Addr
+LocalityAllocator::allocate(std::size_t bytes)
+{
+    bytes = alignUp(bytes, kBlockSize);
+    Addr addr = alignUp(next_, kBlockSize);
+    if (addr + bytes > base_ + size_)
+        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+    padding_ += addr - next_;
+    next_ = addr + bytes;
+    return addr;
+}
+
+Addr
+LocalityAllocator::allocate(std::size_t bytes, GroupId group)
+{
+    bytes = alignUp(bytes, kBlockSize);
+
+    auto it = groupOffset_.find(group);
+    if (it == groupOffset_.end()) {
+        Addr addr = allocate(bytes);
+        groupOffset_.emplace(group, addr & (kPageSize - 1));
+        return addr;
+    }
+
+    // Advance to the next address with the group's page offset.
+    Addr addr = alignToOperand(it->second, alignUp(next_, kBlockSize));
+    if (addr + bytes > base_ + size_)
+        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+    padding_ += addr - next_;
+    next_ = addr + bytes;
+    return addr;
+}
+
+Addr
+LocalityAllocator::groupOffset(GroupId group) const
+{
+    auto it = groupOffset_.find(group);
+    return it == groupOffset_.end() ? ~Addr{0} : it->second;
+}
+
+} // namespace ccache::geometry

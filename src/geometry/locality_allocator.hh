@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Operand-locality-aware memory allocator (the Section IV-C future-work
+ * extension: "Compiler and dynamic memory allocators could be extended
+ * to optimize for this property").
+ *
+ * The allocator hands out buffers from a simulated address space such
+ * that all buffers of one allocation *group* share their 4 KB page
+ * offset — the software contract that guarantees in-place operand
+ * locality at every cache level (Table III). Buffers in different
+ * groups pack densely as a normal bump allocator would.
+ */
+
+#ifndef CCACHE_GEOMETRY_LOCALITY_ALLOCATOR_HH
+#define CCACHE_GEOMETRY_LOCALITY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccache::geometry {
+
+/** Identifier of a co-located operand group. */
+using GroupId = std::uint32_t;
+
+/** Bump allocator with page-offset groups. */
+class LocalityAllocator
+{
+  public:
+    /** @param base  start of the managed region (page aligned).
+     *  @param size  bytes managed. */
+    LocalityAllocator(Addr base, std::size_t size);
+
+    /**
+     * Allocate @p bytes (rounded up to a 64-byte multiple) such that the
+     * returned address shares its page offset with every earlier
+     * allocation in @p group. The first allocation of a group defines
+     * the group's offset (the current bump pointer's offset).
+     *
+     * Throws FatalError when the region is exhausted.
+     */
+    Addr allocate(std::size_t bytes, GroupId group);
+
+    /** Plain allocation with no locality constraint. */
+    Addr allocate(std::size_t bytes);
+
+    /** Bytes handed out (including alignment padding). */
+    std::size_t used() const { return next_ - base_; }
+
+    /** Bytes lost to page-offset alignment padding. */
+    std::size_t padding() const { return padding_; }
+
+    /** The page offset assigned to @p group (first allocation decides);
+     *  ~0 if the group has not allocated yet. */
+    Addr groupOffset(GroupId group) const;
+
+  private:
+    Addr base_;
+    std::size_t size_;
+    Addr next_;
+    std::size_t padding_ = 0;
+    std::unordered_map<GroupId, Addr> groupOffset_;
+};
+
+} // namespace ccache::geometry
+
+#endif // CCACHE_GEOMETRY_LOCALITY_ALLOCATOR_HH

@@ -1,0 +1,62 @@
+#include "geometry/operand_locality.hh"
+
+#include "common/bit_util.hh"
+
+namespace ccache::geometry {
+
+bool
+lowBitsMatch(Addr a, Addr b, unsigned nbits)
+{
+    if (nbits == 0)
+        return true;
+    if (nbits >= 64)
+        return a == b;
+    Addr mask = (Addr{1} << nbits) - 1;
+    return (a & mask) == (b & mask);
+}
+
+bool
+pageAligned(Addr a, Addr b)
+{
+    return lowBitsMatch(a, b, kPageOffsetBits);
+}
+
+bool
+haveOperandLocality(const CacheGeometry &geom, Addr a, Addr b)
+{
+    // Blocks must share bit-lines *and* corresponding bytes must land on
+    // the same columns, so the within-block offsets must also be equal —
+    // that is why Table III counts the block-offset bits in the minimum
+    // matching bits.
+    return geom.sameBlockPartition(a, b) &&
+        lowBitsMatch(a, b, static_cast<unsigned>(geom.blockOffsetBits()));
+}
+
+bool
+haveOperandLocality(const CacheGeometry &geom,
+                    const std::vector<Addr> &operands)
+{
+    for (std::size_t i = 1; i < operands.size(); ++i)
+        if (!haveOperandLocality(geom, operands[0], operands[i]))
+            return false;
+    return true;
+}
+
+bool
+pageAlignmentSufficient(const CacheGeometry &geom)
+{
+    return geom.minMatchBits() <= kPageOffsetBits;
+}
+
+Addr
+alignToOperand(Addr anchor, Addr hint)
+{
+    Addr offset = anchor & (kPageSize - 1);
+    Addr base = alignDown(hint, kPageSize);
+    Addr candidate = base + offset;
+    if (candidate < hint)
+        candidate += kPageSize;
+    return candidate;
+}
+
+} // namespace ccache::geometry

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Operand locality predicates and the page-alignment software rule
+ * (paper Section IV-C).
+ *
+ * In-place bit-line computation requires operands to share bit-lines.
+ * The software-visible contract is: if two operands have the same 4 KB
+ * page offset (low 12 address bits equal), they are guaranteed operand
+ * locality on every cache geometry whose minMatchBits() <= 12 — which
+ * covers all three levels the paper models (Table III).
+ */
+
+#ifndef CCACHE_GEOMETRY_OPERAND_LOCALITY_HH
+#define CCACHE_GEOMETRY_OPERAND_LOCALITY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "geometry/cache_geometry.hh"
+
+namespace ccache::geometry {
+
+/** True iff the low @p nbits of both addresses are equal. */
+bool lowBitsMatch(Addr a, Addr b, unsigned nbits);
+
+/** The software rule: same 4 KB page offset. */
+bool pageAligned(Addr a, Addr b);
+
+/** True iff @p geom guarantees in-place compute between @p a and @p b. */
+bool haveOperandLocality(const CacheGeometry &geom, Addr a, Addr b);
+
+/** True iff all addresses in @p operands are pairwise locality-compatible
+ *  on @p geom. */
+bool haveOperandLocality(const CacheGeometry &geom,
+                         const std::vector<Addr> &operands);
+
+/**
+ * True iff the page-alignment rule is sufficient for @p geom: programs
+ * compiled for a 12-bit alignment requirement remain portable to any
+ * geometry requiring 12 or fewer matching bits (Section IV-C,
+ * "Software requirement").
+ */
+bool pageAlignmentSufficient(const CacheGeometry &geom);
+
+/**
+ * Given a desired operand, return the next address >= @p hint whose page
+ * offset equals that of @p anchor — what a locality-aware allocator would
+ * hand out.
+ */
+Addr alignToOperand(Addr anchor, Addr hint);
+
+} // namespace ccache::geometry
+
+#endif // CCACHE_GEOMETRY_OPERAND_LOCALITY_HH

@@ -1,0 +1,64 @@
+#include "noc/ring.hh"
+
+#include <algorithm>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::noc {
+
+std::size_t
+messageBytes(MsgClass cls)
+{
+    switch (cls) {
+      case MsgClass::Control: return 8;
+      case MsgClass::Data: return 8 + kBlockSize;
+    }
+    return 8;
+}
+
+Ring::Ring(const RingParams &params, energy::EnergyModel *energy,
+           StatRegistry *stats)
+    : params_(params), energy_(energy), stats_(stats)
+{
+    if (params_.nodes == 0)
+        CC_FATAL("ring needs at least one node");
+}
+
+unsigned
+Ring::distance(unsigned src, unsigned dst) const
+{
+    CC_ASSERT(src < params_.nodes && dst < params_.nodes,
+              "ring stop out of range: ", src, " -> ", dst);
+    unsigned fwd = (dst + params_.nodes - src) % params_.nodes;
+    unsigned bwd = params_.nodes - fwd;
+    return std::min(fwd, bwd == params_.nodes ? 0 : bwd);
+}
+
+Cycles
+Ring::send(unsigned src, unsigned dst, MsgClass cls)
+{
+    unsigned hops = std::max(distance(src, dst), params_.minHops);
+    std::size_t bytes = messageBytes(cls);
+    ++messages_;
+
+    if (hops == 0)
+        return 0;
+
+    std::uint64_t flits = divCeil(bytes, 8);
+    flitHops_ += flits * hops;
+
+    if (energy_)
+        energy_->chargeNoc(bytes, hops);
+    if (stats_) {
+        stats_->counter("noc.messages").inc();
+        stats_->counter("noc.flit_hops").inc(flits * hops);
+    }
+
+    // Wormhole-style: head latency plus serialization of the payload over
+    // the 256-bit link.
+    Cycles serialization = divCeil(bytes, params_.linkBytes);
+    return params_.hopLatency * hops + serialization;
+}
+
+} // namespace ccache::noc

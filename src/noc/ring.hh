@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ring interconnect model (Table IV: 3-cycle hop latency, 256-bit links).
+ *
+ * The ring connects the eight cores (each with its private L1/L2 and its
+ * local L3 slice) in the SandyBridge-like floorplan of Figure 1(a).
+ * Messages are either control (8 bytes: requests, acks, invalidations) or
+ * data (8-byte header + 64-byte block). The model charges per-hop latency
+ * and per-flit-hop energy, and tracks link utilization for the bandwidth
+ * statistics.
+ */
+
+#ifndef CCACHE_NOC_RING_HH
+#define CCACHE_NOC_RING_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+
+namespace ccache::noc {
+
+/** Message classes carried on the ring. */
+enum class MsgClass {
+    Control,    ///< request / ack / invalidate: one 8-byte flit
+    Data,       ///< cache block transfer: header + 64 bytes
+};
+
+/** Size in bytes of a message of class @p cls. */
+std::size_t messageBytes(MsgClass cls);
+
+/** Ring configuration. */
+struct RingParams
+{
+    unsigned nodes = 8;        ///< ring stops (core + L3 slice per stop)
+    Cycles hopLatency = 3;     ///< Table IV
+    unsigned linkBytes = 32;   ///< 256-bit links
+
+    /** Every core <-> slice message crosses at least this many ring
+     *  segments: even the local slice sits behind the core's ring
+     *  interface (SandyBridge floorplan). */
+    unsigned minHops = 1;
+};
+
+/** Bidirectional ring: traffic takes the shorter direction. */
+class Ring
+{
+  public:
+    Ring(const RingParams &params, energy::EnergyModel *energy,
+         StatRegistry *stats);
+
+    const RingParams &params() const { return params_; }
+
+    /** Hops between two stops using the shorter direction. */
+    unsigned distance(unsigned src, unsigned dst) const;
+
+    /**
+     * Send one message; returns its network latency in cycles and charges
+     * NoC energy. Same-stop traffic (core to its local slice) is free.
+     */
+    Cycles send(unsigned src, unsigned dst, MsgClass cls);
+
+    /** Total messages and flit-hops moved, for stats. @{ */
+    std::uint64_t messages() const { return messages_; }
+    std::uint64_t flitHops() const { return flitHops_; }
+    /** @} */
+
+  private:
+    RingParams params_;
+    energy::EnergyModel *energy_;
+    StatRegistry *stats_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t flitHops_ = 0;
+};
+
+} // namespace ccache::noc
+
+#endif // CCACHE_NOC_RING_HH

@@ -1,0 +1,17 @@
+#include "sim/bulk_ops.hh"
+
+namespace ccache::sim {
+
+const char *
+toString(BulkKernel k)
+{
+    switch (k) {
+      case BulkKernel::Copy: return "copy";
+      case BulkKernel::Compare: return "compare";
+      case BulkKernel::Search: return "search";
+      case BulkKernel::LogicalOr: return "logical";
+    }
+    return "?";
+}
+
+} // namespace ccache::sim

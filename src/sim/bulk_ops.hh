@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The four microbenchmark bulk operations of Section VI-D (copy, compare,
+ * search, logical OR) as engine-independent kernel descriptors.
+ */
+
+#ifndef CCACHE_SIM_BULK_OPS_HH
+#define CCACHE_SIM_BULK_OPS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ccache::sim {
+
+/** Microbenchmark kernels (Figure 7). */
+enum class BulkKernel { Copy, Compare, Search, LogicalOr };
+
+const char *toString(BulkKernel k);
+
+/** Result of running one bulk kernel on one engine. */
+struct KernelResult
+{
+    Cycles cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** compare: 1 if the regions were equal; search: match mask of the
+     *  last issued search instruction; otherwise 0. */
+    std::uint64_t value = 0;
+
+    /** Block-granular operations executed (throughput denominator). */
+    std::uint64_t blockOps = 0;
+
+    /** Throughput in block operations per second at the core clock. */
+    double
+    blockOpsPerSecond() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(blockOps) / cyclesToSeconds(cycles);
+    }
+};
+
+} // namespace ccache::sim
+
+#endif // CCACHE_SIM_BULK_OPS_HH

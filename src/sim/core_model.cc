@@ -1,0 +1,58 @@
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+namespace ccache::sim {
+
+void
+CoreCostModel::addMemAccess(Cycles lat, Cycles l1_latency)
+{
+    ++memOps_;
+    if (lat <= l1_latency) {
+        ++hitOps_;
+    } else {
+        missLatencySum_ += lat;
+        maxMissLatency_ = std::max(maxMissLatency_, lat);
+    }
+}
+
+void
+CoreCostModel::addDependentMemAccess(Cycles lat)
+{
+    ++memOps_;
+    serialLatency_ += lat;
+}
+
+void
+CoreCostModel::addBranches(std::uint64_t n, double rate)
+{
+    instrs_ += n;
+    serialLatency_ += static_cast<Cycles>(
+        static_cast<double>(n) * rate *
+        static_cast<double>(params_.branchMispredictPenalty));
+}
+
+Cycles
+CoreCostModel::cycles() const
+{
+    Cycles issue_bound = (instrs_ + memOps_ + params_.issueWidth - 1) /
+        params_.issueWidth;
+    Cycles hit_time = hitOps_ / std::max(1u, params_.memIssueWidth);
+    Cycles miss_time = std::max(
+        maxMissLatency_, missLatencySum_ / std::max(1u, params_.mshrs));
+    Cycles mem_bound = hit_time + miss_time + serialLatency_;
+    return std::max<Cycles>(1, std::max(issue_bound, mem_bound));
+}
+
+void
+CoreCostModel::reset()
+{
+    instrs_ = 0;
+    memOps_ = 0;
+    hitOps_ = 0;
+    missLatencySum_ = 0;
+    maxMissLatency_ = 0;
+    serialLatency_ = 0;
+}
+
+} // namespace ccache::sim

@@ -1,0 +1,115 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::sim {
+
+System::System(const SystemConfig &config)
+    : config_(config),
+      energy_(std::make_unique<energy::EnergyModel>(config.energy)),
+      hier_(std::make_unique<cache::Hierarchy>(config.hierarchy,
+                                               energy_.get(), &stats_)),
+      cc_(std::make_unique<cc::CcController>(*hier_, energy_.get(),
+                                             &stats_, config.cc)),
+      scalar_(std::make_unique<BaselineEngine>(*hier_, energy_.get(),
+                                               &stats_, 8, config.core)),
+      simd_(std::make_unique<BaselineEngine>(*hier_, energy_.get(),
+                                             &stats_, 32, config.core)),
+      ccEngine_(std::make_unique<CcEngine>(*hier_, *cc_, energy_.get(),
+                                           &stats_)),
+      clocks_(config.hierarchy.cores, 0)
+{
+}
+
+void
+System::load(Addr addr, const void *data, std::size_t len)
+{
+    hier_->memory().writeBytes(
+        addr, static_cast<const std::uint8_t *>(data), len);
+    // Keep any cached copies coherent with the new backing data so a
+    // reload between experiment phases behaves like a fresh machine.
+    Addr first = alignDown(addr, kBlockSize);
+    Addr last = alignDown(addr + len - 1, kBlockSize);
+    for (Addr blk = first; blk <= last; blk += kBlockSize)
+        hier_->debugWrite(blk, hier_->memory().readBlock(blk));
+}
+
+std::vector<std::uint8_t>
+System::dump(Addr addr, std::size_t len)
+{
+    std::vector<std::uint8_t> out(len);
+    Addr first = alignDown(addr, kBlockSize);
+    Addr last = alignDown(addr + len - 1, kBlockSize);
+    std::size_t written = 0;
+    for (Addr blk = first; blk <= last; blk += kBlockSize) {
+        Block b = hier_->debugRead(blk);
+        std::size_t lo = blk < addr ? addr - blk : 0;
+        std::size_t hi = std::min<std::size_t>(kBlockSize,
+                                               addr + len - blk);
+        for (std::size_t i = lo; i < hi; ++i)
+            out[written++] = b[i];
+    }
+    return out;
+}
+
+void
+System::warm(CacheLevel level, CoreId core, Addr addr, std::size_t len)
+{
+    // Warm without perturbing the experiment's metrics: stash, act,
+    // restore energy is unnecessary since we snapshot via resetMetrics in
+    // benches; still, warming should not advance core clocks.
+    Addr first = alignDown(addr, kBlockSize);
+    Addr last = alignDown(addr + len - 1, kBlockSize);
+    for (Addr blk = first; blk <= last; blk += kBlockSize) {
+        if (level == CacheLevel::L3) {
+            hier_->fetchToLevel(core, blk, CacheLevel::L3, false);
+        } else {
+            hier_->read(core, blk, nullptr,
+                        level == CacheLevel::L1 ? CacheLevel::L1
+                                                : CacheLevel::L2);
+        }
+    }
+}
+
+void
+System::advance(CoreId core, Cycles cycles)
+{
+    CC_ASSERT(core < clocks_.size(), "core ", core, " out of range");
+    clocks_[core] += cycles;
+}
+
+Cycles
+System::elapsed() const
+{
+    Cycles max = 0;
+    for (Cycles c : clocks_)
+        max = std::max(max, c);
+    return max;
+}
+
+energy::EnergyTotals
+System::totals() const
+{
+    // Attribute static power to the cores that actually ran, plus their
+    // share of the shared uncore (caches + ring).
+    unsigned active = 0;
+    for (Cycles c : clocks_)
+        active += c > 0 ? 1 : 0;
+    active = std::max(active, 1u);
+    double uncore_share =
+        static_cast<double>(active) / static_cast<double>(clocks_.size());
+    return energy_->totals(elapsed(), active, uncore_share);
+}
+
+void
+System::resetMetrics()
+{
+    std::fill(clocks_.begin(), clocks_.end(), 0);
+    stats_.resetAll();
+    energy_->reset();
+}
+
+} // namespace ccache::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Top-level system assembly: the one object benchmarks and applications
+ * instantiate. Owns the statistics registry, energy model, coherent
+ * hierarchy, CC controller and the three execution engines (scalar
+ * "Base", 32-byte SIMD "Base_32", and Compute Cache).
+ */
+
+#ifndef CCACHE_SIM_SYSTEM_HH
+#define CCACHE_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cc/cc_controller.hh"
+#include "sim/engines.hh"
+
+namespace ccache::sim {
+
+/** Aggregate configuration (defaults reproduce Table IV). */
+struct SystemConfig
+{
+    cache::HierarchyParams hierarchy;
+    energy::EnergyParams energy;
+    cc::CcControllerParams cc;
+    CoreParams core;
+};
+
+/** The assembled machine. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config = SystemConfig{});
+
+    const SystemConfig &config() const { return config_; }
+
+    StatRegistry &stats() { return stats_; }
+    energy::EnergyModel &energy() { return *energy_; }
+    cache::Hierarchy &hierarchy() { return *hier_; }
+    cc::CcController &cc() { return *cc_; }
+
+    BaselineEngine &scalar() { return *scalar_; }
+    BaselineEngine &simd32() { return *simd_; }
+    CcEngine &ccEngine() { return *ccEngine_; }
+
+    /** Workload setup (functional back-door, no timing/energy). @{ */
+    void load(Addr addr, const void *data, std::size_t len);
+    std::vector<std::uint8_t> dump(Addr addr, std::size_t len);
+    /** @} */
+
+    /**
+     * Warm an address range into a cache level for @p core without
+     * charging energy or time (benchmark preconditioning, e.g. "all
+     * operands are in L3" in Section VI-D).
+     */
+    void warm(CacheLevel level, CoreId core, Addr addr, std::size_t len);
+
+    /** Advance a core's local clock by @p cycles. */
+    void advance(CoreId core, Cycles cycles);
+
+    Cycles coreCycles(CoreId core) const { return clocks_[core]; }
+
+    /** Wall-clock of the whole run: slowest core. */
+    Cycles elapsed() const;
+
+    /** Static+dynamic energy totals at the current elapsed time. */
+    energy::EnergyTotals totals() const;
+
+    /** Reset time, stats and energy (not cache/memory contents). */
+    void resetMetrics();
+
+  private:
+    SystemConfig config_;
+    StatRegistry stats_;
+    std::unique_ptr<energy::EnergyModel> energy_;
+    std::unique_ptr<cache::Hierarchy> hier_;
+    std::unique_ptr<cc::CcController> cc_;
+    std::unique_ptr<BaselineEngine> scalar_;
+    std::unique_ptr<BaselineEngine> simd_;
+    std::unique_ptr<CcEngine> ccEngine_;
+    std::vector<Cycles> clocks_;
+};
+
+} // namespace ccache::sim
+
+#endif // CCACHE_SIM_SYSTEM_HH

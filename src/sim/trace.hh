@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-driven simulation: a small text format for replaying memory and
+ * Compute Cache activity on the simulated machine, in the spirit of the
+ * trace players that ship with gem5/Sniper-class simulators.
+ *
+ * Format (one record per line, '#' starts a comment):
+ *
+ *     R  <core> <addr>                        # block read
+ *     W  <core> <addr>                        # block write
+ *     CC <core> <mnemonic> <operands...> <n>  # Table II instruction
+ *
+ * Mnemonics follow Table II: cc_copy a b, cc_buz a, cc_cmp a b,
+ * cc_search a k, cc_and/or/xor a b c, cc_not a b, cc_clmul64/128/256
+ * a b c. Addresses are hex (0x...) or decimal; <n> is the vector size
+ * in bytes.
+ */
+
+#ifndef CCACHE_SIM_TRACE_HH
+#define CCACHE_SIM_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cc/isa.hh"
+#include "sim/system.hh"
+
+namespace ccache::sim {
+
+/** One parsed trace record. */
+struct TraceRecord
+{
+    enum class Kind { Read, Write, CcOp };
+
+    Kind kind = Kind::Read;
+    CoreId core = 0;
+    Addr addr = 0;                 ///< for Read/Write
+    cc::CcInstruction instr;       ///< for CcOp
+};
+
+/** Parse errors carry the offending line for diagnostics. */
+struct TraceParseError
+{
+    std::size_t lineNumber;
+    std::string line;
+    std::string message;
+};
+
+/** Parsed trace plus any per-line problems. */
+struct ParsedTrace
+{
+    std::vector<TraceRecord> records;
+    std::vector<TraceParseError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/** Parse a trace from text. Malformed lines are reported, not fatal. */
+ParsedTrace parseTrace(std::istream &in);
+ParsedTrace parseTrace(const std::string &text);
+
+/** Outcome of replaying a trace. */
+struct TraceReplayResult
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t ccInstructions = 0;
+    Cycles cycles = 0;     ///< per-core makespan
+
+    /** XOR of cmp/search result masks, as a replay checksum. */
+    std::uint64_t resultChecksum = 0;
+};
+
+/**
+ * Replay a parsed trace on @p sys. Each record's latency accrues to its
+ * core's clock; the returned cycle count is the slowest core.
+ */
+TraceReplayResult replayTrace(System &sys, const ParsedTrace &trace);
+
+/** gem5-style end-of-run report: stats + energy, ready to print. */
+std::string formatReport(System &sys, const TraceReplayResult &result);
+
+} // namespace ccache::sim
+
+#endif // CCACHE_SIM_TRACE_HH

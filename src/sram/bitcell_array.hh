@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Behavioural model of a 6T SRAM bit-cell array with multi-row activation.
+ *
+ * The array stores real bits and models the analog bit-line discharge that
+ * bit-line computing relies on: all bit-lines precharge to VDD; activating
+ * word-lines connects the selected cells, and any cell storing '0' pulls
+ * its bit-line (BL) low while any cell storing '1' pulls the complement
+ * bit-line (BLB) low. Sensing BL against a reference yields AND of the
+ * activated rows; sensing BLB yields NOR (paper Figure 2).
+ *
+ * The model also reproduces the read-disturb failure mode: multi-row
+ * activation without sufficient word-line underdrive can flip cells that
+ * store '1' on a discharged bit-line (Section II-B).
+ */
+
+#ifndef CCACHE_SRAM_BITCELL_ARRAY_HH
+#define CCACHE_SRAM_BITCELL_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+
+namespace ccache::sram {
+
+/** Analog bit-line levels after an activation, one pair per column. */
+struct BitlineLevels
+{
+    /** Voltage on BL per column, as a fraction of VDD. */
+    std::vector<double> bl;
+
+    /** Voltage on BLB per column, as a fraction of VDD. */
+    std::vector<double> blb;
+};
+
+/** Dense bit storage plus the activation/discharge circuit model. */
+class BitcellArray
+{
+  public:
+    BitcellArray(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    bool get(std::size_t row, std::size_t col) const;
+    void set(std::size_t row, std::size_t col, bool value);
+
+    /** Overwrite an entire row. @p data must have cols() bits. */
+    void writeRow(std::size_t row, const BitVector &data);
+
+    /** Copy of an entire row's contents. */
+    BitVector readRow(std::size_t row) const;
+
+    /**
+     * Activate a set of word-lines simultaneously and return the resulting
+     * analog bit-line levels.
+     *
+     * @param active_rows word-lines to raise (1 for a normal read,
+     *                    2 for an in-place compute, up to 64 shown safe
+     *                    on silicon).
+     * @param underdrive  word-line voltage as a fraction of nominal; the
+     *                    bias against write that prevents disturb. Values
+     *                    above kDisturbThreshold with more than one active
+     *                    row corrupt cells, as a real array would.
+     * @return bit-line levels for sensing.
+     */
+    BitlineLevels activate(const std::vector<std::size_t> &active_rows,
+                           double underdrive);
+
+    /**
+     * Drive values directly onto the bit-lines and write into @p row
+     * (the write port used by copy's sense-amp feedback path and by
+     * normal writes).
+     */
+    void writeThroughBitlines(std::size_t row, const BitVector &data);
+
+    /** Word-line underdrive above which multi-row activation disturbs. */
+    static constexpr double kDisturbThreshold = 0.85;
+
+    /** Per-cell pull-down strength (fraction of VDD per pulling cell). */
+    static constexpr double kPullStrength = 0.6;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<BitVector> cells_;
+};
+
+} // namespace ccache::sram
+
+#endif // CCACHE_SRAM_BITCELL_ARRAY_HH

@@ -1,0 +1,76 @@
+#include "sram/sense_amp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ccache::sram {
+
+SenseAmpArray::SenseAmpArray(std::size_t columns, double vref)
+    : columns_(columns), vref_(vref)
+{
+    if (columns == 0)
+        CC_FATAL("sense-amp array needs columns");
+    if (vref <= 0.0 || vref >= 1.0)
+        CC_FATAL("Vref must be a VDD fraction, got ", vref);
+}
+
+BitVector
+SenseAmpArray::senseDifferential(const BitlineLevels &levels) const
+{
+    CC_ASSERT(levels.bl.size() == columns_, "level width mismatch");
+    BitVector out(columns_);
+    for (std::size_t c = 0; c < columns_; ++c)
+        out.set(c, levels.bl[c] > levels.blb[c]);
+    return out;
+}
+
+BitVector
+SenseAmpArray::senseBL(const BitlineLevels &levels) const
+{
+    CC_ASSERT(levels.bl.size() == columns_, "level width mismatch");
+    BitVector out(columns_);
+    for (std::size_t c = 0; c < columns_; ++c)
+        out.set(c, levels.bl[c] > vref_);
+    return out;
+}
+
+BitVector
+SenseAmpArray::senseBLB(const BitlineLevels &levels) const
+{
+    CC_ASSERT(levels.blb.size() == columns_, "level width mismatch");
+    BitVector out(columns_);
+    for (std::size_t c = 0; c < columns_; ++c)
+        out.set(c, levels.blb[c] > vref_);
+    return out;
+}
+
+double
+SenseAmpArray::senseMargin(const std::vector<double> &levels) const
+{
+    double margin = 1.0;
+    for (double v : levels)
+        margin = std::min(margin, std::abs(v - vref_));
+    return margin;
+}
+
+double
+SenseAmpArray::monteCarloFailureRate(double margin, double offset_sigma,
+                                     std::size_t trials, Rng &rng)
+{
+    CC_ASSERT(trials > 0, "need at least one trial");
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+        // Box-Muller transform for a Gaussian offset sample.
+        double u1 = std::max(rng.uniform(), 1e-12);
+        double u2 = rng.uniform();
+        double gauss = std::sqrt(-2.0 * std::log(u1)) *
+            std::cos(2.0 * M_PI * u2);
+        if (std::abs(gauss * offset_sigma) >= margin)
+            ++failures;
+    }
+    return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+} // namespace ccache::sram

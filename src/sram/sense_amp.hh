@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sense amplifier models: differential (baseline read) and single-ended
+ * (bit-line compute), including a sense-margin robustness analysis used to
+ * reproduce the Monte-Carlo-style stability claims of Jeloka et al.
+ *
+ * The compute path re-configures each differential sense amplifier into
+ * two single-ended amplifiers so that BL and BLB can be observed
+ * independently (Section IV-B).
+ */
+
+#ifndef CCACHE_SRAM_SENSE_AMP_HH
+#define CCACHE_SRAM_SENSE_AMP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+#include "sram/bitcell_array.hh"
+
+namespace ccache::sram {
+
+/** Operating mode of the sense-amplifier column periphery. */
+enum class SenseMode {
+    Differential,  ///< BL vs BLB, baseline read
+    SingleEnded,   ///< BL (or BLB) vs Vref, compute sensing
+};
+
+/** Column periphery: a bank of sense amplifiers for one sub-array. */
+class SenseAmpArray
+{
+  public:
+    explicit SenseAmpArray(std::size_t columns, double vref = 0.5);
+
+    std::size_t columns() const { return columns_; }
+    double vref() const { return vref_; }
+
+    /** Differential sense of every column: bit = (BL > BLB). */
+    BitVector senseDifferential(const BitlineLevels &levels) const;
+
+    /** Single-ended sense of BL against Vref (yields AND for 2 rows). */
+    BitVector senseBL(const BitlineLevels &levels) const;
+
+    /** Single-ended sense of BLB against Vref (yields NOR for 2 rows). */
+    BitVector senseBLB(const BitlineLevels &levels) const;
+
+    /**
+     * Sense margin of a single-ended observation: the smallest distance
+     * between any column's level and Vref. A sense fails when amplifier
+     * offset exceeds this margin.
+     */
+    double senseMargin(const std::vector<double> &levels) const;
+
+    /**
+     * Monte-Carlo failure-probability estimate: draw @p trials Gaussian
+     * amplifier offsets with standard deviation @p offset_sigma and count
+     * how many exceed @p margin. Jeloka et al. report more than six-sigma
+     * robustness; tests assert zero failures at realistic sigma.
+     */
+    static double monteCarloFailureRate(double margin, double offset_sigma,
+                                        std::size_t trials, Rng &rng);
+
+  private:
+    std::size_t columns_;
+    double vref_;
+};
+
+} // namespace ccache::sram
+
+#endif // CCACHE_SRAM_SENSE_AMP_HH

@@ -1,0 +1,303 @@
+#include "sram/subarray.hh"
+
+#include "common/logging.hh"
+
+namespace ccache::sram {
+
+namespace {
+
+/** Number of distinct BitlineOp values, for the op-count array. */
+constexpr std::size_t kNumOps = static_cast<std::size_t>(BitlineOp::Clmul) + 1;
+
+std::size_t
+opIndex(BitlineOp op)
+{
+    return static_cast<std::size_t>(op);
+}
+
+} // namespace
+
+SubArray::SubArray(const SubArrayParams &params)
+    : params_(params), cells_(params.rows, params.cols),
+      senseAmps_(params.cols), xorTree_(8 * kBlockSize),
+      opCounts_(kNumOps, 0)
+{
+    params_.validate();
+}
+
+std::pair<std::size_t, std::size_t>
+SubArray::columnRange(std::size_t p) const
+{
+    std::size_t width = 8 * kBlockSize;
+    return {p * width, (p + 1) * width};
+}
+
+BitVector
+SubArray::extractPartition(const BitVector &row_bits, std::size_t p) const
+{
+    auto [lo, hi] = columnRange(p);
+    BitVector out(hi - lo);
+    for (std::size_t c = lo; c < hi; ++c)
+        out.set(c - lo, row_bits.get(c));
+    return out;
+}
+
+void
+SubArray::checkLoc(const BlockLoc &loc) const
+{
+    CC_ASSERT(loc.partition < partitions(), "partition ", loc.partition,
+              " out of range ", partitions());
+    CC_ASSERT(loc.row < params_.rows, "row ", loc.row, " out of range ",
+              params_.rows);
+}
+
+void
+SubArray::checkSamePartition(const BlockLoc &a, const BlockLoc &b) const
+{
+    checkLoc(a);
+    checkLoc(b);
+    CC_ASSERT(a.partition == b.partition,
+              "in-place operands must share a block partition (",
+              a.partition, " vs ", b.partition, ")");
+}
+
+BitVector
+SubArray::senseBlock(const BlockLoc &loc)
+{
+    auto levels = cells_.activate({loc.row}, params_.wordlineUnderdrive);
+    auto full = senseAmps_.senseDifferential(levels);
+    return extractPartition(full, loc.partition);
+}
+
+void
+SubArray::storeBlock(const BlockLoc &loc, const BitVector &bits)
+{
+    CC_ASSERT(bits.size() == 8 * kBlockSize, "block bit width mismatch");
+    auto [lo, hi] = columnRange(loc.partition);
+    BitVector row = cells_.readRow(loc.row);
+    for (std::size_t c = lo; c < hi; ++c)
+        row.set(c, bits.get(c - lo));
+    cells_.writeThroughBitlines(loc.row, row);
+}
+
+Block
+SubArray::read(const BlockLoc &loc, OpCost *cost)
+{
+    checkLoc(loc);
+    ++opCounts_[opIndex(BitlineOp::Read)];
+    if (cost) {
+        cost->delay = params_.opDelay(BitlineOp::Read);
+        cost->energy = params_.opEnergy(BitlineOp::Read);
+    }
+    return bitsToBlock(senseBlock(loc));
+}
+
+void
+SubArray::write(const BlockLoc &loc, const Block &data, OpCost *cost)
+{
+    checkLoc(loc);
+    ++opCounts_[opIndex(BitlineOp::Write)];
+    if (cost) {
+        cost->delay = params_.opDelay(BitlineOp::Write);
+        cost->energy = params_.opEnergy(BitlineOp::Write);
+    }
+    storeBlock(loc, blockToBits(data));
+}
+
+SubArray::TwoRowSense
+SubArray::activatePair(const BlockLoc &a, const BlockLoc &b)
+{
+    checkSamePartition(a, b);
+    CC_ASSERT(a.row != b.row, "in-place op needs two distinct rows");
+    auto levels = cells_.activate({a.row, b.row},
+                                  params_.wordlineUnderdrive);
+    TwoRowSense sense;
+    sense.andBits = extractPartition(senseAmps_.senseBL(levels),
+                                     a.partition);
+    sense.norBits = extractPartition(senseAmps_.senseBLB(levels),
+                                     a.partition);
+    return sense;
+}
+
+OpCost
+SubArray::logicalOp(BitlineOp op, const BlockLoc &a, const BlockLoc &b,
+                    const BlockLoc &dst)
+{
+    checkSamePartition(a, b);
+    checkSamePartition(a, dst);
+    ++opCounts_[opIndex(op)];
+
+    auto sense = activatePair(a, b);
+    BitVector result(8 * kBlockSize);
+    switch (op) {
+      case BitlineOp::And:
+        result = sense.andBits;
+        break;
+      case BitlineOp::Nor:
+        result = sense.norBits;
+        break;
+      case BitlineOp::Or:
+        // OR = NOT(NOR): the sense output is inverted before the
+        // write-back driver.
+        result = ~sense.norBits;
+        break;
+      case BitlineOp::Xor:
+        // XOR = NOR(AND, NOR): neither both-ones nor both-zeros.
+        result = ~(sense.andBits | sense.norBits);
+        break;
+      default:
+        CC_PANIC("not a two-operand logical op: ", toString(op));
+    }
+    storeBlock(dst, result);
+    return {params_.opDelay(op), params_.opEnergy(op)};
+}
+
+OpCost
+SubArray::opAnd(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst)
+{
+    return logicalOp(BitlineOp::And, a, b, dst);
+}
+
+OpCost
+SubArray::opOr(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst)
+{
+    return logicalOp(BitlineOp::Or, a, b, dst);
+}
+
+OpCost
+SubArray::opXor(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst)
+{
+    return logicalOp(BitlineOp::Xor, a, b, dst);
+}
+
+OpCost
+SubArray::opNor(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst)
+{
+    return logicalOp(BitlineOp::Nor, a, b, dst);
+}
+
+OpCost
+SubArray::opNot(const BlockLoc &src, const BlockLoc &dst)
+{
+    checkSamePartition(src, dst);
+    ++opCounts_[opIndex(BitlineOp::Not)];
+
+    // Single-row activation; BLB carries the complement of the stored data.
+    auto levels = cells_.activate({src.row}, params_.wordlineUnderdrive);
+    BitVector result = extractPartition(senseAmps_.senseBLB(levels),
+                                        src.partition);
+    storeBlock(dst, result);
+    return {params_.opDelay(BitlineOp::Not),
+            params_.opEnergy(BitlineOp::Not)};
+}
+
+OpCost
+SubArray::opCopy(const BlockLoc &src, const BlockLoc &dst)
+{
+    checkSamePartition(src, dst);
+    CC_ASSERT(src.row != dst.row, "copy needs distinct rows");
+    ++opCounts_[opIndex(BitlineOp::Copy)];
+
+    // Figure 4: the sense amplifiers read the source and their outputs are
+    // fed straight back onto the bit-lines while the destination word-line
+    // is write-enabled. The data never leaves the sub-array.
+    BitVector sensed = senseBlock(src);
+    storeBlock(dst, sensed);
+    return {params_.opDelay(BitlineOp::Copy),
+            params_.opEnergy(BitlineOp::Copy)};
+}
+
+OpCost
+SubArray::opBuz(const BlockLoc &loc)
+{
+    checkLoc(loc);
+    ++opCounts_[opIndex(BitlineOp::Buz)];
+
+    // Resetting the input data latch before the write drives zeros.
+    storeBlock(loc, BitVector(8 * kBlockSize));
+    return {params_.opDelay(BitlineOp::Buz),
+            params_.opEnergy(BitlineOp::Buz)};
+}
+
+CmpResult
+SubArray::opCmp(const BlockLoc &a, const BlockLoc &b)
+{
+    checkSamePartition(a, b);
+    ++opCounts_[opIndex(BitlineOp::Cmp)];
+
+    // Bit-wise XOR computed on the bit-lines; per-word equality is the
+    // wired-NOR of the 64 XOR outputs of that word.
+    auto sense = activatePair(a, b);
+    BitVector xorBits = ~(sense.andBits | sense.norBits);
+
+    CmpResult result;
+    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+        bool any_diff = false;
+        for (std::size_t bit = 0; bit < 64; ++bit)
+            any_diff |= xorBits.get(w * 64 + bit);
+        if (!any_diff)
+            result.wordEqualMask |= std::uint64_t{1} << w;
+    }
+    result.allEqual =
+        result.wordEqualMask == (std::uint64_t{1} << kWordsPerBlock) - 1;
+    result.cost = {params_.opDelay(BitlineOp::Cmp),
+                   params_.opEnergy(BitlineOp::Cmp)};
+    return result;
+}
+
+CmpResult
+SubArray::opSearch(const BlockLoc &key, const BlockLoc &data)
+{
+    checkSamePartition(key, data);
+    ++opCounts_[opIndex(BitlineOp::Search)];
+
+    CmpResult result = opCmp(key, data);
+    // opCmp above already counted itself; attribute the activity to search
+    // instead so op counts stay meaningful.
+    --opCounts_[opIndex(BitlineOp::Cmp)];
+    result.cost = {params_.opDelay(BitlineOp::Search),
+                   params_.opEnergy(BitlineOp::Search)};
+    return result;
+}
+
+ClmulResult
+SubArray::opClmul(const BlockLoc &a, const BlockLoc &b,
+                  std::size_t word_bits)
+{
+    checkSamePartition(a, b);
+    ++opCounts_[opIndex(BitlineOp::Clmul)];
+
+    auto sense = activatePair(a, b);
+    ClmulResult result;
+    result.parities = xorTree_.reduceWords(sense.andBits, word_bits);
+    result.cost = {params_.opDelay(BitlineOp::Clmul),
+                   params_.opEnergy(BitlineOp::Clmul)};
+    return result;
+}
+
+SubArray::RawSense
+SubArray::rawActivate(const std::vector<std::size_t> &rows)
+{
+    double underdrive = params_.wordlineUnderdrive;
+    // Beyond the demonstrated safe activation count the bias against write
+    // no longer holds; model that as losing the underdrive protection.
+    if (rows.size() > params_.maxSafeActiveRows)
+        underdrive = 1.0;
+
+    auto levels = cells_.activate(rows, underdrive);
+    RawSense sense;
+    sense.andResult = senseAmps_.senseBL(levels);
+    sense.norResult = senseAmps_.senseBLB(levels);
+    double margin_bl = senseAmps_.senseMargin(levels.bl);
+    double margin_blb = senseAmps_.senseMargin(levels.blb);
+    sense.margin = margin_bl < margin_blb ? margin_bl : margin_blb;
+    return sense;
+}
+
+std::uint64_t
+SubArray::opCount(BitlineOp op) const
+{
+    return opCounts_[opIndex(op)];
+}
+
+} // namespace ccache::sram

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Compute-capable SRAM sub-array (paper Sections II-B and IV-B).
+ *
+ * A SubArray assembles the bit-cell array, a second word-line decoder (so
+ * two rows can be activated at once), re-configurable sense amplifiers and
+ * the XOR-reduction tree into the unit the Compute Cache controller issues
+ * operations to.
+ *
+ * Blocks within the sub-array are addressed as (partition, row): a block
+ * partition is the group of blocks sharing one set of bit-lines, and
+ * in-place operations are legal only between blocks of the same partition
+ * (operand locality, Section IV-C).
+ *
+ * Every operation both computes the functional result through the bit-line
+ * circuit semantics and returns its delay/energy cost, so tests can check
+ * the circuit-level definitions against reference software implementations.
+ */
+
+#ifndef CCACHE_SRAM_SUBARRAY_HH
+#define CCACHE_SRAM_SUBARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/block.hh"
+#include "common/stats.hh"
+#include "sram/bitcell_array.hh"
+#include "sram/sense_amp.hh"
+#include "sram/subarray_params.hh"
+#include "sram/xor_reduction_tree.hh"
+
+namespace ccache::sram {
+
+/** Location of one 64-byte block inside a sub-array. */
+struct BlockLoc
+{
+    std::size_t partition;  ///< block partition (column group)
+    std::size_t row;        ///< word-line index
+
+    bool operator==(const BlockLoc &) const = default;
+};
+
+/** Cost of one sub-array operation. */
+struct OpCost
+{
+    Cycles delay = 0;
+    EnergyPJ energy = 0.0;
+};
+
+/** Result of a comparison-style operation. */
+struct CmpResult
+{
+    /** Bit i set iff 64-bit word i of the two operands are equal. */
+    std::uint64_t wordEqualMask = 0;
+
+    /** True iff the entire blocks are equal. */
+    bool allEqual = false;
+
+    OpCost cost;
+};
+
+/** Result of a clmul operation. */
+struct ClmulResult
+{
+    /** One parity bit per word of the configured granularity. */
+    std::vector<bool> parities;
+
+    OpCost cost;
+};
+
+/** One compute-capable sub-array. */
+class SubArray
+{
+  public:
+    explicit SubArray(const SubArrayParams &params);
+
+    const SubArrayParams &params() const { return params_; }
+    std::size_t partitions() const { return params_.blockPartitions(); }
+    std::size_t rowsPerPartition() const { return params_.rows; }
+
+    /** Baseline accesses. @{ */
+    Block read(const BlockLoc &loc, OpCost *cost = nullptr);
+    void write(const BlockLoc &loc, const Block &data,
+               OpCost *cost = nullptr);
+    /** @} */
+
+    /** In-place two-operand logical ops; result written to @p dst.
+     *  All three locations must share a partition. @{ */
+    OpCost opAnd(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst);
+    OpCost opOr(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst);
+    OpCost opXor(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst);
+    OpCost opNor(const BlockLoc &a, const BlockLoc &b, const BlockLoc &dst);
+    /** @} */
+
+    /** In-place NOT: @p dst = ~@p src (single-row BLB sense). */
+    OpCost opNot(const BlockLoc &src, const BlockLoc &dst);
+
+    /** In-place copy via sense-amp feedback (Figure 4); never latches the
+     *  source outside the sub-array. */
+    OpCost opCopy(const BlockLoc &src, const BlockLoc &dst);
+
+    /** In-place zeroing via reset data latch. */
+    OpCost opBuz(const BlockLoc &loc);
+
+    /** Word-granular equality via wired-NOR of XOR bits. */
+    CmpResult opCmp(const BlockLoc &a, const BlockLoc &b);
+
+    /** Search is an iterative cmp of a key block against a data block;
+     *  identical circuit activity to cmp but tracked separately. */
+    CmpResult opSearch(const BlockLoc &key, const BlockLoc &data);
+
+    /** Carryless multiply: AND then XOR-reduce at @p word_bits. */
+    ClmulResult opClmul(const BlockLoc &a, const BlockLoc &b,
+                        std::size_t word_bits);
+
+    /**
+     * Raw multi-row activation exposed for robustness studies: activates
+     * @p rows word-lines at @p underdrive and returns the sensed AND/NOR.
+     * Exceeding SubArrayParams::maxSafeActiveRows, or using a weak
+     * underdrive, corrupts data exactly like silicon would.
+     */
+    struct RawSense
+    {
+        BitVector andResult;
+        BitVector norResult;
+        double margin;
+    };
+    RawSense rawActivate(const std::vector<std::size_t> &rows);
+
+    /** Count of executed ops by type, for stats and tests. */
+    std::uint64_t opCount(BitlineOp op) const;
+
+  private:
+    /** Column range covered by partition @p p. */
+    std::pair<std::size_t, std::size_t> columnRange(std::size_t p) const;
+
+    /** Extract partition-@p p columns of a full-row bit vector. */
+    BitVector extractPartition(const BitVector &row_bits,
+                               std::size_t p) const;
+
+    /** Read block bits through an (optionally charged) activation. */
+    BitVector senseBlock(const BlockLoc &loc);
+
+    /** Write block bits into the cells of @p loc. */
+    void storeBlock(const BlockLoc &loc, const BitVector &bits);
+
+    /** Shared implementation of the two-operand logical ops. */
+    OpCost logicalOp(BitlineOp op, const BlockLoc &a, const BlockLoc &b,
+                     const BlockLoc &dst);
+
+    /** Compute the (BL, BLB) senses for two activated blocks. */
+    struct TwoRowSense
+    {
+        BitVector andBits;
+        BitVector norBits;
+    };
+    TwoRowSense activatePair(const BlockLoc &a, const BlockLoc &b);
+
+    void checkLoc(const BlockLoc &loc) const;
+    void checkSamePartition(const BlockLoc &a, const BlockLoc &b) const;
+
+    SubArrayParams params_;
+    BitcellArray cells_;
+    SenseAmpArray senseAmps_;
+    XorReductionTree xorTree_;
+    std::vector<std::uint64_t> opCounts_;
+};
+
+} // namespace ccache::sram
+
+#endif // CCACHE_SRAM_SUBARRAY_HH

@@ -1,0 +1,48 @@
+#include "sram/xor_reduction_tree.hh"
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::sram {
+
+XorReductionTree::XorReductionTree(std::size_t width) : width_(width)
+{
+    CC_ASSERT(width > 0, "reduction tree needs input bits");
+}
+
+bool
+XorReductionTree::reduceAll(const BitVector &input) const
+{
+    CC_ASSERT(input.size() == width_, "input width ", input.size(),
+              " != tree width ", width_);
+    return (input.popcount() & 1) != 0;
+}
+
+std::vector<bool>
+XorReductionTree::reduceWords(const BitVector &input,
+                              std::size_t word_bits) const
+{
+    CC_ASSERT(input.size() == width_, "input width mismatch");
+    CC_ASSERT(word_bits == 64 || word_bits == 128 || word_bits == 256,
+              "clmul word width must be 64/128/256, got ", word_bits);
+    CC_ASSERT(width_ % word_bits == 0, "row width ", width_,
+              " not a multiple of word width ", word_bits);
+
+    std::vector<bool> parities;
+    parities.reserve(width_ / word_bits);
+    for (std::size_t w = 0; w < width_ / word_bits; ++w) {
+        unsigned ones = 0;
+        for (std::size_t b = 0; b < word_bits; ++b)
+            ones += input.get(w * word_bits + b) ? 1 : 0;
+        parities.push_back((ones & 1) != 0);
+    }
+    return parities;
+}
+
+std::size_t
+XorReductionTree::depth(std::size_t word_bits)
+{
+    return log2Ceil(word_bits);
+}
+
+} // namespace ccache::sram

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * XOR-reduction tree appended to each compute sub-array (Section IV-B).
+ *
+ * The carryless-multiply (clmul) operation performs an in-place AND of two
+ * rows and then XOR-reduces the resulting bits at single/double/quad-word
+ * granularity. This models that reduction tree.
+ */
+
+#ifndef CCACHE_SRAM_XOR_REDUCTION_TREE_HH
+#define CCACHE_SRAM_XOR_REDUCTION_TREE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvector.hh"
+
+namespace ccache::sram {
+
+/** Combinational XOR-reduction over configurable word widths. */
+class XorReductionTree
+{
+  public:
+    /** @param width number of input bits (the sub-array row width). */
+    explicit XorReductionTree(std::size_t width);
+
+    std::size_t width() const { return width_; }
+
+    /** Parity of all @p width input bits. */
+    bool reduceAll(const BitVector &input) const;
+
+    /**
+     * Per-word parities: the input is split into consecutive words of
+     * @p word_bits (64, 128 or 256 per the cc_clmulX ISA) and each word
+     * is XOR-reduced to a single bit.
+     *
+     * @return one parity bit per word, word 0 first.
+     */
+    std::vector<bool> reduceWords(const BitVector &input,
+                                  std::size_t word_bits) const;
+
+    /** Logic depth of the tree in XOR2 levels (for timing analysis). */
+    static std::size_t depth(std::size_t word_bits);
+
+  private:
+    std::size_t width_;
+};
+
+} // namespace ccache::sram
+
+#endif // CCACHE_SRAM_XOR_REDUCTION_TREE_HH

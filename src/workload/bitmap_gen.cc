@@ -1,0 +1,61 @@
+#include "workload/bitmap_gen.hh"
+
+#include <cmath>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace ccache::workload {
+
+BitmapIndex::BitmapIndex(const BitmapGenParams &params) : params_(params)
+{
+    CC_ASSERT(params.bins > 0 && params.rows > 0, "degenerate index");
+
+    Rng rng(params.seed);
+    bins_.assign(params.bins, BitVector(params.rows));
+
+    // Row -> bin assignment with Zipf-ish skew: equality-encoded bitmap
+    // index means each row sets exactly one bin's bit.
+    std::vector<double> cdf(params.bins);
+    double sum = 0.0;
+    for (std::size_t b = 0; b < params.bins; ++b) {
+        sum += 1.0 / std::pow(static_cast<double>(b + 1), params.skew);
+        cdf[b] = sum;
+    }
+    for (auto &v : cdf)
+        v /= sum;
+
+    for (std::size_t row = 0; row < params.rows; ++row) {
+        double u = rng.uniform();
+        std::size_t b = 0;
+        while (b + 1 < params.bins && cdf[b] < u)
+            ++b;
+        bins_[b].set(row, true);
+    }
+}
+
+std::size_t
+BitmapIndex::binBytes() const
+{
+    return divCeil(params_.rows, 64) * 8;
+}
+
+BitVector
+BitmapIndex::rangeQueryReference(std::size_t lo, std::size_t hi) const
+{
+    CC_ASSERT(lo <= hi && hi < bins_.size(), "bad bin range ", lo, "-",
+              hi);
+    BitVector acc(params_.rows);
+    for (std::size_t b = lo; b <= hi; ++b)
+        acc |= bins_[b];
+    return acc;
+}
+
+BitVector
+BitmapIndex::andReference(std::size_t a, std::size_t b) const
+{
+    CC_ASSERT(a < bins_.size() && b < bins_.size(), "bad bins");
+    return bins_[a] & bins_[b];
+}
+
+} // namespace ccache::workload

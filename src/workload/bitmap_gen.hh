@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Synthetic bitmap-index generator for DB-BitMap (Section VI-B).
+ *
+ * Stands in for the FastBit index built over the STAR physics dataset:
+ * a bitmap index has one bin (bit vector) per attribute value range, one
+ * bit per row, with bin densities following the attribute's value
+ * distribution. Range and join queries OR/AND multiple large bins.
+ */
+
+#ifndef CCACHE_WORKLOAD_BITMAP_GEN_HH
+#define CCACHE_WORKLOAD_BITMAP_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+
+namespace ccache::workload {
+
+/** Parameters of the synthetic index. */
+struct BitmapGenParams
+{
+    /** Rows in the indexed table. The default gives 256 KB bins —
+     *  "several 100 KBs each" per Section VI-B. */
+    std::size_t rows = 1 << 21;
+    std::size_t bins = 32;        ///< bins (distinct value ranges)
+
+    /** Skew of row-to-bin assignment: bin b receives a share
+     *  proportional to 1/(b+1)^skew. */
+    double skew = 0.5;
+
+    std::uint64_t seed = 0xb17b175;
+};
+
+/** A generated index: one equality bin per value range. */
+class BitmapIndex
+{
+  public:
+    explicit BitmapIndex(const BitmapGenParams &params);
+
+    std::size_t rows() const { return params_.rows; }
+    std::size_t bins() const { return bins_.size(); }
+
+    const BitVector &bin(std::size_t b) const { return bins_[b]; }
+
+    /** Bytes per bin (rows / 8, padded to 64-bit words). */
+    std::size_t binBytes() const;
+
+    /** Reference evaluation of a range query: OR of bins [lo, hi]. */
+    BitVector rangeQueryReference(std::size_t lo, std::size_t hi) const;
+
+    /** Reference AND of two bins (join-style predicate). */
+    BitVector andReference(std::size_t a, std::size_t b) const;
+
+  private:
+    BitmapGenParams params_;
+    std::vector<BitVector> bins_;
+};
+
+} // namespace ccache::workload
+
+#endif // CCACHE_WORKLOAD_BITMAP_GEN_HH

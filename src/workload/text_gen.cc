@@ -1,0 +1,71 @@
+#include "workload/text_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace ccache::workload {
+
+TextGen::TextGen(const TextGenParams &params)
+    : params_(params), rng_(params.seed)
+{
+    CC_ASSERT(params.vocabulary > 0, "empty vocabulary");
+    CC_ASSERT(params.minWordLen >= 1 &&
+                  params.minWordLen <= params.maxWordLen,
+              "bad word length range");
+
+    // Unique synthetic words: lowercase letters, Zipf-rank ordered.
+    std::set<std::string> seen;
+    vocab_.reserve(params.vocabulary);
+    while (vocab_.size() < params.vocabulary) {
+        std::size_t len = params.minWordLen +
+            rng_.below(params.maxWordLen - params.minWordLen + 1);
+        std::string w(len, 'a');
+        for (auto &c : w)
+            c = static_cast<char>('a' + rng_.below(26));
+        if (seen.insert(w).second)
+            vocab_.push_back(std::move(w));
+    }
+
+    // CDF of Zipf(s) over ranks 1..V.
+    cdf_.resize(params.vocabulary);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < params.vocabulary; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1),
+                              params.zipfExponent);
+        cdf_[r] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+}
+
+std::size_t
+TextGen::sampleRank()
+{
+    double u = rng_.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+const std::string &
+TextGen::nextWord()
+{
+    return vocab_[sampleRank()];
+}
+
+std::string
+TextGen::corpus(std::size_t bytes)
+{
+    std::string out;
+    out.reserve(bytes + 16);
+    while (out.size() < bytes) {
+        out += nextWord();
+        out += ' ';
+    }
+    out.resize(bytes);
+    return out;
+}
+
+} // namespace ccache::workload

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Application-level integration tests: every re-designed application of
+ * Section VI-B must be functionally identical across the Base, Base_32
+ * and Compute Cache engines, and the CC versions must show the paper's
+ * instruction-reduction and efficiency relations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bmm.hh"
+#include "apps/checkpoint.hh"
+#include "apps/dbbitmap.hh"
+#include "apps/stringmatch.hh"
+#include "apps/wordcount.hh"
+
+namespace ccache::apps {
+namespace {
+
+TEST(WordCountApp, AllEnginesMatchReference)
+{
+    WordCountConfig cfg;
+    cfg.corpusBytes = 24 * 1024;
+    cfg.text.vocabulary = 800;
+    WordCount app(cfg);
+    std::uint64_t ref = WordCount::checksumOf(app.reference());
+
+    for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
+        sim::System sys;
+        auto res = app.run(sys, e);
+        EXPECT_EQ(res.checksum, ref) << toString(e);
+        EXPECT_GT(res.cycles, 0u);
+    }
+}
+
+TEST(WordCountApp, CcReducesInstructionsSharply)
+{
+    // Section VI-E: the CAM reformulation removes the binary search's
+    // bookkeeping (87% fewer instructions in the paper).
+    WordCountConfig cfg;
+    cfg.corpusBytes = 24 * 1024;
+    cfg.text.vocabulary = 800;
+    WordCount app(cfg);
+
+    sim::System base_sys, cc_sys;
+    auto base = app.run(base_sys, Engine::Base32);
+    auto cc = app.run(cc_sys, Engine::Cc);
+    EXPECT_LT(cc.instructions, base.instructions / 3);
+}
+
+TEST(StringMatchApp, EnginesAgreeAndCcSavesInstructions)
+{
+    StringMatchConfig cfg;
+    cfg.textBytes = 16 * 1024;
+    StringMatch app(cfg);
+
+    sim::System base_sys, cc_sys;
+    auto base = app.run(base_sys, Engine::Base32);
+    auto cc = app.run(cc_sys, Engine::Cc);
+    EXPECT_EQ(base.checksum, cc.checksum);
+    // Paper: 32% instruction reduction for StringMatch.
+    EXPECT_LT(cc.instructions, base.instructions);
+    // Matches actually occurred (keys drawn from the vocabulary).
+    std::uint64_t total = 0;
+    for (auto m : app.referenceMatches())
+        total += m;
+    EXPECT_GT(total, 0u);
+}
+
+TEST(StringMatchApp, EncryptIsDeterministicAndSpreads)
+{
+    Block a = StringMatch::encrypt("hello");
+    Block b = StringMatch::encrypt("hello");
+    Block c = StringMatch::encrypt("hellp");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(DbBitmapApp, QueriesVerifiedOnAllEngines)
+{
+    DbBitmapConfig cfg;
+    cfg.index.rows = 1 << 15;
+    cfg.numQueries = 5;
+    DbBitmap app(cfg);
+
+    std::uint64_t checks[3];
+    int i = 0;
+    for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
+        sim::System sys;
+        auto res = app.run(sys, e);  // asserts every query internally
+        checks[i++] = res.checksum;
+        EXPECT_GT(app.avgQueryCycles(), 0.0);
+    }
+    EXPECT_EQ(checks[0], checks[1]);
+    EXPECT_EQ(checks[1], checks[2]);
+}
+
+TEST(DbBitmapApp, CcBeatsBaselineOnQueries)
+{
+    DbBitmapConfig cfg;
+    cfg.index.rows = 1 << 16;
+    cfg.numQueries = 4;
+    DbBitmap app(cfg);
+
+    sim::System base_sys, cc_sys;
+    auto base = app.run(base_sys, Engine::Base32);
+    auto cc = app.run(cc_sys, Engine::Cc);
+    EXPECT_LT(cc.cycles, base.cycles);
+    EXPECT_LT(cc.instructions, base.instructions);
+}
+
+TEST(DbBitmapApp, ParallelQueriesMatchSerialAndScale)
+{
+    DbBitmapConfig cfg;
+    cfg.index.rows = 1 << 15;
+    cfg.numQueries = 8;
+    DbBitmap app(cfg);
+
+    sim::System serial_sys, par_sys;
+    auto serial = app.run(serial_sys, Engine::Cc);
+    auto parallel = app.runParallel(par_sys, Engine::Cc, 4);
+
+    // Same answers regardless of parallelization.
+    EXPECT_EQ(serial.checksum, parallel.checksum);
+    // Four cores over independent queries must beat one core clearly.
+    EXPECT_LT(parallel.cycles * 2, serial.cycles);
+}
+
+TEST(BmmApp, ReferenceMultiplyProperties)
+{
+    // Identity: I x A == A.
+    BitMatrix a(64), eye(64);
+    Rng rng(5);
+    for (std::size_t i = 0; i < 64; ++i) {
+        eye.set(i, i, true);
+        for (std::size_t j = 0; j < 64; ++j)
+            a.set(i, j, rng.chance(0.5));
+    }
+    EXPECT_EQ(BitMatrix::multiply(eye, a), a);
+    EXPECT_EQ(BitMatrix::multiply(a, eye), a);
+    // Transpose involution.
+    EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(BmmApp, AllEnginesComputeTheProduct)
+{
+    BmmConfig cfg;
+    cfg.n = 128;
+    Bmm app(cfg);
+    for (Engine e : {Engine::Base32, Engine::Cc}) {
+        sim::System sys;
+        auto res = app.run(sys, e);  // asserts result == expected
+        EXPECT_GT(res.cycles, 0u);
+        EXPECT_EQ(app.computed(), app.expected());
+    }
+}
+
+TEST(BmmApp, CcCutsInstructionsByOrderOfMagnitude)
+{
+    // Paper: 98% instruction reduction for BMM.
+    BmmConfig cfg;
+    cfg.n = 128;
+    Bmm app(cfg);
+    sim::System base_sys, cc_sys;
+    auto base = app.run(base_sys, Engine::Base32);
+    auto cc = app.run(cc_sys, Engine::Cc);
+    EXPECT_LT(cc.instructions, base.instructions / 10);
+}
+
+TEST(CheckpointApp, OverheadOrderingAcrossEngines)
+{
+    // Figure 10: Base > Base_32 >> CC for every benchmark.
+    CheckpointConfig cfg;
+    cfg.intervals = 8;
+    Checkpoint ck(workload::SplashApp::Cholesky, cfg);
+
+    double overhead[3];
+    int i = 0;
+    for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
+        sim::System sys;
+        auto res = ck.run(sys, e);
+        overhead[i++] = res.overheadPct();
+        EXPECT_GT(res.pagesCopied, 0u);
+    }
+    EXPECT_GT(overhead[0], overhead[1]);
+    EXPECT_GT(overhead[1], 2.0 * overhead[2]);
+}
+
+TEST(CheckpointApp, NoCheckpointingRunHasZeroOverheadCycles)
+{
+    CheckpointConfig cfg;
+    cfg.intervals = 4;
+    Checkpoint ck(workload::SplashApp::Fmm, cfg);
+    sim::System sys;
+    auto res = ck.run(sys, Engine::Base32, /*checkpointing=*/false);
+    EXPECT_EQ(res.checkpointCycles, 0u);
+    EXPECT_EQ(res.pagesCopied, 0u);
+    EXPECT_DOUBLE_EQ(res.overheadPct(), 0.0);
+}
+
+TEST(CheckpointApp, CopiesAreVerifiedSpotChecks)
+{
+    // run() asserts shadow == source for every page; survival of the
+    // run is the check, on the most write-heavy app.
+    CheckpointConfig cfg;
+    cfg.intervals = 6;
+    Checkpoint ck(workload::SplashApp::Radix, cfg);
+    sim::System sys;
+    auto res = ck.run(sys, Engine::Cc);
+    EXPECT_GT(res.pagesCopied, 0u);
+}
+
+} // namespace
+} // namespace ccache::apps

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Integration tests for the CC controller: functional correctness of
+ * every Table II instruction through the real hierarchy, level selection,
+ * operand locality / near-place fallback, key replication, scheduling
+ * parallelism, page-split exceptions and RISC fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cc/cc_controller.hh"
+#include "cc/near_place_unit.hh"
+#include "common/rng.hh"
+
+namespace ccache::cc {
+namespace {
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest()
+        : hier(cache::HierarchyParams{}, &em, &stats),
+          ctrl(hier, &em, &stats, makeParams())
+    {
+    }
+
+    static CcControllerParams
+    makeParams()
+    {
+        CcControllerParams p;
+        p.verifyCircuit = true;  // cross-check against the circuit model
+        return p;
+    }
+
+    /** Load @p len random bytes at @p addr into memory. */
+    std::vector<std::uint8_t>
+    loadRandom(Addr addr, std::size_t len)
+    {
+        std::vector<std::uint8_t> data(len);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        hier.memory().writeBytes(addr, data.data(), len);
+        return data;
+    }
+
+    std::vector<std::uint8_t>
+    dumpBytes(Addr addr, std::size_t len)
+    {
+        std::vector<std::uint8_t> out(len);
+        for (std::size_t off = 0; off < len; off += kBlockSize) {
+            Block b = hier.debugRead(addr + off);
+            std::size_t n = std::min(kBlockSize, len - off);
+            std::copy_n(b.begin(), n, out.begin() + off);
+        }
+        return out;
+    }
+
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier;
+    CcController ctrl;
+    Rng rng{123};
+};
+
+TEST_F(ControllerTest, CopyMovesData)
+{
+    auto src = loadRandom(0x10000, 4096);
+    auto res = ctrl.execute(0, CcInstruction::copy(0x10000, 0x20000, 4096));
+    EXPECT_EQ(res.blockOps, 64u);
+    EXPECT_EQ(res.inPlaceOps, 64u);
+    EXPECT_EQ(res.nearPlaceOps, 0u);
+    EXPECT_FALSE(res.riscFallback);
+    EXPECT_EQ(dumpBytes(0x20000, 4096), src);
+}
+
+TEST_F(ControllerTest, BuzZeroes)
+{
+    loadRandom(0x30000, 1024);
+    ctrl.execute(0, CcInstruction::buz(0x30000, 1024));
+    EXPECT_EQ(dumpBytes(0x30000, 1024),
+              std::vector<std::uint8_t>(1024, 0));
+}
+
+TEST_F(ControllerTest, LogicalOpsMatchReference)
+{
+    auto a = loadRandom(0x40000, 2048);
+    auto b = loadRandom(0x50000, 2048);
+
+    ctrl.execute(0, CcInstruction::logicalAnd(0x40000, 0x50000, 0x60000,
+                                              2048));
+    ctrl.execute(0, CcInstruction::logicalOr(0x40000, 0x50000, 0x68000,
+                                             2048));
+    ctrl.execute(0, CcInstruction::logicalXor(0x40000, 0x50000, 0x70000,
+                                              2048));
+    ctrl.execute(0, CcInstruction::logicalNot(0x40000, 0x78000, 2048));
+
+    auto andv = dumpBytes(0x60000, 2048);
+    auto orv = dumpBytes(0x68000, 2048);
+    auto xorv = dumpBytes(0x70000, 2048);
+    auto notv = dumpBytes(0x78000, 2048);
+    for (std::size_t i = 0; i < 2048; ++i) {
+        EXPECT_EQ(andv[i], a[i] & b[i]);
+        EXPECT_EQ(orv[i], a[i] | b[i]);
+        EXPECT_EQ(xorv[i], a[i] ^ b[i]);
+        EXPECT_EQ(notv[i], static_cast<std::uint8_t>(~a[i]));
+    }
+    EXPECT_GT(stats.value("cc.circuit_verifications"), 0u);
+}
+
+TEST_F(ControllerTest, SourcesSurviveLogicalOps)
+{
+    auto a = loadRandom(0x40000, 512);
+    auto b = loadRandom(0x50000, 512);
+    ctrl.execute(0, CcInstruction::logicalAnd(0x40000, 0x50000, 0x60000,
+                                              512));
+    EXPECT_EQ(dumpBytes(0x40000, 512), a);
+    EXPECT_EQ(dumpBytes(0x50000, 512), b);
+}
+
+TEST_F(ControllerTest, CmpProducesWordMask)
+{
+    auto a = loadRandom(0x80000, 512);
+    auto b = a;
+    // Perturb words 3 and 40.
+    b[3 * 8] ^= 1;
+    b[40 * 8 + 7] ^= 0x80;
+    hier.memory().writeBytes(0x90000, b.data(), b.size());
+
+    auto res = ctrl.execute(0, CcInstruction::cmp(0x80000, 0x90000, 512));
+    std::uint64_t expect = ~((std::uint64_t{1} << 3) |
+                             (std::uint64_t{1} << 40));
+    EXPECT_EQ(res.result, expect);
+}
+
+TEST_F(ControllerTest, SearchFindsKeyAndReplicatesOncePerPartition)
+{
+    // Data: 8 blocks; key equals block 5.
+    auto data = loadRandom(0xa0000, 512);
+    std::vector<std::uint8_t> key(data.begin() + 5 * 64,
+                                  data.begin() + 6 * 64);
+    hier.memory().writeBytes(0xb0000, key.data(), key.size());
+
+    auto res = ctrl.execute(0, CcInstruction::search(0xa0000, 0xb0000,
+                                                     512));
+    // Word-granular mask: block 5's eight words all match the key.
+    std::uint64_t block5 = res.result >> (5 * 8) & 0xff;
+    EXPECT_EQ(block5, 0xffu);
+    EXPECT_GT(res.keyReplications, 0u);
+    EXPECT_LE(res.keyReplications, 8u);
+
+    // A second search with the same key in the same instruction would
+    // reuse replicas; across instructions the table is cleared.
+    EXPECT_EQ(ctrl.keyTable().trackedInstructions(), 0u);
+}
+
+TEST_F(ControllerTest, ClmulComputesCarrylessParities)
+{
+    auto a = loadRandom(0xc0000, 256);
+    auto b = loadRandom(0xd0000, 256);
+    ctrl.execute(0,
+                 CcInstruction::clmul(0xc0000, 0xd0000, 0xe0000, 256, 64));
+    auto out = dumpBytes(0xe0000, 256);
+    for (std::size_t blk = 0; blk < 4; ++blk) {
+        std::uint64_t packed = 0;
+        std::memcpy(&packed, out.data() + blk * 64, 8);
+        for (std::size_t w = 0; w < 8; ++w) {
+            std::uint64_t wa = 0, wb = 0;
+            std::memcpy(&wa, a.data() + blk * 64 + w * 8, 8);
+            std::memcpy(&wb, b.data() + blk * 64 + w * 8, 8);
+            bool parity = std::popcount(wa & wb) & 1;
+            EXPECT_EQ((packed >> w) & 1, static_cast<std::uint64_t>(parity))
+                << "block " << blk << " word " << w;
+        }
+    }
+}
+
+TEST_F(ControllerTest, LevelSelectionPrefersHighestResident)
+{
+    loadRandom(0xf0000, 512);
+    loadRandom(0xf8000, 512);
+    // Warm both operands into L1 (page-aligned offsets guarantee operand
+    // locality at L1 too).
+    for (Addr off = 0; off < 512; off += 64) {
+        hier.read(0, 0xf0000 + off);
+        hier.read(0, 0xf8000 + off);
+    }
+    auto res = ctrl.execute(0, CcInstruction::cmp(0xf0000, 0xf8000, 512));
+    EXPECT_EQ(res.level, CacheLevel::L1);
+
+    // Cold operands -> L3 (Section IV-E policy).
+    auto res2 =
+        ctrl.execute(0, CcInstruction::cmp(0x110000, 0x118000, 512));
+    EXPECT_EQ(res2.level, CacheLevel::L3);
+}
+
+TEST_F(ControllerTest, ForceLevelOverrides)
+{
+    ctrl.mutableParams().forceLevel = CacheLevel::L2;
+    loadRandom(0x120000, 1024);
+    auto res =
+        ctrl.execute(0, CcInstruction::copy(0x120000, 0x128000, 1024));
+    EXPECT_EQ(res.level, CacheLevel::L2);
+    EXPECT_TRUE(hier.l2(0).contains(0x120000));
+    EXPECT_FALSE(hier.l1(0).contains(0x120000));
+}
+
+TEST_F(ControllerTest, PageMisalignedOperandsGoNearPlace)
+{
+    // Source and destination at different page offsets: no operand
+    // locality; the controller must use the near-place unit and still be
+    // functionally correct.
+    auto src = loadRandom(0x130000, 1024);
+    auto res =
+        ctrl.execute(0, CcInstruction::copy(0x130000, 0x140800, 1024));
+    EXPECT_EQ(res.nearPlaceOps, 16u);
+    EXPECT_EQ(res.inPlaceOps, 0u);
+    EXPECT_EQ(dumpBytes(0x140800, 1024), src);
+}
+
+TEST_F(ControllerTest, ForceNearPlace)
+{
+    ctrl.mutableParams().forceNearPlace = true;
+    loadRandom(0x150000, 512);
+    auto res =
+        ctrl.execute(0, CcInstruction::copy(0x150000, 0x158000, 512));
+    EXPECT_EQ(res.nearPlaceOps, 8u);
+    EXPECT_EQ(res.inPlaceOps, 0u);
+}
+
+TEST_F(ControllerTest, InPlaceBeatsNearPlaceLatency)
+{
+    loadRandom(0x160000, 4096);
+    loadRandom(0x170000, 4096);
+    auto in_place =
+        ctrl.execute(0, CcInstruction::copy(0x160000, 0x168000, 4096));
+
+    CcControllerParams np = makeParams();
+    np.forceNearPlace = true;
+    CcController near_ctrl(hier, &em, &stats, np);
+    auto near_place =
+        near_ctrl.execute(0, CcInstruction::copy(0x170000, 0x178000,
+                                                 4096));
+    // Section IV-J: in-place parallelism dwarfs the single logic unit.
+    EXPECT_LT(in_place.computeLatency, near_place.computeLatency);
+    EXPECT_GE(static_cast<double>(near_place.computeLatency) /
+                  static_cast<double>(in_place.computeLatency),
+              4.0);
+}
+
+TEST_F(ControllerTest, ParallelismScalesWithPartitions)
+{
+    // 64 blocks spread over all 64 L3 partitions: completion must be far
+    // below 64 serial op latencies.
+    loadRandom(0x180000, 4096);
+    auto res =
+        ctrl.execute(0, CcInstruction::copy(0x180000, 0x188000, 4096));
+    Cycles serial = 64 * ctrl.params().inPlaceOpLatency;
+    EXPECT_LT(res.computeLatency, serial / 4);
+    EXPECT_GT(res.fetchLatency, 0u);  // operands were cold
+}
+
+TEST_F(ControllerTest, PowerCapThrottlesParallelism)
+{
+    loadRandom(0x190000, 4096);
+    auto wide =
+        ctrl.execute(0, CcInstruction::copy(0x190000, 0x198000, 4096));
+
+    CcControllerParams capped = makeParams();
+    capped.maxActiveSubarrays = 4;
+    CcController capped_ctrl(hier, &em, &stats, capped);
+    auto narrow = capped_ctrl.execute(
+        0, CcInstruction::copy(0x190000, 0x198000, 4096));
+    EXPECT_GT(narrow.computeLatency, wide.computeLatency);
+}
+
+TEST_F(ControllerTest, PageSpanningRaisesSplitException)
+{
+    auto src = loadRandom(0x1a0800, 4096);
+    auto res =
+        ctrl.execute(0, CcInstruction::copy(0x1a0800, 0x1b0800, 4096));
+    EXPECT_EQ(res.pageSplits, 2u);
+    EXPECT_EQ(stats.value("cc.page_split_exceptions"), 1u);
+    EXPECT_EQ(dumpBytes(0x1b0800, 4096), src);
+}
+
+TEST_F(ControllerTest, CmpAcrossPageSplitConcatenatesResult)
+{
+    auto a = loadRandom(0x1c0fc0, 512);  // spans a page boundary
+    hier.memory().writeBytes(0x1d0fc0, a.data(), a.size());
+    auto res = ctrl.execute(0, CcInstruction::cmp(0x1c0fc0, 0x1d0fc0, 512));
+    EXPECT_EQ(res.result, ~std::uint64_t{0});
+    EXPECT_EQ(res.pageSplits, 2u);
+}
+
+TEST_F(ControllerTest, DirtyPrivateDataReachesL3BeforeCompute)
+{
+    // Figure 6: operand B dirty in a private cache; the CC op at L3 must
+    // see the fresh value.
+    Block fresh;
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+        fresh[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+    hier.write(0, 0x1e0000, &fresh);
+    ASSERT_EQ(hier.l1(0).state(0x1e0000), cache::Mesi::Modified);
+
+    ctrl.mutableParams().forceLevel = CacheLevel::L3;
+    ctrl.execute(0, CcInstruction::copy(0x1e0000, 0x1f0000, 64));
+    EXPECT_EQ(hier.debugRead(0x1f0000), fresh);
+}
+
+TEST_F(ControllerTest, CcWriteInvalidatesStaleCopiesEverywhere)
+{
+    // Core 1 caches the destination; a CC write at L3 must invalidate it.
+    loadRandom(0x200000, 64);
+    loadRandom(0x208000, 64);
+    hier.read(1, 0x208000);
+    ASSERT_TRUE(hier.l1(1).contains(0x208000));
+
+    ctrl.mutableParams().forceLevel = CacheLevel::L3;
+    ctrl.execute(0, CcInstruction::copy(0x200000, 0x208000, 64));
+    EXPECT_FALSE(hier.l1(1).contains(0x208000));
+    EXPECT_FALSE(hier.l2(1).contains(0x208000));
+    // Core 1 re-reads and sees the copied data.
+    Block out;
+    hier.read(1, 0x208000, &out);
+    EXPECT_EQ(out, hier.debugRead(0x200000));
+}
+
+TEST_F(ControllerTest, RiscFallbackWhenOperandsCannotBePinned)
+{
+    // Pin every way of the destination's L1 set with other lines, then
+    // force an L1-level op: staging cannot pin, so after two retries the
+    // controller falls back to RISC execution (Section IV-E).
+    ctrl.mutableParams().forceLevel = CacheLevel::L1;
+    Addr dest = 0x210000;
+    for (unsigned i = 1; i <= 8; ++i) {
+        Addr filler = dest + i * 4096;  // same L1 set
+        hier.read(0, filler);
+        ASSERT_TRUE(hier.l1(0).pin(filler));
+    }
+    auto src = loadRandom(0x219040, 64);  // different set for the source
+
+    auto res = ctrl.execute(0, CcInstruction::copy(0x219040, dest, 64));
+    EXPECT_TRUE(res.riscFallback);
+    EXPECT_GT(stats.value("cc.risc_fallbacks"), 0u);
+    // Functionally still correct.
+    EXPECT_EQ(dumpBytes(dest, 64), src);
+}
+
+TEST_F(ControllerTest, StatsAccounting)
+{
+    loadRandom(0x220000, 1024);
+    ctrl.execute(0, CcInstruction::copy(0x220000, 0x228000, 1024));
+    EXPECT_EQ(stats.value("cc.instructions"), 1u);
+    EXPECT_EQ(stats.value("cc.block_ops"), 16u);
+    EXPECT_EQ(stats.value("cc.in_place_ops"), 16u);
+    EXPECT_EQ(stats.value("cc.level_L3"), 1u);
+}
+
+TEST_F(ControllerTest, OperandsUnpinnedAfterCompletion)
+{
+    loadRandom(0x230000, 512);
+    ctrl.execute(0, CcInstruction::copy(0x230000, 0x238000, 512));
+    for (Addr off = 0; off < 512; off += 64) {
+        unsigned slice = hier.sliceFor(0, 0x230000 + off);
+        EXPECT_FALSE(hier.l3Slice(slice).isPinned(0x230000 + off));
+        EXPECT_FALSE(hier.l3Slice(slice).isPinned(0x238000 + off));
+    }
+}
+
+// Randomized functional soak across all opcodes and levels.
+TEST_F(ControllerTest, RandomizedFunctionalSoak)
+{
+    for (int iter = 0; iter < 60; ++iter) {
+        std::size_t blocks = 1 + rng.below(16);
+        std::size_t size = blocks * kBlockSize;
+        Addr base = 0x400000 + iter * 0x40000;
+        Addr a = base, b = base + 0x10000, d = base + 0x20000;
+        auto va = loadRandom(a, size);
+        auto vb = loadRandom(b, size);
+
+        switch (rng.below(5)) {
+          case 0: {
+            ctrl.execute(0, CcInstruction::logicalAnd(a, b, d, size));
+            auto out = dumpBytes(d, size);
+            for (std::size_t i = 0; i < size; ++i)
+                ASSERT_EQ(out[i], va[i] & vb[i]);
+            break;
+          }
+          case 1: {
+            ctrl.execute(0, CcInstruction::logicalXor(a, b, d, size));
+            auto out = dumpBytes(d, size);
+            for (std::size_t i = 0; i < size; ++i)
+                ASSERT_EQ(out[i], va[i] ^ vb[i]);
+            break;
+          }
+          case 2: {
+            ctrl.execute(0, CcInstruction::copy(a, d, size));
+            ASSERT_EQ(dumpBytes(d, size), va);
+            break;
+          }
+          case 3: {
+            ctrl.execute(0, CcInstruction::buz(a, size));
+            ASSERT_EQ(dumpBytes(a, size),
+                      std::vector<std::uint8_t>(size, 0));
+            break;
+          }
+          case 4: {
+            std::size_t csize = std::min<std::size_t>(size, 512);
+            auto res = ctrl.execute(0, CcInstruction::cmp(a, b, csize));
+            for (std::size_t w = 0; w < csize / 8; ++w) {
+                bool eq = std::equal(va.begin() + w * 8,
+                                     va.begin() + (w + 1) * 8,
+                                     vb.begin() + w * 8);
+                ASSERT_EQ((res.result >> w) & 1,
+                          static_cast<std::uint64_t>(eq));
+            }
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+} // namespace ccache::cc

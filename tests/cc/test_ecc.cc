@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the SECDED ECC, the xor-linearity identity used by in-place
+ * logical operations, and the scrubbing cost model (Section IV-I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cc/ecc.hh"
+#include "common/rng.hh"
+
+namespace ccache::cc {
+namespace {
+
+TEST(Secded, CleanWordDecodesOk)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t data = rng.next();
+        std::uint8_t check = Secded::encode(data);
+        std::uint64_t copy = data;
+        EXPECT_EQ(Secded::decode(copy, check), EccStatus::Ok);
+        EXPECT_EQ(copy, data);
+    }
+}
+
+TEST(Secded, CorrectsEverySingleDataBitFlip)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::uint64_t data = rng.next();
+        std::uint8_t check = Secded::encode(data);
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            std::uint64_t corrupted = data ^ (std::uint64_t{1} << bit);
+            EXPECT_EQ(Secded::decode(corrupted, check),
+                      EccStatus::CorrectedSingleBit)
+                << "bit " << bit;
+            EXPECT_EQ(corrupted, data) << "bit " << bit;
+        }
+    }
+}
+
+TEST(Secded, CorrectsSingleCheckBitFlip)
+{
+    std::uint64_t data = 0x123456789abcdef0ULL;
+    std::uint8_t check = Secded::encode(data);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+        std::uint64_t copy = data;
+        EXPECT_EQ(Secded::decode(copy, check ^ (1u << bit)),
+                  EccStatus::CorrectedSingleBit)
+            << "check bit " << bit;
+        EXPECT_EQ(copy, data);
+    }
+}
+
+TEST(Secded, DetectsDoubleBitFlips)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::uint64_t data = rng.next();
+        std::uint8_t check = Secded::encode(data);
+        unsigned b1 = static_cast<unsigned>(rng.below(64));
+        unsigned b2 = static_cast<unsigned>(rng.below(64));
+        if (b1 == b2)
+            continue;
+        std::uint64_t corrupted =
+            data ^ (std::uint64_t{1} << b1) ^ (std::uint64_t{1} << b2);
+        EXPECT_EQ(Secded::decode(corrupted, check),
+                  EccStatus::DetectedDoubleBit)
+            << b1 << "," << b2;
+    }
+}
+
+TEST(Secded, XorIdentityHoldsForAllInputs)
+{
+    // ECC(A xor B) == ECC(A) xor ECC(B): the linearity the Section IV-I
+    // ECC logic unit relies on to check in-place logical operations.
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_TRUE(Secded::xorIdentityHolds(rng.next(), rng.next()));
+}
+
+TEST(BlockEccTest, EncodeCheckRoundTrip)
+{
+    Rng rng(5);
+    Block b;
+    for (auto &byte : b)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+    BlockEcc ecc = encodeBlock(b);
+    Block copy = b;
+    EXPECT_EQ(checkBlock(copy, ecc), EccStatus::Ok);
+
+    // Flip one bit in word 3: corrected.
+    copy[25] ^= 0x10;
+    EXPECT_EQ(checkBlock(copy, ecc), EccStatus::CorrectedSingleBit);
+    EXPECT_EQ(copy, b);
+
+    // Two flips within one word: detected, uncorrectable.
+    copy[25] ^= 0x11;
+    EXPECT_EQ(checkBlock(copy, ecc), EccStatus::DetectedDoubleBit);
+}
+
+TEST(BlockEccTest, CopyCarriesEccAndBuzInstallsZeroEcc)
+{
+    // Section IV-I: cc_copy copies the ECC verbatim; cc_buz installs the
+    // ECC of the zero block.
+    Rng rng(6);
+    Block src;
+    for (auto &byte : src)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+    BlockEcc src_ecc = encodeBlock(src);
+
+    Block dst = src;            // cc_copy moves data...
+    BlockEcc dst_ecc = src_ecc; // ...and its ECC, no recompute needed
+    EXPECT_EQ(checkBlock(dst, dst_ecc), EccStatus::Ok);
+
+    Block zero = zeroBlock();
+    EXPECT_EQ(checkBlock(zero, encodeBlock(zeroBlock())), EccStatus::Ok);
+}
+
+TEST(BlockEccTest, CmpEccMismatchDetectsInconsistency)
+{
+    Rng rng(7);
+    Block a;
+    for (auto &byte : a)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+    Block b = a;
+    BlockEcc ea = encodeBlock(a);
+    BlockEcc eb = encodeBlock(b);
+
+    // Consistent equal operands: no error.
+    EXPECT_FALSE(cmpEccMismatch(a, ea, b, eb));
+
+    // Data equal but ECC differs: error detected.
+    BlockEcc eb_bad = eb;
+    eb_bad[0] ^= 1;
+    EXPECT_TRUE(cmpEccMismatch(a, ea, b, eb_bad));
+
+    // Data differs and ECC differs consistently: not an error (a real
+    // mismatch of values).
+    Block c = a;
+    c[0] ^= 0xff;
+    EXPECT_FALSE(cmpEccMismatch(a, ea, c, encodeBlock(c)));
+
+    // Data differs but ECC matches: error detected.
+    EXPECT_TRUE(cmpEccMismatch(a, ea, c, ea));
+}
+
+TEST(ScrubbingModelTest, OverheadIsLow)
+{
+    // Section IV-I argues scrubbing is attractive because soft errors are
+    // rare (0.7-7/year): the cycle overhead must be far below 1%.
+    ScrubbingModel m;
+    EXPECT_LT(m.cycleOverhead(), 0.01);
+    EXPECT_GT(m.cycleOverhead(), 0.0);
+    // Errors striking within one scrub interval are vanishingly rare.
+    EXPECT_LT(m.expectedErrorsPerInterval(), 1e-7);
+}
+
+TEST(ScrubbingModelTest, OverheadScalesWithInterval)
+{
+    ScrubbingModel fast;
+    fast.intervalMs = 10.0;
+    ScrubbingModel slow;
+    slow.intervalMs = 1000.0;
+    EXPECT_GT(fast.cycleOverhead(), slow.cycleOverhead());
+    EXPECT_GT(slow.expectedErrorsPerInterval(),
+              fast.expectedErrorsPerInterval());
+}
+
+} // namespace
+} // namespace ccache::cc

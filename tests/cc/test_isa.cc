@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the CC ISA: encodings, validation limits, page-span
+ * detection and the exception handler's splitting (Table II, IV-A, IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cc/isa.hh"
+#include "common/logging.hh"
+
+namespace ccache::cc {
+namespace {
+
+TEST(CcIsa, BuildersEncodeOperands)
+{
+    auto c = CcInstruction::copy(0x1000, 0x2000, 256);
+    EXPECT_EQ(c.op, CcOpcode::Copy);
+    EXPECT_EQ(c.operandAddrs(), (std::vector<Addr>{0x1000, 0x2000}));
+    EXPECT_EQ(c.writtenAddrs(), (std::vector<Addr>{0x2000}));
+
+    auto z = CcInstruction::buz(0x3000, 128);
+    EXPECT_EQ(z.operandAddrs(), (std::vector<Addr>{0x3000}));
+
+    auto a = CcInstruction::logicalAnd(0x1000, 0x2000, 0x3000, 512);
+    EXPECT_EQ(a.operandAddrs(),
+              (std::vector<Addr>{0x1000, 0x2000, 0x3000}));
+
+    auto s = CcInstruction::search(0x1000, 0x2000, 512);
+    EXPECT_TRUE(s.writtenAddrs().empty());
+}
+
+TEST(CcIsa, CcRClassification)
+{
+    EXPECT_TRUE(isCcR(CcOpcode::Cmp));
+    EXPECT_TRUE(isCcR(CcOpcode::Search));
+    EXPECT_FALSE(isCcR(CcOpcode::Copy));
+    EXPECT_FALSE(isCcR(CcOpcode::And));
+    EXPECT_FALSE(isCcR(CcOpcode::Buz));
+}
+
+TEST(CcIsa, NumAddrOperands)
+{
+    EXPECT_EQ(numAddrOperands(CcOpcode::Buz), 1u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Copy), 2u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Not), 2u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Xor), 3u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Clmul), 3u);
+}
+
+TEST(CcIsa, ValidateAcceptsLimits)
+{
+    EXPECT_NO_THROW(
+        CcInstruction::copy(0x1000, 0x2000, kMaxVectorBytes).validate());
+    EXPECT_NO_THROW(
+        CcInstruction::cmp(0x1000, 0x2000, kMaxCmpBytes).validate());
+}
+
+TEST(CcIsa, ValidateRejectsBadEncodings)
+{
+    EXPECT_THROW(CcInstruction::copy(0x1000, 0x2000, 0).validate(),
+                 FatalError);
+    EXPECT_THROW(
+        CcInstruction::copy(0x1000, 0x2000, kMaxVectorBytes + 64)
+            .validate(),
+        FatalError);
+    // cmp/search result must fit a 64-bit register.
+    EXPECT_THROW(CcInstruction::cmp(0x1000, 0x2000, 1024).validate(),
+                 FatalError);
+    EXPECT_THROW(CcInstruction::search(0x1000, 0x2000, 1024).validate(),
+                 FatalError);
+    // Operands must be block-aligned.
+    EXPECT_THROW(CcInstruction::copy(0x1001, 0x2000, 64).validate(),
+                 FatalError);
+    // clmul width restricted to 64/128/256.
+    EXPECT_THROW(
+        CcInstruction::clmul(0x1000, 0x2000, 0x3000, 64, 32).validate(),
+        FatalError);
+    // Sizes must be word multiples.
+    EXPECT_THROW(CcInstruction::copy(0x1000, 0x2000, 60).validate(),
+                 FatalError);
+}
+
+TEST(CcIsa, SpansPageDetection)
+{
+    // Entirely within one page.
+    EXPECT_FALSE(CcInstruction::copy(0x1000, 0x2000, 4096).spansPage());
+    // Source starts mid-page and runs over the boundary.
+    EXPECT_TRUE(CcInstruction::copy(0x1800, 0x2800, 4096).spansPage());
+    // Only one operand spanning still counts.
+    EXPECT_TRUE(CcInstruction::copy(0x1000, 0x2f00, 512).spansPage());
+}
+
+TEST(CcIsa, SplitAtPageBoundaries)
+{
+    // 4 KB copy starting at +0x800: splits into 2 KB + 2 KB.
+    auto instr = CcInstruction::copy(0x1800, 0x2800, 4096);
+    auto pieces = instr.splitAtPageBoundaries();
+    ASSERT_EQ(pieces.size(), 2u);
+    EXPECT_EQ(pieces[0].src1, 0x1800u);
+    EXPECT_EQ(pieces[0].size, 2048u);
+    EXPECT_EQ(pieces[1].src1, 0x2000u);
+    EXPECT_EQ(pieces[1].dest, 0x3000u);
+    EXPECT_EQ(pieces[1].size, 2048u);
+    for (const auto &p : pieces)
+        EXPECT_FALSE(p.spansPage());
+}
+
+TEST(CcIsa, SplitMisalignedOperands)
+{
+    // Operands at different page offsets force finer splitting.
+    auto instr = CcInstruction::logicalXor(0x1c00, 0x2800, 0x3c00, 4096);
+    auto pieces = instr.splitAtPageBoundaries();
+    std::size_t total = 0;
+    for (const auto &p : pieces) {
+        EXPECT_FALSE(p.spansPage());
+        EXPECT_EQ(p.src1, instr.src1 + total);
+        EXPECT_EQ(p.src2, instr.src2 + total);
+        EXPECT_EQ(p.dest, instr.dest + total);
+        total += p.size;
+    }
+    EXPECT_EQ(total, instr.size);
+    EXPECT_GE(pieces.size(), 2u);
+}
+
+TEST(CcIsa, SearchKeyDoesNotAdvanceOnSplit)
+{
+    auto instr = CcInstruction::search(0xfc0, 0x2000, 512);
+    ASSERT_TRUE(instr.spansPage());
+    auto pieces = instr.splitAtPageBoundaries();
+    ASSERT_EQ(pieces.size(), 2u);
+    EXPECT_EQ(pieces[0].src2, 0x2000u);
+    EXPECT_EQ(pieces[1].src2, 0x2000u);
+    EXPECT_EQ(pieces[0].size, 64u);
+    EXPECT_EQ(pieces[1].size, 448u);
+}
+
+TEST(CcIsa, Disassembly)
+{
+    auto instr = CcInstruction::logicalAnd(0x1000, 0x2000, 0x3000, 256);
+    EXPECT_EQ(instr.toString(), "cc_and 0x1000 0x2000 0x3000 256");
+    auto cl = CcInstruction::clmul(0x40, 0x80, 0xc0, 64, 128);
+    EXPECT_EQ(cl.toString(), "cc_clmul128 0x40 0x80 0xc0 64");
+}
+
+} // namespace
+} // namespace ccache::cc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the page-reuse predictor extension and its integration with
+ * CC level selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cc/cc_controller.hh"
+#include "cc/reuse_predictor.hh"
+
+namespace ccache::cc {
+namespace {
+
+TEST(ReusePredictorTest, PredictsAfterThresholdTouches)
+{
+    ReusePredictor pred(16, 2);
+    EXPECT_FALSE(pred.predictsReuse(0x1000));
+    pred.touch(0x1000);
+    EXPECT_FALSE(pred.predictsReuse(0x1000));  // one touch < threshold
+    pred.touch(0x1040);  // same page
+    EXPECT_TRUE(pred.predictsReuse(0x1800));   // any addr on the page
+    EXPECT_FALSE(pred.predictsReuse(0x2000));  // other page untouched
+}
+
+TEST(ReusePredictorTest, LruEvictionBoundsTable)
+{
+    ReusePredictor pred(4, 1);
+    for (Addr p = 0; p < 6; ++p)
+        pred.touch(p * kPageSize);
+    EXPECT_EQ(pred.trackedPages(), 4u);
+    // The two oldest pages fell out.
+    EXPECT_FALSE(pred.predictsReuse(0));
+    EXPECT_FALSE(pred.predictsReuse(kPageSize));
+    EXPECT_TRUE(pred.predictsReuse(5 * kPageSize));
+}
+
+TEST(ReusePredictorTest, TouchRefreshesLru)
+{
+    ReusePredictor pred(2, 1);
+    pred.touch(0x1000);
+    pred.touch(0x2000);
+    pred.touch(0x1000);  // refresh page 1
+    pred.touch(0x3000);  // evicts page 2, not page 1
+    EXPECT_TRUE(pred.predictsReuse(0x1000));
+    EXPECT_FALSE(pred.predictsReuse(0x2000));
+}
+
+TEST(ReusePredictorTest, RecommendHoistsOnlyFullyHotL3)
+{
+    ReusePredictor pred(16, 2);
+    std::vector<Addr> ops = {0x1000, 0x2000};
+    // Cold: stays at the policy level.
+    EXPECT_EQ(pred.recommend(CacheLevel::L3, ops), CacheLevel::L3);
+    pred.touch(0x1000);
+    pred.touch(0x1000);
+    pred.touch(0x2000);
+    // One hot page is not enough.
+    EXPECT_EQ(pred.recommend(CacheLevel::L3, ops), CacheLevel::L3);
+    pred.touch(0x2000);
+    EXPECT_EQ(pred.recommend(CacheLevel::L3, ops), CacheLevel::L2);
+    // Higher policy levels are never demoted.
+    EXPECT_EQ(pred.recommend(CacheLevel::L1, ops), CacheLevel::L1);
+}
+
+TEST(ReusePredictorTest, ControllerHoistsRepeatedOperands)
+{
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier(cache::HierarchyParams{}, &em, &stats);
+    CcControllerParams params;
+    params.useReusePredictor = true;
+    CcController ctrl(hier, &em, &stats, params);
+
+    // Repeatedly XOR the same pair of pages: the first instructions run
+    // at L3 (operands uncached), later ones get hoisted to L2.
+    auto instr = CcInstruction::logicalXor(0x10000, 0x20000, 0x30000,
+                                           4096);
+    auto first = ctrl.execute(0, instr);
+    EXPECT_EQ(first.level, CacheLevel::L3);
+    ctrl.execute(0, instr);
+    auto later = ctrl.execute(0, instr);
+    EXPECT_EQ(later.level, CacheLevel::L2);
+    EXPECT_GT(stats.value("cc.reuse_hoists"), 0u);
+}
+
+TEST(ReusePredictorTest, DisabledByDefault)
+{
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier(cache::HierarchyParams{}, &em, &stats);
+    CcController ctrl(hier, &em, &stats);
+
+    auto instr = CcInstruction::logicalXor(0x10000, 0x20000, 0x30000,
+                                           4096);
+    for (int i = 0; i < 4; ++i)
+        ctrl.execute(0, instr);
+    EXPECT_EQ(stats.value("cc.reuse_hoists"), 0u);
+}
+
+} // namespace
+} // namespace ccache::cc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for bit utilities, stats and logging behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace ccache {
+namespace {
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(65));
+}
+
+TEST(BitUtil, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(64), 6u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(64), 6u);
+    EXPECT_EQ(log2Ceil(65), 7u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 0), 0u);
+    EXPECT_EQ(bits(0xffffffffffffffffULL, 0, 64), 0xffffffffffffffffULL);
+}
+
+TEST(BitUtil, Alignment)
+{
+    EXPECT_EQ(alignDown(100, 64), 64u);
+    EXPECT_EQ(alignUp(100, 64), 128u);
+    EXPECT_EQ(alignUp(128, 64), 128u);
+    EXPECT_TRUE(isAligned(4096, 4096));
+    EXPECT_FALSE(isAligned(4097, 4096));
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(CC_FATAL("bad config value ", 42), FatalError);
+}
+
+TEST(Stats, CounterAndAccum)
+{
+    StatRegistry reg;
+    reg.counter("l1.hits").inc();
+    reg.counter("l1.hits").inc(4);
+    reg.accum("energy.core").add(2.5);
+    reg.accum("energy.core").add(0.5);
+    EXPECT_EQ(reg.value("l1.hits"), 5u);
+    EXPECT_DOUBLE_EQ(reg.accumValue("energy.core"), 3.0);
+    EXPECT_EQ(reg.value("nonexistent"), 0u);
+    reg.resetAll();
+    EXPECT_EQ(reg.value("l1.hits"), 0u);
+    EXPECT_DOUBLE_EQ(reg.accumValue("energy.core"), 0.0);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatRegistry reg;
+    reg.counter("a.b").inc(7);
+    reg.accum("c.d").add(1.5);
+    std::string dump = reg.dump();
+    EXPECT_NE(dump.find("a.b 7"), std::string::npos);
+    EXPECT_NE(dump.find("c.d 1.5"), std::string::npos);
+}
+
+TEST(Stats, Histogram)
+{
+    StatHistogram h("lat", 10.0, 5);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(100.0); // overflow bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 40.0);
+    EXPECT_DOUBLE_EQ(h.min(), 5.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+} // namespace
+} // namespace ccache

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the BitVector reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+
+namespace ccache {
+namespace {
+
+TEST(BitVector, ConstructsCleared)
+{
+    BitVector bv(130);
+    EXPECT_EQ(bv.size(), 130u);
+    EXPECT_EQ(bv.popcount(), 0u);
+    EXPECT_TRUE(bv.none());
+}
+
+TEST(BitVector, SetGetRoundTrip)
+{
+    BitVector bv(100);
+    bv.set(0, true);
+    bv.set(63, true);
+    bv.set(64, true);
+    bv.set(99, true);
+    EXPECT_TRUE(bv.get(0));
+    EXPECT_TRUE(bv.get(63));
+    EXPECT_TRUE(bv.get(64));
+    EXPECT_TRUE(bv.get(99));
+    EXPECT_FALSE(bv.get(1));
+    EXPECT_EQ(bv.popcount(), 4u);
+    bv.set(63, false);
+    EXPECT_FALSE(bv.get(63));
+    EXPECT_EQ(bv.popcount(), 3u);
+}
+
+TEST(BitVector, SetAllRespectsTailBits)
+{
+    BitVector bv(70);
+    bv.setAll(true);
+    EXPECT_EQ(bv.popcount(), 70u);
+    // The tail bits beyond size must stay clear in the backing word.
+    EXPECT_EQ(bv.words()[1] >> 6, 0u);
+    bv.setAll(false);
+    EXPECT_EQ(bv.popcount(), 0u);
+}
+
+TEST(BitVector, StringRoundTrip)
+{
+    const std::string s = "1011001110001111";
+    BitVector bv = BitVector::fromString(s);
+    EXPECT_EQ(bv.toString(), s);
+    // MSB-first: character 0 of the string is the top bit.
+    EXPECT_TRUE(bv.get(15));
+    EXPECT_FALSE(bv.get(14));
+}
+
+TEST(BitVector, BytesRoundTrip)
+{
+    std::vector<std::uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x5a};
+    BitVector bv = BitVector::fromBytes(bytes.data(), bytes.size());
+    EXPECT_EQ(bv.size(), 48u);
+    EXPECT_EQ(bv.toBytes(), bytes);
+    // Bit 0 is the LSB of byte 0.
+    EXPECT_FALSE(bv.get(0));
+    EXPECT_TRUE(bv.get(1));
+}
+
+TEST(BitVector, LogicalOps)
+{
+    BitVector a = BitVector::fromString("1100");
+    BitVector b = BitVector::fromString("1010");
+    EXPECT_EQ((a & b).toString(), "1000");
+    EXPECT_EQ((a | b).toString(), "1110");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ((~a).toString(), "0011");
+}
+
+TEST(BitVector, NotIsInvolution)
+{
+    Rng rng(7);
+    BitVector bv(257);
+    for (std::size_t i = 0; i < bv.size(); ++i)
+        bv.set(i, rng.chance(0.5));
+    EXPECT_EQ(~~bv, bv);
+}
+
+TEST(BitVector, DeMorgan)
+{
+    Rng rng(11);
+    BitVector a(200), b(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        a.set(i, rng.chance(0.5));
+        b.set(i, rng.chance(0.5));
+    }
+    EXPECT_EQ(~(a & b), (~a | ~b));
+    EXPECT_EQ(~(a | b), (~a & ~b));
+}
+
+TEST(BitVector, FindFirstNext)
+{
+    BitVector bv(300);
+    EXPECT_EQ(bv.findFirst(), 300u);
+    bv.set(5, true);
+    bv.set(64, true);
+    bv.set(299, true);
+    EXPECT_EQ(bv.findFirst(), 5u);
+    EXPECT_EQ(bv.findNext(6), 64u);
+    EXPECT_EQ(bv.findNext(65), 299u);
+    EXPECT_EQ(bv.findNext(300), 300u);
+}
+
+TEST(BitVector, EqualityRequiresSameSize)
+{
+    BitVector a(10), b(11);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitVector, XorSelfIsZero)
+{
+    Rng rng(3);
+    BitVector a(128);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.set(i, rng.chance(0.3));
+    BitVector z = a ^ a;
+    EXPECT_TRUE(z.none());
+}
+
+} // namespace
+} // namespace ccache

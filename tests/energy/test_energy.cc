@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the energy parameter tables (Tables I and V) and the
+ * component-resolved energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace ccache::energy {
+namespace {
+
+TEST(EnergyParams, TableVValuesTranscribed)
+{
+    EnergyParams p;
+    // Spot-check the exact paper numbers.
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Write),
+                     2852.0);
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Read),
+                     2452.0);
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Cmp), 840.0);
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L2, CacheOp::Search),
+                     1396.0);
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L1, CacheOp::Logic),
+                     387.0);
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L1, CacheOp::Copy),
+                     324.0);
+}
+
+TEST(EnergyParams, PaperInternalConsistency)
+{
+    EnergyParams p;
+    // read == Table I ic + access at every level.
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L1, CacheOp::Read),
+                     p.l1Read.total());
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L2, CacheOp::Read),
+                     p.l2Read.total());
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Read),
+                     p.l3Read.total());
+    // search == cmp + write (the key write, Section VI-C).
+    for (CacheLevel l :
+         {CacheLevel::L1, CacheLevel::L2, CacheLevel::L3}) {
+        EXPECT_DOUBLE_EQ(p.cacheOpEnergy(l, CacheOp::Search),
+                         p.cacheOpEnergy(l, CacheOp::Cmp) +
+                             p.cacheOpEnergy(l, CacheOp::Write));
+    }
+    // buz costed like copy; clmul like cmp.
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Buz),
+                     p.cacheOpEnergy(CacheLevel::L3, CacheOp::Copy));
+    EXPECT_DOUBLE_EQ(p.cacheOpEnergy(CacheLevel::L3, CacheOp::Clmul),
+                     p.cacheOpEnergy(CacheLevel::L3, CacheOp::Cmp));
+}
+
+TEST(EnergyParams, HtreeFractions)
+{
+    EnergyParams p;
+    // Baseline accesses follow the Table I split (L3 ~81%).
+    EXPECT_NEAR(p.htreeFraction(CacheLevel::L3, CacheOp::Read), 0.81,
+                0.01);
+    // In-place ops only pay command distribution (small fixed share).
+    EXPECT_DOUBLE_EQ(p.htreeFraction(CacheLevel::L3, CacheOp::Logic),
+                     0.10);
+    EXPECT_DOUBLE_EQ(p.htreeFraction(CacheLevel::L1, CacheOp::Cmp), 0.10);
+    // Search's fraction reflects only its embedded key write.
+    double search = p.htreeFraction(CacheLevel::L3, CacheOp::Search);
+    EXPECT_GT(search, 0.10);
+    EXPECT_LT(search, p.htreeFraction(CacheLevel::L3, CacheOp::Write));
+}
+
+TEST(EnergyParams, CacheOpForMapsBitlineOps)
+{
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::And), CacheOp::Logic);
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::Or), CacheOp::Logic);
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::Copy), CacheOp::Copy);
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::Search), CacheOp::Search);
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::Clmul), CacheOp::Clmul);
+    EXPECT_EQ(cacheOpFor(sram::BitlineOp::Read), CacheOp::Read);
+}
+
+TEST(EnergyModelTest, ChargeCacheOpSplitsComponents)
+{
+    EnergyModel em;
+    em.chargeCacheOp(CacheLevel::L3, CacheOp::Read, 2);
+    double total = em.dynamic().l3Access + em.dynamic().l3Ic;
+    EXPECT_DOUBLE_EQ(total, 2 * 2452.0);
+    // The split follows the Table I ratio.
+    EXPECT_NEAR(em.dynamic().l3Ic / total, 0.81, 0.01);
+    EXPECT_DOUBLE_EQ(em.dynamic().l1Access, 0.0);
+}
+
+TEST(EnergyModelTest, InstructionCharges)
+{
+    EnergyModel em;
+    em.chargeInstructions(10);
+    EXPECT_DOUBLE_EQ(em.dynamic().core, 10 * em.params().corePerInstr);
+    em.chargeVectorInstructions(1);
+    EXPECT_DOUBLE_EQ(em.dynamic().core,
+                     10 * em.params().corePerInstr +
+                         em.params().corePerInstr +
+                         em.params().coreVectorExtra);
+}
+
+TEST(EnergyModelTest, NocChargePerFlitHop)
+{
+    EnergyModel em;
+    em.chargeNoc(72, 3);  // 9 flits x 3 hops
+    EXPECT_DOUBLE_EQ(em.dynamic().noc, 27 * em.params().nocPerFlitHop);
+}
+
+TEST(EnergyModelTest, BreakdownArithmetic)
+{
+    EnergyModel em;
+    em.addCore(100.0);
+    em.addCacheAccess(CacheLevel::L1, 10.0);
+    em.addCacheAccess(CacheLevel::L2, 20.0);
+    em.addCacheIc(CacheLevel::L3, 30.0);
+    em.chargeNoc(8, 1);
+    em.chargeDram(1);
+
+    const auto &d = em.dynamic();
+    EXPECT_DOUBLE_EQ(d.cacheAccess(), 30.0);
+    EXPECT_DOUBLE_EQ(d.cacheIc(), 30.0);
+    EXPECT_DOUBLE_EQ(d.dataMovement(),
+                     60.0 + d.noc + em.params().dramPerBlock);
+    EXPECT_DOUBLE_EQ(d.dynamicTotal(), 100.0 + d.dataMovement());
+}
+
+TEST(EnergyModelTest, BreakdownAccumulation)
+{
+    EnergyBreakdown a, b;
+    a.core = 1;
+    a.l1Access = 2;
+    b.core = 10;
+    b.noc = 5;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.core, 11.0);
+    EXPECT_DOUBLE_EQ(a.l1Access, 2.0);
+    EXPECT_DOUBLE_EQ(a.noc, 5.0);
+}
+
+TEST(EnergyModelTest, StaticScalesWithTimeCoresAndShare)
+{
+    EnergyModel em;
+    auto t1 = em.totals(2660000, 1, 1.0);  // 1 ms at 2.66 GHz
+    EXPECT_NEAR(t1.coreStatic, em.params().coreStaticW * 1e-3 * 1e12,
+                1e6);
+    auto t8 = em.totals(2660000, 8, 1.0);
+    EXPECT_NEAR(t8.coreStatic / t1.coreStatic, 8.0, 1e-9);
+    auto half = em.totals(2660000, 1, 0.5);
+    EXPECT_NEAR(half.uncoreStatic / t1.uncoreStatic, 0.5, 1e-9);
+}
+
+TEST(EnergyModelTest, ResetClearsDynamicOnly)
+{
+    EnergyModel em;
+    em.addCore(50.0);
+    em.reset();
+    EXPECT_DOUBLE_EQ(em.dynamic().dynamicTotal(), 0.0);
+    // Static is derived from elapsed time, unaffected by reset.
+    EXPECT_GT(em.totals(1000, 1).coreStatic, 0.0);
+}
+
+TEST(EnergyModelTest, ReportListsComponents)
+{
+    EnergyModel em;
+    em.addCore(123.0);
+    std::string report = em.report();
+    EXPECT_NE(report.find("core"), std::string::npos);
+    EXPECT_NE(report.find("123"), std::string::npos);
+    EXPECT_NE(report.find("dynamic-total"), std::string::npos);
+}
+
+} // namespace
+} // namespace ccache::energy

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Geometry variants beyond the paper's defaults: multi-block rows
+ * (column-multiplexed sub-arrays, Section IV-C), non-standard cache
+ * sizes, and the portability rule for recompiled alignment requirements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "geometry/cache_geometry.hh"
+#include "geometry/operand_locality.hh"
+#include "sram/subarray.hh"
+
+namespace ccache::geometry {
+namespace {
+
+CacheGeometryParams
+twoBlocksPerRow()
+{
+    CacheGeometryParams p;
+    p.name = "L2-wide";
+    p.sizeBytes = 256 * 1024;
+    p.ways = 8;
+    p.banks = 8;
+    p.blockPartitionsPerBank = 2;
+    p.blocksPerRow = 2;  // 1024-bit rows: two partitions per sub-array
+    return p;
+}
+
+TEST(GeometryVariants, MultiBlockRowsDeriveConsistently)
+{
+    CacheGeometry g(twoBlocksPerRow());
+    // Two partitions share one sub-array: half the sub-arrays.
+    EXPECT_EQ(g.subarraysPerBank(), 1u);
+    EXPECT_EQ(g.subArrayParams().cols, 1024u);
+    EXPECT_EQ(g.subArrayParams().blockPartitions(), 2u);
+    // Locality constraint unchanged: 6 + 3 + 1 = 10 bits.
+    EXPECT_EQ(g.minMatchBits(), 10u);
+    EXPECT_TRUE(pageAlignmentSufficient(g));
+}
+
+TEST(GeometryVariants, MultiBlockRowPlacementUnique)
+{
+    CacheGeometry g(twoBlocksPerRow());
+    std::vector<std::vector<bool>> used(
+        g.totalBlockPartitions(),
+        std::vector<bool>(g.rowsPerSubarray(), false));
+    for (std::size_t set = 0; set < g.numSets(); ++set) {
+        for (std::size_t way = 0; way < g.params().ways; ++way) {
+            auto p = g.place(set, way);
+            EXPECT_LT(p.partition, 2u);
+            ASSERT_FALSE(used[p.globalPartition][p.row]);
+            used[p.globalPartition][p.row] = true;
+        }
+    }
+}
+
+TEST(GeometryVariants, SubArrayComputesAcrossBothPartitions)
+{
+    // The sram sub-array honours multi-partition rows: in-place ops in
+    // partition 1 must not disturb partition 0 of the same rows.
+    CacheGeometry g(twoBlocksPerRow());
+    sram::SubArray sa(g.subArrayParams());
+    ASSERT_EQ(sa.partitions(), 2u);
+
+    Rng rng(9);
+    Block a0, a1, b0, b1;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        a0[i] = static_cast<std::uint8_t>(rng.below(256));
+        a1[i] = static_cast<std::uint8_t>(rng.below(256));
+        b0[i] = static_cast<std::uint8_t>(rng.below(256));
+        b1[i] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    sa.write({0, 0}, a0);
+    sa.write({1, 0}, a1);
+    sa.write({0, 1}, b0);
+    sa.write({1, 1}, b1);
+
+    sa.opXor({1, 0}, {1, 1}, {1, 2});
+    Block expect;
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+        expect[i] = a1[i] ^ b1[i];
+    EXPECT_EQ(sa.read({1, 2}), expect);
+    EXPECT_EQ(sa.read({0, 0}), a0);
+    EXPECT_EQ(sa.read({0, 1}), b0);
+}
+
+TEST(GeometryVariants, SmallerAndLargerCaches)
+{
+    // 16 KB 4-way L1 variant.
+    CacheGeometryParams small;
+    small.name = "L1-16K";
+    small.sizeBytes = 16 * 1024;
+    small.ways = 4;
+    small.banks = 2;
+    small.blockPartitionsPerBank = 2;
+    CacheGeometry gs(small);
+    EXPECT_EQ(gs.minMatchBits(), 8u);
+    EXPECT_TRUE(pageAlignmentSufficient(gs));
+
+    // 4 MB slice: one more bank bit; still within the page rule.
+    CacheGeometryParams big = CacheGeometryParams::l3Slice();
+    big.sizeBytes = 4 * 1024 * 1024;
+    big.banks = 32;
+    CacheGeometry gb(big);
+    EXPECT_EQ(gb.minMatchBits(), 13u);
+    // 13 > 12: the page rule is NOT sufficient — exactly the
+    // recompile-for-stricter-alignment case Section IV-C discusses.
+    EXPECT_FALSE(pageAlignmentSufficient(gb));
+}
+
+TEST(GeometryVariants, PortabilityRule)
+{
+    // A binary compiled for 12-bit alignment is portable to any geometry
+    // needing <= 12 matching bits (Section IV-C): alignment at 12 bits
+    // implies alignment at any smaller requirement.
+    Rng rng(77);
+    CacheGeometry l1(CacheGeometryParams::l1d());
+    CacheGeometry l2(CacheGeometryParams::l2());
+    for (int i = 0; i < 500; ++i) {
+        Addr offset = rng.below(kPageSize) & ~Addr{63};
+        Addr a = rng.below(1u << 16) * kPageSize + offset;
+        Addr b = rng.below(1u << 16) * kPageSize + offset;
+        ASSERT_TRUE(haveOperandLocality(l1, a, b));
+        ASSERT_TRUE(haveOperandLocality(l2, a, b));
+    }
+}
+
+TEST(GeometryVariants, BlocksPerRowMustDividePartitions)
+{
+    CacheGeometryParams p = twoBlocksPerRow();
+    p.blocksPerRow = 4;  // 4 does not divide 2 partitions per bank
+    EXPECT_THROW((void)CacheGeometry(p), FatalError);
+}
+
+} // namespace
+} // namespace ccache::geometry

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the locality-aware allocator extension: every allocation in
+ * a group must be pairwise operand-local on every paper geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "geometry/cache_geometry.hh"
+#include "geometry/locality_allocator.hh"
+#include "geometry/operand_locality.hh"
+
+namespace ccache::geometry {
+namespace {
+
+TEST(LocalityAllocator, PlainAllocationsAreBlockAligned)
+{
+    LocalityAllocator alloc(0x100000, 1 << 20);
+    Addr a = alloc.allocate(100);
+    Addr b = alloc.allocate(64);
+    EXPECT_EQ(a % kBlockSize, 0u);
+    EXPECT_EQ(b % kBlockSize, 0u);
+    EXPECT_GE(b, a + 128);  // 100 rounded up to 128
+}
+
+TEST(LocalityAllocator, GroupMembersSharePageOffset)
+{
+    LocalityAllocator alloc(0x200000, 4 << 20);
+    Addr a = alloc.allocate(4096, /*group=*/1);
+    alloc.allocate(777);  // unrelated allocation shifts the bump pointer
+    Addr b = alloc.allocate(4096, 1);
+    Addr c = alloc.allocate(64, 1);
+    EXPECT_TRUE(pageAligned(a, b));
+    EXPECT_TRUE(pageAligned(a, c));
+    EXPECT_EQ(alloc.groupOffset(1), a & (kPageSize - 1));
+}
+
+TEST(LocalityAllocator, GroupsImplyOperandLocalityOnAllGeometries)
+{
+    LocalityAllocator alloc(0x400000, 16 << 20);
+    std::vector<Addr> buffers;
+    for (int i = 0; i < 6; ++i) {
+        buffers.push_back(alloc.allocate(2048, 7));
+        alloc.allocate(100 + 64 * i);  // interleave unrelated traffic
+    }
+    for (auto params :
+         {CacheGeometryParams::l1d(), CacheGeometryParams::l2(),
+          CacheGeometryParams::l3Slice()}) {
+        CacheGeometry geom(params);
+        EXPECT_TRUE(haveOperandLocality(geom, buffers));
+    }
+}
+
+TEST(LocalityAllocator, IndependentGroupsGetIndependentOffsets)
+{
+    LocalityAllocator alloc(0x600000, 4 << 20);
+    alloc.allocate(100);  // skew the pointer so offsets differ
+    Addr a = alloc.allocate(64, 1);
+    Addr b = alloc.allocate(64, 2);
+    EXPECT_EQ(alloc.groupOffset(1), a & (kPageSize - 1));
+    EXPECT_EQ(alloc.groupOffset(2), b & (kPageSize - 1));
+    EXPECT_EQ(alloc.groupOffset(99), ~Addr{0});
+}
+
+TEST(LocalityAllocator, TracksPadding)
+{
+    LocalityAllocator alloc(0x800000, 4 << 20);
+    alloc.allocate(4096, 3);    // defines offset
+    alloc.allocate(64);          // moves pointer past the offset
+    std::size_t before = alloc.padding();
+    alloc.allocate(4096, 3);     // must skip to the next page's offset
+    EXPECT_GT(alloc.padding(), before);
+}
+
+TEST(LocalityAllocator, ExhaustionIsFatal)
+{
+    LocalityAllocator alloc(0xa00000, kPageSize);
+    alloc.allocate(2048);
+    EXPECT_THROW(alloc.allocate(4096), FatalError);
+}
+
+TEST(LocalityAllocator, RejectsMisalignedBase)
+{
+    EXPECT_THROW((void)LocalityAllocator(0x1001, 1 << 20), FatalError);
+    EXPECT_THROW((void)LocalityAllocator(0x1000, 100), FatalError);
+}
+
+} // namespace
+} // namespace ccache::geometry

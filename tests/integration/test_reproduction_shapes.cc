@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Reproduction-shape regression tests: lock in the qualitative results
+ * of the paper's evaluation so a refactor cannot silently break the
+ * reproduction. Bands are deliberately loose — they encode "who wins by
+ * roughly what factor", not exact cycle counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/checkpoint.hh"
+#include "sim/system.hh"
+
+namespace ccache {
+namespace {
+
+using sim::BulkKernel;
+using sim::KernelResult;
+using sim::System;
+
+struct MicroResult
+{
+    double speedup;
+    double energySaving;  // fraction of Base_32 dynamic energy removed
+};
+
+MicroResult
+runMicro(BulkKernel kernel)
+{
+    const std::size_t n = 4096;
+    const Addr a = 0x100000, b = 0x110000, d = 0x120000, k = 0x130000;
+
+    auto prepare = [&](System &sys) {
+        std::vector<std::uint8_t> da(n), db(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            da[i] = static_cast<std::uint8_t>(i * 3 + 1);
+            db[i] = static_cast<std::uint8_t>(i * 7 + 5);
+        }
+        sys.load(a, da.data(), n);
+        sys.load(b, db.data(), n);
+        sys.load(k, da.data(), 64);
+        for (Addr addr : {a, b, d})
+            sys.warm(CacheLevel::L3, 0, addr, n);
+        sys.warm(CacheLevel::L3, 0, k, 64);
+        sys.resetMetrics();
+    };
+
+    System base_sys, cc_sys;
+    prepare(base_sys);
+    prepare(cc_sys);
+    Addr second = kernel == BulkKernel::Search ? k : b;
+
+    KernelResult base = base_sys.simd32().run(kernel, 0, a, second, d, n);
+    double base_dyn = base_sys.energy().dynamic().dynamicTotal();
+
+    cc_sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+    KernelResult cc = cc_sys.ccEngine().run(kernel, 0, a, second, d, n);
+    double cc_dyn = cc_sys.energy().dynamic().dynamicTotal();
+
+    return {static_cast<double>(base.cycles) /
+                static_cast<double>(cc.cycles),
+            1.0 - cc_dyn / base_dyn};
+}
+
+TEST(ReproductionShapes, Figure7SpeedupBands)
+{
+    // Paper: 54x average; we lock each kernel into a generous band that
+    // preserves the ordering (logical/copy > compare > search) and the
+    // order of magnitude.
+    double copy = runMicro(BulkKernel::Copy).speedup;
+    double compare = runMicro(BulkKernel::Compare).speedup;
+    double search = runMicro(BulkKernel::Search).speedup;
+    double logical = runMicro(BulkKernel::LogicalOr).speedup;
+
+    EXPECT_GE(copy, 20.0);
+    EXPECT_GE(compare, 12.0);
+    EXPECT_GE(search, 5.0);
+    EXPECT_GE(logical, 30.0);
+    EXPECT_GE(logical, copy * 0.9);  // logical is the top kernel
+    EXPECT_LT(search, compare);      // key replication taxes search
+}
+
+TEST(ReproductionShapes, Figure7EnergySavingBands)
+{
+    // Paper: 90/89/71/92% dynamic-energy savings.
+    EXPECT_GE(runMicro(BulkKernel::Copy).energySaving, 0.85);
+    EXPECT_GE(runMicro(BulkKernel::Compare).energySaving, 0.85);
+    EXPECT_GE(runMicro(BulkKernel::Search).energySaving, 0.70);
+    EXPECT_GE(runMicro(BulkKernel::LogicalOr).energySaving, 0.85);
+}
+
+TEST(ReproductionShapes, Figure8NearPlaceOrdering)
+{
+    // In-place must beat near-place by a wide margin on throughput
+    // (paper: 16x), and near-place must still beat Base_32.
+    const std::size_t n = 4096;
+    const Addr a = 0x100000, d = 0x120000;
+
+    auto run = [&](bool near_place, bool cc) {
+        System sys;
+        std::vector<std::uint8_t> data(n, 0x21);
+        sys.load(a, data.data(), n);
+        sys.warm(CacheLevel::L3, 0, a, n);
+        sys.warm(CacheLevel::L3, 0, d, n);
+        sys.resetMetrics();
+        if (!cc)
+            return sys.simd32().copy(0, a, d, n).cycles;
+        sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+        sys.cc().mutableParams().forceNearPlace = near_place;
+        return sys.ccEngine().copy(0, a, d, n).cycles;
+    };
+
+    Cycles in_place = run(false, true);
+    Cycles near_place = run(true, true);
+    Cycles base = run(false, false);
+
+    EXPECT_GE(static_cast<double>(near_place) /
+                  static_cast<double>(in_place),
+              8.0);
+    EXPECT_LT(near_place, base);  // near-place still beats Base_32
+}
+
+TEST(ReproductionShapes, Figure10CheckpointBands)
+{
+    // Paper: worst-case Base ~68%, CC an order of magnitude below
+    // Base_32 everywhere.
+    apps::CheckpointConfig cfg;
+    cfg.intervals = 20;
+    for (auto app :
+         {workload::SplashApp::Radix, workload::SplashApp::Raytrace}) {
+        double overhead[3];
+        int m = 0;
+        for (apps::Engine e : {apps::Engine::Base, apps::Engine::Base32,
+                               apps::Engine::Cc}) {
+            sim::System sys;
+            apps::Checkpoint ck(app, cfg);
+            overhead[m++] = ck.run(sys, e).overheadPct();
+        }
+        EXPECT_GT(overhead[0], overhead[1]) << toString(app);
+        EXPECT_GT(overhead[1], 4.0 * overhead[2]) << toString(app);
+    }
+
+    // radix is the worst case and lands near the paper's 68%.
+    sim::System sys;
+    apps::Checkpoint radix(workload::SplashApp::Radix, cfg);
+    double worst = radix.run(sys, apps::Engine::Base).overheadPct();
+    EXPECT_GT(worst, 40.0);
+    EXPECT_LT(worst, 100.0);
+}
+
+TEST(ReproductionShapes, Figure3ScalarProportions)
+{
+    // Paper: ~3/4 instruction processing, ~1/4 data movement.
+    System sys;
+    const std::size_t n = 4096;
+    std::vector<std::uint8_t> data(n, 0x3c);
+    sys.load(0x100000, data.data(), n);
+    sys.load(0x110000, data.data(), n);
+    sys.warm(CacheLevel::L3, 0, 0x100000, n);
+    sys.warm(CacheLevel::L3, 0, 0x110000, n);
+    sys.resetMetrics();
+    sys.scalar().compare(0, 0x100000, 0x110000, n);
+
+    const auto &dyn = sys.energy().dynamic();
+    double core_share = dyn.core / dyn.dynamicTotal();
+    EXPECT_GT(core_share, 0.60);
+    EXPECT_LT(core_share, 0.85);
+}
+
+} // namespace
+} // namespace ccache

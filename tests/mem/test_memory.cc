@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/memory.hh"
+
+namespace ccache::mem {
+namespace {
+
+TEST(Memory, UntouchedReadsZero)
+{
+    Memory m;
+    EXPECT_EQ(m.readBlock(0x1000), zeroBlock());
+    EXPECT_EQ(m.touchedPages(), 0u);
+}
+
+TEST(Memory, BlockRoundTrip)
+{
+    Memory m;
+    Block b;
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+        b[i] = static_cast<std::uint8_t>(i * 3);
+    m.writeBlock(0x4000, b);
+    EXPECT_EQ(m.readBlock(0x4000), b);
+    EXPECT_EQ(m.touchedPages(), 1u);
+}
+
+TEST(Memory, BytesAcrossPageBoundary)
+{
+    Memory m;
+    std::vector<std::uint8_t> data(100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    Addr addr = 2 * kPageSize - 50;  // straddles a page boundary
+    m.writeBytes(addr, data.data(), data.size());
+    std::vector<std::uint8_t> out(100, 0xff);
+    m.readBytes(addr, out.data(), out.size());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(m.touchedPages(), 2u);
+}
+
+TEST(Memory, WordHelpers)
+{
+    Memory m;
+    m.writeWord(0x100, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(m.readWord(0x100), 0xdeadbeefcafef00dULL);
+}
+
+TEST(Memory, AccessLatencyAndOccupancy)
+{
+    MemoryParams p;
+    p.accessLatency = 120;
+    p.blockOccupancy = 7;
+    Memory m(p);
+    // First access at t=0: pure latency.
+    EXPECT_EQ(m.access(0), 120u);
+    // Immediate second access queues behind the first transfer.
+    EXPECT_EQ(m.access(0), 127u);
+    // An access after the channel is free pays no queuing.
+    EXPECT_EQ(m.access(1000), 120u);
+}
+
+TEST(Memory, CountsAccesses)
+{
+    Memory m;
+    m.writeBlock(0, zeroBlock());
+    m.readBlock(0);
+    m.readBlock(64);
+    EXPECT_EQ(m.writes(), 1u);
+    EXPECT_EQ(m.reads(), 2u);
+}
+
+} // namespace
+} // namespace ccache::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the analytical core cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+
+namespace ccache::sim {
+namespace {
+
+TEST(CoreCostModel, IssueBoundKernel)
+{
+    CoreParams p;
+    p.issueWidth = 4;
+    CoreCostModel m(p);
+    m.addInstrs(400);
+    EXPECT_EQ(m.cycles(), 100u);
+    EXPECT_EQ(m.instructions(), 400u);
+}
+
+TEST(CoreCostModel, HitStreamBoundByMemIssueWidth)
+{
+    CoreParams p;
+    p.memIssueWidth = 2;
+    CoreCostModel m(p);
+    for (int i = 0; i < 200; ++i)
+        m.addMemAccess(5);  // L1 hits
+    EXPECT_EQ(m.cycles(), 100u);
+}
+
+TEST(CoreCostModel, MissesOverlapUpToMshrs)
+{
+    CoreParams p;
+    p.mshrs = 4;
+    CoreCostModel m(p);
+    for (int i = 0; i < 8; ++i)
+        m.addMemAccess(100);
+    // 8 x 100 cycles of miss latency, 4 deep -> 200 cycles.
+    EXPECT_EQ(m.cycles(), 200u);
+}
+
+TEST(CoreCostModel, SingleMissIsNotOverOverlapped)
+{
+    CoreParams p;
+    p.mshrs = 8;
+    CoreCostModel m(p);
+    m.addMemAccess(120);
+    // One miss cannot take less than its own latency.
+    EXPECT_EQ(m.cycles(), 120u);
+}
+
+TEST(CoreCostModel, DependentAccessesSerialize)
+{
+    CoreParams p;
+    p.mshrs = 8;
+    CoreCostModel m(p);
+    for (int i = 0; i < 10; ++i)
+        m.addDependentMemAccess(50);
+    // A dependent chain gets no MLP at all.
+    EXPECT_GE(m.cycles(), 500u);
+}
+
+TEST(CoreCostModel, BranchMispredictionsAddSerialLatency)
+{
+    CoreParams p;
+    p.branchMispredictPenalty = 20;
+    CoreCostModel m(p);
+    m.addBranches(100, 0.5);
+    // 50 mispredictions x 20 cycles.
+    EXPECT_GE(m.cycles(), 1000u);
+    m.reset();
+    m.addBranches(100, 0.0);
+    EXPECT_LT(m.cycles(), 100u);
+}
+
+TEST(CoreCostModel, MaxOfIssueAndMemoryBound)
+{
+    CoreCostModel m;
+    m.addInstrs(4000);   // 1000 cycles issue-bound
+    m.addMemAccess(100); // small memory component
+    EXPECT_GE(m.cycles(), 1000u);
+    m.reset();
+    EXPECT_EQ(m.cycles(), 1u);
+}
+
+} // namespace
+} // namespace ccache::sim

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the execution engines: functional equivalence of the scalar,
+ * SIMD and Compute Cache engines on the four bulk kernels, and the
+ * ordering relations the paper's Figure 7 relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+
+namespace ccache::sim {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kN = 4096;
+    static constexpr Addr kA = 0x100000;
+    static constexpr Addr kB = 0x110000;
+    static constexpr Addr kD = 0x120000;
+    static constexpr Addr kKey = 0x130000;
+
+    EngineTest()
+    {
+        Rng rng(99);
+        da.resize(kN);
+        db.resize(kN);
+        for (std::size_t i = 0; i < kN; ++i) {
+            da[i] = static_cast<std::uint8_t>(rng.below(256));
+            db[i] = static_cast<std::uint8_t>(rng.below(256));
+        }
+        // Plant the key as block 7 of the data.
+        key.assign(da.begin() + 7 * 64, da.begin() + 8 * 64);
+        sys.load(kA, da.data(), kN);
+        sys.load(kB, db.data(), kN);
+        sys.load(kKey, key.data(), key.size());
+    }
+
+    void
+    warmL3()
+    {
+        // Start from a clean hierarchy so earlier kernels' L1-hot copies
+        // do not flatter the baseline.
+        sys.hierarchy().flushAll();
+        for (Addr a : {kA, kB, kD})
+            sys.warm(CacheLevel::L3, 0, a, kN);
+        sys.warm(CacheLevel::L3, 0, kKey, 64);
+        sys.resetMetrics();
+    }
+
+    System sys;
+    std::vector<std::uint8_t> da, db, key;
+};
+
+TEST_F(EngineTest, CopyFunctionalAllEngines)
+{
+    sys.scalar().copy(0, kA, kD, kN);
+    EXPECT_EQ(sys.dump(kD, kN), da);
+
+    sys.simd32().copy(0, kA, kD + 0x10000, kN);
+    EXPECT_EQ(sys.dump(kD + 0x10000, kN), da);
+
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+    sys.ccEngine().copy(0, kA, kD + 0x20000, kN);
+    EXPECT_EQ(sys.dump(kD + 0x20000, kN), da);
+}
+
+TEST_F(EngineTest, CompareFunctionalAllEngines)
+{
+    EXPECT_EQ(sys.scalar().compare(0, kA, kB, kN).value, 0u);
+    EXPECT_EQ(sys.simd32().compare(0, kA, kB, kN).value, 0u);
+    EXPECT_EQ(sys.ccEngine().compare(0, kA, kB, kN).value, 0u);
+
+    sys.load(kB, da.data(), kN);  // now equal
+    EXPECT_EQ(sys.scalar().compare(0, kA, kB, kN).value, 1u);
+    EXPECT_EQ(sys.simd32().compare(0, kA, kB, kN).value, 1u);
+    EXPECT_EQ(sys.ccEngine().compare(0, kA, kB, kN).value, 1u);
+}
+
+TEST_F(EngineTest, SearchFindsPlantedKey)
+{
+    auto scalar = sys.scalar().search(0, kA, kKey, kN);
+    auto simd = sys.simd32().search(0, kA, kKey, kN);
+    auto cc = sys.ccEngine().search(0, kA, kKey, kN);
+    EXPECT_GE(scalar.value, 1u);
+    EXPECT_EQ(scalar.value, simd.value);
+    EXPECT_EQ(scalar.value, cc.value);
+}
+
+TEST_F(EngineTest, LogicalOrFunctional)
+{
+    sys.simd32().logicalOr(0, kA, kB, kD, kN);
+    auto out = sys.dump(kD, kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(out[i], da[i] | db[i]);
+
+    sys.ccEngine().logicalOr(0, kA, kB, kD + 0x10000, kN);
+    out = sys.dump(kD + 0x10000, kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(out[i], da[i] | db[i]);
+}
+
+TEST_F(EngineTest, LogicalAndFunctional)
+{
+    sys.simd32().logicalAnd(0, kA, kB, kD, kN);
+    auto out = sys.dump(kD, kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(out[i], da[i] & db[i]);
+}
+
+TEST_F(EngineTest, CcBuzZeroes)
+{
+    sys.ccEngine().buz(0, kA, kN);
+    EXPECT_EQ(sys.dump(kA, kN), std::vector<std::uint8_t>(kN, 0));
+}
+
+TEST_F(EngineTest, SimdBeatsScalar)
+{
+    warmL3();
+    auto scalar = sys.scalar().copy(0, kA, kD, kN);
+    sys.resetMetrics();
+    auto simd = sys.simd32().copy(0, kA, kD, kN);
+    EXPECT_LT(simd.cycles, scalar.cycles);
+    EXPECT_LT(simd.instructions, scalar.instructions);
+}
+
+TEST_F(EngineTest, CcBeatsSimdWithOperandsInL3)
+{
+    // The Figure 7a relation: CC_L3 far outruns Base_32 on every kernel.
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+    for (auto kernel : {BulkKernel::Copy, BulkKernel::Compare,
+                        BulkKernel::Search, BulkKernel::LogicalOr}) {
+        warmL3();
+        Addr b = kernel == BulkKernel::Search ? kKey : kB;
+        auto base = sys.simd32().run(kernel, 0, kA, b, kD, kN);
+        warmL3();
+        auto cc = sys.ccEngine().run(kernel, 0, kA, b, kD, kN);
+        EXPECT_GE(static_cast<double>(base.cycles) /
+                      static_cast<double>(cc.cycles),
+                  4.0)
+            << toString(kernel);
+    }
+}
+
+TEST_F(EngineTest, CcDynamicEnergyFarBelowBaseline)
+{
+    // The Figure 7b relation: ~9x average dynamic-energy saving.
+    sys.cc().mutableParams().forceLevel = CacheLevel::L3;
+    warmL3();
+    sys.simd32().copy(0, kA, kD, kN);
+    double base = sys.energy().dynamic().dynamicTotal();
+    warmL3();
+    sys.ccEngine().copy(0, kA, kD, kN);
+    double cc = sys.energy().dynamic().dynamicTotal();
+    EXPECT_GE(base / cc, 5.0);
+}
+
+TEST_F(EngineTest, KernelResultThroughputMetric)
+{
+    KernelResult r;
+    r.cycles = 2660;  // 1 us at 2.66 GHz
+    r.blockOps = 64;
+    EXPECT_NEAR(r.blockOpsPerSecond(), 64e6, 1e3);
+}
+
+TEST(SystemTest, WarmPlacesDataAtLevel)
+{
+    System sys;
+    std::vector<std::uint8_t> data(1024, 0xab);
+    sys.load(0x40000, data.data(), data.size());
+    sys.warm(CacheLevel::L3, 0, 0x40000, 1024);
+    unsigned slice = sys.hierarchy().sliceFor(0, 0x40000);
+    EXPECT_TRUE(sys.hierarchy().l3Slice(slice).contains(0x40000));
+    EXPECT_FALSE(sys.hierarchy().l1(0).contains(0x40000));
+
+    sys.warm(CacheLevel::L1, 0, 0x40000, 1024);
+    EXPECT_TRUE(sys.hierarchy().l1(0).contains(0x40000));
+}
+
+TEST(SystemTest, ClocksAndTotals)
+{
+    System sys;
+    sys.advance(0, 1000);
+    sys.advance(1, 2500);
+    EXPECT_EQ(sys.coreCycles(0), 1000u);
+    EXPECT_EQ(sys.elapsed(), 2500u);
+    auto totals = sys.totals();
+    EXPECT_GT(totals.coreStatic, 0.0);
+    EXPECT_GT(totals.uncoreStatic, 0.0);
+    sys.resetMetrics();
+    EXPECT_EQ(sys.elapsed(), 0u);
+}
+
+TEST(SystemTest, DumpRoundTrip)
+{
+    System sys;
+    std::vector<std::uint8_t> data(100);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3);
+    sys.load(0x51234, data.data(), data.size());
+    EXPECT_EQ(sys.dump(0x51234, 100), data);
+}
+
+} // namespace
+} // namespace ccache::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the trace parser and replayer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+namespace ccache::sim {
+namespace {
+
+TEST(TraceParser, ParsesAllRecordKinds)
+{
+    auto parsed = parseTrace(std::string(R"(
+# comment and blank lines ignored
+
+R 0 0x1000
+W 3 4096
+CC 1 cc_copy 0x2000 0x3000 512
+CC 0 cc_cmp 0x2000 0x3000 128
+CC 2 cc_and 0x1000 0x2000 0x3000 256
+CC 0 cc_clmul128 0x1000 0x2000 0x3000 64
+CC 1 cc_search 0x4000 0x5000 512   # trailing comment
+)"));
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.records.size(), 7u);
+    EXPECT_EQ(parsed.records[0].kind, TraceRecord::Kind::Read);
+    EXPECT_EQ(parsed.records[0].addr, 0x1000u);
+    EXPECT_EQ(parsed.records[1].kind, TraceRecord::Kind::Write);
+    EXPECT_EQ(parsed.records[1].core, 3u);
+    EXPECT_EQ(parsed.records[2].instr.op, cc::CcOpcode::Copy);
+    EXPECT_EQ(parsed.records[3].instr.op, cc::CcOpcode::Cmp);
+    EXPECT_EQ(parsed.records[4].instr.op, cc::CcOpcode::And);
+    EXPECT_EQ(parsed.records[5].instr.clmulWordBits, 128u);
+    EXPECT_EQ(parsed.records[6].instr.op, cc::CcOpcode::Search);
+}
+
+TEST(TraceParser, ReportsMalformedLinesWithoutAborting)
+{
+    auto parsed = parseTrace(std::string(R"(
+R 0 0x1000
+X 0 0x1000
+R zero 0x1000
+CC 0 cc_frobnicate 0x0 64
+CC 0 cc_copy 0x1 0x2000 64
+W 1 0x2000
+)"));
+    // Two good records survive; four problems reported.
+    EXPECT_EQ(parsed.records.size(), 2u);
+    ASSERT_EQ(parsed.errors.size(), 4u);
+    EXPECT_NE(parsed.errors[0].message.find("unknown record"),
+              std::string::npos);
+    EXPECT_NE(parsed.errors[2].message.find("unknown mnemonic"),
+              std::string::npos);
+    // The cc_copy with a misaligned operand fails ISA validation.
+    EXPECT_NE(parsed.errors[3].message.find("aligned"),
+              std::string::npos);
+}
+
+TEST(TraceParser, OperandCountChecked)
+{
+    auto parsed =
+        parseTrace(std::string("CC 0 cc_and 0x1000 0x2000 256\n"));
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    EXPECT_NE(parsed.errors[0].message.find("expects"),
+              std::string::npos);
+}
+
+TEST(TraceReplay, FunctionalAndCounted)
+{
+    System sys;
+    std::vector<std::uint8_t> data(4096);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    sys.load(0x10000, data.data(), data.size());
+
+    auto parsed = parseTrace(std::string(R"(
+R 0 0x10000
+CC 0 cc_copy 0x10000 0x20000 4096
+CC 0 cc_cmp 0x10000 0x20000 512
+W 1 0x30000
+)"));
+    ASSERT_TRUE(parsed.ok());
+
+    auto result = replayTrace(sys, parsed);
+    EXPECT_EQ(result.reads, 1u);
+    EXPECT_EQ(result.writes, 1u);
+    EXPECT_EQ(result.ccInstructions, 2u);
+    EXPECT_GT(result.cycles, 0u);
+    // The cmp compared identical data: all 64 word bits set.
+    EXPECT_EQ(result.resultChecksum, ~std::uint64_t{0});
+    // And the copy actually happened.
+    EXPECT_EQ(sys.dump(0x20000, 4096), data);
+}
+
+TEST(TraceReplay, PerCoreClocksMakeMakespan)
+{
+    System sys;
+    auto parsed = parseTrace(std::string(R"(
+CC 0 cc_buz 0x10000 16384
+R 5 0x90000
+)"));
+    ASSERT_TRUE(parsed.ok());
+    auto result = replayTrace(sys, parsed);
+    // Core 0's big CC op dominates core 5's single read.
+    EXPECT_EQ(result.cycles, sys.coreCycles(0));
+    EXPECT_GT(sys.coreCycles(0), sys.coreCycles(5));
+}
+
+TEST(TraceReplay, ReportContainsKeyLines)
+{
+    System sys;
+    auto parsed = parseTrace(std::string("R 0 0x1000\n"));
+    auto result = replayTrace(sys, parsed);
+    std::string report = formatReport(sys, result);
+    EXPECT_NE(report.find("reads            1"), std::string::npos);
+    EXPECT_NE(report.find("dynamic-total"), std::string::npos);
+    EXPECT_NE(report.find("hier.l1_misses"), std::string::npos);
+}
+
+} // namespace
+} // namespace ccache::sim

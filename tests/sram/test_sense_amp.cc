@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the sense-amplifier models and the XOR-reduction tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sram/sense_amp.hh"
+#include "sram/xor_reduction_tree.hh"
+
+namespace ccache::sram {
+namespace {
+
+BitlineLevels
+levelsFor(const std::vector<double> &bl, const std::vector<double> &blb)
+{
+    BitlineLevels l;
+    l.bl = bl;
+    l.blb = blb;
+    return l;
+}
+
+TEST(SenseAmp, DifferentialReadsStoredBit)
+{
+    SenseAmpArray amps(2);
+    // Column 0 stores '1' (BL high, BLB low); column 1 stores '0'.
+    auto levels = levelsFor({1.0, 0.4}, {0.4, 1.0});
+    BitVector out = amps.senseDifferential(levels);
+    EXPECT_TRUE(out.get(0));
+    EXPECT_FALSE(out.get(1));
+}
+
+TEST(SenseAmp, SingleEndedAgainstVref)
+{
+    SenseAmpArray amps(3, 0.5);
+    auto levels = levelsFor({1.0, 0.4, 0.6}, {0.0, 0.9, 0.2});
+    BitVector bl = amps.senseBL(levels);
+    EXPECT_TRUE(bl.get(0));
+    EXPECT_FALSE(bl.get(1));
+    EXPECT_TRUE(bl.get(2));
+    BitVector blb = amps.senseBLB(levels);
+    EXPECT_FALSE(blb.get(0));
+    EXPECT_TRUE(blb.get(1));
+    EXPECT_FALSE(blb.get(2));
+}
+
+TEST(SenseAmp, MarginIsWorstCaseDistanceToVref)
+{
+    SenseAmpArray amps(4, 0.5);
+    EXPECT_DOUBLE_EQ(amps.senseMargin({1.0, 0.0, 0.62, 0.45}), 0.05);
+    EXPECT_DOUBLE_EQ(amps.senseMargin({1.0}), 0.5);
+}
+
+TEST(SenseAmp, MonteCarloFailureRateBehaviour)
+{
+    Rng rng(3);
+    // Huge margin, tiny sigma: no failures.
+    EXPECT_DOUBLE_EQ(
+        SenseAmpArray::monteCarloFailureRate(0.4, 0.01, 50000, rng), 0.0);
+    // Margin equal to sigma: ~32% of Gaussian mass beyond 1 sigma.
+    double fail =
+        SenseAmpArray::monteCarloFailureRate(0.05, 0.05, 200000, rng);
+    EXPECT_NEAR(fail, 0.317, 0.01);
+}
+
+TEST(SenseAmp, RejectsBadConfig)
+{
+    EXPECT_THROW((void)SenseAmpArray(0), FatalError);
+    EXPECT_THROW((void)SenseAmpArray(8, 1.5), FatalError);
+}
+
+TEST(XorTree, ReduceAllParity)
+{
+    XorReductionTree tree(512);
+    BitVector bits(512);
+    EXPECT_FALSE(tree.reduceAll(bits));
+    bits.set(13, true);
+    EXPECT_TRUE(tree.reduceAll(bits));
+    bits.set(400, true);
+    EXPECT_FALSE(tree.reduceAll(bits));
+}
+
+TEST(XorTree, ReduceWordsMatchesPopcountParity)
+{
+    XorReductionTree tree(512);
+    Rng rng(17);
+    BitVector bits(512);
+    for (std::size_t i = 0; i < 512; ++i)
+        bits.set(i, rng.chance(0.5));
+
+    for (std::size_t width : {64u, 128u, 256u}) {
+        auto parities = tree.reduceWords(bits, width);
+        ASSERT_EQ(parities.size(), 512 / width);
+        for (std::size_t w = 0; w < parities.size(); ++w) {
+            unsigned ones = 0;
+            for (std::size_t b = 0; b < width; ++b)
+                ones += bits.get(w * width + b) ? 1 : 0;
+            EXPECT_EQ(parities[w], (ones & 1) != 0);
+        }
+    }
+}
+
+TEST(XorTree, DepthIsLogarithmic)
+{
+    EXPECT_EQ(XorReductionTree::depth(64), 6u);
+    EXPECT_EQ(XorReductionTree::depth(128), 7u);
+    EXPECT_EQ(XorReductionTree::depth(256), 8u);
+}
+
+TEST(XorTree, LinearityProperty)
+{
+    // XOR reduction is linear: reduce(a ^ b) == reduce(a) ^ reduce(b).
+    XorReductionTree tree(512);
+    Rng rng(23);
+    for (int iter = 0; iter < 50; ++iter) {
+        BitVector a(512), b(512);
+        for (std::size_t i = 0; i < 512; ++i) {
+            a.set(i, rng.chance(0.5));
+            b.set(i, rng.chance(0.5));
+        }
+        EXPECT_EQ(tree.reduceAll(a ^ b),
+                  tree.reduceAll(a) ^ tree.reduceAll(b));
+    }
+}
+
+} // namespace
+} // namespace ccache::sram
