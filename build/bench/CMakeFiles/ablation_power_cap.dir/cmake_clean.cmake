@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_power_cap.dir/ablation_power_cap.cc.o"
+  "CMakeFiles/ablation_power_cap.dir/ablation_power_cap.cc.o.d"
+  "ablation_power_cap"
+  "ablation_power_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subarray.dir/ablation_subarray.cc.o"
+  "CMakeFiles/ablation_subarray.dir/ablation_subarray.cc.o.d"
+  "ablation_subarray"
+  "ablation_subarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

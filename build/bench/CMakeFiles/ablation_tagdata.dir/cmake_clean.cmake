@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagdata.dir/ablation_tagdata.cc.o"
+  "CMakeFiles/ablation_tagdata.dir/ablation_tagdata.cc.o.d"
+  "ablation_tagdata"
+  "ablation_tagdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_energy_proportions.dir/fig3_energy_proportions.cc.o"
+  "CMakeFiles/fig3_energy_proportions.dir/fig3_energy_proportions.cc.o.d"
+  "fig3_energy_proportions"
+  "fig3_energy_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_energy_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

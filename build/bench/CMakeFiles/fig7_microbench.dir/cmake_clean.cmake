@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_microbench.dir/fig7_microbench.cc.o"
+  "CMakeFiles/fig7_microbench.dir/fig7_microbench.cc.o.d"
+  "fig7_microbench"
+  "fig7_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cache_levels.dir/fig8_cache_levels.cc.o"
+  "CMakeFiles/fig8_cache_levels.dir/fig8_cache_levels.cc.o.d"
+  "fig8_cache_levels"
+  "fig8_cache_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cache_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_inplace_vs_nearplace.dir/fig8_inplace_vs_nearplace.cc.o"
+  "CMakeFiles/fig8_inplace_vs_nearplace.dir/fig8_inplace_vs_nearplace.cc.o.d"
+  "fig8_inplace_vs_nearplace"
+  "fig8_inplace_vs_nearplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_inplace_vs_nearplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

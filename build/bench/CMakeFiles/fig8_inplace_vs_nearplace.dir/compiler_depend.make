@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_inplace_vs_nearplace.
+# This may be replaced when dependencies are built.

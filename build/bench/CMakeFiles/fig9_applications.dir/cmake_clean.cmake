@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_applications.dir/fig9_applications.cc.o"
+  "CMakeFiles/fig9_applications.dir/fig9_applications.cc.o.d"
+  "fig9_applications"
+  "fig9_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_energy.dir/table1_cache_energy.cc.o"
+  "CMakeFiles/table1_cache_energy.dir/table1_cache_energy.cc.o.d"
+  "table1_cache_energy"
+  "table1_cache_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_operand_locality.dir/table3_operand_locality.cc.o"
+  "CMakeFiles/table3_operand_locality.dir/table3_operand_locality.cc.o.d"
+  "table3_operand_locality"
+  "table3_operand_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_operand_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_operand_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_simulator_params.dir/table4_simulator_params.cc.o"
+  "CMakeFiles/table4_simulator_params.dir/table4_simulator_params.cc.o.d"
+  "table4_simulator_params"
+  "table4_simulator_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_simulator_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

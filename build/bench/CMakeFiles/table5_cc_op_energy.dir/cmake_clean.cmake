@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cc_op_energy.dir/table5_cc_op_energy.cc.o"
+  "CMakeFiles/table5_cc_op_energy.dir/table5_cc_op_energy.cc.o.d"
+  "table5_cc_op_energy"
+  "table5_cc_op_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cc_op_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_checkpoint_demo.dir/checkpoint_demo.cpp.o"
+  "CMakeFiles/example_checkpoint_demo.dir/checkpoint_demo.cpp.o.d"
+  "example_checkpoint_demo"
+  "example_checkpoint_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_checkpoint_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

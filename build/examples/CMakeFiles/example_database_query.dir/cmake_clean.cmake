@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_database_query.dir/database_query.cpp.o"
+  "CMakeFiles/example_database_query.dir/database_query.cpp.o.d"
+  "example_database_query"
+  "example_database_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_database_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

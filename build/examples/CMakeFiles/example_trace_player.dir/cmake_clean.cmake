@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_player.dir/trace_player.cpp.o"
+  "CMakeFiles/example_trace_player.dir/trace_player.cpp.o.d"
+  "example_trace_player"
+  "example_trace_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vector_add_gf2.dir/vector_add_gf2.cpp.o"
+  "CMakeFiles/example_vector_add_gf2.dir/vector_add_gf2.cpp.o.d"
+  "example_vector_add_gf2"
+  "example_vector_add_gf2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vector_add_gf2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bmm.cc" "src/CMakeFiles/ccache.dir/apps/bmm.cc.o" "gcc" "src/CMakeFiles/ccache.dir/apps/bmm.cc.o.d"
+  "/root/repo/src/apps/checkpoint.cc" "src/CMakeFiles/ccache.dir/apps/checkpoint.cc.o" "gcc" "src/CMakeFiles/ccache.dir/apps/checkpoint.cc.o.d"
+  "/root/repo/src/apps/dbbitmap.cc" "src/CMakeFiles/ccache.dir/apps/dbbitmap.cc.o" "gcc" "src/CMakeFiles/ccache.dir/apps/dbbitmap.cc.o.d"
+  "/root/repo/src/apps/stringmatch.cc" "src/CMakeFiles/ccache.dir/apps/stringmatch.cc.o" "gcc" "src/CMakeFiles/ccache.dir/apps/stringmatch.cc.o.d"
+  "/root/repo/src/apps/wordcount.cc" "src/CMakeFiles/ccache.dir/apps/wordcount.cc.o" "gcc" "src/CMakeFiles/ccache.dir/apps/wordcount.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/ccache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/directory.cc" "src/CMakeFiles/ccache.dir/cache/directory.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cache/directory.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/ccache.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/tag_array.cc" "src/CMakeFiles/ccache.dir/cache/tag_array.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cache/tag_array.cc.o.d"
+  "/root/repo/src/cc/cc_controller.cc" "src/CMakeFiles/ccache.dir/cc/cc_controller.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/cc_controller.cc.o.d"
+  "/root/repo/src/cc/ecc.cc" "src/CMakeFiles/ccache.dir/cc/ecc.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/ecc.cc.o.d"
+  "/root/repo/src/cc/instruction_table.cc" "src/CMakeFiles/ccache.dir/cc/instruction_table.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/instruction_table.cc.o.d"
+  "/root/repo/src/cc/isa.cc" "src/CMakeFiles/ccache.dir/cc/isa.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/isa.cc.o.d"
+  "/root/repo/src/cc/key_table.cc" "src/CMakeFiles/ccache.dir/cc/key_table.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/key_table.cc.o.d"
+  "/root/repo/src/cc/near_place_unit.cc" "src/CMakeFiles/ccache.dir/cc/near_place_unit.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/near_place_unit.cc.o.d"
+  "/root/repo/src/cc/operation_table.cc" "src/CMakeFiles/ccache.dir/cc/operation_table.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/operation_table.cc.o.d"
+  "/root/repo/src/cc/reuse_predictor.cc" "src/CMakeFiles/ccache.dir/cc/reuse_predictor.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/reuse_predictor.cc.o.d"
+  "/root/repo/src/cc/vector_lsq.cc" "src/CMakeFiles/ccache.dir/cc/vector_lsq.cc.o" "gcc" "src/CMakeFiles/ccache.dir/cc/vector_lsq.cc.o.d"
+  "/root/repo/src/common/bitvector.cc" "src/CMakeFiles/ccache.dir/common/bitvector.cc.o" "gcc" "src/CMakeFiles/ccache.dir/common/bitvector.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ccache.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ccache.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ccache.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ccache.dir/common/stats.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/ccache.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/ccache.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/energy/energy_params.cc" "src/CMakeFiles/ccache.dir/energy/energy_params.cc.o" "gcc" "src/CMakeFiles/ccache.dir/energy/energy_params.cc.o.d"
+  "/root/repo/src/geometry/cache_geometry.cc" "src/CMakeFiles/ccache.dir/geometry/cache_geometry.cc.o" "gcc" "src/CMakeFiles/ccache.dir/geometry/cache_geometry.cc.o.d"
+  "/root/repo/src/geometry/locality_allocator.cc" "src/CMakeFiles/ccache.dir/geometry/locality_allocator.cc.o" "gcc" "src/CMakeFiles/ccache.dir/geometry/locality_allocator.cc.o.d"
+  "/root/repo/src/geometry/operand_locality.cc" "src/CMakeFiles/ccache.dir/geometry/operand_locality.cc.o" "gcc" "src/CMakeFiles/ccache.dir/geometry/operand_locality.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/ccache.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/ccache.dir/mem/memory.cc.o.d"
+  "/root/repo/src/noc/ring.cc" "src/CMakeFiles/ccache.dir/noc/ring.cc.o" "gcc" "src/CMakeFiles/ccache.dir/noc/ring.cc.o.d"
+  "/root/repo/src/sim/bulk_ops.cc" "src/CMakeFiles/ccache.dir/sim/bulk_ops.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sim/bulk_ops.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "src/CMakeFiles/ccache.dir/sim/core_model.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/engines.cc" "src/CMakeFiles/ccache.dir/sim/engines.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sim/engines.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/ccache.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/ccache.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sram/bitcell_array.cc" "src/CMakeFiles/ccache.dir/sram/bitcell_array.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sram/bitcell_array.cc.o.d"
+  "/root/repo/src/sram/sense_amp.cc" "src/CMakeFiles/ccache.dir/sram/sense_amp.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sram/sense_amp.cc.o.d"
+  "/root/repo/src/sram/subarray.cc" "src/CMakeFiles/ccache.dir/sram/subarray.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sram/subarray.cc.o.d"
+  "/root/repo/src/sram/subarray_params.cc" "src/CMakeFiles/ccache.dir/sram/subarray_params.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sram/subarray_params.cc.o.d"
+  "/root/repo/src/sram/xor_reduction_tree.cc" "src/CMakeFiles/ccache.dir/sram/xor_reduction_tree.cc.o" "gcc" "src/CMakeFiles/ccache.dir/sram/xor_reduction_tree.cc.o.d"
+  "/root/repo/src/workload/bitmap_gen.cc" "src/CMakeFiles/ccache.dir/workload/bitmap_gen.cc.o" "gcc" "src/CMakeFiles/ccache.dir/workload/bitmap_gen.cc.o.d"
+  "/root/repo/src/workload/splash_trace.cc" "src/CMakeFiles/ccache.dir/workload/splash_trace.cc.o" "gcc" "src/CMakeFiles/ccache.dir/workload/splash_trace.cc.o.d"
+  "/root/repo/src/workload/text_gen.cc" "src/CMakeFiles/ccache.dir/workload/text_gen.cc.o" "gcc" "src/CMakeFiles/ccache.dir/workload/text_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

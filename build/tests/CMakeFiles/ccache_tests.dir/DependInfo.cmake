@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_apps.cc" "tests/CMakeFiles/ccache_tests.dir/apps/test_apps.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/apps/test_apps.cc.o.d"
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/ccache_tests.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/cache/test_directory.cc" "tests/CMakeFiles/ccache_tests.dir/cache/test_directory.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cache/test_directory.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cc" "tests/CMakeFiles/ccache_tests.dir/cache/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cache/test_hierarchy.cc.o.d"
+  "/root/repo/tests/cache/test_hierarchy_edges.cc" "tests/CMakeFiles/ccache_tests.dir/cache/test_hierarchy_edges.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cache/test_hierarchy_edges.cc.o.d"
+  "/root/repo/tests/cc/test_controller.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller.cc.o.d"
+  "/root/repo/tests/cc/test_controller_edges.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller_edges.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller_edges.cc.o.d"
+  "/root/repo/tests/cc/test_controller_sweeps.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller_sweeps.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_controller_sweeps.cc.o.d"
+  "/root/repo/tests/cc/test_ecc.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_ecc.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_ecc.cc.o.d"
+  "/root/repo/tests/cc/test_isa.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_isa.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_isa.cc.o.d"
+  "/root/repo/tests/cc/test_multicore.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_multicore.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_multicore.cc.o.d"
+  "/root/repo/tests/cc/test_near_place.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_near_place.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_near_place.cc.o.d"
+  "/root/repo/tests/cc/test_reuse_predictor.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_reuse_predictor.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_reuse_predictor.cc.o.d"
+  "/root/repo/tests/cc/test_tables.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_tables.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_tables.cc.o.d"
+  "/root/repo/tests/cc/test_vector_lsq.cc" "tests/CMakeFiles/ccache_tests.dir/cc/test_vector_lsq.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/cc/test_vector_lsq.cc.o.d"
+  "/root/repo/tests/common/test_bit_util.cc" "tests/CMakeFiles/ccache_tests.dir/common/test_bit_util.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/common/test_bit_util.cc.o.d"
+  "/root/repo/tests/common/test_bitvector.cc" "tests/CMakeFiles/ccache_tests.dir/common/test_bitvector.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/common/test_bitvector.cc.o.d"
+  "/root/repo/tests/energy/test_energy.cc" "tests/CMakeFiles/ccache_tests.dir/energy/test_energy.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/energy/test_energy.cc.o.d"
+  "/root/repo/tests/geometry/test_geometry.cc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_geometry.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_geometry.cc.o.d"
+  "/root/repo/tests/geometry/test_geometry_variants.cc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_geometry_variants.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_geometry_variants.cc.o.d"
+  "/root/repo/tests/geometry/test_locality_allocator.cc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_locality_allocator.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/geometry/test_locality_allocator.cc.o.d"
+  "/root/repo/tests/integration/test_reproduction_shapes.cc" "tests/CMakeFiles/ccache_tests.dir/integration/test_reproduction_shapes.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/integration/test_reproduction_shapes.cc.o.d"
+  "/root/repo/tests/mem/test_memory.cc" "tests/CMakeFiles/ccache_tests.dir/mem/test_memory.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/mem/test_memory.cc.o.d"
+  "/root/repo/tests/noc/test_ring.cc" "tests/CMakeFiles/ccache_tests.dir/noc/test_ring.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/noc/test_ring.cc.o.d"
+  "/root/repo/tests/sim/test_core_model.cc" "tests/CMakeFiles/ccache_tests.dir/sim/test_core_model.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sim/test_core_model.cc.o.d"
+  "/root/repo/tests/sim/test_engines.cc" "tests/CMakeFiles/ccache_tests.dir/sim/test_engines.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sim/test_engines.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/ccache_tests.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sim/test_trace.cc.o.d"
+  "/root/repo/tests/sram/test_sense_amp.cc" "tests/CMakeFiles/ccache_tests.dir/sram/test_sense_amp.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sram/test_sense_amp.cc.o.d"
+  "/root/repo/tests/sram/test_subarray.cc" "tests/CMakeFiles/ccache_tests.dir/sram/test_subarray.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sram/test_subarray.cc.o.d"
+  "/root/repo/tests/sram/test_subarray_sweep.cc" "tests/CMakeFiles/ccache_tests.dir/sram/test_subarray_sweep.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/sram/test_subarray_sweep.cc.o.d"
+  "/root/repo/tests/workload/test_workloads.cc" "tests/CMakeFiles/ccache_tests.dir/workload/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ccache_tests.dir/workload/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
