@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Ablation: fault rate vs slowdown, energy and silent-corruption rate
+ * for the bit-line compute fault model and its degradation ladder
+ * (transient upsets + margin failures on dual-row activations, SECDED
+ * check -> bounded retry -> near-place degrade -> discard/refill+RISC).
+ *
+ * Every configuration runs twice with the same seed; the table is only
+ * printed when both runs agree bit-for-bit, which doubles as the
+ * determinism check the fault subsystem guarantees.
+ */
+
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hh"
+#include "cache/hierarchy.hh"
+#include "cc/cc_controller.hh"
+#include "common/rng.hh"
+
+using namespace ccache;
+using namespace ccache::cc;
+
+namespace {
+
+constexpr std::size_t kLen = 4096;  // 64 blocks per instruction
+constexpr int kInstrs = 24;
+
+struct RunResult
+{
+    Cycles latency = 0;
+    double energy_pj = 0.0;
+    std::uint64_t corrected = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t risc = 0;
+    std::uint64_t silent = 0;
+    std::uint64_t scrubbed = 0;
+
+    bool operator==(const RunResult &) const = default;
+};
+
+RunResult
+runWorkload(const fault::FaultParams &fp)
+{
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier(cache::HierarchyParams{}, &em, &stats);
+
+    CcControllerParams cp;
+    cp.faults = fp;
+    CcController ctrl(hier, &em, &stats, cp);
+
+    Rng rng(99);
+    std::vector<std::uint8_t> bytes(kLen);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    hier.memory().writeBytes(0x100000, bytes.data(), kLen);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    hier.memory().writeBytes(0x200000, bytes.data(), kLen);
+
+    RunResult res;
+    for (int i = 0; i < kInstrs; ++i) {
+        CcInstruction instr = (i % 3 == 0)
+            ? CcInstruction::logicalXor(0x100000, 0x200000, 0x300000, kLen)
+            : (i % 3 == 1)
+                ? CcInstruction::logicalAnd(0x100000, 0x200000, 0x300000,
+                                            kLen)
+                : CcInstruction::copy(0x100000, 0x400000, kLen);
+        auto r = ctrl.execute(0, instr);
+        res.latency += r.latency;
+        res.retries += r.faultRetries;
+        res.degraded += r.faultDegradedOps;
+        res.risc += r.faultRiscRecoveries;
+    }
+    res.energy_pj = em.dynamic().dynamicTotal();
+    res.corrected = stats.value("cc.fault.ecc_corrected");
+    res.silent = stats.value("cc.fault.silent_corruptions");
+    res.scrubbed = stats.value("cc.fault.scrub_corrections") +
+        stats.value("cc.fault.scrub_refills");
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: fault rate vs slowdown / energy / silent "
+                  "corruption (degradation ladder)");
+
+    RunResult base = runWorkload(fault::FaultParams{});
+
+    std::printf("workload: %d instructions x %zu bytes (xor/and/copy "
+                "mix), seed fixed\n"
+                "ladder: SECDED check -> retry x2 -> near-place -> "
+                "discard+refill+RISC\n\n",
+                kInstrs, kLen);
+    std::printf("%-11s %9s %9s %10s %8s %8s %6s %7s %7s\n", "fault rate",
+                "slowdown", "energy", "corrected", "retries", "degraded",
+                "RISC", "silent", "scrub");
+    bench::rule();
+    std::printf("%-11s %8.3fx %8.3fx %10s %8s %8s %6s %7s %7s\n",
+                "disabled", 1.0, 1.0, "-", "-", "-", "-", "-", "-");
+
+    // Transient-dominated sweep: mostly correctable singles, a tail of
+    // uncorrectable doubles and aliasing bursts; margin failures scale
+    // along at a tenth of the transient rate.
+    for (double rate : {1e-4, 1e-3, 1e-2, 5e-2, 2e-1}) {
+        fault::FaultParams fp;
+        fp.enabled = true;
+        fp.seed = 31337;
+        fp.transientPerBlockOp = rate;
+        fp.doubleBitFraction = 0.10;
+        fp.burstFraction = 0.02;
+        fp.marginFailPerDualRowOp = rate / 10.0;
+        fp.backgroundUpsetPerInstr = rate;
+        fp.weakSubarrayFraction = 0.05;
+        fp.weakSubarrayScale = 4.0;
+
+        RunResult a = runWorkload(fp);
+        RunResult b = runWorkload(fp);
+        if (!(a == b)) {
+            std::fprintf(stderr,
+                         "FAIL: two fixed-seed runs diverged at rate "
+                         "%.1e\n", rate);
+            return EXIT_FAILURE;
+        }
+
+        std::printf("%-11.0e %8.3fx %8.3fx %10llu %8llu %8llu %6llu "
+                    "%7llu %7llu\n",
+                    rate,
+                    static_cast<double>(a.latency) /
+                        static_cast<double>(base.latency),
+                    a.energy_pj / base.energy_pj,
+                    static_cast<unsigned long long>(a.corrected),
+                    static_cast<unsigned long long>(a.retries),
+                    static_cast<unsigned long long>(a.degraded),
+                    static_cast<unsigned long long>(a.risc),
+                    static_cast<unsigned long long>(a.silent),
+                    static_cast<unsigned long long>(a.scrubbed));
+    }
+
+    // Defect-dominated sweep: stuck cells persist across retries, so
+    // they exercise the lower rungs -- near-place re-reads correct the
+    // single-stuck lines, and double-stuck lines fall through to
+    // discard/refill+RISC (after which the remap keeps them healthy).
+    std::printf("\nstuck-at cells (30%% of defective lines have two "
+                "stuck bits):\n");
+    std::printf("%-11s %9s %9s %10s %8s %8s %6s %7s %7s\n", "defect rate",
+                "slowdown", "energy", "corrected", "retries", "degraded",
+                "RISC", "silent", "scrub");
+    bench::rule();
+    for (double rate : {1e-3, 1e-2, 1e-1}) {
+        fault::FaultParams fp;
+        fp.enabled = true;
+        fp.seed = 31337;
+        fp.stuckAtPerBlock = rate;
+        fp.stuckAtDoubleFraction = 0.3;
+
+        RunResult a = runWorkload(fp);
+        RunResult b = runWorkload(fp);
+        if (!(a == b)) {
+            std::fprintf(stderr,
+                         "FAIL: two fixed-seed runs diverged at defect "
+                         "rate %.1e\n", rate);
+            return EXIT_FAILURE;
+        }
+
+        std::printf("%-11.0e %8.3fx %8.3fx %10llu %8llu %8llu %6llu "
+                    "%7llu %7llu\n",
+                    rate,
+                    static_cast<double>(a.latency) /
+                        static_cast<double>(base.latency),
+                    a.energy_pj / base.energy_pj,
+                    static_cast<unsigned long long>(a.corrected),
+                    static_cast<unsigned long long>(a.retries),
+                    static_cast<unsigned long long>(a.degraded),
+                    static_cast<unsigned long long>(a.risc),
+                    static_cast<unsigned long long>(a.silent),
+                    static_cast<unsigned long long>(a.scrubbed));
+    }
+
+    bench::rule();
+    bench::note("slowdown/energy are relative to the injection-disabled");
+    bench::note("run. 'silent' counts burst miscorrections that evade");
+    bench::note("SECDED (the Section IV-I exposure); at rates where only");
+    bench::note("singles/doubles strike it stays zero. Identical numbers");
+    bench::note("across the two fixed-seed runs per row (checked above)");
+    bench::note("demonstrate the injector's determinism.");
+    return 0;
+}

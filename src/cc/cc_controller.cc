@@ -40,6 +40,27 @@ foldFetchLatencies(std::vector<Cycles> &lats, unsigned mlp)
     return total + rest / std::max(1u, mlp);
 }
 
+/** True for CC opcodes whose in-place form activates two word-lines
+ *  simultaneously (the reduced-margin sensing mode). */
+bool
+isDualRowOp(CcOpcode op)
+{
+    switch (op) {
+      case CcOpcode::And:
+      case CcOpcode::Or:
+      case CcOpcode::Xor:
+      case CcOpcode::Cmp:
+      case CcOpcode::Search:
+      case CcOpcode::Clmul:
+        return true;
+      case CcOpcode::Copy:
+      case CcOpcode::Buz:
+      case CcOpcode::Not:
+        return false;
+    }
+    return false;
+}
+
 } // namespace
 
 CcController::CcController(cache::Hierarchy &hier,
@@ -48,7 +69,8 @@ CcController::CcController(cache::Hierarchy &hier,
     : hier_(hier), energy_(energy), stats_(stats), params_(params),
       instrTable_(params.instrTableEntries),
       opTable_(params.opTableEntries),
-      nearPlace_(params.nearPlace, energy, stats)
+      nearPlace_(params.nearPlace, energy, stats),
+      faults_(params.faults)
 {
     if (params_.verifyCircuit) {
         sram::SubArrayParams sp;
@@ -67,6 +89,13 @@ CcController::execute(CoreId core, const CcInstruction &instr)
         stats_->counter("cc.instructions").inc();
     if (energy_)
         energy_->chargeVectorInstructions(1);
+
+    if (faults_.enabled()) {
+        // Between instructions: background upsets strike resident
+        // blocks, and the scrubber walks a few of them.
+        faults_.backgroundTick();
+        scrubTick();
+    }
 
     if (!instr.spansPage())
         return executeOnce(core, instr);
@@ -89,6 +118,9 @@ CcController::execute(CoreId core, const CcInstruction &instr)
         total.keyReplications += r.keyReplications;
         total.lockRetries += r.lockRetries;
         total.riscFallback |= r.riscFallback;
+        total.faultRetries += r.faultRetries;
+        total.faultDegradedOps += r.faultDegradedOps;
+        total.faultRiscRecoveries += r.faultRiscRecoveries;
         total.level = r.level;
         ++total.pageSplits;
         if (isCcR(instr.op)) {
@@ -139,6 +171,7 @@ CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
             // (Section IV-E).
             cache.pin(addr);
             cache.promoteMRU(addr);
+            faults_.noteResident(addr);
             return latency;
         }
         if (stats_)
@@ -147,17 +180,55 @@ CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
     return std::nullopt;
 }
 
-std::uint64_t
+CcController::BlockOpOutcome
 CcController::performBlockOp(CoreId core, const CcInstruction &instr,
                              const BlockOp &op, CacheLevel level)
 {
-    Cache &src_cache = hier_.cacheAt(level, core, op.src1 ? op.src1
-                                                          : op.dest);
+    BlockOpOutcome out;
+
     auto read_block = [&](Addr a) -> Block {
         Cache &c = hier_.cacheAt(level, core, a);
-        const Block *p = c.peek(a);
-        CC_ASSERT(p, "staged operand 0x", std::hex, a, " vanished");
-        return *p;
+        if (const Block *p = c.peek(a))
+            return *p;
+        // A staged operand can be lost to an unexpected invalidation;
+        // re-fetch it instead of aborting the simulation.
+        if (stats_)
+            stats_->counter("cc.operand_refetches").inc();
+        Block blk{};
+        out.extraLatency += hier_.read(core, a, &blk, level).latency;
+        return blk;
+    };
+
+    auto write_block = [&](Addr a, const Block &data) {
+        Cache &c = hier_.cacheAt(level, core, a);
+        if (c.poke(a, data)) {
+            c.markDirty(a);
+            return;
+        }
+        if (stats_)
+            stats_->counter("cc.operand_refetches").inc();
+        out.extraLatency += hier_.write(core, a, &data, level).latency;
+    };
+
+    // Final rung of the degradation ladder: the operands' cells are
+    // unusable (multi-bit defect or persistent margin loss) -- discard
+    // the cached copies, refill clean data from memory into fresh
+    // cells, and run this block's op on the scalar core.
+    auto risc_recover = [&]() {
+        out.riscRecovered = true;
+        if (stats_)
+            stats_->counter("cc.fault.risc_recoveries").inc();
+        for (Addr addr : {op.src1, op.src2}) {
+            if (!addr)
+                continue;
+            faults_.clearLatent(addr);
+            faults_.remap(addr);
+            if (energy_)
+                energy_->chargeDram(1);
+        }
+        out.extraLatency += params_.faultRefillLatency;
+        if (energy_)
+            energy_->chargeInstructions(3 * kWordsPerBlock);
     };
 
     Block a{};
@@ -167,7 +238,31 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
     if (op.src2)
         b = read_block(op.src2);
 
-    std::uint64_t mask = 0;
+    // Rung 2: re-sense through the near-place path (single rows at
+    // full margin, so margin failures cannot recur), with one more ECC
+    // check round; an error that still persists is a cell defect and
+    // falls through to the final rung. Returns the effective operands.
+    auto degrade_sense = [&]() -> std::pair<Block, Block> {
+        out.degradedNearPlace = true;
+        if (stats_)
+            stats_->counter("cc.fault.degraded_near_place").inc();
+        out.extraLatency += params_.nearPlace.latency(level);
+        std::uint64_t sid = fault::subarrayId(level, op.cacheIndex,
+                                              op.partition);
+        Block sa = a;
+        Block sb = b;
+        bool ok = true;
+        if (op.src1)
+            ok = checkOperand(&sa, a, op.src1, sid, level, &out);
+        if (ok && op.src2)
+            ok = checkOperand(&sb, b, op.src2, sid, level, &out);
+        if (ok)
+            return {sa, sb};
+        risc_recover();
+        return {a, b};  // clean data after the refill
+    };
+
+    bool dual_row = isDualRowOp(instr.op);
     energy::CacheOp cost_op = energy::cacheOpFor(sram::BitlineOp::Read);
     switch (instr.op) {
       case CcOpcode::Copy: cost_op = energy::CacheOp::Copy; break;
@@ -190,6 +285,15 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
             stats_->counter(op.inPlace ? "cc.in_place_ops"
                                        : "cc.near_place_ops").inc();
 
+        if (faults_.enabled() &&
+            !senseOperands(op, level, dual_row && op.inPlace,
+                           params_.inPlaceLatency(level), cost_op,
+                           &a, &b, &out)) {
+            auto [sa, sb] = degrade_sense();
+            a = sa;
+            b = sb;
+        }
+
         std::size_t bits_per_op = instr.clmulBitsPerBlock();
         std::size_t ops_per_dest = (8 * kBlockSize) / bits_per_op;
         std::size_t bit_off = (op.index % ops_per_dest) * bits_per_op;
@@ -200,8 +304,17 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
 
         Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
         const Block *cur = dst_cache.peek(op.dest);
-        CC_ASSERT(cur, "packed clmul destination vanished");
-        Block merged = *cur;
+        Block merged{};
+        if (cur) {
+            merged = *cur;
+        } else {
+            // The packed destination was evicted mid-instruction;
+            // recover the partial parities instead of aborting.
+            if (stats_)
+                stats_->counter("cc.operand_refetches").inc();
+            out.extraLatency +=
+                hier_.read(core, op.dest, &merged, level).latency;
+        }
         std::size_t word = bit_off / 64;
         std::size_t shift = bit_off % 64;
         std::uint64_t w = blockWord(merged, word);
@@ -216,7 +329,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         // One result-register drain (a block write) per filled dest.
         if (energy_ && bit_off + bits_per_op == 8 * kBlockSize)
             energy_->chargeCacheOp(level, energy::CacheOp::Write);
-        return 0;
+        return out;
     }
 
     if (op.inPlace) {
@@ -225,36 +338,215 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         if (stats_)
             stats_->counter("cc.in_place_ops").inc();
 
+        if (faults_.enabled() &&
+            !senseOperands(op, level, dual_row,
+                           params_.inPlaceLatency(level), cost_op,
+                           &a, &b, &out)) {
+            // Rung 2: the near-place unit re-reads with single-row
+            // activations at full margin and computes in its own logic.
+            auto [sa, sb] = degrade_sense();
+            if (out.riscRecovered) {
+                // Final rung: compute on the (refilled) clean data.
+                if (isCcR(instr.op)) {
+                    out.mask = BlockCompute::wordEqualMask(sa, sb);
+                } else {
+                    write_block(op.dest,
+                                BlockCompute::apply(instr.op, sa, sb,
+                                                    instr.clmulWordBits));
+                }
+                return out;
+            }
+            NearPlaceResult res = nearPlace_.execute(
+                instr.op, level, sa, sb, instr.clmulWordBits);
+            if (isCcR(instr.op))
+                out.mask = res.wordEqualMask;
+            else
+                write_block(op.dest, res.result);
+            return out;
+        }
+
         if (isCcR(instr.op)) {
-            mask = BlockCompute::wordEqualMask(a, b);
+            out.mask = BlockCompute::wordEqualMask(a, b);
         } else {
             Block result = BlockCompute::apply(instr.op, a, b,
                                                instr.clmulWordBits);
-            Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
-            bool ok = dst_cache.poke(op.dest, result);
-            CC_ASSERT(ok, "in-place destination 0x", std::hex, op.dest,
-                      " vanished");
-            dst_cache.markDirty(op.dest);
+            write_block(op.dest, result);
+            if (faults_.enabled()) {
+                // Section IV-I: an in-place op bypasses the normal ECC
+                // datapath, so the result's code is recomputed by the
+                // check unit before it can be written back.
+                out.extraLatency += params_.eccCheckLatency;
+                if (energy_)
+                    energy_->addCacheAccess(
+                        level, energy_->params().eccCheckPerBlock);
+            }
             if (params_.verifyCircuit)
                 verifyAgainstCircuit(instr, a, b, result);
         }
     } else {
+        // Near-place reads use single-row full-margin senses; only cell
+        // defects and soft errors apply, and a persistent failure goes
+        // straight to the final rung (there is no lower unit to try).
+        if (faults_.enabled() &&
+            !senseOperands(op, level, false,
+                           params_.nearPlace.latency(level),
+                           energy::CacheOp::Read, &a, &b, &out)) {
+            risc_recover();
+        }
         // Near-place: the unit charges reads/logic/writeback itself.
         NearPlaceResult res = nearPlace_.execute(
             instr.op, level, a, b, instr.clmulWordBits);
         if (isCcR(instr.op)) {
-            mask = res.wordEqualMask;
+            out.mask = res.wordEqualMask;
         } else {
-            Cache &dst_cache = hier_.cacheAt(level, core, op.dest);
-            bool ok = dst_cache.poke(op.dest, res.result);
-            CC_ASSERT(ok, "near-place destination 0x", std::hex, op.dest,
-                      " vanished");
-            dst_cache.markDirty(op.dest);
+            write_block(op.dest, res.result);
         }
     }
 
-    (void)src_cache;
-    return mask;
+    return out;
+}
+
+bool
+CcController::senseOperands(const BlockOp &op, CacheLevel level,
+                            bool dual_row, Cycles retry_latency,
+                            energy::CacheOp retry_op, Block *a, Block *b,
+                            BlockOpOutcome *out)
+{
+    const Block ta = *a;
+    const Block tb = *b;
+    std::uint64_t sid = fault::subarrayId(level, op.cacheIndex,
+                                          op.partition);
+    for (unsigned attempt = 0; attempt <= params_.maxFaultRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            // Rung 1: bounded retry -- re-activate and re-sense the
+            // partition, paying another op's worth of delay and energy.
+            out->extraLatency += retry_latency;
+            ++out->retries;
+            if (energy_)
+                energy_->chargeCacheOp(level, retry_op);
+            if (stats_)
+                stats_->counter("cc.fault.retries").inc();
+        }
+        if (dual_row && faults_.drawMarginFailure(sid)) {
+            // The margin detector flagged this dual-row activation:
+            // nothing sensed in this attempt can be trusted.
+            if (stats_)
+                stats_->counter("cc.fault.margin_failures").inc();
+            continue;
+        }
+        Block sa = ta;
+        Block sb = tb;
+        bool ok = true;
+        if (op.src1)
+            ok = checkOperand(&sa, ta, op.src1, sid, level, out);
+        if (ok && op.src2)
+            ok = checkOperand(&sb, tb, op.src2, sid, level, out);
+        if (!ok)
+            continue;
+        *a = sa;
+        *b = sb;
+        return true;
+    }
+    return false;
+}
+
+bool
+CcController::checkOperand(Block *sensed, const Block &truth, Addr addr,
+                           std::uint64_t subarray_id, CacheLevel level,
+                           BlockOpOutcome *out)
+{
+    // The stored code always protects the true data: codes are copied
+    // along with data on cc_copy and recomputed on every write-back
+    // (Section IV-I), so a mismatch below is sensing damage, not a
+    // stale code.
+    BlockEcc stored = encodeBlock(truth);
+
+    faults_.applyLatent(addr, *sensed);
+    fault::FaultInjector::corrupt(*sensed,
+                            faults_.stuckAtFault(subarray_id, addr));
+    fault::FaultInjector::corrupt(*sensed, faults_.drawOperandFault(subarray_id));
+
+    // Route the sensed block through the ECC check unit.
+    out->extraLatency += params_.eccCheckLatency;
+    if (energy_)
+        energy_->addCacheAccess(level,
+                                energy_->params().eccCheckPerBlock);
+
+    EccStatus status = checkBlock(*sensed, stored);
+    if (status == EccStatus::DetectedDoubleBit) {
+        if (stats_)
+            stats_->counter("cc.fault.ecc_uncorrectable").inc();
+        return false;
+    }
+    if (status == EccStatus::CorrectedSingleBit && stats_)
+        stats_->counter("cc.fault.ecc_corrected").inc();
+
+    // A clean or corrected pass also scrubs any latent damage on the
+    // line (access-triggered scrubbing).
+    faults_.clearLatent(addr);
+
+    if (*sensed != truth && stats_) {
+        // The check unit saw nothing wrong (or miscorrected an odd-
+        // count burst): the op consumes wrong bits with no error raised.
+        stats_->counter("cc.fault.silent_corruptions").inc();
+    }
+    return true;
+}
+
+void
+CcController::scrubTick()
+{
+    if (params_.scrubBlocksPerInstr == 0)
+        return;
+    std::size_t visited = 0;
+    auto hits = faults_.scrubVisit(params_.scrubBlocksPerInstr, &visited);
+    if (visited == 0)
+        return;
+    if (stats_) {
+        stats_->counter("cc.fault.scrub_visits").inc(visited);
+        // Scrubbing steals idle cycles (Section IV-I alternative 2), so
+        // its time is tracked in its own budget, not in any
+        // instruction's latency.
+        stats_->accum("cc.fault.scrub_cycles")
+            .add(static_cast<double>(visited) *
+                 static_cast<double>(params_.scrubCheckLatency));
+    }
+    if (energy_)
+        energy_->chargeCacheOp(CacheLevel::L3, energy::CacheOp::Read,
+                               visited);
+    for (const auto &hit : hits) {
+        Block truth = hier_.debugRead(hit.addr);
+        Block sensed = truth;
+        fault::FaultInjector::corrupt(sensed, hit.event);
+        BlockEcc stored = encodeBlock(truth);
+        EccStatus status = checkBlock(sensed, stored);
+        if (status == EccStatus::DetectedDoubleBit) {
+            // Uncorrectable latent damage caught before any op consumed
+            // it: discard the line and refill clean data into fresh
+            // cells.
+            faults_.clearLatent(hit.addr);
+            faults_.remap(hit.addr);
+            if (stats_)
+                stats_->counter("cc.fault.scrub_refills").inc();
+            if (energy_)
+                energy_->chargeDram(1);
+            continue;
+        }
+        faults_.clearLatent(hit.addr);
+        if (sensed != truth) {
+            // An odd-count burst aliased through the scrubber's check:
+            // it "corrected" the line into a still-wrong value.
+            if (stats_)
+                stats_->counter("cc.fault.silent_corruptions").inc();
+        } else if (status == EccStatus::CorrectedSingleBit) {
+            if (stats_)
+                stats_->counter("cc.fault.scrub_corrections").inc();
+            if (energy_)
+                energy_->chargeCacheOp(CacheLevel::L3,
+                                       energy::CacheOp::Write);
+        }
+    }
 }
 
 void
@@ -408,7 +700,13 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
 
     std::uint64_t seq = ++instrSeq_;
     auto instr_id = instrTable_.allocate(instr, core, blocks);
-    CC_ASSERT(instr_id, "instruction table full in synchronous mode");
+    if (!instr_id) {
+        // A full instruction table is a structural hazard, not a bug:
+        // degrade to the scalar path rather than aborting.
+        if (stats_)
+            stats_->counter("cc.instr_table_full").inc();
+        return riscFallback(core, instr);
+    }
 
     // ------------------------------------------------------------------
     // Operand staging: fetch + pin every block of every operand. Misses
@@ -491,7 +789,16 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
         Addr anchor = op.src1 ? op.src1 : op.dest;
         Cache &anchor_cache = hier_.cacheAt(level, core, anchor);
         auto place = anchor_cache.placeOf(anchor);
-        CC_ASSERT(place, "anchor operand not resident after staging");
+        if (!place) {
+            // Lost to an invalidation race between staging and issue
+            // (Section IV-E's lock window): release and degrade.
+            if (stats_)
+                stats_->counter("cc.staging_races").inc();
+            unpin_all();
+            keys_.releaseInstr(seq);
+            instrTable_.release(*instr_id);
+            return riscFallback(core, instr);
+        }
         op.cacheIndex = level == CacheLevel::L3
             ? hier_.sliceFor(core, anchor)
             : core;
@@ -516,8 +823,14 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
                 : core;
             Cache &c = hier_.cacheAt(level, core, m);
             auto p = c.placeOf(m);
-            CC_ASSERT(p, "operand 0x", std::hex, m,
-                      " not resident after staging");
+            if (!p) {
+                // Same race as the anchor, but survivable: the near-
+                // place path re-reads through the hierarchy.
+                if (stats_)
+                    stats_->counter("cc.staging_races").inc();
+                op.inPlace = false;
+                continue;
+            }
             if (idx != op.cacheIndex ||
                 p->globalPartition != op.partition) {
                 op.inPlace = false;
@@ -563,15 +876,33 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
         auto op_entry = opTable_.allocate(*instr_id, op.index,
                                           {op.src1, op.src2, op.dest});
         // Synchronous mode drains the table every iteration, so
-        // allocation cannot fail; the capacity still models the
-        // structure.
-        CC_ASSERT(op_entry, "operation table full");
-        for (std::size_t oi = 0; oi < 3; ++oi)
-            opTable_.markFetched(*op_entry, oi);
+        // allocation only fails on undersized configurations; overflow
+        // is survivable -- the op just executes untracked.
+        if (op_entry) {
+            for (std::size_t oi = 0; oi < 3; ++oi)
+                opTable_.markFetched(*op_entry, oi);
+        } else if (stats_) {
+            stats_->counter("cc.op_table_overflows").inc();
+        }
 
         issue_clock += 1;  // command delivery on the shared bus
         Cycles start = issue_clock / params_.commandIssuePerCycle;
         Cycles end;
+
+        // Execute functionally first: the fault ladder's retries,
+        // degradations and refills lengthen this op's occupancy below.
+        if (op_entry)
+            opTable_.markIssued(*op_entry);
+        BlockOpOutcome outcome = performBlockOp(core, instr, op, level);
+        if (op_entry) {
+            opTable_.markDone(*op_entry);
+            opTable_.release(*op_entry);
+        }
+        res.faultRetries += outcome.retries;
+        if (outcome.degradedNearPlace)
+            ++res.faultDegradedOps;
+        if (outcome.riscRecovered)
+            ++res.faultRiscRecoveries;
 
         if (op.inPlace) {
             auto key = std::make_pair(op.cacheIndex, op.partition);
@@ -598,30 +929,29 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
                     energy_->addCacheAccess(level, write * (1.0 - ic));
                 }
             }
+            Cycles busy = params_.inPlaceLatency(level) +
+                outcome.extraLatency;
             if (!power_slots.empty()) {
                 auto slot = std::min_element(power_slots.begin(),
                                              power_slots.end());
                 start = std::max(start, *slot);
-                end = start + params_.inPlaceLatency(level);
+                end = start + busy;
                 *slot = end;
             } else {
-                end = start + params_.inPlaceLatency(level);
+                end = start + busy;
             }
-            partition_free[key] = start + interval;
+            partition_free[key] = start + interval + outcome.extraLatency;
             ++res.inPlaceOps;
         } else {
             start = std::max(start, near_free[op.cacheIndex]);
-            end = start + params_.nearPlace.latency(level);
+            end = start + params_.nearPlace.latency(level) +
+                outcome.extraLatency;
             near_free[op.cacheIndex] = end;
             ++res.nearPlaceOps;
         }
         finish = std::max(finish, end);
 
-        opTable_.markIssued(*op_entry);
-        std::uint64_t mask = performBlockOp(core, instr, op, level);
-        opTable_.markDone(*op_entry);
-        opTable_.release(*op_entry);
-
+        std::uint64_t mask = outcome.mask;
         if (isCcR(instr.op)) {
             std::size_t bits =
                 std::min<std::size_t>(kWordsPerBlock,

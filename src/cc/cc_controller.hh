@@ -25,12 +25,14 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "cc/ecc.hh"
 #include "cc/instruction_table.hh"
 #include "cc/isa.hh"
 #include "cc/key_table.hh"
 #include "cc/near_place_unit.hh"
 #include "cc/operation_table.hh"
 #include "cc/reuse_predictor.hh"
+#include "fault/fault_injector.hh"
 #include "sram/subarray.hh"
 
 namespace ccache::cc {
@@ -102,6 +104,37 @@ struct CcControllerParams
 
     std::size_t instrTableEntries = 8;
     std::size_t opTableEntries = 64;
+
+    /**
+     * Fault injection and the graceful-degradation ladder. With
+     * faults.enabled every sensed operand passes through the injector
+     * and the ECC check unit; detected failures climb the recovery
+     * ladder: in-place retry -> near-place unit (single-row, full
+     * margin) -> discard-and-refill plus RISC recompute. Disabled (the
+     * default), none of the fault code runs and all outputs are
+     * bit-identical to a fault-free build. @{
+     */
+    fault::FaultParams faults;
+
+    /** ECC logic-unit check latency per 64-byte block (Section IV-I
+     *  alternative 1: the xor-identity check unit). */
+    Cycles eccCheckLatency = 3;
+
+    /** Re-sense attempts before degrading to the near-place unit. */
+    unsigned maxFaultRetries = 2;
+
+    /** Background scrubber stops per instruction (0 disables).
+     *  Scrubbing steals idle cycles (Section IV-I alternative 2), so
+     *  its cycles are tracked as a stat, not instruction latency. */
+    unsigned scrubBlocksPerInstr = 4;
+
+    /** Cycles to scrub one block (read + ECC check). */
+    Cycles scrubCheckLatency = 4;
+
+    /** Latency of discarding an uncorrectable line and refilling clean
+     *  data from memory (the final rung's recovery cost). */
+    Cycles faultRefillLatency = 240;
+    /** @} */
 };
 
 /** Outcome of executing one CC instruction. */
@@ -123,6 +156,12 @@ struct CcExecResult
     std::size_t pageSplits = 0;
     std::size_t lockRetries = 0;
     bool riscFallback = false;
+
+    /** Fault-ladder activity (all zero with injection disabled). @{ */
+    std::size_t faultRetries = 0;        ///< re-sense attempts
+    std::size_t faultDegradedOps = 0;    ///< degraded to near-place
+    std::size_t faultRiscRecoveries = 0; ///< discard+refill+RISC blocks
+    /** @} */
 };
 
 /** The controller. One instance serves the whole hierarchy (it models
@@ -160,6 +199,7 @@ class CcController
     /** Tables exposed for inspection in tests. @{ */
     const KeyTable &keyTable() const { return keys_; }
     const ReusePredictor &reusePredictor() const { return reuse_; }
+    const fault::FaultInjector &faultInjector() const { return faults_; }
     /** @} */
 
   private:
@@ -186,10 +226,41 @@ class CcController
                                        CacheLevel level, bool exclusive,
                                        bool for_overwrite);
 
-    /** Execute one block op functionally + charge its energy. Returns
-     *  word-equality mask for cmp/search. */
-    std::uint64_t performBlockOp(CoreId core, const CcInstruction &instr,
-                                 const BlockOp &op, CacheLevel level);
+    /** Outcome of one block op, including fault-ladder effects. */
+    struct BlockOpOutcome
+    {
+        std::uint64_t mask = 0;        ///< cmp/search word-equality bits
+        Cycles extraLatency = 0;       ///< retries, ECC checks, refills
+        unsigned retries = 0;
+        bool degradedNearPlace = false;
+        bool riscRecovered = false;
+    };
+
+    /** Execute one block op functionally + charge its energy. */
+    BlockOpOutcome performBlockOp(CoreId core, const CcInstruction &instr,
+                                  const BlockOp &op, CacheLevel level);
+
+    /**
+     * Fault-ladder rung 0/1: sense both operands through the injector
+     * and the ECC check unit, retrying margin failures and detected-
+     * uncorrectable errors up to maxFaultRetries times. On success the
+     * (possibly corrected, possibly silently corrupted) sensed data is
+     * left in @p a / @p b. Returns false when every attempt failed and
+     * the caller must degrade to the next rung.
+     */
+    bool senseOperands(const BlockOp &op, CacheLevel level, bool dual_row,
+                       Cycles retry_latency, energy::CacheOp retry_op,
+                       Block *a, Block *b, BlockOpOutcome *out);
+
+    /** One operand through the fault model + ECC check unit. Returns
+     *  false on a detected-uncorrectable error. */
+    bool checkOperand(Block *sensed, const Block &truth, Addr addr,
+                      std::uint64_t subarray_id, CacheLevel level,
+                      BlockOpOutcome *out);
+
+    /** Background scrubber: visit a few resident blocks, correct or
+     *  discard latent errors (idle-cycle model, Section IV-I alt 2). */
+    void scrubTick();
 
     /** Optionally verify an in-place op against the circuit model. */
     void verifyAgainstCircuit(const CcInstruction &instr, const Block &a,
@@ -222,6 +293,7 @@ class CcController
     KeyTable keys_;
     NearPlaceUnit nearPlace_;
     ReusePredictor reuse_;
+    fault::FaultInjector faults_;
     ScheduleState sched_;
     std::uint64_t instrSeq_ = 0;
 

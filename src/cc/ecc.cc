@@ -2,7 +2,6 @@
 
 #include <bit>
 
-#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace ccache::cc {
@@ -23,8 +22,10 @@ isParityPos(unsigned pos)
     return (pos & (pos - 1)) == 0;  // 1, 2, 4, ..., 64
 }
 
-/** Map data bit index (0..63) to its code position. */
-unsigned
+/** Map data bit index to its code position; nullopt when the index is
+ *  outside the 64 data bits (total function: a bad index comes from a
+ *  corrupted syndrome, which is a detectable error, not a bug). */
+std::optional<unsigned>
 dataPos(unsigned data_idx)
 {
     // Precomputable, but clarity wins: walk positions skipping parity.
@@ -36,7 +37,7 @@ dataPos(unsigned data_idx)
             return pos;
         ++seen;
     }
-    CC_PANIC("data index out of range: ", data_idx);
+    return std::nullopt;
 }
 
 /** Expand data into a 72-bit position-indexed value (bit pos-1). */
@@ -124,6 +125,12 @@ Secded::decode(std::uint64_t &data, std::uint8_t check)
     for (unsigned p = 1; p < pos; ++p) {
         if (!isParityPos(p))
             ++data_idx;
+    }
+    if (dataPos(data_idx) != pos) {
+        // No data bit maps back to the syndrome position: the syndrome
+        // was forged by a multi-bit error pattern, so report it as
+        // detected-uncorrectable instead of corrupting a healthy bit.
+        return EccStatus::DetectedDoubleBit;
     }
     data ^= std::uint64_t{1} << data_idx;
     return EccStatus::CorrectedSingleBit;

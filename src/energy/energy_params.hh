@@ -94,6 +94,11 @@ struct EnergyParams
      *  cross the H-tree twice plus the logic-unit datapath. */
     EnergyPJ nearPlaceLogicPerBlock = 180.0;
 
+    /** ECC logic-unit check of one 64-byte block (pJ): eight (72,64)
+     *  SECDED syndrome computations plus the correction mux
+     *  (Section IV-I alternative 1). */
+    EnergyPJ eccCheckPerBlock = 90.0;
+
     /** Parameters for the parallel tag-data access ablation:
      *  Section IV-C cites 4.7x L1 read energy for parallel access. */
     double parallelTagDataFactor = 4.7;

@@ -61,12 +61,35 @@ SubArray::checkSamePartition(const BlockLoc &a, const BlockLoc &b) const
               a.partition, " vs ", b.partition, ")");
 }
 
+void
+SubArray::attachFaults(fault::FaultInjector *injector,
+                       std::uint64_t base_id)
+{
+    faults_ = injector;
+    faultBaseId_ = base_id;
+}
+
 BitVector
 SubArray::senseBlock(const BlockLoc &loc)
 {
     auto levels = cells_.activate({loc.row}, params_.wordlineUnderdrive);
     auto full = senseAmps_.senseDifferential(levels);
-    return extractPartition(full, loc.partition);
+    BitVector bits = extractPartition(full, loc.partition);
+
+    // Single-row sensing sees full margin: only cell defects and
+    // in-flight soft errors can corrupt the observed bits.
+    lastSenseFault_ = fault::FaultEvent{};
+    if (faults_ && faults_->enabled()) {
+        Addr cell_key = loc.row * partitions() + loc.partition;
+        fault::FaultEvent stuck =
+            faults_->stuckAtFault(faultBaseId_, cell_key);
+        fault::FaultInjector::corrupt(bits, stuck);
+        fault::FaultEvent transient =
+            faults_->drawOperandFault(faultBaseId_);
+        fault::FaultInjector::corrupt(bits, transient);
+        lastSenseFault_ = transient.none() ? stuck : transient;
+    }
+    return bits;
 }
 
 void
@@ -116,6 +139,18 @@ SubArray::activatePair(const BlockLoc &a, const BlockLoc &b)
                                      a.partition);
     sense.norBits = extractPartition(senseAmps_.senseBLB(levels),
                                      a.partition);
+
+    // Dual-row activation halves the worst-case sense margin: an
+    // injected margin failure flips the weakest column's observation on
+    // both the BL and BLB senses.
+    lastMarginFailed_ = false;
+    if (faults_ && faults_->enabled() &&
+        faults_->drawMarginFailure(faultBaseId_)) {
+        lastMarginFailed_ = true;
+        std::size_t bit = faults_->drawBelow(sense.andBits.size());
+        sense.andBits.set(bit, !sense.andBits.get(bit));
+        sense.norBits.set(bit, !sense.norBits.get(bit));
+    }
     return sense;
 }
 
@@ -291,6 +326,18 @@ SubArray::rawActivate(const std::vector<std::size_t> &rows)
     double margin_bl = senseAmps_.senseMargin(levels.bl);
     double margin_blb = senseAmps_.senseMargin(levels.blb);
     sense.margin = margin_bl < margin_blb ? margin_bl : margin_blb;
+
+    // An injected margin failure collapses the observed margin and
+    // corrupts the weakest column, like amplifier offset noise would.
+    lastMarginFailed_ = false;
+    if (faults_ && faults_->enabled() && rows.size() > 1 &&
+        faults_->drawMarginFailure(faultBaseId_)) {
+        lastMarginFailed_ = true;
+        sense.margin = 0.0;
+        std::size_t bit = faults_->drawBelow(sense.andResult.size());
+        sense.andResult.set(bit, !sense.andResult.get(bit));
+        sense.norResult.set(bit, !sense.norResult.get(bit));
+    }
     return sense;
 }
 

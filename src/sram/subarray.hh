@@ -26,6 +26,7 @@
 
 #include "common/block.hh"
 #include "common/stats.hh"
+#include "fault/fault_injector.hh"
 #include "sram/bitcell_array.hh"
 #include "sram/sense_amp.hh"
 #include "sram/subarray_params.hh"
@@ -132,6 +133,28 @@ class SubArray
     /** Count of executed ops by type, for stats and tests. */
     std::uint64_t opCount(BitlineOp op) const;
 
+    /**
+     * Fault-injection hook (robustness studies): when attached, every
+     * single-row sense passes through the injector's stuck-at and
+     * transient fault models, and every dual-row activation may suffer
+     * a sensing-margin failure that corrupts the sensed AND/NOR bits.
+     * @p base_id identifies this sub-array in the injector's
+     * per-sub-array rate scaling. @{
+     */
+    void attachFaults(fault::FaultInjector *injector,
+                      std::uint64_t base_id = 0);
+    const fault::FaultInjector *faults() const { return faults_; }
+
+    /** True iff the last dual-row activation had a margin failure. */
+    bool lastMarginFailed() const { return lastMarginFailed_; }
+
+    /** Fault injected into the last single-row sense, if any. */
+    const fault::FaultEvent &lastSenseFault() const
+    {
+        return lastSenseFault_;
+    }
+    /** @} */
+
   private:
     /** Column range covered by partition @p p. */
     std::pair<std::size_t, std::size_t> columnRange(std::size_t p) const;
@@ -166,6 +189,11 @@ class SubArray
     SenseAmpArray senseAmps_;
     XorReductionTree xorTree_;
     std::vector<std::uint64_t> opCounts_;
+
+    fault::FaultInjector *faults_ = nullptr;
+    std::uint64_t faultBaseId_ = 0;
+    bool lastMarginFailed_ = false;
+    fault::FaultEvent lastSenseFault_;
 };
 
 } // namespace ccache::sram

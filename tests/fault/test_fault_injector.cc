@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault injector: determinism of the
+ * seeded event stream, purity of the location-hashed stuck-at model,
+ * the latent-error lifecycle driven by background upsets, and the
+ * zero-cost guarantee of the disabled state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
+
+namespace ccache::fault {
+namespace {
+
+FaultParams
+activeParams()
+{
+    FaultParams p;
+    p.enabled = true;
+    p.seed = 42;
+    p.transientPerBlockOp = 0.5;
+    p.doubleBitFraction = 0.2;
+    p.burstFraction = 0.1;
+    p.stuckAtPerBlock = 0.3;
+    p.stuckAtDoubleFraction = 0.5;
+    p.marginFailPerDualRowOp = 0.25;
+    p.backgroundUpsetPerInstr = 1.0;
+    return p;
+}
+
+TEST(FaultInjectorTest, DisabledDrawsNothingAndKeepsNoState)
+{
+    FaultParams p = activeParams();
+    p.enabled = false;
+    FaultInjector inj(p);
+
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(inj.drawOperandFault(7).none());
+        EXPECT_FALSE(inj.drawMarginFailure(7));
+        EXPECT_TRUE(inj.stuckAtFault(7, 0x1000).none());
+        inj.noteResident(0x1000 + i * kBlockSize);
+        inj.backgroundTick();
+    }
+    EXPECT_EQ(inj.transientsInjected(), 0u);
+    EXPECT_EQ(inj.marginFailsInjected(), 0u);
+    EXPECT_EQ(inj.backgroundUpsets(), 0u);
+    EXPECT_EQ(inj.residentBlocks(), 0u);
+    EXPECT_EQ(inj.latentCount(), 0u);
+}
+
+TEST(FaultInjectorTest, EventStreamIsDeterministicForFixedSeed)
+{
+    FaultInjector a(activeParams());
+    FaultInjector b(activeParams());
+
+    for (int i = 0; i < 500; ++i) {
+        FaultEvent ea = a.drawOperandFault(i % 8);
+        FaultEvent eb = b.drawOperandFault(i % 8);
+        EXPECT_EQ(ea.kind, eb.kind);
+        EXPECT_EQ(ea.nbits, eb.nbits);
+        EXPECT_EQ(ea.bits, eb.bits);
+        EXPECT_EQ(a.drawMarginFailure(i % 8), b.drawMarginFailure(i % 8));
+    }
+    EXPECT_EQ(a.transientsInjected(), b.transientsInjected());
+    EXPECT_EQ(a.marginFailsInjected(), b.marginFailsInjected());
+    EXPECT_GT(a.transientsInjected(), 0u);
+    EXPECT_GT(a.marginFailsInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge)
+{
+    FaultParams p2 = activeParams();
+    p2.seed = 43;
+    FaultInjector a(activeParams());
+    FaultInjector b(p2);
+
+    bool diverged = false;
+    for (int i = 0; i < 200 && !diverged; ++i) {
+        FaultEvent ea = a.drawOperandFault(0);
+        FaultEvent eb = b.drawOperandFault(0);
+        diverged = ea.kind != eb.kind || ea.bits != eb.bits;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, TransientKindsFollowConfiguredFractions)
+{
+    FaultParams p = activeParams();
+    p.transientPerBlockOp = 1.0;
+    FaultInjector inj(p);
+
+    int singles = 0, doubles = 0, bursts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        FaultEvent ev = inj.drawOperandFault(0);
+        ASSERT_FALSE(ev.none());
+        switch (ev.kind) {
+          case FaultKind::TransientSingle:
+            EXPECT_EQ(ev.nbits, 1u);
+            ++singles;
+            break;
+          case FaultKind::TransientDouble: {
+            EXPECT_EQ(ev.nbits, 2u);
+            EXPECT_NE(ev.bits[0], ev.bits[1]);
+            EXPECT_EQ(ev.bits[0] / 64, ev.bits[1] / 64);  // same word
+            ++doubles;
+            break;
+          }
+          case FaultKind::TransientBurst:
+            EXPECT_EQ(ev.nbits, 3u);
+            EXPECT_EQ(ev.bits[0] / 64, ev.bits[2] / 64);  // same word
+            EXPECT_EQ(ev.bits[1], ev.bits[0] + 1);
+            EXPECT_EQ(ev.bits[2], ev.bits[0] + 2);
+            ++bursts;
+            break;
+          default:
+            FAIL() << "unexpected kind";
+        }
+        for (unsigned j = 0; j < ev.nbits; ++j)
+            EXPECT_LT(ev.bits[j], 8 * kBlockSize);
+    }
+    // 70% singles / 20% doubles / 10% bursts, with slack.
+    EXPECT_NEAR(singles / 2000.0, 0.7, 0.05);
+    EXPECT_NEAR(doubles / 2000.0, 0.2, 0.05);
+    EXPECT_NEAR(bursts / 2000.0, 0.1, 0.05);
+}
+
+TEST(FaultInjectorTest, StuckAtIsPureAndClearedByRemap)
+{
+    FaultParams p = activeParams();
+    p.stuckAtPerBlock = 1.0;
+    FaultInjector inj(p);
+
+    FaultEvent first = inj.stuckAtFault(3, 0x4000);
+    ASSERT_EQ(first.kind, FaultKind::StuckAt);
+    for (int i = 0; i < 10; ++i) {
+        FaultEvent again = inj.stuckAtFault(3, 0x4000);
+        EXPECT_EQ(again.nbits, first.nbits);
+        EXPECT_EQ(again.bits, first.bits);
+    }
+    // Another location draws an independent defect pattern.
+    FaultEvent other = inj.stuckAtFault(3, 0x8000);
+    EXPECT_TRUE(other.bits != first.bits || other.nbits != first.nbits);
+
+    // After discard-and-refill the line sits in fresh cells.
+    inj.remap(0x4000);
+    EXPECT_TRUE(inj.isRemapped(0x4000));
+    EXPECT_TRUE(inj.stuckAtFault(3, 0x4000).none());
+    EXPECT_FALSE(inj.stuckAtFault(3, 0x8000).none());
+}
+
+TEST(FaultInjectorTest, CorruptIsItsOwnInverse)
+{
+    FaultParams p = activeParams();
+    p.transientPerBlockOp = 1.0;
+    FaultInjector inj(p);
+
+    Block blk{};
+    for (std::size_t i = 0; i < kBlockSize; ++i)
+        blk[i] = static_cast<std::uint8_t>(i * 37);
+    const Block orig = blk;
+
+    FaultEvent ev = inj.drawOperandFault(0);
+    FaultInjector::corrupt(blk, ev);
+    EXPECT_NE(blk, orig);
+    FaultInjector::corrupt(blk, ev);
+    EXPECT_EQ(blk, orig);
+}
+
+TEST(FaultInjectorTest, WeakSubarraysScaleRates)
+{
+    FaultParams p;
+    p.enabled = true;
+    p.seed = 7;
+    p.weakSubarrayFraction = 0.25;
+    p.weakSubarrayScale = 4.0;
+    FaultInjector inj(p);
+
+    int weak = 0;
+    const int kArrays = 4000;
+    for (int i = 0; i < kArrays; ++i) {
+        double scale = inj.rateScale(i);
+        EXPECT_TRUE(scale == 1.0 || scale == 4.0);
+        if (scale == 4.0)
+            ++weak;
+        // The selection is a pure hash: stable across calls.
+        EXPECT_EQ(inj.rateScale(i), scale);
+    }
+    EXPECT_NEAR(weak / static_cast<double>(kArrays), 0.25, 0.03);
+}
+
+TEST(FaultInjectorTest, BackgroundUpsetsAccumulateAndEscalate)
+{
+    FaultParams p;
+    p.enabled = true;
+    p.seed = 11;
+    p.backgroundUpsetPerInstr = 1.0;
+    FaultInjector inj(p);
+
+    // No residents: ticks are no-ops.
+    inj.backgroundTick();
+    EXPECT_EQ(inj.backgroundUpsets(), 0u);
+
+    inj.noteResident(0x1000);
+    inj.noteResident(0x1000);  // duplicate collapses
+    EXPECT_EQ(inj.residentBlocks(), 1u);
+
+    inj.backgroundTick();
+    EXPECT_EQ(inj.backgroundUpsets(), 1u);
+    const FaultEvent *ev = inj.latentAt(0x1000);
+    ASSERT_NE(ev, nullptr);
+    EXPECT_EQ(ev->nbits, 1u);
+
+    // Repeated strikes on the only resident block escalate within the
+    // same word, up to a burst, modelling the scrub-interval exposure.
+    for (int i = 0; i < 64; ++i)
+        inj.backgroundTick();
+    ev = inj.latentAt(0x1000);
+    ASSERT_NE(ev, nullptr);
+    EXPECT_GE(ev->nbits, 2u);
+    EXPECT_LE(ev->nbits, 3u);
+    for (unsigned i = 1; i < ev->nbits; ++i)
+        EXPECT_EQ(ev->bits[i] / 64, ev->bits[0] / 64);
+
+    inj.clearLatent(0x1000);
+    EXPECT_EQ(inj.latentAt(0x1000), nullptr);
+    EXPECT_EQ(inj.latentCount(), 0u);
+}
+
+TEST(FaultInjectorTest, ScrubberWalksResidentsRoundRobin)
+{
+    FaultParams p;
+    p.enabled = true;
+    p.seed = 13;
+    p.backgroundUpsetPerInstr = 1.0;
+    FaultInjector inj(p);
+
+    for (int i = 0; i < 8; ++i)
+        inj.noteResident(0x2000 + i * kBlockSize);
+    inj.backgroundTick();  // plant one latent error somewhere
+    ASSERT_EQ(inj.latentCount(), 1u);
+
+    // A full sweep of 8 blocks (two visits of 4) must find the error.
+    std::size_t visited = 0;
+    auto hits = inj.scrubVisit(4, &visited);
+    EXPECT_EQ(visited, 4u);
+    auto hits2 = inj.scrubVisit(4, &visited);
+    EXPECT_EQ(visited, 4u);
+    EXPECT_EQ(hits.size() + hits2.size(), 1u);
+
+    const auto &hit = hits.empty() ? hits2.front() : hits.front();
+    EXPECT_NE(inj.latentAt(hit.addr), nullptr);
+    EXPECT_EQ(hit.event.nbits, 1u);
+}
+
+TEST(FaultInjectorTest, ValidateRejectsBadRates)
+{
+    FaultParams p;
+    p.transientPerBlockOp = 1.5;
+    EXPECT_THROW(p.validate(), FatalError);
+
+    FaultParams q;
+    q.doubleBitFraction = 0.8;
+    q.burstFraction = 0.5;  // fractions sum past 1
+    EXPECT_THROW(q.validate(), FatalError);
+
+    FaultParams r;
+    r.weakSubarrayScale = -1.0;
+    EXPECT_THROW(r.validate(), FatalError);
+}
+
+TEST(FaultInjectorTest, SubarrayIdsAreDistinctAcrossLevels)
+{
+    auto a = subarrayId(CacheLevel::L1, 0, 0);
+    auto b = subarrayId(CacheLevel::L2, 0, 0);
+    auto c = subarrayId(CacheLevel::L3, 0, 0);
+    auto d = subarrayId(CacheLevel::L3, 1, 0);
+    auto e = subarrayId(CacheLevel::L3, 0, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(c, d);
+    EXPECT_NE(c, e);
+    EXPECT_NE(d, e);
+}
+
+} // namespace
+} // namespace ccache::fault
