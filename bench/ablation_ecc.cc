@@ -36,6 +36,12 @@ main()
                 "word pairs\n",
                 holds, trials);
 
+    bench::ResultsWriter results("ablation_ecc");
+    results.config("trials", static_cast<double>(trials));
+    results.metric("xor_identity.holds_fraction",
+                   static_cast<double>(holds) /
+                       static_cast<double>(trials));
+
     energy::EnergyParams ep;
     double xor_extra =
         ep.cacheOpEnergy(CacheLevel::L3, energy::CacheOp::Read) +
@@ -48,6 +54,8 @@ main()
     std::printf("  -> %.0f%% energy overhead on every in-place logical "
                 "operation\n\n",
                 100.0 * xor_extra / logic);
+    results.metric("xor_check.extra_pj", xor_extra);
+    results.metric("xor_check.overhead_fraction", xor_extra / logic);
 
     // Alternative 2: scrubbing.
     std::printf("%-14s %16s %24s\n", "interval", "cycle overhead",
@@ -59,7 +67,13 @@ main()
         std::printf("%10.0f ms %15.4f%% %24.2e\n", interval_ms,
                     100.0 * m.cycleOverhead(),
                     m.expectedErrorsPerInterval());
+        std::string key = "scrub_" + std::to_string(
+            static_cast<int>(interval_ms)) + "ms";
+        results.metric(key + ".cycle_overhead", m.cycleOverhead());
+        results.metric(key + ".expected_errors",
+                       m.expectedErrorsPerInterval());
     }
+    results.write();
 
     bench::rule();
     bench::note("With 0.7-7 soft errors/year, scrubbing at 100 ms costs");

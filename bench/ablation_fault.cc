@@ -92,6 +92,25 @@ main()
 
     RunResult base = runWorkload(fault::FaultParams{});
 
+    bench::ResultsWriter results("ablation_fault");
+    results.config("instructions", kInstrs);
+    results.config("operand_bytes", kLen);
+    auto record = [&results](const std::string &key, const RunResult &a,
+                             const RunResult &base) {
+        results.metric(key + ".slowdown",
+                       static_cast<double>(a.latency) /
+                           static_cast<double>(base.latency));
+        results.metric(key + ".energy_ratio",
+                       a.energy_pj / base.energy_pj);
+        results.metric(key + ".retries", static_cast<double>(a.retries));
+        results.metric(key + ".degraded",
+                       static_cast<double>(a.degraded));
+        results.metric(key + ".risc_recoveries",
+                       static_cast<double>(a.risc));
+        results.metric(key + ".silent_corruptions",
+                       static_cast<double>(a.silent));
+    };
+
     std::printf("workload: %d instructions x %zu bytes (xor/and/copy "
                 "mix), seed fixed\n"
                 "ladder: SECDED check -> retry x2 -> near-place -> "
@@ -140,6 +159,9 @@ main()
                     static_cast<unsigned long long>(a.risc),
                     static_cast<unsigned long long>(a.silent),
                     static_cast<unsigned long long>(a.scrubbed));
+        char key[48];
+        std::snprintf(key, sizeof key, "transient_%.0e", rate);
+        record(key, a, base);
     }
 
     // Defect-dominated sweep: stuck cells persist across retries, so
@@ -180,7 +202,11 @@ main()
                     static_cast<unsigned long long>(a.risc),
                     static_cast<unsigned long long>(a.silent),
                     static_cast<unsigned long long>(a.scrubbed));
+        char key[48];
+        std::snprintf(key, sizeof key, "stuck_%.0e", rate);
+        record(key, a, base);
     }
+    results.write();
 
     bench::rule();
     bench::note("slowdown/energy are relative to the injection-disabled");

@@ -68,12 +68,19 @@ main()
                 "dynamic (nJ)", "near-place ops");
     bench::rule();
 
+    bench::ResultsWriter results("ablation_locality");
     Outcome aligned = runMix(0);
     for (int mis : {0, 2, 4, 6, 8}) {
         Outcome o = runMix(mis);
         std::printf("%17d%% %10llu %14.0f %14zu\n", mis * 100 / 8,
                     static_cast<unsigned long long>(o.cycles), o.dyn_nj,
                     o.near_ops);
+        std::string key =
+            "misaligned_" + std::to_string(mis * 100 / 8) + "pct";
+        results.metric(key + ".cycles", static_cast<double>(o.cycles));
+        results.metric(key + ".dynamic_nj", o.dyn_nj);
+        results.metric(key + ".near_place_ops",
+                       static_cast<double>(o.near_ops));
     }
 
     Outcome broken = runMix(8);
@@ -83,6 +90,12 @@ main()
                 static_cast<double>(broken.cycles) /
                     static_cast<double>(aligned.cycles),
                 broken.dyn_nj / aligned.dyn_nj);
+    results.metric("fully_misaligned.cycle_ratio",
+                   static_cast<double>(broken.cycles) /
+                       static_cast<double>(aligned.cycles));
+    results.metric("fully_misaligned.energy_ratio",
+                   broken.dyn_nj / aligned.dyn_nj);
+    results.write();
     bench::note("Page alignment is cheap for software (Section IV-C) and");
     bench::note("protects the entire in-place advantage; every misaligned");
     bench::note("operation falls back to the serialized near-place unit.");

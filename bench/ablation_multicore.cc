@@ -62,10 +62,14 @@ main()
                 "scaling");
     bench::rule();
 
+    bench::ResultsWriter results("ablation_multicore");
     double base = runCores(1);
     for (unsigned cores : {1u, 2u, 4u, 8u}) {
         double thpt = runCores(cores);
         std::printf("%8u %22.2f %9.2fx\n", cores, thpt, thpt / base);
+        std::string key = "copy_" + std::to_string(cores) + "core";
+        results.metric(key + ".gblockops", thpt);
+        results.metric(key + ".scaling", thpt / base);
     }
 
     bench::rule();
@@ -96,8 +100,16 @@ main()
                         static_cast<unsigned long long>(r.cycles),
                         static_cast<double>(base_cycles) /
                             static_cast<double>(r.cycles));
+            std::string key = "dbbitmap_" + std::to_string(cores) +
+                "core";
+            results.metric(key + ".makespan_cycles",
+                           static_cast<double>(r.cycles));
+            results.metric(key + ".scaling",
+                           static_cast<double>(base_cycles) /
+                               static_cast<double>(r.cycles));
         }
     }
+    results.write();
     bench::note("Independent queries over the shared read-only index "
                 "parallelize");
     bench::note("across cores and slices with no coherence traffic on "

@@ -45,6 +45,9 @@ main()
     std::printf("%10s %12s %14s\n", "cap", "cycles", "vs uncapped");
     bench::rule();
 
+    bench::ResultsWriter results("ablation_power_cap");
+    results.config("copy_bytes", 16384);
+
     Cycles uncapped = runWithCap(0);
     for (unsigned cap : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 0u}) {
         Cycles c = runWithCap(cap);
@@ -53,7 +56,14 @@ main()
                     static_cast<unsigned long long>(c),
                     static_cast<double>(c) /
                         static_cast<double>(uncapped));
+        std::string key = cap == 0 ? "cap_none"
+                                   : "cap_" + std::to_string(cap);
+        results.metric(key + ".cycles", static_cast<double>(c));
+        results.metric(key + ".slowdown_vs_uncapped",
+                       static_cast<double>(c) /
+                           static_cast<double>(uncapped));
     }
+    results.write();
 
     bench::rule();
     bench::note("The shared command bus already serializes issue, so the "

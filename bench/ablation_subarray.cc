@@ -24,6 +24,10 @@ main()
     params.rows = 128;
     params.cols = 512;
 
+    bench::ResultsWriter results("ablation_subarray");
+    results.config("rows", params.rows);
+    results.config("cols", params.cols);
+
     std::printf("%8s %14s %16s %14s\n", "rows", "sense margin",
                 "MC fail rate", "data intact");
     bench::rule();
@@ -57,7 +61,12 @@ main()
 
         std::printf("%8u %13.3f %16.2e %14s\n", nrows, sense.margin,
                     fail, intact ? "yes" : "CORRUPTED");
+        std::string key = "rows_" + std::to_string(nrows);
+        results.metric(key + ".sense_margin", sense.margin);
+        results.metric(key + ".mc_fail_rate", fail);
+        results.metric(key + ".data_intact", intact ? 1 : 0);
     }
+    results.write();
 
     bench::rule();
     bench::note("With word-line underdrive, up to 64 simultaneously "

@@ -30,6 +30,11 @@ main()
                 parallel_read, ep.parallelTagDataFactor);
     std::printf("paper performance cost of serial access: ~2.5%%\n\n");
 
+    bench::ResultsWriter results("ablation_tagdata");
+    results.metric("l1.serial_read_pj", serial_read);
+    results.metric("l1.parallel_read_pj", parallel_read);
+    results.metric("l1.parallel_factor", ep.parallelTagDataFactor);
+
     std::printf("%-12s %20s %20s\n", "L1 hit rate", "serial (pJ/access)",
                 "parallel (pJ/access)");
     bench::rule();
@@ -41,7 +46,12 @@ main()
             (1.0 - hit) * parallel_read;  // reads ways regardless
         std::printf("%10.0f%% %20.0f %20.0f\n", hit * 100.0, serial,
                     parallel);
+        std::string key = "hit_" +
+            std::to_string(static_cast<int>(hit * 100.0)) + "pct";
+        results.metric(key + ".serial_pj_per_access", serial);
+        results.metric(key + ".parallel_pj_per_access", parallel);
     }
+    results.write();
 
     bench::rule();
     bench::note("Parallel tag-data access burns the full multi-way read "

@@ -1,17 +1,43 @@
 /**
  * @file
- * Shared table-printing helpers for the experiment benches. Each bench
- * binary regenerates one table or figure of the paper and prints the
- * corresponding rows/series plus the paper's reference values.
+ * Shared experiment-bench runner utilities.
+ *
+ * Every bench binary regenerates one table or figure of the paper. Two
+ * output surfaces are produced per run:
+ *
+ *  - the historical human-readable tables on stdout (header/rule/note),
+ *    still what EXPERIMENTS.md quotes; and
+ *  - a machine-comparable JSON result file, written by ResultsWriter to
+ *    `results/<bench>.json` (override the directory with
+ *    $CCACHE_RESULTS_DIR). The file carries a schema version, the git
+ *    revision, the bench's key metrics and optional full stats dumps,
+ *    so runs are diffable across commits with `tools/ccstat`.
+ *
+ * Result-file schema (version kBenchResultsVersion; see DESIGN.md §7):
+ *
+ *     { "schema": "ccache-bench-results", "version": 1,
+ *       "bench": "<name>", "git_sha": "<sha or unknown>",
+ *       "config": { "<key>": <value>, ... },
+ *       "metrics": { "<metric>": <number>, ... },
+ *       "stats": { "<label>": <StatRegistry::dumpJson()>, ... } }
  */
 
 #ifndef CCACHE_BENCH_BENCH_UTIL_HH
 #define CCACHE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "common/json.hh"
+#include "common/stats.hh"
+
 namespace bench {
+
+/** Version of the bench-results JSON schema (see file header). */
+inline constexpr int kBenchResultsVersion = 1;
 
 inline void
 header(const std::string &title)
@@ -35,6 +61,116 @@ rule()
     std::printf("----------------------------------------------------"
                 "------------------\n");
 }
+
+/** Directory for result files: $CCACHE_RESULTS_DIR or ./results. */
+inline std::string
+resultsDir()
+{
+    const char *env = std::getenv("CCACHE_RESULTS_DIR");
+    return env && *env ? env : "results";
+}
+
+/** Current git revision (short), or "unknown" outside a work tree. */
+inline std::string
+gitSha()
+{
+    std::string sha = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof buf, p)) {
+            sha.assign(buf);
+            while (!sha.empty() && (sha.back() == '\n' || sha.back() == ' '))
+                sha.pop_back();
+        }
+        ::pclose(p);
+        if (sha.empty())
+            sha = "unknown";
+    }
+#endif
+    return sha;
+}
+
+/**
+ * Accumulates one bench run's machine-readable output and writes the
+ * schema-versioned JSON result file. Typical use:
+ *
+ *     bench::ResultsWriter results("fig7_microbench");
+ *     results.config("operand_bytes", 4096);
+ *     results.metric("copy.speedup", speedup);
+ *     results.stats("cc_copy", sys.stats());
+ *     results.write();   // -> results/fig7_microbench.json
+ */
+class ResultsWriter
+{
+  public:
+    explicit ResultsWriter(std::string bench_name)
+        : name_(std::move(bench_name))
+    {
+        doc_["schema"] = "ccache-bench-results";
+        doc_["version"] = kBenchResultsVersion;
+        doc_["bench"] = name_;
+        doc_["git_sha"] = gitSha();
+        doc_["config"] = ccache::Json::object();
+        doc_["metrics"] = ccache::Json::object();
+        doc_["stats"] = ccache::Json::object();
+    }
+
+    /** Record one configuration fact (what was run). */
+    void config(const std::string &key, ccache::Json value)
+    {
+        doc_["config"][key] = std::move(value);
+    }
+
+    /** Record one headline number (what came out). Metric names follow
+     *  the stats convention: `<series>.<quantity>`, e.g. "copy.speedup". */
+    void metric(const std::string &name, double value)
+    {
+        doc_["metrics"][name] = value;
+    }
+
+    /** Embed a full stats dump under @p label (one per configuration). */
+    void stats(const std::string &label, const ccache::StatRegistry &reg)
+    {
+        doc_["stats"][label] = reg.dumpJson();
+    }
+
+    /** Same, for a dump captured earlier (registry no longer alive). */
+    void statsJson(const std::string &label, ccache::Json dump)
+    {
+        doc_["stats"][label] = std::move(dump);
+    }
+
+    /** Attach an arbitrary extra section (e.g. trace-file pointers). */
+    void extra(const std::string &key, ccache::Json value)
+    {
+        doc_[key] = std::move(value);
+    }
+
+    /**
+     * Write `<resultsDir()>/<bench>.json` (directory created on demand)
+     * and print where it landed. Returns the path, empty on failure.
+     */
+    std::string write()
+    {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::create_directories(resultsDir(), ec);
+        std::string path = resultsDir() + "/" + name_ + ".json";
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return "";
+        }
+        out << doc_.dump(2) << "\n";
+        std::printf("\nresults: %s\n", path.c_str());
+        return path;
+    }
+
+  private:
+    std::string name_;
+    ccache::Json doc_;
+};
 
 } // namespace bench
 

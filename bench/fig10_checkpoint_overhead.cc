@@ -19,10 +19,14 @@ main()
     CheckpointConfig cfg;
     cfg.intervals = 40;
 
+    bench::ResultsWriter results("fig10_checkpoint_overhead");
+    results.config("intervals", cfg.intervals);
+
     std::printf("%-11s %9s %9s %9s\n", "benchmark", "Base", "Base_32",
                 "CC_L3");
     bench::rule();
 
+    const char *engines[] = {"base", "base32", "cc_l3"};
     double sum[3] = {0, 0, 0};
     auto apps = workload::allSplashApps();
     for (auto app : apps) {
@@ -34,6 +38,9 @@ main()
             auto res = ck.run(sys, e);
             overhead[m] = res.overheadPct();
             sum[m] += overhead[m];
+            results.metric(std::string(workload::toString(app)) + "." +
+                               engines[m] + ".overhead_pct",
+                           overhead[m]);
             ++m;
         }
         std::printf("%-11s %8.1f%% %8.1f%% %8.1f%%\n",
@@ -45,6 +52,11 @@ main()
     std::printf("%-11s %8.1f%% %8.1f%% %8.1f%%\n", "average",
                 sum[0] / apps.size(), sum[1] / apps.size(),
                 sum[2] / apps.size());
+    for (int m = 0; m < 3; ++m)
+        results.metric(std::string("average.") + engines[m] +
+                           ".overhead_pct",
+                       sum[m] / apps.size());
+    results.write();
     bench::note("");
     bench::note("Paper: up to 68% without SIMD, 30% average with Base_32,");
     bench::note("and a mere 6% with Compute Caches (perfect operand");

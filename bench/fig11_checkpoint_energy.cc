@@ -24,7 +24,11 @@ main()
                 "uncore-st", "total");
     bench::rule();
 
+    bench::ResultsWriter results("fig11_checkpoint_energy");
+    results.config("intervals", cfg.intervals);
+
     const char *labels[] = {"no_chkpt", "Base", "Base_32", "CC_L3"};
+    const char *keys[] = {"no_chkpt", "base", "base32", "cc_l3"};
 
     for (auto app : workload::allSplashApps()) {
         for (int mode = 0; mode < 4; ++mode) {
@@ -40,8 +44,12 @@ main()
                         labels[mode], t.coreDynamic / 1e6,
                         t.uncoreDynamic / 1e6, t.coreStatic / 1e6,
                         t.uncoreStatic / 1e6, t.total() / 1e6);
+            results.metric(std::string(workload::toString(app)) + "." +
+                               keys[mode] + ".total_uj",
+                           t.total() / 1e6);
         }
     }
+    results.write();
 
     bench::rule();
     bench::note("Paper: checkpointing energy overhead nearly disappears "

@@ -69,8 +69,13 @@ main()
     bench::header("Figure 3: energy proportions, bulk compare of 4 KB "
                   "operands");
 
+    bench::ResultsWriter results("fig3_energy_proportions");
+    results.config("operand_bytes", kN);
+    results.config("kernel", "compare");
+
     const char *names[] = {"Scalar core", "SIMD core (Base_32)",
                            "Compute Cache"};
+    const char *keys[] = {"scalar", "simd32", "cc_l3"};
     std::printf("%-22s %12s %12s %14s\n", "configuration", "core %",
                 "movement %", "total (nJ)");
     bench::rule();
@@ -82,9 +87,15 @@ main()
             scalar_total = p.total_nj;
         std::printf("%-22s %11.1f%% %11.1f%% %14.1f\n", names[mode],
                     100.0 * p.core, 100.0 * p.movement, p.total_nj);
+        std::string key = keys[mode];
+        results.metric(key + ".core_fraction", p.core);
+        results.metric(key + ".movement_fraction", p.movement);
+        results.metric(key + ".dynamic_total_nj", p.total_nj);
         if (mode == 2) {
             std::printf("%-22s %37.1fx vs scalar\n", "  total reduction",
                         scalar_total / p.total_nj);
+            results.metric("cc_l3.reduction_vs_scalar",
+                           scalar_total / p.total_nj);
         }
     }
 
@@ -93,5 +104,6 @@ main()
     bench::note("movement (<1% ALU); SIMD cuts the instruction share; CC");
     bench::note("reduces instruction processing by an order of magnitude");
     bench::note("and eliminates the data movement.");
+    results.write();
     return 0;
 }

@@ -31,8 +31,15 @@ struct Run
     energy::EnergyTotals totals;
 };
 
+/**
+ * Run one kernel on Base_32 or CC_L3. @p stats_out, when non-null,
+ * receives the run's full stats dump (for the JSON result file);
+ * @p trace_path, when non-null, enables the event-trace sink for the
+ * run and writes a Chrome trace-event file there.
+ */
 Run
-runKernel(BulkKernel kernel, bool use_cc)
+runKernel(BulkKernel kernel, bool use_cc, Json *stats_out = nullptr,
+          const char *trace_path = nullptr)
 {
     System sys;
     std::vector<std::uint8_t> da(kN), db(kN);
@@ -49,6 +56,8 @@ runKernel(BulkKernel kernel, bool use_cc)
         sys.warm(CacheLevel::L3, 0, a, kN);
     sys.warm(CacheLevel::L3, 0, kKey, 64);
     sys.resetMetrics();
+    if (trace_path)
+        sys.trace().enable();
 
     Addr b = kernel == BulkKernel::Search ? kKey : kB;
     Run run;
@@ -61,6 +70,10 @@ runKernel(BulkKernel kernel, bool use_cc)
     sys.advance(0, run.kernel.cycles);
     run.dyn = sys.energy().dynamic();
     run.totals = sys.totals();
+    if (stats_out)
+        *stats_out = sys.stats().dumpJson();
+    if (trace_path)
+        sys.trace().writeFile(trace_path);
     return run;
 }
 
@@ -73,6 +86,11 @@ main()
                                   BulkKernel::Search,
                                   BulkKernel::LogicalOr};
 
+    bench::ResultsWriter results("fig7_microbench");
+    results.config("operand_bytes", kN);
+    results.config("cc_level", "L3");
+    results.config("baseline", "Base_32");
+
     bench::header("Figure 7a: throughput, 4 KB operands in L3 "
                   "(Mblock-ops/s)");
     std::printf("%-9s %14s %14s %10s\n", "kernel", "Base_32", "CC_L3",
@@ -81,10 +99,13 @@ main()
     double ratio_product = 1.0;
     std::vector<Run> base_runs, cc_runs;
     for (BulkKernel k : kernels) {
+        Json cc_stats;
         Run base = runKernel(k, false);
-        Run cc = runKernel(k, true);
+        Run cc = runKernel(k, true, &cc_stats);
         base_runs.push_back(base);
         cc_runs.push_back(cc);
+        results.statsJson(std::string("cc_") + toString(k),
+                          std::move(cc_stats));
         double speedup = base.kernel.blockOpsPerSecond() == 0.0
             ? 0.0
             : cc.kernel.blockOpsPerSecond() /
@@ -93,9 +114,16 @@ main()
         std::printf("%-9s %14.0f %14.0f %9.1fx\n", toString(k),
                     base.kernel.blockOpsPerSecond() / 1e6,
                     cc.kernel.blockOpsPerSecond() / 1e6, speedup);
+        std::string key = toString(k);
+        results.metric(key + ".base32_mblockops",
+                       base.kernel.blockOpsPerSecond() / 1e6);
+        results.metric(key + ".cc_mblockops",
+                       cc.kernel.blockOpsPerSecond() / 1e6);
+        results.metric(key + ".speedup", speedup);
     }
     std::printf("%-9s %39.1fx (paper: 54x)\n", "geomean",
                 std::pow(ratio_product, 0.25));
+    results.metric("geomean.speedup", std::pow(ratio_product, 0.25));
 
     bench::header("Figure 7b: dynamic energy (nJ), by component");
     std::printf("%-9s %-8s %9s %13s %10s %8s %9s %9s\n", "kernel", "cfg",
@@ -135,5 +163,36 @@ main()
     }
     bench::note("Paper: 91% average total-energy saving across the four "
                 "kernels.");
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::string key = toString(kernels[i]);
+        results.metric(key + ".base32_dynamic_nj",
+                       base_runs[i].dyn.dynamicTotal() / 1e3);
+        results.metric(key + ".cc_dynamic_nj",
+                       cc_runs[i].dyn.dynamicTotal() / 1e3);
+        results.metric(key + ".dynamic_saving_fraction",
+                       1.0 - cc_runs[i].dyn.dynamicTotal() /
+                           base_runs[i].dyn.dynamicTotal());
+        results.metric(key + ".base32_total_nj",
+                       base_runs[i].totals.total() / 1e3);
+        results.metric(key + ".cc_total_nj",
+                       cc_runs[i].totals.total() / 1e3);
+        results.metric(key + ".total_saving_fraction",
+                       1.0 - cc_runs[i].totals.total() /
+                           base_runs[i].totals.total());
+    }
+
+    // One extra traced CC copy run: the Chrome trace-event timeline that
+    // EXPERIMENTS.md loads into Perfetto.
+    std::error_code ec;
+    std::filesystem::create_directories(bench::resultsDir(), ec);
+    std::string trace_path =
+        bench::resultsDir() + "/fig7_microbench.trace.json";
+    runKernel(BulkKernel::Copy, true, nullptr, trace_path.c_str());
+    std::printf("trace:   %s (load in https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+    results.extra("trace_file", trace_path);
+
+    results.write();
     return 0;
 }

@@ -56,6 +56,9 @@ main()
     bench::header("Figure 8b: dynamic-energy savings per cache level, "
                   "4 KB operands");
 
+    bench::ResultsWriter results("fig8_cache_levels");
+    results.config("operand_bytes", kN);
+
     std::printf("%-9s %12s %14s %14s %10s\n", "kernel", "level",
                 "Base_32 (nJ)", "CC (nJ)", "saving");
     bench::rule();
@@ -69,8 +72,14 @@ main()
             std::printf("%-9s %12s %14.0f %14.0f %9.0f%%\n", toString(k),
                         toString(level), base / 1e3, cc / 1e3,
                         100.0 * (1.0 - cc / base));
+            std::string key = std::string(toString(k)) + "." +
+                toString(level);
+            results.metric(key + ".base32_dynamic_nj", base / 1e3);
+            results.metric(key + ".cc_dynamic_nj", cc / 1e3);
+            results.metric(key + ".saving_fraction", 1.0 - cc / base);
         }
     }
+    results.write();
 
     bench::rule();
     bench::note("Paper: absolute savings are largest at L3, but CC at L1 "

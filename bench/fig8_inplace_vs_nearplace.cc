@@ -64,6 +64,10 @@ main()
     bench::header("Figure 8a: in-place vs near-place Compute Cache, "
                   "4 KB operands");
 
+    bench::ResultsWriter results("fig8_inplace_vs_nearplace");
+    results.config("operand_bytes", kN);
+    results.config("cc_level", "L3");
+
     std::printf("%-9s %16s %16s %13s %13s\n", "kernel",
                 "in-place E (nJ)", "near-place E (nJ)", "E ratio",
                 "thpt ratio");
@@ -83,12 +87,22 @@ main()
         std::printf("%-9s %16.0f %16.0f %12.1fx %12.1fx\n", toString(k),
                     in_place.totals.total() / 1e3,
                     near_place.totals.total() / 1e3, e_ratio, t_ratio);
+        std::string key = toString(k);
+        results.metric(key + ".inplace_total_nj",
+                       in_place.totals.total() / 1e3);
+        results.metric(key + ".nearplace_total_nj",
+                       near_place.totals.total() / 1e3);
+        results.metric(key + ".energy_ratio", e_ratio);
+        results.metric(key + ".throughput_ratio", t_ratio);
     }
 
     bench::rule();
     std::printf("geomean: energy advantage %.1fx, throughput advantage "
                 "%.1fx\n",
                 std::pow(e_product, 0.25), std::pow(t_product, 0.25));
+    results.metric("geomean.energy_ratio", std::pow(e_product, 0.25));
+    results.metric("geomean.throughput_ratio", std::pow(t_product, 0.25));
+    results.write();
     bench::note("Paper (Section VI-D): in-place gives 3.6x total energy "
                 "and 16x");
     bench::note("throughput over near-place for 4 KB operands; near-place "

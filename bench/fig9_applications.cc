@@ -88,6 +88,9 @@ main()
         outcomes.push_back(runApp("DB-BitMap", app, 1.6));
     }
 
+    bench::ResultsWriter results("fig9_applications");
+    results.config("baseline", "Base_32");
+
     std::printf("%-12s %9s %14s %12s %11s\n", "application", "speedup",
                 "energy ratio", "instr red.", "functional");
     bench::rule();
@@ -98,11 +101,21 @@ main()
         std::printf("%-12s %8.2fx %13.2fx %11.0f%% %11s\n", o.name,
                     o.speedup, o.energyRatio, o.instrReduction,
                     o.functional ? "match" : "MISMATCH");
+        std::string key = o.name;
+        results.metric(key + ".speedup", o.speedup);
+        results.metric(key + ".energy_ratio", o.energyRatio);
+        results.metric(key + ".instr_reduction_pct", o.instrReduction);
+        results.metric(key + ".functional_match", o.functional ? 1 : 0);
     }
     bench::rule();
     std::printf("%-12s %8.2fx %13.2fx\n", "geomean",
                 std::pow(s_prod, 1.0 / outcomes.size()),
                 std::pow(e_prod, 1.0 / outcomes.size()));
+    results.metric("geomean.speedup",
+                   std::pow(s_prod, 1.0 / outcomes.size()));
+    results.metric("geomean.energy_ratio",
+                   std::pow(e_prod, 1.0 / outcomes.size()));
+    results.write();
 
     bench::note("");
     bench::note("Paper (Figure 9): BMM 3.2x, WordCount 2.0x, StringMatch "

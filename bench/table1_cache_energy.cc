@@ -31,11 +31,20 @@ main()
         {"L3-slice", params.l3Read},
     };
 
+    bench::ResultsWriter results("table1_cache_energy");
+    const char *keys[] = {"l1d", "l2", "l3_slice"};
+    int r = 0;
     for (const auto &row : rows) {
         std::printf("%-10s %12.0f pJ %12.0f pJ %9.0f%%\n", row.name,
                     row.split.htree, row.split.access,
                     100.0 * row.split.htree / row.split.total());
+        std::string key = keys[r++];
+        results.metric(key + ".htree_pj", row.split.htree);
+        results.metric(key + ".access_pj", row.split.access);
+        results.metric(key + ".htree_fraction",
+                       row.split.htree / row.split.total());
     }
+    results.write();
 
     bench::rule();
     bench::note("Paper: L1-D 179/116, L2 675/127, L3-slice 1985/467 pJ;");

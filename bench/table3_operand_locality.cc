@@ -24,6 +24,7 @@ main()
                 "<=12 (page)?");
     bench::rule();
 
+    bench::ResultsWriter results("table3_operand_locality");
     for (const auto &params :
          {CacheGeometryParams::l1d(), CacheGeometryParams::l2(),
           CacheGeometryParams::l3Slice()}) {
@@ -33,7 +34,12 @@ main()
                     params.blockPartitionsPerBank, kBlockSize,
                     geom.minMatchBits(),
                     pageAlignmentSufficient(geom) ? "yes" : "NO");
+        results.metric(params.name + ".min_match_bits",
+                       geom.minMatchBits());
+        results.metric(params.name + ".page_alignment_sufficient",
+                       pageAlignmentSufficient(geom) ? 1 : 0);
     }
+    results.write();
 
     bench::rule();
     bench::note("Paper: L1-D 2/2/64/8, L2 8/2/64/10, L3-slice 16/4/64/12.");

@@ -19,6 +19,27 @@ main()
     SystemConfig cfg;
     const auto &h = cfg.hierarchy;
 
+    bench::ResultsWriter results("table4_simulator_params");
+    results.config("cores", h.cores);
+    results.config("core_freq_ghz", kCoreFreqHz / 1e9);
+    results.metric("l1.size_kb",
+                   static_cast<double>(h.l1.geometry.sizeBytes) / 1024);
+    results.metric("l2.size_kb",
+                   static_cast<double>(h.l2.geometry.sizeBytes) / 1024);
+    results.metric("l3.slice_size_mb",
+                   static_cast<double>(h.l3.geometry.sizeBytes) /
+                       (1024 * 1024));
+    results.metric("l1.access_cycles",
+                   static_cast<double>(h.l1.accessLatency));
+    results.metric("l2.access_cycles",
+                   static_cast<double>(h.l2.accessLatency));
+    results.metric("l3.access_cycles",
+                   static_cast<double>(h.l3.accessLatency));
+    results.metric("ring.hop_cycles",
+                   static_cast<double>(h.ring.hopLatency));
+    results.metric("memory.access_cycles",
+                   static_cast<double>(h.memory.accessLatency));
+
     std::printf("Configuration   %u-core CMP\n", h.cores);
     std::printf("Processor       %.2f GHz out-of-order core, issue %u, "
                 "%u-deep MLP\n",
@@ -75,5 +96,6 @@ main()
                 "L3 (11 cyc");
     bench::note("+ queuing), 3-cycle-hop 256-bit ring, directory MESI, "
                 "120-cycle memory.");
+    results.write();
     return 0;
 }

@@ -29,11 +29,16 @@ main()
     std::printf("\n");
     bench::rule();
 
+    bench::ResultsWriter results("table5_cc_op_energy");
     for (CacheLevel level :
          {CacheLevel::L3, CacheLevel::L2, CacheLevel::L1}) {
         std::printf("%-6s", toString(level));
-        for (CacheOp op : ops)
+        for (CacheOp op : ops) {
             std::printf("%9.0f", params.cacheOpEnergy(level, op));
+            results.metric(std::string(toString(level)) + "." +
+                               toString(op) + ".pj",
+                           params.cacheOpEnergy(level, op));
+        }
         std::printf("\n");
     }
 
@@ -67,5 +72,7 @@ main()
                     toString(level), search, sum,
                     match ? "ok" : "MISMATCH");
     }
+    results.metric("consistency.ok", ok ? 1 : 0);
+    results.write();
     return ok ? 0 : 1;
 }

@@ -10,8 +10,19 @@ Cache::Cache(const CacheParams &params, energy::EnergyModel *energy,
     : params_(params), geom_(params.geometry),
       tags_(geom_.numSets(), params.geometry.ways),
       data_(geom_.numSets() * params.geometry.ways, Block{}),
-      energy_(energy), stats_(stats), prefix_(std::move(stat_prefix))
+      energy_(energy)
 {
+    if (stats) {
+        StatGroup g = stats->group(stat_prefix);
+        readsStat_ = &g.counter("reads", "block reads served");
+        writesStat_ = &g.counter("writes", "block writes absorbed");
+        fillsStat_ = &g.counter("fills", "lines allocated");
+        evictionsStat_ = &g.counter("evictions", "lines evicted");
+        invalidationsStat_ =
+            &g.counter("invalidations", "coherence invalidations");
+        fillBlockedStat_ = &g.counter(
+            "fill_blocked_pinned", "fills refused by a fully pinned set");
+    }
 }
 
 std::optional<std::size_t>
@@ -52,8 +63,8 @@ Cache::chargeRead()
 {
     if (energy_)
         energy_->chargeCacheOp(params_.level, energy::CacheOp::Read);
-    if (stats_)
-        stats_->counter(prefix_ + ".reads").inc();
+    if (readsStat_)
+        readsStat_->inc();
 }
 
 void
@@ -61,8 +72,8 @@ Cache::chargeWrite()
 {
     if (energy_)
         energy_->chargeCacheOp(params_.level, energy::CacheOp::Write);
-    if (stats_)
-        stats_->counter(prefix_ + ".writes").inc();
+    if (writesStat_)
+        writesStat_->inc();
 }
 
 bool
@@ -112,8 +123,8 @@ Cache::fill(Addr addr, const Block &data, Mesi state)
 
     auto victim_way = tags_.victim(f.set);
     if (!victim_way) {
-        if (stats_)
-            stats_->counter(prefix_ + ".fill_blocked_pinned").inc();
+        if (fillBlockedStat_)
+            fillBlockedStat_->inc();
         return std::nullopt;
     }
 
@@ -127,8 +138,8 @@ Cache::fill(Addr addr, const Block &data, Mesi state)
         ev.dirty = line.dirty;
         ev.state = line.state;
         result.evicted = ev;
-        if (stats_)
-            stats_->counter(prefix_ + ".evictions").inc();
+        if (evictionsStat_)
+            evictionsStat_->inc();
     }
 
     line.tag = f.tag;
@@ -138,8 +149,8 @@ Cache::fill(Addr addr, const Block &data, Mesi state)
     tags_.touch(f.set, *victim_way);
     data_[dataIndex(f.set, *victim_way)] = data;
     chargeWrite();
-    if (stats_)
-        stats_->counter(prefix_ + ".fills").inc();
+    if (fillsStat_)
+        fillsStat_->inc();
     return result;
 }
 
@@ -159,8 +170,8 @@ Cache::invalidate(Addr addr)
     line.state = Mesi::Invalid;
     line.dirty = false;
     line.pinned = false;
-    if (stats_)
-        stats_->counter(prefix_ + ".invalidations").inc();
+    if (invalidationsStat_)
+        invalidationsStat_->inc();
     return ev;
 }
 

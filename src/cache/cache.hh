@@ -152,8 +152,17 @@ class Cache
     TagArray tags_;
     std::vector<Block> data_;
     energy::EnergyModel *energy_;
-    StatRegistry *stats_;
-    std::string prefix_;
+    /** Counters pre-registered under the cache's stat prefix (StatGroup
+     *  registration), so the hot paths increment through stable pointers
+     *  instead of re-building dotted names per access. Null without a
+     *  registry. @{ */
+    StatCounter *readsStat_ = nullptr;
+    StatCounter *writesStat_ = nullptr;
+    StatCounter *fillsStat_ = nullptr;
+    StatCounter *evictionsStat_ = nullptr;
+    StatCounter *invalidationsStat_ = nullptr;
+    StatCounter *fillBlockedStat_ = nullptr;
+    /** @} */
 };
 
 } // namespace ccache::cache

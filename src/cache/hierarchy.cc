@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/bit_util.hh"
@@ -42,6 +43,44 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
             params_.l3, energy, stats, "l3." + std::to_string(s)));
         dir_.push_back(std::make_unique<Directory>(params_.cores));
     }
+
+    if (stats_) {
+        // Derived hit ratios, evaluated at dump time from the counters.
+        auto ratio = [stats = stats_](const char *hits, const char *misses) {
+            return [stats, hits, misses]() {
+                double h = static_cast<double>(stats->value(hits));
+                double m = static_cast<double>(stats->value(misses));
+                return h + m == 0.0 ? 0.0 : h / (h + m);
+            };
+        };
+        StatGroup g = stats_->group("hier");
+        g.formula("l1_hit_rate",
+                  ratio("hier.l1_hits", "hier.l1_misses"),
+                  "fraction of L1 lookups served by L1");
+        g.formula("l2_hit_rate",
+                  ratio("hier.l2_hits", "hier.l2_misses"),
+                  "fraction of L2 lookups served by L2");
+        g.formula("l3_hit_rate",
+                  ratio("hier.l3_hits", "hier.l3_misses"),
+                  "fraction of L3 lookups served by L3");
+    }
+}
+
+void
+Hierarchy::traceAccess(const char *name, CoreId core, Addr addr,
+                       const AccessResult &res)
+{
+    if (!trace_ || !trace_->enabled())
+        return;
+    Json args = Json::object();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    args["addr"] = buf;
+    args["served_by"] = toString(res.servedBy);
+    int track = static_cast<int>(core);
+    trace_->complete(tracecat::kCache, name, track, trace_->now(track),
+                     res.latency, std::move(args));
 }
 
 void
@@ -339,6 +378,7 @@ Hierarchy::read(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
         }
         if (out)
             *out = data;
+        traceAccess("read.l2", core, addr, res);
         return res;
     }
     res.latency += l2(core).latency();
@@ -393,6 +433,8 @@ Hierarchy::read(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
     res.latency += fillUpward(core, addr, data, grant, fill_to);
     if (out)
         *out = data;
+    traceAccess(res.servedBy == ServedBy::Memory ? "read.mem" : "read.l3",
+                core, addr, res);
     return res;
 }
 

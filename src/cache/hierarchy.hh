@@ -25,6 +25,7 @@
 
 #include "cache/cache.hh"
 #include "cache/directory.hh"
+#include "common/event_trace.hh"
 #include "common/stats.hh"
 #include "energy/energy_model.hh"
 #include "mem/memory.hh"
@@ -83,6 +84,15 @@ class Hierarchy
     void mapPage(Addr addr, unsigned slice);
     unsigned sliceFor(CoreId core, Addr addr);
     /** @} */
+
+    /** Attach (or detach with nullptr) a timeline event sink. Reads
+     *  served beyond L1 become cache-category events; the sink is also
+     *  forwarded to the ring. */
+    void setTraceSink(EventTrace *trace)
+    {
+        trace_ = trace;
+        ring_.setTraceSink(trace);
+    }
 
     /**
      * Coherent block read: data lands in the core's L1 (unless
@@ -172,9 +182,14 @@ class Hierarchy
      *  Returns added latency. */
     Cycles ensureInL3(unsigned slice, Addr addr, bool for_overwrite);
 
+    /** Record one served-beyond-L1 access on @p core's timeline track. */
+    void traceAccess(const char *name, CoreId core, Addr addr,
+                     const AccessResult &res);
+
     HierarchyParams params_;
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
+    EventTrace *trace_ = nullptr;
 
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::unique_ptr<Cache>> l2_;

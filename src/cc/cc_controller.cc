@@ -1,6 +1,7 @@
 #include "cc/cc_controller.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
@@ -83,6 +84,34 @@ CcController::CcController(cache::Hierarchy &hier,
 CcExecResult
 CcController::execute(CoreId core, const CcInstruction &instr)
 {
+    CcExecResult res = executeInstr(core, instr);
+
+    if (stats_) {
+        stats_->histogram("cc.instr_latency", 64.0, 64,
+                          "per-CC-instruction completion latency (cycles)")
+            .sample(static_cast<double>(res.latency));
+    }
+    if (trace_ && trace_->enabled()) {
+        Json args = Json::object();
+        args["size"] = static_cast<std::uint64_t>(instr.size);
+        args["level"] = ccache::toString(res.level);
+        args["block_ops"] = static_cast<std::uint64_t>(res.blockOps);
+        args["in_place_ops"] = static_cast<std::uint64_t>(res.inPlaceOps);
+        args["near_place_ops"] =
+            static_cast<std::uint64_t>(res.nearPlaceOps);
+        if (res.riscFallback)
+            args["risc_fallback"] = true;
+        trace_->complete(tracecat::kCc, toString(instr.op),
+                         static_cast<int>(core),
+                         trace_->now(static_cast<int>(core)), res.latency,
+                         std::move(args));
+    }
+    return res;
+}
+
+CcExecResult
+CcController::executeInstr(CoreId core, const CcInstruction &instr)
+{
     instr.validate();
 
     if (stats_)
@@ -156,6 +185,22 @@ CcController::executeStream(CoreId core,
     return results;
 }
 
+void
+CcController::traceFault(const char *name, Addr addr, CacheLevel level)
+{
+    if (!trace_ || !trace_->enabled())
+        return;
+    Json args = Json::object();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    args["addr"] = buf;
+    args["level"] = ccache::toString(level);
+    trace_->instant(tracecat::kFault, name, EventTrace::kGlobalTrack,
+                    trace_->now(EventTrace::kGlobalTrack),
+                    std::move(args));
+}
+
 std::optional<Cycles>
 CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
                            bool exclusive, bool for_overwrite)
@@ -218,6 +263,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         out.riscRecovered = true;
         if (stats_)
             stats_->counter("cc.fault.risc_recoveries").inc();
+        traceFault("fault.risc_recovery", op.src1, level);
         for (Addr addr : {op.src1, op.src2}) {
             if (!addr)
                 continue;
@@ -246,6 +292,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         out.degradedNearPlace = true;
         if (stats_)
             stats_->counter("cc.fault.degraded_near_place").inc();
+        traceFault("fault.degrade_near_place", op.src1, level);
         out.extraLatency += params_.nearPlace.latency(level);
         std::uint64_t sid = fault::subarrayId(level, op.cacheIndex,
                                               op.partition);
@@ -427,12 +474,14 @@ CcController::senseOperands(const BlockOp &op, CacheLevel level,
                 energy_->chargeCacheOp(level, retry_op);
             if (stats_)
                 stats_->counter("cc.fault.retries").inc();
+            traceFault("fault.retry", op.src1, level);
         }
         if (dual_row && faults_.drawMarginFailure(sid)) {
             // The margin detector flagged this dual-row activation:
             // nothing sensed in this attempt can be trusted.
             if (stats_)
                 stats_->counter("cc.fault.margin_failures").inc();
+            traceFault("fault.margin_failure", op.src1, level);
             continue;
         }
         Block sa = ta;
@@ -477,6 +526,7 @@ CcController::checkOperand(Block *sensed, const Block &truth, Addr addr,
     if (status == EccStatus::DetectedDoubleBit) {
         if (stats_)
             stats_->counter("cc.fault.ecc_uncorrectable").inc();
+        traceFault("fault.ecc_uncorrectable", addr, level);
         return false;
     }
     if (status == EccStatus::CorrectedSingleBit && stats_)

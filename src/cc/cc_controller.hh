@@ -26,6 +26,7 @@
 
 #include "cache/hierarchy.hh"
 #include "cc/ecc.hh"
+#include "common/event_trace.hh"
 #include "cc/instruction_table.hh"
 #include "cc/isa.hh"
 #include "cc/key_table.hh"
@@ -176,6 +177,11 @@ class CcController
     const CcControllerParams &params() const { return params_; }
     CcControllerParams &mutableParams() { return params_; }
 
+    /** Attach (or detach with nullptr) a timeline event sink. Completed
+     *  instructions and fault-ladder rungs are recorded when the sink is
+     *  enabled; a disabled or absent sink costs one branch per hook. */
+    void setTraceSink(EventTrace *trace) { trace_ = trace; }
+
     /** Execute one CC instruction issued by @p core to its L1 CC
      *  controller; blocks until completion (atomic-transaction model). */
     CcExecResult execute(CoreId core, const CcInstruction &instr);
@@ -217,6 +223,10 @@ class CcController
         std::size_t partition = 0;      ///< global partition in that cache
         Cycles fetchLatency = 0;
     };
+
+    /** The pre-instrumentation body of execute(): dispatch, page-split
+     *  handling and the fault-model inter-instruction ticks. */
+    CcExecResult executeInstr(CoreId core, const CcInstruction &instr);
 
     CcExecResult executeOnce(CoreId core, const CcInstruction &instr);
 
@@ -262,6 +272,11 @@ class CcController
      *  discard latent errors (idle-cycle model, Section IV-I alt 2). */
     void scrubTick();
 
+    /** Record a fault-ladder rung on the trace timeline (no-op when
+     *  tracing is off). Fault hooks run below the per-core context, so
+     *  these land on the global "system" track. */
+    void traceFault(const char *name, Addr addr, CacheLevel level);
+
     /** Optionally verify an in-place op against the circuit model. */
     void verifyAgainstCircuit(const CcInstruction &instr, const Block &a,
                               const Block &b, const Block &result);
@@ -272,6 +287,7 @@ class CcController
     cache::Hierarchy &hier_;
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
+    EventTrace *trace_ = nullptr;
     CcControllerParams params_;
 
     /** Shared scheduling state for one instruction or one stream. */

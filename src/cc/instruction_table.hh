@@ -56,8 +56,10 @@ class InstructionTable
     std::optional<InstrId> allocate(const CcInstruction &instr, CoreId core,
                                     std::size_t total_ops);
 
+    /** Access a live entry (asserts on a released id). @{ */
     InstrEntry &entry(InstrId id);
     const InstrEntry &entry(InstrId id) const;
+    /** @} */
 
     /** Generate the next simple-op index; nullopt when all generated. */
     std::optional<std::size_t> nextOp(InstrId id);

@@ -45,6 +45,7 @@ class KeyTable
     /** Total distinct replications recorded (stats). */
     std::size_t replications() const { return replications_; }
 
+    /** Instructions with live replication state (leak check in tests). */
     std::size_t trackedInstructions() const { return table_.size(); }
 
   private:

@@ -25,6 +25,7 @@ enum class OpStatus {
     Done,
 };
 
+/** Human-readable status name (logging / test diagnostics). */
 const char *toString(OpStatus s);
 
 /** One simple vector operation: operands span at most one cache block. */
@@ -68,8 +69,12 @@ class OperationTable
      *  fall back to WaitingOperands (Section IV-E lock release). */
     void markLost(std::size_t id, std::size_t idx);
 
+    /** Advance the lifecycle: command sent / result written back. @{ */
     void markIssued(std::size_t id);
     void markDone(std::size_t id);
+    /** @} */
+
+    /** Free a completed entry for reuse. */
     void release(std::size_t id);
 
   private:

@@ -48,6 +48,7 @@ class ReusePredictor
     CacheLevel recommend(CacheLevel policy_level,
                          const std::vector<Addr> &operands) const;
 
+    /** Pages currently tracked (bounded by the entry capacity). */
     std::size_t trackedPages() const { return table_.size(); }
 
   private:

@@ -1,0 +1,429 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccache {
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    return object_[key];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    switch (type_) {
+      case Type::Array: return array_.size();
+      case Type::Object: return object_.size();
+      default: return 0;
+    }
+}
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+formatNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null so the document stays loadable.
+        out += "null";
+        return;
+    }
+    double rounded = std::nearbyint(v);
+    if (rounded == v && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        out += buf;
+        return;
+    }
+    // Shortest representation that still round-trips through parse().
+    char buf[40];
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    out += buf;
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+/** Recursive-descent JSON parser over a flat buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    Json run()
+    {
+        Json v = parseValue();
+        if (failed_)
+            return Json();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after JSON value");
+            return Json();
+        }
+        return v;
+    }
+
+  private:
+    Json parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        switch (text_[pos_]) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseKeyword();
+          case 'n': return parseNull();
+          default: return parseNumber();
+        }
+    }
+
+    Json parseObject()
+    {
+        ++pos_; // '{'
+        Json::Object obj;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(obj));
+        }
+        while (!failed_) {
+            skipWs();
+            if (peek() != '"') {
+                fail("expected object key string");
+                break;
+            }
+            Json key = parseString();
+            if (failed_)
+                break;
+            skipWs();
+            if (peek() != ':') {
+                fail("expected ':' after object key");
+                break;
+            }
+            ++pos_;
+            obj[key.asString()] = parseValue();
+            if (failed_)
+                break;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return Json(std::move(obj));
+            }
+            fail("expected ',' or '}' in object");
+        }
+        return Json();
+    }
+
+    Json parseArray()
+    {
+        ++pos_; // '['
+        Json::Array arr;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(arr));
+        }
+        while (!failed_) {
+            arr.push_back(parseValue());
+            if (failed_)
+                break;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return Json(std::move(arr));
+            }
+            fail("expected ',' or ']' in array");
+        }
+        return Json();
+    }
+
+    Json parseString()
+    {
+        ++pos_; // '"'
+        std::string s;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return Json(std::move(s));
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  case 'b': s += '\b'; break;
+                  case 'f': s += '\f'; break;
+                  case 'n': s += '\n'; break;
+                  case 'r': s += '\r'; break;
+                  case 't': s += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return Json();
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad hex digit in \\u escape");
+                            return Json();
+                        }
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs
+                    // are passed through as two 3-byte sequences).
+                    if (code < 0x80) {
+                        s += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        s += static_cast<char>(0xC0 | (code >> 6));
+                        s += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        s += static_cast<char>(0xE0 | (code >> 12));
+                        s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        s += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("unknown escape sequence");
+                    return Json();
+                }
+            } else {
+                s += c;
+            }
+        }
+        fail("unterminated string");
+        return Json();
+    }
+
+    Json parseKeyword()
+    {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return Json(true);
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return Json(false);
+        }
+        fail("unknown keyword");
+        return Json();
+    }
+
+    Json parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return Json(nullptr);
+        }
+        fail("unknown keyword");
+        return Json();
+    }
+
+    Json parseNumber()
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected a JSON value");
+            return Json();
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return Json(v);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    void fail(const std::string &msg)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (!error_)
+            return;
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        *error_ = msg + " at line " + std::to_string(line) + ", column " +
+            std::to_string(col);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        formatNumber(out, number_);
+        break;
+      case Type::String:
+        escapeString(out, string_);
+        break;
+      case Type::Array: {
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Json &v : array_) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent > 0)
+                newlineIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : object_) {
+            if (!first)
+                out += ',';
+            first = false;
+            if (indent > 0)
+                newlineIndent(out, indent, depth + 1);
+            escapeString(out, k);
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (indent > 0)
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p(text, error);
+    return p.run();
+}
+
+} // namespace ccache

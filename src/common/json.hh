@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal JSON value type, writer and parser.
+ *
+ * The observability layer (stats export, bench result files, Chrome
+ * trace events, the ccstat comparator) needs a dependency-free way to
+ * build, serialize and re-read JSON documents. This is a deliberately
+ * small implementation: objects are ordered maps (deterministic output
+ * for golden-file comparison), numbers are doubles serialized with
+ * round-trip precision (integral values print without a fraction), and
+ * parse errors report line/column context instead of throwing.
+ */
+
+#ifndef CCACHE_COMMON_JSON_HH
+#define CCACHE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccache {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() = default;
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double n) : type_(Type::Number), number_(n) {}
+    Json(int n) : type_(Type::Number), number_(n) {}
+    Json(unsigned n) : type_(Type::Number), number_(n) {}
+    Json(std::int64_t n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {
+    }
+    Json(std::uint64_t n)
+        : type_(Type::Number), number_(static_cast<double>(n))
+    {
+    }
+    Json(const char *s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+    Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+    /** Named constructors for empty containers. @{ */
+    static Json object() { return Json(Object{}); }
+    static Json array() { return Json(Array{}); }
+    /** @} */
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors (defaulted when the type does not match). @{ */
+    bool asBool(bool dflt = false) const
+    {
+        return isBool() ? bool_ : dflt;
+    }
+    double asNumber(double dflt = 0.0) const
+    {
+        return isNumber() ? number_ : dflt;
+    }
+    const std::string &asString() const { return string_; }
+    const Array &asArray() const { return array_; }
+    const Object &asObject() const { return object_; }
+    /** @} */
+
+    /** Object field access; inserting for mutation, null for lookup
+     *  misses. Calling the mutating form converts a null value into an
+     *  empty object. @{ */
+    Json &operator[](const std::string &key);
+    const Json *find(const std::string &key) const;
+    /** @} */
+
+    /** Array append (converts a null value into an empty array). */
+    void push(Json v);
+
+    std::size_t size() const;
+
+    /** Serialize. @p indent > 0 pretty-prints with that many spaces per
+     *  level; 0 emits compact one-line JSON. */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text. On failure returns a null value and, when @p error
+     * is non-null, stores a human-readable message with line context.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_JSON_HH

@@ -8,9 +8,9 @@
 namespace ccache {
 
 StatHistogram::StatHistogram(std::string name, double bucket_width,
-                             std::size_t nbuckets)
-    : name_(std::move(name)), bucketWidth_(bucket_width),
-      buckets_(nbuckets + 1, 0)
+                             std::size_t nbuckets, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(nbuckets + 1, 0)
 {
     CC_ASSERT(bucket_width > 0.0, "bucket width must be positive");
     CC_ASSERT(nbuckets > 0, "need at least one bucket");
@@ -66,6 +66,33 @@ StatRegistry::accum(const std::string &name, const std::string &desc)
     return it->second;
 }
 
+StatHistogram &
+StatRegistry::histogram(const std::string &name, double bucket_width,
+                        std::size_t nbuckets, const std::string &desc)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(name,
+                          StatHistogram(name, bucket_width, nbuckets, desc))
+                 .first;
+    return it->second;
+}
+
+StatFormula &
+StatRegistry::formula(const std::string &name, StatFormula::Fn fn,
+                      const std::string &desc)
+{
+    formulas_[name] = StatFormula(name, std::move(fn), desc);
+    return formulas_[name];
+}
+
+StatGroup
+StatRegistry::group(const std::string &prefix)
+{
+    return StatGroup(*this, prefix);
+}
+
 std::uint64_t
 StatRegistry::value(const std::string &name) const
 {
@@ -80,6 +107,20 @@ StatRegistry::accumValue(const std::string &name) const
     return it == accums_.end() ? 0.0 : it->second.value();
 }
 
+double
+StatRegistry::formulaValue(const std::string &name) const
+{
+    auto it = formulas_.find(name);
+    return it == formulas_.end() ? 0.0 : it->second.value();
+}
+
+const StatHistogram *
+StatRegistry::histogramAt(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 StatRegistry::resetAll()
 {
@@ -87,6 +128,8 @@ StatRegistry::resetAll()
         c.reset();
     for (auto &[name, a] : accums_)
         a.reset();
+    for (auto &[name, h] : histograms_)
+        h.reset();
 }
 
 std::string
@@ -97,7 +140,67 @@ StatRegistry::dump() const
         os << name << " " << c.value() << "\n";
     for (const auto &[name, a] : accums_)
         os << name << " " << a.value() << "\n";
+    for (const auto &[name, h] : histograms_)
+        os << name << " count=" << h.count() << " mean=" << h.mean()
+           << " min=" << h.min() << " max=" << h.max() << "\n";
+    for (const auto &[name, f] : formulas_)
+        os << name << " " << f.value() << "\n";
     return os.str();
+}
+
+Json
+StatRegistry::dumpJson() const
+{
+    Json doc = Json::object();
+    doc["schema"] = "ccache-stats";
+    doc["version"] = kStatsSchemaVersion;
+
+    Json descriptions = Json::object();
+    auto describe = [&](const std::string &name, const std::string &desc) {
+        if (!desc.empty())
+            descriptions[name] = desc;
+    };
+
+    Json counters = Json::object();
+    for (const auto &[name, c] : counters_) {
+        counters[name] = c.value();
+        describe(name, c.description());
+    }
+    doc["counters"] = std::move(counters);
+
+    Json accums = Json::object();
+    for (const auto &[name, a] : accums_) {
+        accums[name] = a.value();
+        describe(name, a.description());
+    }
+    doc["accums"] = std::move(accums);
+
+    Json formulas = Json::object();
+    for (const auto &[name, f] : formulas_) {
+        formulas[name] = f.value();
+        describe(name, f.description());
+    }
+    doc["formulas"] = std::move(formulas);
+
+    Json histograms = Json::object();
+    for (const auto &[name, h] : histograms_) {
+        Json entry = Json::object();
+        entry["count"] = h.count();
+        entry["mean"] = h.mean();
+        entry["min"] = h.min();
+        entry["max"] = h.max();
+        entry["bucket_width"] = h.bucketWidth();
+        Json buckets = Json::array();
+        for (std::uint64_t b : h.buckets())
+            buckets.push(b);
+        entry["buckets"] = std::move(buckets);
+        histograms[name] = std::move(entry);
+        describe(name, h.description());
+    }
+    doc["histograms"] = std::move(histograms);
+
+    doc["descriptions"] = std::move(descriptions);
+    return doc;
 }
 
 } // namespace ccache

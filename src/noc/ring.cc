@@ -58,7 +58,21 @@ Ring::send(unsigned src, unsigned dst, MsgClass cls)
     // Wormhole-style: head latency plus serialization of the payload over
     // the 256-bit link.
     Cycles serialization = divCeil(bytes, params_.linkBytes);
-    return params_.hopLatency * hops + serialization;
+    Cycles latency = params_.hopLatency * hops + serialization;
+
+    if (trace_ && trace_->enabled()) {
+        Json args = Json::object();
+        args["src"] = src;
+        args["dst"] = dst;
+        args["hops"] = hops;
+        args["bytes"] = static_cast<std::uint64_t>(bytes);
+        int track = EventTrace::kNocTrackBase + static_cast<int>(src);
+        trace_->complete(tracecat::kNoc,
+                         cls == MsgClass::Data ? "noc.data" : "noc.ctl",
+                         track, trace_->now(static_cast<int>(src)), latency,
+                         std::move(args));
+    }
+    return latency;
 }
 
 } // namespace ccache::noc

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/event_trace.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
@@ -52,6 +53,10 @@ class Ring
 
     const RingParams &params() const { return params_; }
 
+    /** Attach (or detach with nullptr) a timeline event sink; each
+     *  message becomes one event on its source stop's NoC track. */
+    void setTraceSink(EventTrace *trace) { trace_ = trace; }
+
     /** Hops between two stops using the shorter direction. */
     unsigned distance(unsigned src, unsigned dst) const;
 
@@ -70,6 +75,7 @@ class Ring
     RingParams params_;
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
+    EventTrace *trace_ = nullptr;
     std::uint64_t messages_ = 0;
     std::uint64_t flitHops_ = 0;
 };

@@ -22,6 +22,13 @@ System::System(const SystemConfig &config)
                                            &stats_)),
       clocks_(config.hierarchy.cores, 0)
 {
+    trace_.setClock([this](int core) {
+        if (core < 0 || static_cast<std::size_t>(core) >= clocks_.size())
+            return elapsed();
+        return clocks_[static_cast<std::size_t>(core)];
+    });
+    hier_->setTraceSink(&trace_);
+    cc_->setTraceSink(&trace_);
 }
 
 void
@@ -110,6 +117,7 @@ System::resetMetrics()
     std::fill(clocks_.begin(), clocks_.end(), 0);
     stats_.resetAll();
     energy_->reset();
+    trace_.clear();
 }
 
 } // namespace ccache::sim

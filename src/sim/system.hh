@@ -14,6 +14,7 @@
 
 #include "cache/hierarchy.hh"
 #include "cc/cc_controller.hh"
+#include "common/event_trace.hh"
 #include "sim/engines.hh"
 
 namespace ccache::sim {
@@ -36,6 +37,16 @@ class System
     const SystemConfig &config() const { return config_; }
 
     StatRegistry &stats() { return stats_; }
+
+    /**
+     * Timeline event sink, pre-wired into the hierarchy, ring and CC
+     * controller. Disabled by default (near-zero overhead: one branch
+     * per hook site); call `trace().enable()` to start recording and
+     * `trace().writeFile(...)` to emit Chrome trace-event JSON for
+     * Perfetto / chrome://tracing.
+     */
+    EventTrace &trace() { return trace_; }
+
     energy::EnergyModel &energy() { return *energy_; }
     cache::Hierarchy &hierarchy() { return *hier_; }
     cc::CcController &cc() { return *cc_; }
@@ -73,6 +84,7 @@ class System
   private:
     SystemConfig config_;
     StatRegistry stats_;
+    EventTrace trace_;
     std::unique_ptr<energy::EnergyModel> energy_;
     std::unique_ptr<cache::Hierarchy> hier_;
     std::unique_ptr<cc::CcController> cc_;

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the minimal JSON value type: building, serializing,
+ * parsing, round-tripping and parse-error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.hh"
+
+namespace ccache {
+namespace {
+
+TEST(Json, BuildsAndDumpsDeterministically)
+{
+    Json doc = Json::object();
+    doc["zeta"] = 1;
+    doc["alpha"] = "hello";
+    doc["nested"]["flag"] = true;
+    doc["list"].push(1);
+    doc["list"].push(2.5);
+    doc["list"].push(nullptr);
+
+    // Objects are ordered maps: keys come out sorted, every time.
+    EXPECT_EQ(doc.dump(),
+              R"({"alpha":"hello","list":[1,2.5,null],)"
+              R"("nested":{"flag":true},"zeta":1})");
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction)
+{
+    Json doc = Json::object();
+    doc["small"] = 42;
+    doc["big"] = std::uint64_t{123456789012};
+    doc["frac"] = 0.125;
+    std::string out = doc.dump();
+    EXPECT_NE(out.find("\"small\":42"), std::string::npos);
+    EXPECT_NE(out.find("\"big\":123456789012"), std::string::npos);
+    EXPECT_NE(out.find("\"frac\":0.125"), std::string::npos);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    Json doc = Json::object();
+    doc["nan"] = std::numeric_limits<double>::quiet_NaN();
+    doc["inf"] = std::numeric_limits<double>::infinity();
+    std::string out = doc.dump();
+    EXPECT_NE(out.find("\"nan\":null"), std::string::npos);
+    EXPECT_NE(out.find("\"inf\":null"), std::string::npos);
+}
+
+TEST(Json, RoundTripsThroughParse)
+{
+    Json doc = Json::object();
+    doc["name"] = "trace \"quoted\"\n";
+    doc["pi"] = 3.141592653589793;
+    doc["neg"] = -17;
+    doc["arr"].push("a");
+    doc["arr"].push(Json::object());
+
+    std::string text = doc.dump(2);
+    std::string error;
+    Json back = Json::parse(text, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.dump(), doc.dump());
+    EXPECT_EQ(back.find("name")->asString(), "trace \"quoted\"\n");
+    EXPECT_DOUBLE_EQ(back.find("pi")->asNumber(), 3.141592653589793);
+}
+
+TEST(Json, ParsesEscapesAndUnicode)
+{
+    std::string error;
+    Json v = Json::parse(R"({"s":"a\tbéc","u":"\u00e9"})", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    // Raw UTF-8 passes through; \uXXXX escapes re-encode as UTF-8.
+    EXPECT_EQ(v.find("s")->asString(), std::string("a\tb\xc3\xa9"
+                                                   "c"));
+    EXPECT_EQ(v.find("u")->asString(), std::string("\xc3\xa9"));
+}
+
+TEST(Json, ReportsParseErrorsWithPosition)
+{
+    std::string error;
+    Json v = Json::parse("{\"a\": 1,\n  \"b\" 2}", &error);
+    EXPECT_TRUE(v.isNull());
+    EXPECT_FALSE(error.empty());
+    EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(Json, RejectsTrailingGarbage)
+{
+    std::string error;
+    Json v = Json::parse("{} extra", &error);
+    EXPECT_TRUE(v.isNull());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, FindReturnsNullptrOnMiss)
+{
+    Json doc = Json::object();
+    doc["present"] = 1;
+    EXPECT_NE(doc.find("present"), nullptr);
+    EXPECT_EQ(doc.find("absent"), nullptr);
+    // find on a non-object is a miss, not a crash.
+    Json num = 3;
+    EXPECT_EQ(num.find("x"), nullptr);
+}
+
+} // namespace
+} // namespace ccache

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the stats registry: hierarchical groups, histograms,
+ * formulas and the versioned JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace ccache {
+namespace {
+
+TEST(StatGroup, QualifiesNamesHierarchically)
+{
+    StatRegistry reg;
+    StatGroup l1 = reg.group("l1").group("0");
+    StatCounter &reads = l1.counter("reads", "block reads");
+    reads.inc();
+    reads.inc();
+    EXPECT_EQ(reg.value("l1.0.reads"), 2u);
+    // Re-registering through a group returns the same counter.
+    reg.group("l1.0").counter("reads").inc();
+    EXPECT_EQ(reg.value("l1.0.reads"), 3u);
+}
+
+TEST(StatRegistry, HistogramSummarizes)
+{
+    StatRegistry reg;
+    StatHistogram &h = reg.histogram("lat", 10.0, 4, "latency");
+    for (double v : {1.0, 5.0, 15.0, 100.0})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 5.0 + 15.0 + 100.0) / 4.0);
+    ASSERT_NE(reg.histogramAt("lat"), nullptr);
+    EXPECT_EQ(reg.histogramAt("absent"), nullptr);
+}
+
+TEST(StatRegistry, FormulasEvaluateLazily)
+{
+    StatRegistry reg;
+    StatCounter &hits = reg.counter("c.hits");
+    StatCounter &misses = reg.counter("c.misses");
+    reg.formula("c.hit_rate",
+                [&] {
+                    double total = static_cast<double>(hits.value()) +
+                        static_cast<double>(misses.value());
+                    return total == 0.0
+                        ? 0.0
+                        : static_cast<double>(hits.value()) / total;
+                },
+                "hit fraction");
+    EXPECT_DOUBLE_EQ(reg.formulaValue("c.hit_rate"), 0.0);
+    hits.inc();
+    hits.inc();
+    hits.inc();
+    misses.inc();
+    EXPECT_DOUBLE_EQ(reg.formulaValue("c.hit_rate"), 0.75);
+}
+
+TEST(StatRegistry, ResetClearsCountersAndHistograms)
+{
+    StatRegistry reg;
+    reg.counter("n").inc();
+    reg.accum("a").add(2.5);
+    reg.histogram("h", 1.0, 4).sample(3.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.value("n"), 0u);
+    EXPECT_DOUBLE_EQ(reg.accumValue("a"), 0.0);
+    EXPECT_EQ(reg.histogramAt("h")->count(), 0u);
+}
+
+TEST(StatRegistry, DumpJsonRoundTrips)
+{
+    StatRegistry reg;
+    StatGroup g = reg.group("cache");
+    g.counter("reads", "reads served").inc();
+    g.accum("energy_pj").add(12.5);
+    g.histogram("lat", 8.0, 8, "latency").sample(20.0);
+    reg.formula("cache.read_share", [] { return 0.5; }, "share");
+
+    Json doc = reg.dumpJson();
+    std::string error;
+    Json back = Json::parse(doc.dump(2), &error);
+    ASSERT_TRUE(error.empty()) << error;
+
+    EXPECT_EQ(back.find("schema")->asString(), "ccache-stats");
+    EXPECT_EQ(static_cast<int>(back.find("version")->asNumber()),
+              kStatsSchemaVersion);
+    EXPECT_EQ(back.find("counters")->find("cache.reads")->asNumber(),
+              1.0);
+    EXPECT_DOUBLE_EQ(
+        back.find("accums")->find("cache.energy_pj")->asNumber(), 12.5);
+    EXPECT_DOUBLE_EQ(
+        back.find("formulas")->find("cache.read_share")->asNumber(),
+        0.5);
+    const Json *hist = back.find("histograms")->find("cache.lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->find("count")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(hist->find("mean")->asNumber(), 20.0);
+    EXPECT_EQ(back.find("descriptions")->find("cache.reads")->asString(),
+              "reads served");
+}
+
+} // namespace
+} // namespace ccache

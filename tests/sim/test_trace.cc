@@ -67,6 +67,37 @@ TEST(TraceParser, OperandCountChecked)
               std::string::npos);
 }
 
+TEST(TraceParser, BadHexOperandReported)
+{
+    auto parsed = parseTrace(std::string(R"(
+R 0 0xZZ12
+CC 0 cc_copy 0x10g0 0x2000 64
+W 0 0x--
+)"));
+    EXPECT_TRUE(parsed.records.empty());
+    ASSERT_EQ(parsed.errors.size(), 3u);
+    // The offending line and its number come back for diagnostics.
+    EXPECT_EQ(parsed.errors[0].lineNumber, 2u);
+    EXPECT_NE(parsed.errors[0].line.find("0xZZ12"), std::string::npos);
+    EXPECT_NE(parsed.errors[0].message.find("bad"), std::string::npos);
+}
+
+TEST(TraceParser, TruncatedCcRecordReported)
+{
+    // CC records cut short at every possible point: no mnemonic, no
+    // operands, missing size.
+    auto parsed = parseTrace(std::string(R"(
+CC 0
+CC 0 cc_copy
+CC 0 cc_copy 0x1000
+CC 0 cc_xor 0x1000 0x2000 0x3000
+)"));
+    EXPECT_TRUE(parsed.records.empty());
+    ASSERT_EQ(parsed.errors.size(), 4u);
+    for (const auto &err : parsed.errors)
+        EXPECT_FALSE(err.message.empty());
+}
+
 TEST(TraceReplay, FunctionalAndCounted)
 {
     System sys;
