@@ -5,9 +5,9 @@
  * (transient upsets + margin failures on dual-row activations, SECDED
  * check -> bounded retry -> near-place degrade -> discard/refill+RISC).
  *
- * Every configuration runs twice with the same seed; the table is only
- * printed when both runs agree bit-for-bit, which doubles as the
- * determinism check the fault subsystem guarantees.
+ * Every configuration runs twice with the same derived seed; the table
+ * is only printed when both runs agree bit-for-bit, which doubles as
+ * the determinism check the fault subsystem guarantees.
  */
 
 #include <cstdlib>
@@ -82,6 +82,31 @@ runWorkload(const fault::FaultParams &fp)
     return res;
 }
 
+struct Row
+{
+    double rate = 0.0;
+    RunResult run;
+    bool deterministic = true;
+};
+
+void
+printRow(const Row &row, const RunResult &base)
+{
+    const RunResult &a = row.run;
+    std::printf("%-11.0e %8.3fx %8.3fx %10llu %8llu %8llu %6llu "
+                "%7llu %7llu\n",
+                row.rate,
+                static_cast<double>(a.latency) /
+                    static_cast<double>(base.latency),
+                a.energy_pj / base.energy_pj,
+                static_cast<unsigned long long>(a.corrected),
+                static_cast<unsigned long long>(a.retries),
+                static_cast<unsigned long long>(a.degraded),
+                static_cast<unsigned long long>(a.risc),
+                static_cast<unsigned long long>(a.silent),
+                static_cast<unsigned long long>(a.scrubbed));
+}
+
 } // namespace
 
 int
@@ -90,13 +115,88 @@ main()
     bench::header("Ablation: fault rate vs slowdown / energy / silent "
                   "corruption (degradation ladder)");
 
-    RunResult base = runWorkload(fault::FaultParams{});
-
     bench::ResultsWriter results("ablation_fault");
     results.config("instructions", kInstrs);
     results.config("operand_bytes", kLen);
-    auto record = [&results](const std::string &key, const RunResult &a,
-                             const RunResult &base) {
+
+    const double transient_rates[] = {1e-4, 1e-3, 1e-2, 5e-2, 2e-1};
+    const double stuck_rates[] = {1e-3, 1e-2, 1e-1};
+
+    // One sweep point per fault configuration. Each point's injector
+    // seed is its derived shard seed, and each point runs its workload
+    // twice to assert the injector's determinism.
+    RunResult base;
+    Row transient[5], stuck[3];
+    bench::SweepRunner sweep(&results);
+    sweep.add("disabled", [&](bench::SweepContext &) {
+        base = runWorkload(fault::FaultParams{});
+    });
+    for (int i = 0; i < 5; ++i) {
+        double rate = transient_rates[i];
+        char key[48];
+        std::snprintf(key, sizeof key, "transient_%.0e", rate);
+        sweep.add(key, [&, i, rate](bench::SweepContext &ctx) {
+            // Transient-dominated: mostly correctable singles, a tail
+            // of uncorrectable doubles and aliasing bursts; margin
+            // failures scale along at a tenth of the transient rate.
+            fault::FaultParams fp;
+            fp.enabled = true;
+            fp.seed = ctx.seed();
+            fp.transientPerBlockOp = rate;
+            fp.doubleBitFraction = 0.10;
+            fp.burstFraction = 0.02;
+            fp.marginFailPerDualRowOp = rate / 10.0;
+            fp.backgroundUpsetPerInstr = rate;
+            fp.weakSubarrayFraction = 0.05;
+            fp.weakSubarrayScale = 4.0;
+
+            transient[i].rate = rate;
+            transient[i].run = runWorkload(fp);
+            transient[i].deterministic = runWorkload(fp) ==
+                transient[i].run;
+        });
+    }
+    for (int i = 0; i < 3; ++i) {
+        double rate = stuck_rates[i];
+        char key[48];
+        std::snprintf(key, sizeof key, "stuck_%.0e", rate);
+        sweep.add(key, [&, i, rate](bench::SweepContext &ctx) {
+            // Defect-dominated: stuck cells persist across retries, so
+            // they exercise the lower rungs -- near-place re-reads
+            // correct single-stuck lines, and double-stuck lines fall
+            // through to discard/refill+RISC.
+            fault::FaultParams fp;
+            fp.enabled = true;
+            fp.seed = ctx.seed();
+            fp.stuckAtPerBlock = rate;
+            fp.stuckAtDoubleFraction = 0.3;
+
+            stuck[i].rate = rate;
+            stuck[i].run = runWorkload(fp);
+            stuck[i].deterministic = runWorkload(fp) == stuck[i].run;
+        });
+    }
+    sweep.run();
+
+    for (const Row &row : transient) {
+        if (!row.deterministic) {
+            std::fprintf(stderr,
+                         "FAIL: two fixed-seed runs diverged at rate "
+                         "%.1e\n", row.rate);
+            return EXIT_FAILURE;
+        }
+    }
+    for (const Row &row : stuck) {
+        if (!row.deterministic) {
+            std::fprintf(stderr,
+                         "FAIL: two fixed-seed runs diverged at defect "
+                         "rate %.1e\n", row.rate);
+            return EXIT_FAILURE;
+        }
+    }
+
+    auto record = [&results, &base](const std::string &key,
+                                    const RunResult &a) {
         results.metric(key + ".slowdown",
                        static_cast<double>(a.latency) /
                            static_cast<double>(base.latency));
@@ -112,7 +212,7 @@ main()
     };
 
     std::printf("workload: %d instructions x %zu bytes (xor/and/copy "
-                "mix), seed fixed\n"
+                "mix), per-point derived seed\n"
                 "ladder: SECDED check -> retry x2 -> near-place -> "
                 "discard+refill+RISC\n\n",
                 kInstrs, kLen);
@@ -122,89 +222,24 @@ main()
     bench::rule();
     std::printf("%-11s %8.3fx %8.3fx %10s %8s %8s %6s %7s %7s\n",
                 "disabled", 1.0, 1.0, "-", "-", "-", "-", "-", "-");
-
-    // Transient-dominated sweep: mostly correctable singles, a tail of
-    // uncorrectable doubles and aliasing bursts; margin failures scale
-    // along at a tenth of the transient rate.
-    for (double rate : {1e-4, 1e-3, 1e-2, 5e-2, 2e-1}) {
-        fault::FaultParams fp;
-        fp.enabled = true;
-        fp.seed = 31337;
-        fp.transientPerBlockOp = rate;
-        fp.doubleBitFraction = 0.10;
-        fp.burstFraction = 0.02;
-        fp.marginFailPerDualRowOp = rate / 10.0;
-        fp.backgroundUpsetPerInstr = rate;
-        fp.weakSubarrayFraction = 0.05;
-        fp.weakSubarrayScale = 4.0;
-
-        RunResult a = runWorkload(fp);
-        RunResult b = runWorkload(fp);
-        if (!(a == b)) {
-            std::fprintf(stderr,
-                         "FAIL: two fixed-seed runs diverged at rate "
-                         "%.1e\n", rate);
-            return EXIT_FAILURE;
-        }
-
-        std::printf("%-11.0e %8.3fx %8.3fx %10llu %8llu %8llu %6llu "
-                    "%7llu %7llu\n",
-                    rate,
-                    static_cast<double>(a.latency) /
-                        static_cast<double>(base.latency),
-                    a.energy_pj / base.energy_pj,
-                    static_cast<unsigned long long>(a.corrected),
-                    static_cast<unsigned long long>(a.retries),
-                    static_cast<unsigned long long>(a.degraded),
-                    static_cast<unsigned long long>(a.risc),
-                    static_cast<unsigned long long>(a.silent),
-                    static_cast<unsigned long long>(a.scrubbed));
+    for (const Row &row : transient) {
+        printRow(row, base);
         char key[48];
-        std::snprintf(key, sizeof key, "transient_%.0e", rate);
-        record(key, a, base);
+        std::snprintf(key, sizeof key, "transient_%.0e", row.rate);
+        record(key, row.run);
     }
 
-    // Defect-dominated sweep: stuck cells persist across retries, so
-    // they exercise the lower rungs -- near-place re-reads correct the
-    // single-stuck lines, and double-stuck lines fall through to
-    // discard/refill+RISC (after which the remap keeps them healthy).
     std::printf("\nstuck-at cells (30%% of defective lines have two "
                 "stuck bits):\n");
     std::printf("%-11s %9s %9s %10s %8s %8s %6s %7s %7s\n", "defect rate",
                 "slowdown", "energy", "corrected", "retries", "degraded",
                 "RISC", "silent", "scrub");
     bench::rule();
-    for (double rate : {1e-3, 1e-2, 1e-1}) {
-        fault::FaultParams fp;
-        fp.enabled = true;
-        fp.seed = 31337;
-        fp.stuckAtPerBlock = rate;
-        fp.stuckAtDoubleFraction = 0.3;
-
-        RunResult a = runWorkload(fp);
-        RunResult b = runWorkload(fp);
-        if (!(a == b)) {
-            std::fprintf(stderr,
-                         "FAIL: two fixed-seed runs diverged at defect "
-                         "rate %.1e\n", rate);
-            return EXIT_FAILURE;
-        }
-
-        std::printf("%-11.0e %8.3fx %8.3fx %10llu %8llu %8llu %6llu "
-                    "%7llu %7llu\n",
-                    rate,
-                    static_cast<double>(a.latency) /
-                        static_cast<double>(base.latency),
-                    a.energy_pj / base.energy_pj,
-                    static_cast<unsigned long long>(a.corrected),
-                    static_cast<unsigned long long>(a.retries),
-                    static_cast<unsigned long long>(a.degraded),
-                    static_cast<unsigned long long>(a.risc),
-                    static_cast<unsigned long long>(a.silent),
-                    static_cast<unsigned long long>(a.scrubbed));
+    for (const Row &row : stuck) {
+        printRow(row, base);
         char key[48];
-        std::snprintf(key, sizeof key, "stuck_%.0e", rate);
-        record(key, a, base);
+        std::snprintf(key, sizeof key, "stuck_%.0e", row.rate);
+        record(key, row.run);
     }
     results.write();
 

@@ -69,21 +69,34 @@ main()
     bench::rule();
 
     bench::ResultsWriter results("ablation_locality");
-    Outcome aligned = runMix(0);
-    for (int mis : {0, 2, 4, 6, 8}) {
-        Outcome o = runMix(mis);
-        std::printf("%17d%% %10llu %14.0f %14zu\n", mis * 100 / 8,
-                    static_cast<unsigned long long>(o.cycles), o.dyn_nj,
-                    o.near_ops);
+    const int shares[] = {0, 2, 4, 6, 8};
+
+    // One sweep point per misalignment share; the fully-aligned and
+    // fully-misaligned ratios reuse the first and last points' runs.
+    Outcome outcomes[5];
+    bench::SweepRunner sweep(&results);
+    for (int s = 0; s < 5; ++s) {
+        int mis = shares[s];
         std::string key =
             "misaligned_" + std::to_string(mis * 100 / 8) + "pct";
-        results.metric(key + ".cycles", static_cast<double>(o.cycles));
-        results.metric(key + ".dynamic_nj", o.dyn_nj);
-        results.metric(key + ".near_place_ops",
-                       static_cast<double>(o.near_ops));
+        sweep.add(key, [&, s, mis, key](bench::SweepContext &ctx) {
+            outcomes[s] = runMix(mis);
+            ctx.metric(key + ".cycles",
+                       static_cast<double>(outcomes[s].cycles));
+            ctx.metric(key + ".dynamic_nj", outcomes[s].dyn_nj);
+            ctx.metric(key + ".near_place_ops",
+                       static_cast<double>(outcomes[s].near_ops));
+        });
     }
+    sweep.run();
 
-    Outcome broken = runMix(8);
+    for (int s = 0; s < 5; ++s)
+        std::printf("%17d%% %10llu %14.0f %14zu\n", shares[s] * 100 / 8,
+                    static_cast<unsigned long long>(outcomes[s].cycles),
+                    outcomes[s].dyn_nj, outcomes[s].near_ops);
+
+    const Outcome &aligned = outcomes[0];
+    const Outcome &broken = outcomes[4];
     bench::rule();
     std::printf("fully misaligned costs %.1fx the cycles and %.1fx the "
                 "dynamic energy\n",

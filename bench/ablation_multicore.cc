@@ -63,9 +63,40 @@ main()
     bench::rule();
 
     bench::ResultsWriter results("ablation_multicore");
-    double base = runCores(1);
-    for (unsigned cores : {1u, 2u, 4u, 8u}) {
-        double thpt = runCores(cores);
+    const unsigned core_counts[] = {1u, 2u, 4u, 8u};
+
+    // One sweep point per core count, for both studies. Scaling ratios
+    // are computed after the barrier from the 1-core points.
+    double copy_thpt[4] = {};
+    Cycles db_cycles[4] = {};
+    bench::SweepRunner sweep(&results);
+    for (int s = 0; s < 4; ++s) {
+        unsigned cores = core_counts[s];
+        sweep.add("copy_" + std::to_string(cores) + "core",
+                  [&, s, cores](bench::SweepContext &) {
+                      copy_thpt[s] = runCores(cores);
+                  });
+    }
+    for (int s = 0; s < 4; ++s) {
+        unsigned cores = core_counts[s];
+        sweep.add("dbbitmap_" + std::to_string(cores) + "core",
+                  [&, s, cores](bench::SweepContext &) {
+                      using namespace ccache::apps;
+                      DbBitmapConfig cfg;
+                      cfg.index.rows = 1 << 17;
+                      cfg.numQueries = 16;
+                      DbBitmap app(cfg);
+                      sim::System sys;
+                      db_cycles[s] =
+                          app.runParallel(sys, Engine::Cc, cores).cycles;
+                  });
+    }
+    sweep.run();
+
+    double base = copy_thpt[0];
+    for (int s = 0; s < 4; ++s) {
+        unsigned cores = core_counts[s];
+        double thpt = copy_thpt[s];
         std::printf("%8u %22.2f %9.2fx\n", cores, thpt, thpt / base);
         std::string key = "copy_" + std::to_string(cores) + "core";
         results.metric(key + ".gblockops", thpt);
@@ -85,28 +116,20 @@ main()
     std::printf("%8s %16s %10s\n", "cores", "makespan (cyc)", "scaling");
     bench::rule();
     {
-        using namespace ccache::apps;
-        DbBitmapConfig cfg;
-        cfg.index.rows = 1 << 17;
-        cfg.numQueries = 16;
-        DbBitmap app(cfg);
-        Cycles base_cycles = 0;
-        for (unsigned cores : {1u, 2u, 4u, 8u}) {
-            sim::System sys;
-            auto r = app.runParallel(sys, Engine::Cc, cores);
-            if (cores == 1)
-                base_cycles = r.cycles;
+        Cycles base_cycles = db_cycles[0];
+        for (int s = 0; s < 4; ++s) {
+            unsigned cores = core_counts[s];
             std::printf("%8u %16llu %9.2fx\n", cores,
-                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(db_cycles[s]),
                         static_cast<double>(base_cycles) /
-                            static_cast<double>(r.cycles));
+                            static_cast<double>(db_cycles[s]));
             std::string key = "dbbitmap_" + std::to_string(cores) +
                 "core";
             results.metric(key + ".makespan_cycles",
-                           static_cast<double>(r.cycles));
+                           static_cast<double>(db_cycles[s]));
             results.metric(key + ".scaling",
                            static_cast<double>(base_cycles) /
-                               static_cast<double>(r.cycles));
+                               static_cast<double>(db_cycles[s]));
         }
     }
     results.write();

@@ -14,6 +14,17 @@
 using namespace ccache;
 using namespace ccache::sram;
 
+namespace {
+
+struct RowResult
+{
+    double margin = 0.0;
+    double failRate = 0.0;
+    bool intact = false;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -28,44 +39,56 @@ main()
     results.config("rows", params.rows);
     results.config("cols", params.cols);
 
+    const std::vector<unsigned> row_counts{1, 2, 4, 8, 16, 32, 64};
+
+    // One sweep point per activation width; each owns its sub-array and
+    // draws from its shard RNG, so the points fan out across cores.
+    std::vector<RowResult> out(row_counts.size());
+    bench::SweepRunner sweep(&results);
+    for (std::size_t i = 0; i < row_counts.size(); ++i) {
+        unsigned nrows = row_counts[i];
+        sweep.add("rows_" + std::to_string(nrows),
+                  [&, i, nrows](bench::SweepContext &ctx) {
+            SubArray sa(params);
+
+            // Worst-case-ish contents: random rows.
+            std::vector<Block> originals;
+            for (unsigned r = 0; r < nrows; ++r) {
+                Block b;
+                for (auto &byte : b)
+                    byte = static_cast<std::uint8_t>(ctx.rng().below(256));
+                originals.push_back(b);
+                sa.write({0, r}, b);
+            }
+
+            std::vector<std::size_t> rows(nrows);
+            for (unsigned r = 0; r < nrows; ++r)
+                rows[r] = r;
+            auto sense = sa.rawActivate(rows);
+
+            bool intact = true;
+            for (unsigned r = 0; r < nrows; ++r)
+                intact &= sa.read({0, r}) == originals[r];
+
+            Rng mc = ctx.rngFor("monte_carlo");
+            double fail = SenseAmpArray::monteCarloFailureRate(
+                sense.margin, 0.015, 100000, mc);
+
+            out[i] = RowResult{sense.margin, fail, intact};
+            ctx.metric(ctx.key() + ".sense_margin", sense.margin);
+            ctx.metric(ctx.key() + ".mc_fail_rate", fail);
+            ctx.metric(ctx.key() + ".data_intact", intact ? 1 : 0);
+        });
+    }
+    sweep.run();
+
     std::printf("%8s %14s %16s %14s\n", "rows", "sense margin",
                 "MC fail rate", "data intact");
     bench::rule();
-
-    for (unsigned nrows : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-        SubArray sa(params);
-        Rng rng(7 + nrows);
-
-        // Worst-case-ish contents: random rows.
-        std::vector<Block> originals;
-        for (unsigned r = 0; r < nrows; ++r) {
-            Block b;
-            for (auto &byte : b)
-                byte = static_cast<std::uint8_t>(rng.below(256));
-            originals.push_back(b);
-            sa.write({0, r}, b);
-        }
-
-        std::vector<std::size_t> rows(nrows);
-        for (unsigned r = 0; r < nrows; ++r)
-            rows[r] = r;
-        auto sense = sa.rawActivate(rows);
-
-        bool intact = true;
-        for (unsigned r = 0; r < nrows; ++r)
-            intact &= sa.read({0, r}) == originals[r];
-
-        Rng mc(99);
-        double fail = SenseAmpArray::monteCarloFailureRate(
-            sense.margin, 0.015, 100000, mc);
-
-        std::printf("%8u %13.3f %16.2e %14s\n", nrows, sense.margin,
-                    fail, intact ? "yes" : "CORRUPTED");
-        std::string key = "rows_" + std::to_string(nrows);
-        results.metric(key + ".sense_margin", sense.margin);
-        results.metric(key + ".mc_fail_rate", fail);
-        results.metric(key + ".data_intact", intact ? 1 : 0);
-    }
+    for (std::size_t i = 0; i < row_counts.size(); ++i)
+        std::printf("%8u %13.3f %16.2e %14s\n", row_counts[i],
+                    out[i].margin, out[i].failRate,
+                    out[i].intact ? "yes" : "CORRUPTED");
     results.write();
 
     bench::rule();

@@ -20,6 +20,12 @@
  *       "config": { "<key>": <value>, ... },
  *       "metrics": { "<metric>": <number>, ... },
  *       "stats": { "<label>": <StatRegistry::dumpJson()>, ... } }
+ *
+ * Benches define their measurement grid as SweepRunner points (one per
+ * independent (bench, config) simulation) and print their tables after
+ * the sweep barrier, so the whole grid fans out across cores while the
+ * stdout tables and the JSON result file stay byte-identical at any
+ * thread count (DESIGN.md §8).
  */
 
 #ifndef CCACHE_BENCH_BENCH_UTIL_HH
@@ -29,10 +35,17 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/event_trace.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace bench {
 
@@ -147,6 +160,12 @@ class ResultsWriter
         doc_[key] = std::move(value);
     }
 
+    const std::string &name() const { return name_; }
+
+    /** The accumulated result document (determinism tests compare its
+     *  serialized form across thread counts). */
+    const ccache::Json &document() const { return doc_; }
+
     /**
      * Write `<resultsDir()>/<bench>.json` (directory created on demand)
      * and print where it landed. Returns the path, empty on failure.
@@ -170,6 +189,194 @@ class ResultsWriter
   private:
     std::string name_;
     ccache::Json doc_;
+};
+
+/** Default base seed of a bench sweep (see SweepContext::seed()). */
+inline constexpr std::uint64_t kSweepBaseSeed = 0x5eedcac8e5ULL;
+
+/**
+ * Execution context of one sweep point. Everything a point touches is
+ * owned here — RNG, stat registry, trace sink, recorded metrics — so
+ * points share no mutable state and may run on any thread in any order.
+ *
+ * The RNG seed is derived as hash(base_seed, point key), never from a
+ * global or from scheduling, so a point's random stream is a pure
+ * function of its identity (DESIGN.md §8).
+ */
+class SweepContext
+{
+  public:
+    SweepContext(std::string key, std::size_t index,
+                 std::uint64_t base_seed)
+        : key_(std::move(key)), index_(index),
+          seed_(ccache::deriveSeed(base_seed, key_)), rng_(seed_)
+    {
+    }
+
+    const std::string &key() const { return key_; }
+    std::size_t index() const { return index_; }
+
+    /** This point's derived seed: hash(base_seed, key). */
+    std::uint64_t seed() const { return seed_; }
+
+    /** This point's private RNG, seeded with seed(). */
+    ccache::Rng &rng() { return rng_; }
+
+    /** An independent named sub-stream, e.g. rngFor("monte_carlo"):
+     *  adding draws to one stream never shifts another. */
+    ccache::Rng rngFor(std::string_view label) const
+    {
+        return ccache::Rng(ccache::deriveSeed(seed_, label));
+    }
+
+    /** Point-local stat registry; merged (in point order) into
+     *  SweepRunner::mergedStats() at the barrier. */
+    ccache::StatRegistry &stats() { return stats_; }
+
+    /** Point-local trace sink (disabled unless the point enables it);
+     *  merged in point order into SweepRunner::mergedTrace(). */
+    ccache::EventTrace &trace() { return trace_; }
+
+    /** Record one headline number into the bench's ResultsWriter
+     *  (applied at the barrier, in point order). */
+    void metric(std::string name, double value)
+    {
+        metrics_.emplace_back(std::move(name), value);
+    }
+
+    /** Record one configuration fact into the ResultsWriter. */
+    void config(std::string key, ccache::Json value)
+    {
+        configs_.emplace_back(std::move(key), std::move(value));
+    }
+
+    /** Embed a full stats dump under @p label in the ResultsWriter. */
+    void statsJson(std::string label, ccache::Json dump)
+    {
+        statsDumps_.emplace_back(std::move(label), std::move(dump));
+    }
+
+  private:
+    friend class SweepRunner;
+
+    std::string key_;
+    std::size_t index_;
+    std::uint64_t seed_;
+    ccache::Rng rng_;
+    ccache::StatRegistry stats_;
+    ccache::EventTrace trace_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, ccache::Json>> configs_;
+    std::vector<std::pair<std::string, ccache::Json>> statsDumps_;
+};
+
+/**
+ * The parallel sweep engine: fans a bench's independent (config) points
+ * out across a work-stealing thread pool and merges their outputs at
+ * the barrier, in point-definition order, so every output surface —
+ * ResultsWriter document, merged stats, merged trace, anything the
+ * points stored into caller-owned slots — is bit-identical to a serial
+ * run regardless of thread count or scheduling (DESIGN.md §8).
+ *
+ *     bench::ResultsWriter results("fig8_cache_levels");
+ *     bench::SweepRunner sweep(&results);
+ *     std::vector<Outcome> out(12);
+ *     for (...each config...)
+ *         sweep.add(key, [&, i](bench::SweepContext &ctx) {
+ *             out[i] = runOnce(...);          // into a disjoint slot
+ *             ctx.metric(key + ".saving", out[i].saving);
+ *         });
+ *     sweep.run();           // $CCACHE_JOBS workers (1 = inline)
+ *     ...print tables from out[]...
+ */
+class SweepRunner
+{
+  public:
+    using PointFn = std::function<void(SweepContext &)>;
+
+    explicit SweepRunner(ResultsWriter *results = nullptr,
+                         std::uint64_t base_seed = kSweepBaseSeed)
+        : results_(results), baseSeed_(base_seed)
+    {
+    }
+
+    /** Define one point. @p key names it uniquely within the sweep: it
+     *  is the metric prefix by convention and the RNG shard key. */
+    void add(std::string key, PointFn fn)
+    {
+        CC_ASSERT(!ran_, "SweepRunner::add after run");
+        points_.push_back(Point{std::move(key), std::move(fn), nullptr});
+    }
+
+    std::size_t size() const { return points_.size(); }
+
+    /** Number of sweep workers: $CCACHE_JOBS or hardware threads. */
+    static unsigned defaultJobs()
+    {
+        return ccache::ThreadPool::defaultWorkers();
+    }
+
+    /** Run every point across @p jobs workers (1 = inline serial run,
+     *  the determinism reference), then merge at the barrier. */
+    void run(unsigned jobs = defaultJobs())
+    {
+        ccache::ThreadPool pool(jobs <= 1 ? 0 : jobs);
+        runOn(pool);
+    }
+
+    /** Same, on a caller-provided pool. */
+    void runOn(ccache::ThreadPool &pool)
+    {
+        CC_ASSERT(!ran_, "SweepRunner::run called twice");
+        ran_ = true;
+        // Contexts are created up front so index/seed assignment cannot
+        // depend on execution order.
+        for (std::size_t i = 0; i < points_.size(); ++i)
+            points_[i].ctx = std::make_unique<SweepContext>(
+                points_[i].key, i, baseSeed_);
+        pool.parallelFor(points_.size(), [this](std::size_t i) {
+            points_[i].fn(*points_[i].ctx);
+        });
+        merge();
+    }
+
+    /** Every point's stats, merged in point order at the barrier. */
+    const ccache::StatRegistry &mergedStats() const { return mergedStats_; }
+
+    /** Every point's trace events, merged in point order. */
+    const ccache::EventTrace &mergedTrace() const { return mergedTrace_; }
+
+  private:
+    struct Point
+    {
+        std::string key;
+        PointFn fn;
+        std::unique_ptr<SweepContext> ctx;
+    };
+
+    void merge()
+    {
+        for (Point &p : points_) {
+            SweepContext &ctx = *p.ctx;
+            if (results_) {
+                for (auto &[key, value] : ctx.configs_)
+                    results_->config(key, std::move(value));
+                for (auto &[name, value] : ctx.metrics_)
+                    results_->metric(name, value);
+                for (auto &[label, dump] : ctx.statsDumps_)
+                    results_->statsJson(label, std::move(dump));
+            }
+            mergedStats_.mergeFrom(ctx.stats_);
+            mergedTrace_.mergeFrom(ctx.trace_);
+        }
+    }
+
+    std::vector<Point> points_;
+    ResultsWriter *results_;
+    std::uint64_t baseSeed_;
+    bool ran_ = false;
+    ccache::StatRegistry mergedStats_;
+    ccache::EventTrace mergedTrace_;
 };
 
 } // namespace bench

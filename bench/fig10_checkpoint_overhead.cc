@@ -27,25 +27,39 @@ main()
     bench::rule();
 
     const char *engines[] = {"base", "base32", "cc_l3"};
-    double sum[3] = {0, 0, 0};
+    const Engine engine_ids[] = {Engine::Base, Engine::Base32, Engine::Cc};
     auto apps = workload::allSplashApps();
-    for (auto app : apps) {
-        double overhead[3];
-        int m = 0;
-        for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
-            sim::System sys;
-            Checkpoint ck(app, cfg);
-            auto res = ck.run(sys, e);
-            overhead[m] = res.overheadPct();
-            sum[m] += overhead[m];
-            results.metric(std::string(workload::toString(app)) + "." +
-                               engines[m] + ".overhead_pct",
-                           overhead[m]);
-            ++m;
+
+    // One sweep point per (workload, engine) pair.
+    std::vector<double> overhead(apps.size() * 3);
+    bench::SweepRunner sweep(&results);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (int m = 0; m < 3; ++m) {
+            auto app = apps[a];
+            Engine e = engine_ids[m];
+            std::size_t slot = a * 3 + static_cast<std::size_t>(m);
+            std::string key = std::string(workload::toString(app)) + "." +
+                engines[m];
+            sweep.add(key,
+                      [&, app, e, slot, key](bench::SweepContext &ctx) {
+                          sim::System sys;
+                          Checkpoint ck(app, cfg);
+                          auto res = ck.run(sys, e);
+                          overhead[slot] = res.overheadPct();
+                          ctx.metric(key + ".overhead_pct",
+                                     overhead[slot]);
+                      });
         }
+    }
+    sweep.run();
+
+    double sum[3] = {0, 0, 0};
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (int m = 0; m < 3; ++m)
+            sum[m] += overhead[a * 3 + static_cast<std::size_t>(m)];
         std::printf("%-11s %8.1f%% %8.1f%% %8.1f%%\n",
-                    workload::toString(app), overhead[0], overhead[1],
-                    overhead[2]);
+                    workload::toString(apps[a]), overhead[a * 3],
+                    overhead[a * 3 + 1], overhead[a * 3 + 2]);
     }
 
     bench::rule();

@@ -80,17 +80,25 @@ main()
                 "movement %", "total (nJ)");
     bench::rule();
 
-    double scalar_total = 0.0;
+    // One sweep point per engine configuration.
+    Proportions props[3];
+    bench::SweepRunner sweep(&results);
     for (int mode = 0; mode < 3; ++mode) {
-        Proportions p = runCompare(mode);
-        if (mode == 0)
-            scalar_total = p.total_nj;
+        sweep.add(keys[mode], [&, mode](bench::SweepContext &ctx) {
+            props[mode] = runCompare(mode);
+            std::string key = keys[mode];
+            ctx.metric(key + ".core_fraction", props[mode].core);
+            ctx.metric(key + ".movement_fraction", props[mode].movement);
+            ctx.metric(key + ".dynamic_total_nj", props[mode].total_nj);
+        });
+    }
+    sweep.run();
+
+    double scalar_total = props[0].total_nj;
+    for (int mode = 0; mode < 3; ++mode) {
+        const Proportions &p = props[mode];
         std::printf("%-22s %11.1f%% %11.1f%% %14.1f\n", names[mode],
                     100.0 * p.core, 100.0 * p.movement, p.total_nj);
-        std::string key = keys[mode];
-        results.metric(key + ".core_fraction", p.core);
-        results.metric(key + ".movement_fraction", p.movement);
-        results.metric(key + ".dynamic_total_nj", p.total_nj);
         if (mode == 2) {
             std::printf("%-22s %37.1fx vs scalar\n", "  total reduction",
                         scalar_total / p.total_nj);

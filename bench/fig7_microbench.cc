@@ -91,35 +91,49 @@ main()
     results.config("cc_level", "L3");
     results.config("baseline", "Base_32");
 
+    // One sweep point per kernel: each runs the Base_32 / CC_L3 pair
+    // into its own slot, and all tables print after the barrier.
+    std::vector<Run> base_runs(4), cc_runs(4);
+    bench::SweepRunner sweep(&results);
+    for (std::size_t i = 0; i < 4; ++i) {
+        BulkKernel k = kernels[i];
+        sweep.add(toString(k), [&, i, k](bench::SweepContext &ctx) {
+            Json cc_stats;
+            base_runs[i] = runKernel(k, false);
+            cc_runs[i] = runKernel(k, true, &cc_stats);
+            ctx.statsJson(std::string("cc_") + toString(k),
+                          std::move(cc_stats));
+            double speedup = base_runs[i].kernel.blockOpsPerSecond() == 0.0
+                ? 0.0
+                : cc_runs[i].kernel.blockOpsPerSecond() /
+                    base_runs[i].kernel.blockOpsPerSecond();
+            std::string key = toString(k);
+            ctx.metric(key + ".base32_mblockops",
+                       base_runs[i].kernel.blockOpsPerSecond() / 1e6);
+            ctx.metric(key + ".cc_mblockops",
+                       cc_runs[i].kernel.blockOpsPerSecond() / 1e6);
+            ctx.metric(key + ".speedup", speedup);
+        });
+    }
+    sweep.run();
+
     bench::header("Figure 7a: throughput, 4 KB operands in L3 "
                   "(Mblock-ops/s)");
     std::printf("%-9s %14s %14s %10s\n", "kernel", "Base_32", "CC_L3",
                 "speedup");
     bench::rule();
     double ratio_product = 1.0;
-    std::vector<Run> base_runs, cc_runs;
-    for (BulkKernel k : kernels) {
-        Json cc_stats;
-        Run base = runKernel(k, false);
-        Run cc = runKernel(k, true, &cc_stats);
-        base_runs.push_back(base);
-        cc_runs.push_back(cc);
-        results.statsJson(std::string("cc_") + toString(k),
-                          std::move(cc_stats));
+    for (std::size_t i = 0; i < 4; ++i) {
+        const Run &base = base_runs[i];
+        const Run &cc = cc_runs[i];
         double speedup = base.kernel.blockOpsPerSecond() == 0.0
             ? 0.0
             : cc.kernel.blockOpsPerSecond() /
                 base.kernel.blockOpsPerSecond();
         ratio_product *= speedup;
-        std::printf("%-9s %14.0f %14.0f %9.1fx\n", toString(k),
+        std::printf("%-9s %14.0f %14.0f %9.1fx\n", toString(kernels[i]),
                     base.kernel.blockOpsPerSecond() / 1e6,
                     cc.kernel.blockOpsPerSecond() / 1e6, speedup);
-        std::string key = toString(k);
-        results.metric(key + ".base32_mblockops",
-                       base.kernel.blockOpsPerSecond() / 1e6);
-        results.metric(key + ".cc_mblockops",
-                       cc.kernel.blockOpsPerSecond() / 1e6);
-        results.metric(key + ".speedup", speedup);
     }
     std::printf("%-9s %39.1fx (paper: 54x)\n", "geomean",
                 std::pow(ratio_product, 0.25));
@@ -191,7 +205,9 @@ main()
     runKernel(BulkKernel::Copy, true, nullptr, trace_path.c_str());
     std::printf("trace:   %s (load in https://ui.perfetto.dev)\n",
                 trace_path.c_str());
-    results.extra("trace_file", trace_path);
+    // Recorded relative to the results directory so two runs into
+    // different directories stay byte-identical (DESIGN.md §8).
+    results.extra("trace_file", "fig7_microbench.trace.json");
 
     results.write();
     return 0;

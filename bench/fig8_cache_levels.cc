@@ -63,22 +63,38 @@ main()
                 "Base_32 (nJ)", "CC (nJ)", "saving");
     bench::rule();
 
-    for (BulkKernel k : {BulkKernel::Copy, BulkKernel::Compare,
-                         BulkKernel::Search, BulkKernel::LogicalOr}) {
-        for (CacheLevel level :
-             {CacheLevel::L3, CacheLevel::L2, CacheLevel::L1}) {
-            double base = runOnce(k, level, false);
-            double cc = runOnce(k, level, true);
-            std::printf("%-9s %12s %14.0f %14.0f %9.0f%%\n", toString(k),
-                        toString(level), base / 1e3, cc / 1e3,
-                        100.0 * (1.0 - cc / base));
-            std::string key = std::string(toString(k)) + "." +
-                toString(level);
-            results.metric(key + ".base32_dynamic_nj", base / 1e3);
-            results.metric(key + ".cc_dynamic_nj", cc / 1e3);
-            results.metric(key + ".saving_fraction", 1.0 - cc / base);
-        }
+    const BulkKernel kernels[] = {BulkKernel::Copy, BulkKernel::Compare,
+                                  BulkKernel::Search,
+                                  BulkKernel::LogicalOr};
+    const CacheLevel levels[] = {CacheLevel::L3, CacheLevel::L2,
+                                 CacheLevel::L1};
+
+    // One sweep point per (kernel, level) pair, Base_32 + CC run inside.
+    struct Row
+    {
+        double base, cc;
+    };
+    std::vector<Row> rows(12);
+    bench::SweepRunner sweep(&results);
+    for (std::size_t i = 0; i < 12; ++i) {
+        BulkKernel k = kernels[i / 3];
+        CacheLevel level = levels[i % 3];
+        std::string key = std::string(toString(k)) + "." + toString(level);
+        sweep.add(key, [&, i, k, level, key](bench::SweepContext &ctx) {
+            rows[i] = {runOnce(k, level, false), runOnce(k, level, true)};
+            ctx.metric(key + ".base32_dynamic_nj", rows[i].base / 1e3);
+            ctx.metric(key + ".cc_dynamic_nj", rows[i].cc / 1e3);
+            ctx.metric(key + ".saving_fraction",
+                       1.0 - rows[i].cc / rows[i].base);
+        });
     }
+    sweep.run();
+
+    for (std::size_t i = 0; i < 12; ++i)
+        std::printf("%-9s %12s %14.0f %14.0f %9.0f%%\n",
+                    toString(kernels[i / 3]), toString(levels[i % 3]),
+                    rows[i].base / 1e3, rows[i].cc / 1e3,
+                    100.0 * (1.0 - rows[i].cc / rows[i].base));
     results.write();
 
     bench::rule();

@@ -73,27 +73,46 @@ main()
                 "thpt ratio");
     bench::rule();
 
+    const BulkKernel kernels[] = {BulkKernel::Copy, BulkKernel::Compare,
+                                  BulkKernel::Search,
+                                  BulkKernel::LogicalOr};
+
+    // One sweep point per kernel, running the in-place/near-place pair.
+    std::vector<Run> in_runs(4), near_runs(4);
+    bench::SweepRunner sweep(&results);
+    for (std::size_t i = 0; i < 4; ++i) {
+        BulkKernel k = kernels[i];
+        sweep.add(toString(k), [&, i, k](bench::SweepContext &ctx) {
+            in_runs[i] = runKernel(k, false);
+            near_runs[i] = runKernel(k, true);
+            double e_ratio =
+                near_runs[i].totals.total() / in_runs[i].totals.total();
+            double t_ratio = in_runs[i].kernel.blockOpsPerSecond() /
+                near_runs[i].kernel.blockOpsPerSecond();
+            std::string key = toString(k);
+            ctx.metric(key + ".inplace_total_nj",
+                       in_runs[i].totals.total() / 1e3);
+            ctx.metric(key + ".nearplace_total_nj",
+                       near_runs[i].totals.total() / 1e3);
+            ctx.metric(key + ".energy_ratio", e_ratio);
+            ctx.metric(key + ".throughput_ratio", t_ratio);
+        });
+    }
+    sweep.run();
+
     double e_product = 1.0, t_product = 1.0;
-    for (BulkKernel k : {BulkKernel::Copy, BulkKernel::Compare,
-                         BulkKernel::Search, BulkKernel::LogicalOr}) {
-        Run in_place = runKernel(k, false);
-        Run near_place = runKernel(k, true);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const Run &in_place = in_runs[i];
+        const Run &near_place = near_runs[i];
         double e_ratio =
             near_place.totals.total() / in_place.totals.total();
         double t_ratio = in_place.kernel.blockOpsPerSecond() /
             near_place.kernel.blockOpsPerSecond();
         e_product *= e_ratio;
         t_product *= t_ratio;
-        std::printf("%-9s %16.0f %16.0f %12.1fx %12.1fx\n", toString(k),
-                    in_place.totals.total() / 1e3,
+        std::printf("%-9s %16.0f %16.0f %12.1fx %12.1fx\n",
+                    toString(kernels[i]), in_place.totals.total() / 1e3,
                     near_place.totals.total() / 1e3, e_ratio, t_ratio);
-        std::string key = toString(k);
-        results.metric(key + ".inplace_total_nj",
-                       in_place.totals.total() / 1e3);
-        results.metric(key + ".nearplace_total_nj",
-                       near_place.totals.total() / 1e3);
-        results.metric(key + ".energy_ratio", e_ratio);
-        results.metric(key + ".throughput_ratio", t_ratio);
     }
 
     bench::rule();

@@ -61,35 +61,38 @@ main()
     bench::header("Figure 9: application speedup and total-energy savings"
                   " (CC vs Base_32)");
 
-    std::vector<AppOutcome> outcomes;
+    bench::ResultsWriter results("fig9_applications");
+    results.config("baseline", "Base_32");
 
-    {
+    // One sweep point per application; each constructs its own app and
+    // runs the Base_32 / CC pair.
+    std::vector<AppOutcome> outcomes(4);
+    bench::SweepRunner sweep(&results);
+    sweep.add("BMM", [&](bench::SweepContext &) {
         BmmConfig cfg;  // 256 x 256 bit matrices per Section VI-B
         Bmm app(cfg);
-        outcomes.push_back(runApp("BMM", app, 3.2));
-    }
-    {
+        outcomes[0] = runApp("BMM", app, 3.2);
+    });
+    sweep.add("WordCount", [&](bench::SweepContext &) {
         WordCountConfig cfg;
         cfg.corpusBytes = 256 * 1024;
         cfg.text.vocabulary = 8000;  // ~large dictionary, L3-resident
         WordCount app(cfg);
-        outcomes.push_back(runApp("WordCount", app, 2.0));
-    }
-    {
+        outcomes[1] = runApp("WordCount", app, 2.0);
+    });
+    sweep.add("StringMatch", [&](bench::SweepContext &) {
         StringMatchConfig cfg;
         cfg.textBytes = 64 * 1024;
         StringMatch app(cfg);
-        outcomes.push_back(runApp("StringMatch", app, 1.5));
-    }
-    {
+        outcomes[2] = runApp("StringMatch", app, 1.5);
+    });
+    sweep.add("DB-BitMap", [&](bench::SweepContext &) {
         DbBitmapConfig cfg;  // 256 KB bins per Section VI-B
         cfg.numQueries = 8;
         DbBitmap app(cfg);
-        outcomes.push_back(runApp("DB-BitMap", app, 1.6));
-    }
-
-    bench::ResultsWriter results("fig9_applications");
-    results.config("baseline", "Base_32");
+        outcomes[3] = runApp("DB-BitMap", app, 1.6);
+    });
+    sweep.run();
 
     std::printf("%-12s %9s %14s %12s %11s\n", "application", "speedup",
                 "energy ratio", "instr red.", "functional");

@@ -33,17 +33,25 @@ main()
 
     bench::ResultsWriter results("table1_cache_energy");
     const char *keys[] = {"l1d", "l2", "l3_slice"};
-    int r = 0;
-    for (const auto &row : rows) {
+
+    // One sweep point per cache level.
+    bench::SweepRunner sweep(&results);
+    for (int r = 0; r < 3; ++r) {
+        sweep.add(keys[r], [&, r](bench::SweepContext &ctx) {
+            const auto &row = rows[r];
+            std::string key = keys[r];
+            ctx.metric(key + ".htree_pj", row.split.htree);
+            ctx.metric(key + ".access_pj", row.split.access);
+            ctx.metric(key + ".htree_fraction",
+                       row.split.htree / row.split.total());
+        });
+    }
+    sweep.run();
+
+    for (const auto &row : rows)
         std::printf("%-10s %12.0f pJ %12.0f pJ %9.0f%%\n", row.name,
                     row.split.htree, row.split.access,
                     100.0 * row.split.htree / row.split.total());
-        std::string key = keys[r++];
-        results.metric(key + ".htree_pj", row.split.htree);
-        results.metric(key + ".access_pj", row.split.access);
-        results.metric(key + ".htree_fraction",
-                       row.split.htree / row.split.total());
-    }
     results.write();
 
     bench::rule();

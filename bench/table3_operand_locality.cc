@@ -25,19 +25,30 @@ main()
     bench::rule();
 
     bench::ResultsWriter results("table3_operand_locality");
-    for (const auto &params :
-         {CacheGeometryParams::l1d(), CacheGeometryParams::l2(),
-          CacheGeometryParams::l3Slice()}) {
+    const CacheGeometryParams level_params[] = {
+        CacheGeometryParams::l1d(), CacheGeometryParams::l2(),
+        CacheGeometryParams::l3Slice()};
+
+    // One sweep point per cache level.
+    bench::SweepRunner sweep(&results);
+    for (const auto &params : level_params) {
+        sweep.add(params.name, [&params](bench::SweepContext &ctx) {
+            CacheGeometry geom(params);
+            ctx.metric(params.name + ".min_match_bits",
+                       geom.minMatchBits());
+            ctx.metric(params.name + ".page_alignment_sufficient",
+                       pageAlignmentSufficient(geom) ? 1 : 0);
+        });
+    }
+    sweep.run();
+
+    for (const auto &params : level_params) {
         CacheGeometry geom(params);
         std::printf("%-10s %6zu %4zu %11zu %22u %12s\n",
                     params.name.c_str(), params.banks,
                     params.blockPartitionsPerBank, kBlockSize,
                     geom.minMatchBits(),
                     pageAlignmentSufficient(geom) ? "yes" : "NO");
-        results.metric(params.name + ".min_match_bits",
-                       geom.minMatchBits());
-        results.metric(params.name + ".page_alignment_sufficient",
-                       pageAlignmentSufficient(geom) ? 1 : 0);
     }
     results.write();
 

@@ -22,23 +22,30 @@ main()
     bench::ResultsWriter results("table4_simulator_params");
     results.config("cores", h.cores);
     results.config("core_freq_ghz", kCoreFreqHz / 1e9);
-    results.metric("l1.size_kb",
+
+    // A single sweep point: this bench only snapshots the live default
+    // configuration, but it rides the same engine as every other bench.
+    bench::SweepRunner sweep(&results);
+    sweep.add("defaults", [&h](bench::SweepContext &ctx) {
+        ctx.metric("l1.size_kb",
                    static_cast<double>(h.l1.geometry.sizeBytes) / 1024);
-    results.metric("l2.size_kb",
+        ctx.metric("l2.size_kb",
                    static_cast<double>(h.l2.geometry.sizeBytes) / 1024);
-    results.metric("l3.slice_size_mb",
+        ctx.metric("l3.slice_size_mb",
                    static_cast<double>(h.l3.geometry.sizeBytes) /
                        (1024 * 1024));
-    results.metric("l1.access_cycles",
+        ctx.metric("l1.access_cycles",
                    static_cast<double>(h.l1.accessLatency));
-    results.metric("l2.access_cycles",
+        ctx.metric("l2.access_cycles",
                    static_cast<double>(h.l2.accessLatency));
-    results.metric("l3.access_cycles",
+        ctx.metric("l3.access_cycles",
                    static_cast<double>(h.l3.accessLatency));
-    results.metric("ring.hop_cycles",
+        ctx.metric("ring.hop_cycles",
                    static_cast<double>(h.ring.hopLatency));
-    results.metric("memory.access_cycles",
+        ctx.metric("memory.access_cycles",
                    static_cast<double>(h.memory.accessLatency));
+    });
+    sweep.run();
 
     std::printf("Configuration   %u-core CMP\n", h.cores);
     std::printf("Processor       %.2f GHz out-of-order core, issue %u, "

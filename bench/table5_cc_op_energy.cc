@@ -30,15 +30,25 @@ main()
     bench::rule();
 
     bench::ResultsWriter results("table5_cc_op_energy");
-    for (CacheLevel level :
-         {CacheLevel::L3, CacheLevel::L2, CacheLevel::L1}) {
-        std::printf("%-6s", toString(level));
-        for (CacheOp op : ops) {
-            std::printf("%9.0f", params.cacheOpEnergy(level, op));
-            results.metric(std::string(toString(level)) + "." +
+    const CacheLevel levels[] = {CacheLevel::L3, CacheLevel::L2,
+                                 CacheLevel::L1};
+
+    // One sweep point per cache level.
+    bench::SweepRunner sweep(&results);
+    for (CacheLevel level : levels) {
+        sweep.add(toString(level), [&, level](bench::SweepContext &ctx) {
+            for (CacheOp op : ops)
+                ctx.metric(std::string(toString(level)) + "." +
                                toString(op) + ".pj",
                            params.cacheOpEnergy(level, op));
-        }
+        });
+    }
+    sweep.run();
+
+    for (CacheLevel level : levels) {
+        std::printf("%-6s", toString(level));
+        for (CacheOp op : ops)
+            std::printf("%9.0f", params.cacheOpEnergy(level, op));
         std::printf("\n");
     }
 

@@ -123,6 +123,14 @@ class Parser
     }
 
   private:
+    /**
+     * Containers nest recursively, so bound the depth: a hostile
+     * "[[[[..." input must produce a parse error, not exhaust the
+     * stack. 256 levels is far beyond any document the simulator
+     * emits (stats dumps nest 3 deep).
+     */
+    static constexpr int kMaxDepth = 256;
+
     Json parseValue()
     {
         skipWs();
@@ -143,11 +151,16 @@ class Parser
 
     Json parseObject()
     {
+        if (++depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return Json();
+        }
         ++pos_; // '{'
         Json::Object obj;
         skipWs();
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return Json(std::move(obj));
         }
         while (!failed_) {
@@ -175,6 +188,7 @@ class Parser
             }
             if (peek() == '}') {
                 ++pos_;
+                --depth_;
                 return Json(std::move(obj));
             }
             fail("expected ',' or '}' in object");
@@ -184,11 +198,16 @@ class Parser
 
     Json parseArray()
     {
+        if (++depth_ > kMaxDepth) {
+            fail("nesting too deep");
+            return Json();
+        }
         ++pos_; // '['
         Json::Array arr;
         skipWs();
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return Json(std::move(arr));
         }
         while (!failed_) {
@@ -202,6 +221,7 @@ class Parser
             }
             if (peek() == ']') {
                 ++pos_;
+                --depth_;
                 return Json(std::move(arr));
             }
             fail("expected ',' or ']' in array");
@@ -345,6 +365,7 @@ class Parser
     const std::string &text_;
     std::string *error_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
     bool failed_ = false;
 };
 

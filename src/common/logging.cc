@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,19 +9,24 @@
 namespace ccache {
 
 namespace {
-bool g_verbose = false;
+// The only process-wide mutable state in the simulator: a console
+// verbosity toggle. It never influences simulation results, and it is
+// atomic so sweep shards may warn concurrently under TSan without a
+// race (per-run state — stats, traces, RNGs — is constructor-injected
+// everywhere; see DESIGN.md §8).
+std::atomic<bool> g_verbose{false};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    g_verbose = verbose;
+    g_verbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return g_verbose;
+    return g_verbose.load(std::memory_order_relaxed);
 }
 
 const char *
@@ -55,14 +61,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_verbose)
+    if (g_verbose.load(std::memory_order_relaxed))
         std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_verbose)
+    if (g_verbose.load(std::memory_order_relaxed))
         std::cout << "info: " << msg << std::endl;
 }
 

@@ -11,8 +11,42 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace ccache {
+
+/** SplitMix64 finalizer: one high-quality 64-bit mixing step. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Derive the RNG seed of one shard of a sweep:
+ *
+ *     seed = mix64(base_seed ^ mix64(fnv1a(shard_key)))
+ *
+ * The derivation depends only on the (base_seed, shard_key) pair —
+ * never on thread identity, scheduling order or global state — so a
+ * sweep point draws the same random stream whether the sweep runs
+ * serially or across any number of threads (DESIGN.md §8). Distinct
+ * keys decorrelate: the FNV-1a hash plus the SplitMix64 finalizer
+ * spread even single-character key differences over all 64 bits.
+ */
+inline std::uint64_t
+deriveSeed(std::uint64_t base_seed, std::string_view shard_key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+    for (unsigned char c : shard_key) {
+        h ^= c;
+        h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+    return mix64(base_seed ^ mix64(h));
+}
 
 /** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
 class Rng

@@ -48,6 +48,28 @@ StatHistogram::mean() const
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
+bool
+StatHistogram::mergeFrom(const StatHistogram &other)
+{
+    if (bucketWidth_ != other.bucketWidth_ ||
+        buckets_.size() != other.buckets_.size())
+        return false;
+    if (other.count_ == 0)
+        return true;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return true;
+}
+
 StatCounter &
 StatRegistry::counter(const std::string &name, const std::string &desc)
 {
@@ -130,6 +152,25 @@ StatRegistry::resetAll()
         a.reset();
     for (auto &[name, h] : histograms_)
         h.reset();
+}
+
+void
+StatRegistry::mergeFrom(const StatRegistry &other)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(name, c.description()).inc(c.value());
+    for (const auto &[name, a] : other.accums_)
+        accum(name, a.description()).add(a.value());
+    for (const auto &[name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, h);
+            continue;
+        }
+        if (!it->second.mergeFrom(h))
+            CC_WARN("stat histogram '", name,
+                    "' has mismatched bucket geometry; merge skipped");
+    }
 }
 
 std::string

@@ -93,6 +93,13 @@ class StatHistogram
     void sample(double value);
     void reset();
 
+    /**
+     * Fold @p other into this histogram. Returns false (leaving this
+     * histogram untouched) when the bucket geometries differ — merged
+     * histograms must have been registered identically.
+     */
+    bool mergeFrom(const StatHistogram &other);
+
     std::uint64_t count() const { return count_; }
     double mean() const;
     double min() const { return count_ ? min_ : 0.0; }
@@ -179,6 +186,21 @@ class StatRegistry
 
     /** Reset every statistic to zero (formulas have no state). */
     void resetAll();
+
+    /**
+     * Fold every statistic of @p other into this registry: counters and
+     * accumulators add, histograms merge bucket-wise (geometry must
+     * match; mismatches are reported with a warn and skipped). Formulas
+     * are NOT merged — they capture references into their own registry
+     * and a sum-of-ratios is not the ratio-of-sums anyway; re-register
+     * formulas on the merged registry when they are wanted.
+     *
+     * Merging is commutative for counters and histogram counts, and the
+     * parallel sweep engine always merges shards in their definition
+     * order, so floating-point accumulator sums are bit-identical
+     * regardless of thread count (DESIGN.md §8).
+     */
+    void mergeFrom(const StatRegistry &other);
 
     /** Render all stats, sorted by name, one per line. */
     std::string dump() const;

@@ -1,0 +1,169 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace ccache {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        return;  // inline mode: no deques, submit() executes directly
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back(&ThreadPool::workerLoop, this, i);
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Let queued work drain (swallowing any stored exception: nobody is
+    // left to observe it), then wake every worker for shutdown.
+    try {
+        wait();
+    } catch (...) {
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    if (queues_.empty()) {
+        task();  // inline mode: serial reference execution
+        return;
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    unsigned q = static_cast<unsigned>(
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size());
+    {
+        std::lock_guard<std::mutex> lock(queues_[q]->mu);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++queued_;
+    }
+    workReady_.notify_one();
+}
+
+bool
+ThreadPool::popTask(unsigned queue, bool back, Task &out)
+{
+    WorkQueue &q = *queues_[queue];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty())
+        return false;
+    if (back) {
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+    } else {
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+    }
+    return true;
+}
+
+bool
+ThreadPool::runOneTask(unsigned home)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    Task task;
+    bool got = home < n && popTask(home, /*back=*/true, task);
+    for (unsigned k = 0; !got && k < n; ++k)
+        got = popTask((home + 1 + k) % n, /*back=*/false, task);
+    if (!got)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        allDone_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        if (runOneTask(self))
+            continue;
+        std::unique_lock<std::mutex> lock(mu_);
+        workReady_.wait(lock, [this] { return stop_ || queued_ > 0; });
+        if (stop_ && queued_ == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    if (!queues_.empty()) {
+        // Help drain the deques; home index past the workers means "no
+        // own deque, steal from everyone".
+        const unsigned helper = static_cast<unsigned>(queues_.size());
+        while (pending_.load(std::memory_order_acquire) > 0) {
+            if (runOneTask(helper))
+                continue;
+            std::unique_lock<std::mutex> lock(mu_);
+            allDone_.wait(lock, [this] {
+                return pending_.load(std::memory_order_acquire) == 0 ||
+                    queued_ > 0;
+            });
+        }
+    }
+    std::exception_ptr err;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::swap(err, error_);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&body, i] { body(i); });
+    wait();
+}
+
+unsigned
+ThreadPool::hardwareWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    if (const char *env = std::getenv("CCACHE_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    return hardwareWorkers();
+}
+
+} // namespace ccache

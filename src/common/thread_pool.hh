@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Work-stealing thread pool for the parallel sweep engine.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (cache
+ * locality) and steals FIFO from the other workers when its deque runs
+ * dry, so a batch of uneven sweep points load-balances itself. External
+ * submissions are distributed round-robin across the worker deques.
+ *
+ * Determinism contract (DESIGN.md §8): the pool never owns simulation
+ * state. Tasks receive everything they touch by value or through
+ * per-task instances (StatRegistry, EventTrace, Rng), so the schedule —
+ * which worker runs which task, in which order — cannot influence
+ * results. A pool constructed with 0 workers executes every task inline
+ * on the submitting thread, which is the serial reference the
+ * determinism tests compare against.
+ *
+ * Tasks may throw: the first exception is captured and re-thrown from
+ * wait() (or parallelFor()) on the calling thread; the remaining tasks
+ * still run to completion so the pool is reusable afterwards.
+ */
+
+#ifndef CCACHE_COMMON_THREAD_POOL_HH
+#define CCACHE_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccache {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @p workers threads are spawned; 0 means inline (serial) mode. */
+    explicit ThreadPool(unsigned workers = defaultWorkers());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 in inline mode). */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Enqueue one task. In inline mode the task runs before submit()
+     * returns (exceptions propagate immediately); otherwise it runs on
+     * some worker, or on a thread that enters wait() and helps out.
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has completed. The calling
+     * thread participates by stealing queued tasks instead of idling.
+     * Re-throws the first exception any task raised since the last
+     * wait().
+     */
+    void wait();
+
+    /**
+     * Convenience fan-out: submit @p body for every index in [0, n)
+     * and wait. Indices may execute in any order and on any thread.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareWorkers();
+
+    /** $CCACHE_JOBS when set (>= 1), hardwareWorkers() otherwise. */
+    static unsigned defaultWorkers();
+
+  private:
+    /** One worker's deque. Owner pops back; thieves pop front. */
+    struct WorkQueue
+    {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+
+    /** Pop from @p queue (back for the owner, front for a thief). */
+    bool popTask(unsigned queue, bool back, Task &out);
+
+    /**
+     * Find and run one task: own deque first (when @p home indexes a
+     * worker), then steal round-robin. Returns false when every deque
+     * is empty.
+     */
+    bool runOneTask(unsigned home);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;                    ///< guards queued_/stop_/error_
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t queued_ = 0;           ///< tasks sitting in some deque
+    bool stop_ = false;
+    std::exception_ptr error_;
+    std::atomic<std::size_t> pending_{0};   ///< submitted, not finished
+    std::atomic<std::size_t> nextQueue_{0}; ///< round-robin submit cursor
+};
+
+} // namespace ccache
+
+#endif // CCACHE_COMMON_THREAD_POOL_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Fuzz-ish robustness tests for the JSON parser: a corpus of valid
+ * documents is mutated under fixed seeds (truncation, byte flips,
+ * insertions, invalid UTF-8), and hostile inputs (deep nesting, huge
+ * numbers) are fed directly. The parser must never crash; it must
+ * either return a value (consuming all input) or report an error with
+ * an in-bounds line/column position. Crafted inputs additionally pin
+ * the exact reported positions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/rng.hh"
+
+namespace ccache {
+namespace {
+
+/** The corpus: shapes the simulator actually emits, plus edge cases. */
+std::vector<std::string>
+corpus()
+{
+    return {
+        // A miniature ccache-bench-results document.
+        R"({"schema": "ccache-bench-results", "version": 1,)"
+        R"( "bench": "fig7", "config": {"operand_bytes": 4096},)"
+        R"( "metrics": {"copy.speedup": 21.5, "neg": -3.25e-2},)"
+        R"( "stats": {"cc": {"counters": {"cc.ops": 64}}}})",
+        // Arrays, nulls, booleans, unicode escapes, empty containers.
+        R"([1, 2.5, -3e8, true, false, null, "a\"b\\c\u00e9", [], {}])",
+        R"({"nested": {"a": [{"b": [0, 1]}, {"c": {}}]}, "": 0})",
+        "[0.0, 1e-300, 123456789012345678]",
+        R"("just a string")",
+        "42",
+    };
+}
+
+/** Parse and sanity-check the outcome: value XOR positioned error. */
+void
+expectGraceful(const std::string &input)
+{
+    std::string error;
+    Json v = Json::parse(input, &error);
+    if (error.empty()) {
+        // Accepted: dumping must not crash either.
+        (void)v.dump();
+        return;
+    }
+    // Rejected: the message must carry an in-bounds position.
+    auto at = error.find(" at line ");
+    ASSERT_NE(at, std::string::npos) << error << " for: " << input;
+    std::size_t line = 0, col = 0;
+    ASSERT_EQ(std::sscanf(error.c_str() + at, " at line %zu, column %zu",
+                          &line, &col),
+              2)
+        << error;
+    std::size_t lines = 1 + static_cast<std::size_t>(std::count(
+        input.begin(), input.end(), '\n'));
+    EXPECT_GE(line, 1u) << error;
+    EXPECT_LE(line, lines) << error;
+    EXPECT_GE(col, 1u) << error;
+    EXPECT_LE(col, input.size() + 1) << error;
+}
+
+TEST(JsonFuzz, CorpusParsesClean)
+{
+    for (const std::string &doc : corpus()) {
+        std::string error;
+        Json::parse(doc, &error);
+        EXPECT_TRUE(error.empty()) << doc << ": " << error;
+    }
+}
+
+TEST(JsonFuzz, EveryTruncationIsGraceful)
+{
+    for (const std::string &doc : corpus())
+        for (std::size_t len = 0; len < doc.size(); ++len)
+            expectGraceful(doc.substr(0, len));
+}
+
+TEST(JsonFuzz, SeededByteFlipsAreGraceful)
+{
+    Rng rng(0xf022);
+    for (const std::string &doc : corpus()) {
+        for (int round = 0; round < 200; ++round) {
+            std::string mutated = doc;
+            unsigned flips = 1 + static_cast<unsigned>(rng.below(3));
+            for (unsigned f = 0; f < flips; ++f) {
+                std::size_t pos = rng.below(mutated.size());
+                mutated[pos] = static_cast<char>(rng.below(256));
+            }
+            expectGraceful(mutated);
+        }
+    }
+}
+
+TEST(JsonFuzz, SeededInsertionsAndDeletionsAreGraceful)
+{
+    Rng rng(0xbeef);
+    for (const std::string &doc : corpus()) {
+        for (int round = 0; round < 100; ++round) {
+            std::string mutated = doc;
+            if (rng.below(2) == 0) {
+                std::size_t pos = rng.below(mutated.size() + 1);
+                mutated.insert(mutated.begin() + pos,
+                               static_cast<char>(rng.below(256)));
+            } else if (!mutated.empty()) {
+                mutated.erase(mutated.begin() + rng.below(mutated.size()));
+            }
+            expectGraceful(mutated);
+        }
+    }
+}
+
+TEST(JsonFuzz, InvalidUtf8InsideStringsIsGraceful)
+{
+    Rng rng(0x07f8);
+    for (int round = 0; round < 100; ++round) {
+        // Stray continuation bytes, overlong-ish lead bytes, 0xFF.
+        std::string s = "{\"k\": \"";
+        unsigned n = 1 + static_cast<unsigned>(rng.below(8));
+        for (unsigned i = 0; i < n; ++i) {
+            static const unsigned char bad[] = {0x80, 0xbf, 0xc0, 0xe0,
+                                                0xf8, 0xfe, 0xff};
+            s += static_cast<char>(bad[rng.below(sizeof bad)]);
+        }
+        s += "\"}";
+        expectGraceful(s);
+    }
+}
+
+TEST(JsonFuzz, DeepNestingFailsInsteadOfOverflowingTheStack)
+{
+    // Well beyond the parser's depth bound; must error, not crash.
+    for (const char *open : {"[", "{\"k\":"}) {
+        std::string doc;
+        for (int i = 0; i < 5000; ++i)
+            doc += open;
+        std::string error;
+        Json::parse(doc, &error);
+        EXPECT_NE(error.find("nesting too deep"), std::string::npos)
+            << "opener " << open << ": " << error;
+    }
+
+    // At the bound itself parsing still succeeds.
+    std::string ok;
+    for (int i = 0; i < 255; ++i)
+        ok += "[";
+    ok += "1";
+    for (int i = 0; i < 255; ++i)
+        ok += "]";
+    std::string error;
+    Json::parse(ok, &error);
+    EXPECT_TRUE(error.empty()) << error;
+}
+
+TEST(JsonFuzz, OverflowingNumbersAreGraceful)
+{
+    for (const char *doc : {"1e99999", "-1e99999", "1e-99999",
+                            "123456789012345678901234567890123456789012",
+                            "0.00000000000000000000000000000000000001"}) {
+        std::string error;
+        Json v = Json::parse(doc, &error);
+        EXPECT_TRUE(error.empty()) << doc << ": " << error;
+        (void)v.dump();  // non-finite values serialize as null
+    }
+}
+
+TEST(JsonFuzz, ReportsExactErrorPositions)
+{
+    struct Case
+    {
+        const char *input;
+        const char *message;
+        std::size_t line;
+        std::size_t column;
+    };
+    const std::vector<Case> cases = {
+        // Truncated array: fail at end of input (after the space).
+        {"[1, 2, ", "unexpected end of input", 1, 8},
+        // Missing colon: fail lands on the value that follows the key.
+        {"{\n  \"a\": 1,\n  \"b\" 2\n}", "expected ':' after object key",
+         3, 7},
+        // Bad keyword.
+        {"[tru]", "unknown keyword", 1, 2},
+        // Unterminated string runs to end of input.
+        {"\"abc", "unterminated string", 1, 5},
+        // Trailing garbage after a complete value.
+        {"{} x", "trailing characters", 1, 4},
+        // Bad \u escape: the position is just past the offending digit.
+        {"\"\\uZZZZ\"", "bad hex digit", 1, 5},
+    };
+    for (const Case &c : cases) {
+        std::string error;
+        Json::parse(c.input, &error);
+        ASSERT_FALSE(error.empty()) << c.input;
+        EXPECT_NE(error.find(c.message), std::string::npos)
+            << c.input << " -> " << error;
+        std::string want = "at line " + std::to_string(c.line) +
+            ", column " + std::to_string(c.column);
+        EXPECT_NE(error.find(want), std::string::npos)
+            << c.input << " -> " << error << " (wanted " << want << ")";
+    }
+}
+
+} // namespace
+} // namespace ccache

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Determinism tests for the parallel sweep engine (DESIGN.md §8): the
+ * same sweep run at 1, 2 and 8 threads must produce byte-identical
+ * merged outputs — the ResultsWriter document, the merged StatRegistry
+ * dump, the merged EventTrace, and the `results/<bench>.json` files on
+ * disk — plus unit coverage of the seed-derivation scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/rng.hh"
+
+namespace {
+
+using ccache::deriveSeed;
+
+TEST(DeriveSeed, PureFunctionOfBaseAndKey)
+{
+    EXPECT_EQ(deriveSeed(1, "alpha"), deriveSeed(1, "alpha"));
+    EXPECT_NE(deriveSeed(1, "alpha"), deriveSeed(2, "alpha"));
+    EXPECT_NE(deriveSeed(1, "alpha"), deriveSeed(1, "beta"));
+    // Single-character differences must decorrelate.
+    EXPECT_NE(deriveSeed(1, "rows_1"), deriveSeed(1, "rows_2"));
+}
+
+TEST(DeriveSeed, DistinctAcrossRealisticKeyGrid)
+{
+    std::set<std::uint64_t> seeds;
+    for (int cap : {1, 2, 4, 8, 16, 32, 64, 128})
+        for (const char *prefix : {"cap_", "rows_", "hit_"})
+            seeds.insert(deriveSeed(bench::kSweepBaseSeed,
+                                    prefix + std::to_string(cap)));
+    EXPECT_EQ(seeds.size(), 24u);
+}
+
+TEST(SweepContext, RngStreamsAreIndependentPerLabel)
+{
+    bench::SweepContext ctx("point", 0, 42);
+    ccache::Rng a1 = ctx.rngFor("stream_a");
+    ccache::Rng b = ctx.rngFor("stream_b");
+    // Drawing from b must not shift a second instance of a.
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 8; ++i)
+        first.push_back(a1.next());
+    for (int i = 0; i < 100; ++i)
+        b.next();
+    ccache::Rng a2 = ctx.rngFor("stream_a");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a2.next(), first[i]);
+}
+
+/**
+ * A synthetic sweep exercising every merge surface: per-point RNG
+ * draws, metrics, config entries, stats (counters, accumulators,
+ * histograms), embedded stats dumps and trace events.
+ */
+struct SweepOutputs
+{
+    std::string document;
+    std::string stats;
+    std::string trace;
+};
+
+SweepOutputs
+runSweepAt(unsigned jobs)
+{
+    bench::ResultsWriter results("determinism_probe");
+    bench::SweepRunner sweep(&results);
+    for (int p = 0; p < 12; ++p) {
+        std::string key = "point_" + std::to_string(p);
+        sweep.add(key, [key, p](bench::SweepContext &ctx) {
+            double acc = 0.0;
+            for (int i = 0; i < 100 + 13 * p; ++i)
+                acc += static_cast<double>(ctx.rng().below(1000));
+            ctx.metric(key + ".rng_sum", acc);
+            ctx.config(key + ".iters", 100 + 13 * p);
+
+            auto &c = ctx.stats().counter("probe.events",
+                                          "synthetic event count");
+            c.inc(static_cast<std::uint64_t>(p) + 1);
+            auto &a = ctx.stats().accum("probe.weight",
+                                        "synthetic fp accumulator");
+            a.add(0.1 * p);
+            auto &h = ctx.stats().histogram("probe.dist", 10.0, 8,
+                                            "synthetic histogram");
+            for (int i = 0; i < 20; ++i)
+                h.sample(static_cast<double>(ctx.rng().below(80)));
+
+            ctx.statsJson(key, ctx.stats().dumpJson());
+
+            ctx.trace().enable();
+            ctx.trace().complete(ccache::tracecat::kCc, key,
+                                 /*track=*/0, /*start=*/10 * p, /*dur=*/5);
+        });
+    }
+    sweep.run(jobs);
+    SweepOutputs out;
+    out.document = results.document().dump(2);
+    out.stats = sweep.mergedStats().dumpJson().dump(2);
+    out.trace = sweep.mergedTrace().toJson().dump(2);
+    return out;
+}
+
+TEST(SweepDeterminism, MergedOutputsByteIdenticalAcrossThreadCounts)
+{
+    SweepOutputs serial = runSweepAt(1);
+    for (unsigned jobs : {2u, 8u}) {
+        SweepOutputs parallel = runSweepAt(jobs);
+        EXPECT_EQ(serial.document, parallel.document)
+            << "ResultsWriter document differs at " << jobs << " threads";
+        EXPECT_EQ(serial.stats, parallel.stats)
+            << "merged stats differ at " << jobs << " threads";
+        EXPECT_EQ(serial.trace, parallel.trace)
+            << "merged trace differs at " << jobs << " threads";
+    }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsIdentical)
+{
+    SweepOutputs a = runSweepAt(8);
+    SweepOutputs b = runSweepAt(8);
+    EXPECT_EQ(a.document, b.document);
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.trace, b.trace);
+}
+
+/** Read one file fully (binary). */
+std::string
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(SweepDeterminism, ResultFilesOnDiskByteIdentical)
+{
+    namespace fs = std::filesystem;
+    fs::path dir1 = fs::temp_directory_path() / "ccache_det_j1";
+    fs::path dir8 = fs::temp_directory_path() / "ccache_det_j8";
+    fs::remove_all(dir1);
+    fs::remove_all(dir8);
+
+    auto write_at = [](const fs::path &dir, unsigned jobs) {
+        ::setenv("CCACHE_RESULTS_DIR", dir.string().c_str(), 1);
+        bench::ResultsWriter results("determinism_file_probe");
+        bench::SweepRunner sweep(&results);
+        for (int p = 0; p < 6; ++p) {
+            std::string key = "pt_" + std::to_string(p);
+            sweep.add(key, [key](bench::SweepContext &ctx) {
+                ctx.metric(key + ".draw",
+                           static_cast<double>(ctx.rng().below(1 << 20)));
+            });
+        }
+        sweep.run(jobs);
+        return results.write();
+    };
+
+    std::string path1 = write_at(dir1, 1);
+    std::string path8 = write_at(dir8, 8);
+    ::unsetenv("CCACHE_RESULTS_DIR");
+    ASSERT_FALSE(path1.empty());
+    ASSERT_FALSE(path8.empty());
+    EXPECT_EQ(slurp(path1), slurp(path8));
+
+    fs::remove_all(dir1);
+    fs::remove_all(dir8);
+}
+
+TEST(SweepRunner, MergesStatsInPointOrder)
+{
+    // Floating-point accumulators are order-sensitive; the merge order
+    // must be the definition order, not completion order.
+    auto run = [](unsigned jobs) {
+        bench::SweepRunner sweep(nullptr);
+        for (int p = 0; p < 16; ++p) {
+            sweep.add("p" + std::to_string(p),
+                      [p](bench::SweepContext &ctx) {
+                ctx.stats().accum("order.sensitive", "fp sum")
+                    .add(1.0 / (3.0 + p));
+            });
+        }
+        sweep.run(jobs);
+        return sweep.mergedStats().dumpJson().dump();
+    };
+    EXPECT_EQ(run(1), run(8));
+}
+
+TEST(SweepRunner, SeedsIndependentOfThreadCount)
+{
+    auto seeds_at = [](unsigned jobs) {
+        std::vector<std::uint64_t> seeds(8);
+        bench::SweepRunner sweep(nullptr);
+        for (int p = 0; p < 8; ++p) {
+            sweep.add("seed_pt_" + std::to_string(p),
+                      [&seeds, p](bench::SweepContext &ctx) {
+                seeds[p] = ctx.seed();
+            });
+        }
+        sweep.run(jobs);
+        return seeds;
+    };
+    EXPECT_EQ(seeds_at(1), seeds_at(8));
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the work-stealing ThreadPool behind the parallel sweep
+ * engine: inline (0-worker) mode, completion of large uneven batches,
+ * exception propagation, pool reuse across wait() barriers, and the
+ * worker-count environment override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace ccache {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnSubmittingThread)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+
+    std::thread::id submitter = std::this_thread::get_id();
+    std::thread::id ran_on;
+    bool done = false;
+    pool.submit([&] {
+        ran_on = std::this_thread::get_id();
+        done = true;
+    });
+    // Inline mode executes before submit() returns.
+    EXPECT_TRUE(done);
+    EXPECT_EQ(ran_on, submitter);
+    pool.wait();
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+
+    constexpr std::size_t kTasks = 2000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i)
+        pool.submit([&hits, i] { hits[i].fetch_add(1); });
+    pool.wait();
+    for (std::size_t i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(3);
+    std::vector<int> out(257, 0);
+    pool.parallelFor(out.size(), [&](std::size_t i) {
+        out[i] = static_cast<int>(i) + 1;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+}
+
+TEST(ThreadPool, UnevenTasksLoadBalance)
+{
+    // A few long tasks mixed with many short ones: all must complete
+    // (the stealing path, not timing, is what's asserted).
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&done, i] {
+            if (i % 16 == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&completed, i] {
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+            completed.fetch_add(1);
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The remaining tasks still ran; the pool stays usable.
+    EXPECT_EQ(completed.load(), 31);
+
+    std::atomic<bool> again{false};
+    pool.submit([&again] { again = true; });
+    pool.wait();  // no stale exception resurfaces
+    EXPECT_TRUE(again.load());
+}
+
+TEST(ThreadPool, InlineModePropagatesExceptionsImmediately)
+{
+    ThreadPool pool(0);
+    EXPECT_THROW(pool.submit([] { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossWaitBarriers)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (round + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, DefaultWorkersHonorsEnvironment)
+{
+    const char *saved = std::getenv("CCACHE_JOBS");
+    std::string saved_value = saved ? saved : "";
+
+    ::setenv("CCACHE_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkers(), 3u);
+    ::setenv("CCACHE_JOBS", "0", 1);  // invalid: falls back to hardware
+    EXPECT_EQ(ThreadPool::defaultWorkers(), ThreadPool::hardwareWorkers());
+    ::unsetenv("CCACHE_JOBS");
+    EXPECT_EQ(ThreadPool::defaultWorkers(), ThreadPool::hardwareWorkers());
+
+    if (saved)
+        ::setenv("CCACHE_JOBS", saved_value.c_str(), 1);
+}
+
+TEST(ThreadPool, HardwareWorkersAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&done] { done.fetch_add(1); });
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+} // namespace
+} // namespace ccache

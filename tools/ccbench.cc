@@ -1,0 +1,329 @@
+/**
+ * @file
+ * ccbench: run the whole bench catalog in parallel and gate on the
+ * golden baseline in one shot.
+ *
+ * Usage:
+ *
+ *     ccbench [-j N] [--inner-jobs N] [--bin-dir DIR] [--results DIR]
+ *             [--baseline DIR] [--threshold FRAC] [--stats] [--list]
+ *             [--no-compare] [BENCH...]
+ *
+ * Every executable in the bench directory (default: the `bench/`
+ * sibling of this binary's directory, i.e. `build/bench/`) is one unit
+ * of work. ccbench fans the units out across a work-stealing thread
+ * pool (`-j`, default: $CCACHE_JOBS or hardware threads), each bench
+ * running as its own subprocess with
+ *
+ *   - CCACHE_RESULTS_DIR pointing at the shared results directory, so
+ *     every bench writes `results/<bench>.json` exactly as a serial
+ *     shell loop over build/bench would, and
+ *   - CCACHE_JOBS set to `--inner-jobs` (default 1), so the per-bench
+ *     sweep engines don't oversubscribe the machine while ccbench is
+ *     already using every core across benches. `-j1 --inner-jobs N`
+ *     inverts that: benches serial, each sweep parallel — both modes
+ *     must produce byte-identical result files (DESIGN.md §8).
+ *
+ * Each bench's stdout/stderr is captured to `results/<bench>.log`.
+ * After the barrier, every result file with a matching file in the
+ * baseline directory (default `ci/baseline/`) is compared with the
+ * shared result_compare.hh logic, and a wall-clock summary reports the
+ * parallel makespan against the serial-equivalent (sum of per-bench)
+ * time.
+ *
+ * Exit status: 0 all benches ran and no metric drifted, 1 when a bench
+ * failed or a metric drifted, 2 on usage or I/O errors.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/thread_pool.hh"
+#include "result_compare.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options
+{
+    unsigned jobs = ccache::ThreadPool::defaultWorkers();
+    unsigned innerJobs = 1;
+    std::string binDir;
+    std::string resultsDir;
+    std::string baselineDir = "ci/baseline";
+    double threshold = 0.05;
+    bool compareStats = false;
+    bool listOnly = false;
+    bool compare = true;
+    std::vector<std::string> filters;
+};
+
+struct BenchRun
+{
+    std::string name;
+    fs::path binary;
+    int exitCode = -1;
+    double seconds = 0.0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [-j N] [--inner-jobs N] [--bin-dir DIR] "
+                 "[--results DIR]\n"
+                 "       [--baseline DIR] [--threshold FRAC] [--stats] "
+                 "[--list] [--no-compare]\n"
+                 "       [BENCH...]\n",
+                 argv0);
+}
+
+/** Default bench directory: `../bench` relative to this binary. */
+std::string
+defaultBinDir(const char *argv0)
+{
+    std::error_code ec;
+    fs::path self = fs::canonical(argv0, ec);
+    if (!ec) {
+        fs::path sibling = self.parent_path().parent_path() / "bench";
+        if (fs::is_directory(sibling, ec))
+            return sibling.string();
+    }
+    return "build/bench";
+}
+
+/** Results directory: $CCACHE_RESULTS_DIR or ./results. */
+std::string
+defaultResultsDir()
+{
+    const char *env = std::getenv("CCACHE_RESULTS_DIR");
+    return env && *env ? env : "results";
+}
+
+/** Single-quote @p s for POSIX sh (handles embedded quotes). */
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+/** Every executable regular file in @p dir, sorted by name. */
+std::vector<BenchRun>
+discoverCatalog(const std::string &dir,
+                const std::vector<std::string> &filters)
+{
+    std::vector<BenchRun> catalog;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        fs::perms p = entry.status().permissions();
+        if ((p & (fs::perms::owner_exec | fs::perms::group_exec |
+                  fs::perms::others_exec)) == fs::perms::none)
+            continue;
+        std::string name = entry.path().filename().string();
+        if (!filters.empty() &&
+            std::none_of(filters.begin(), filters.end(),
+                         [&](const std::string &f) {
+                             return name.find(f) != std::string::npos;
+                         }))
+            continue;
+        catalog.push_back(BenchRun{name, entry.path()});
+    }
+    if (ec)
+        std::fprintf(stderr, "ccbench: cannot read %s: %s\n",
+                     dir.c_str(), ec.message().c_str());
+    std::sort(catalog.begin(), catalog.end(),
+              [](const BenchRun &a, const BenchRun &b) {
+                  return a.name < b.name;
+              });
+    return catalog;
+}
+
+/** Run one bench as a subprocess, output captured to its log file. */
+void
+runBench(BenchRun &run, const Options &opt)
+{
+    std::string log = opt.resultsDir + "/" + run.name + ".log";
+    std::string cmd = "CCACHE_JOBS=" + std::to_string(opt.innerJobs) +
+        " CCACHE_RESULTS_DIR=" + shellQuote(opt.resultsDir) + " " +
+        shellQuote(run.binary.string()) + " > " + shellQuote(log) +
+        " 2>&1";
+    auto start = std::chrono::steady_clock::now();
+    int rc = std::system(cmd.c_str());
+    auto end = std::chrono::steady_clock::now();
+    run.seconds = std::chrono::duration<double>(end - start).count();
+    run.exitCode = rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto needArg = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "ccbench: %s needs an argument\n",
+                             flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "-j") ||
+            !std::strcmp(argv[i], "--jobs")) {
+            long n = std::atol(needArg("-j"));
+            opt.jobs = n >= 1 ? static_cast<unsigned>(n) : 1;
+        } else if (!std::strncmp(argv[i], "-j", 2) &&
+                   std::isdigit(static_cast<unsigned char>(argv[i][2]))) {
+            long n = std::atol(argv[i] + 2);
+            opt.jobs = n >= 1 ? static_cast<unsigned>(n) : 1;
+        } else if (!std::strcmp(argv[i], "--inner-jobs")) {
+            long n = std::atol(needArg("--inner-jobs"));
+            opt.innerJobs = n >= 1 ? static_cast<unsigned>(n) : 1;
+        } else if (!std::strcmp(argv[i], "--bin-dir")) {
+            opt.binDir = needArg("--bin-dir");
+        } else if (!std::strcmp(argv[i], "--results")) {
+            opt.resultsDir = needArg("--results");
+        } else if (!std::strcmp(argv[i], "--baseline")) {
+            opt.baselineDir = needArg("--baseline");
+        } else if (!std::strcmp(argv[i], "--threshold")) {
+            opt.threshold = std::atof(needArg("--threshold"));
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            opt.compareStats = true;
+        } else if (!std::strcmp(argv[i], "--list")) {
+            opt.listOnly = true;
+        } else if (!std::strcmp(argv[i], "--no-compare")) {
+            opt.compare = false;
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            usage(argv[0]);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "ccbench: unknown option %s\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        } else {
+            opt.filters.push_back(argv[i]);
+        }
+    }
+    if (opt.binDir.empty())
+        opt.binDir = defaultBinDir(argv[0]);
+    if (opt.resultsDir.empty())
+        opt.resultsDir = defaultResultsDir();
+
+    std::vector<BenchRun> catalog =
+        discoverCatalog(opt.binDir, opt.filters);
+    if (catalog.empty()) {
+        std::fprintf(stderr, "ccbench: no bench executables in %s\n",
+                     opt.binDir.c_str());
+        return 2;
+    }
+    if (opt.listOnly) {
+        for (const BenchRun &b : catalog)
+            std::printf("%s\n", b.name.c_str());
+        return 0;
+    }
+
+    std::error_code ec;
+    fs::create_directories(opt.resultsDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "ccbench: cannot create %s: %s\n",
+                     opt.resultsDir.c_str(), ec.message().c_str());
+        return 2;
+    }
+
+    std::printf("ccbench: %zu benches, %u jobs (inner sweeps: %u), "
+                "results -> %s\n",
+                catalog.size(), opt.jobs, opt.innerJobs,
+                opt.resultsDir.c_str());
+
+    // Fan the catalog out. Each task writes only its own BenchRun slot,
+    // so no synchronization beyond the pool barrier is needed.
+    auto wall_start = std::chrono::steady_clock::now();
+    {
+        ccache::ThreadPool pool(opt.jobs <= 1 ? 0 : opt.jobs);
+        pool.parallelFor(catalog.size(), [&](std::size_t i) {
+            runBench(catalog[i], opt);
+        });
+    }
+    auto wall_end = std::chrono::steady_clock::now();
+    double wall =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+
+    int failures = 0;
+    double serial_equiv = 0.0;
+    for (const BenchRun &b : catalog) {
+        serial_equiv += b.seconds;
+        if (b.exitCode != 0) {
+            std::printf("FAIL     %-28s exit %d (see %s/%s.log)\n",
+                        b.name.c_str(), b.exitCode,
+                        opt.resultsDir.c_str(), b.name.c_str());
+            ++failures;
+        } else {
+            std::printf("ok       %-28s %6.2fs\n", b.name.c_str(),
+                        b.seconds);
+        }
+    }
+
+    // Baseline gate: every result file with a committed golden twin.
+    int flagged = 0;
+    int compared = 0;
+    if (opt.compare && failures == 0) {
+        for (const BenchRun &b : catalog) {
+            std::string base_path =
+                opt.baselineDir + "/" + b.name + ".json";
+            if (!fs::exists(base_path))
+                continue;
+            std::string cur_path =
+                opt.resultsDir + "/" + b.name + ".json";
+            ccache::Json base, cur;
+            if (!cctools::loadResults(base_path, base) ||
+                !cctools::loadResults(cur_path, cur)) {
+                ++flagged;
+                continue;
+            }
+            int n = cctools::compareResults(base, cur, opt.threshold,
+                                            opt.compareStats);
+            std::printf("%-8s %-28s vs %s (%d metric(s) beyond "
+                        "%.1f%%)\n",
+                        n ? "DRIFT" : "match", b.name.c_str(),
+                        base_path.c_str(), n, 100.0 * opt.threshold);
+            flagged += n;
+            ++compared;
+        }
+        if (compared == 0)
+            std::printf("note: no baselines found under %s\n",
+                        opt.baselineDir.c_str());
+    }
+
+    std::printf("\n%zu benches in %.2fs wall (serial-equivalent "
+                "%.2fs, %.2fx)\n",
+                catalog.size(), wall, serial_equiv,
+                wall > 0.0 ? serial_equiv / wall : 0.0);
+    if (failures)
+        std::printf("%d bench(es) FAILED\n", failures);
+    if (flagged)
+        std::printf("%d metric(s) drifted beyond the baseline "
+                    "threshold\n",
+                    flagged);
+    return failures || flagged ? 1 : 0;
+}

@@ -16,19 +16,17 @@
  *
  * Exit status: 0 when everything is within the threshold, 1 when at
  * least one metric drifted, 2 on I/O, parse or schema errors — so CI
- * can gate merges on it directly.
+ * can gate merges on it directly. The comparison itself lives in
+ * result_compare.hh, shared with the `ccbench` catalog driver.
  */
 
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <sstream>
 #include <string>
 
 #include "common/json.hh"
+#include "result_compare.hh"
 
 namespace {
 
@@ -49,119 +47,6 @@ usage(const char *argv0)
                  "usage: %s BASELINE.json CURRENT.json "
                  "[--threshold FRAC] [--stats]\n",
                  argv0);
-}
-
-bool
-loadResults(const std::string &path, Json &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "ccstat: cannot open %s\n", path.c_str());
-        return false;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string error;
-    out = Json::parse(buf.str(), &error);
-    if (!error.empty()) {
-        std::fprintf(stderr, "ccstat: %s: %s\n", path.c_str(),
-                     error.c_str());
-        return false;
-    }
-    const Json *schema = out.find("schema");
-    if (!schema || schema->asString() != "ccache-bench-results") {
-        std::fprintf(stderr,
-                     "ccstat: %s is not a ccache-bench-results file\n",
-                     path.c_str());
-        return false;
-    }
-    return true;
-}
-
-/** Flatten one "metrics" object into name -> value. */
-std::map<std::string, double>
-numericMap(const Json *obj)
-{
-    std::map<std::string, double> out;
-    if (!obj || !obj->isObject())
-        return out;
-    for (const auto &[name, value] : obj->asObject()) {
-        if (value.isNumber())
-            out[name] = value.asNumber();
-    }
-    return out;
-}
-
-/**
- * Recursively flatten a stats dump's numeric leaves into
- * "<prefix>.<name>" -> value (histogram buckets are skipped: their
- * per-bucket counts are noise for regression purposes, while count /
- * mean / min / max are kept).
- */
-void
-flattenStats(const Json &node, const std::string &prefix,
-             std::map<std::string, double> &out)
-{
-    if (node.isNumber()) {
-        out[prefix] = node.asNumber();
-        return;
-    }
-    if (!node.isObject())
-        return;
-    for (const auto &[name, value] : node.asObject()) {
-        if (name == "buckets" || name == "descriptions" ||
-            name == "schema" || name == "version")
-            continue;
-        flattenStats(value, prefix.empty() ? name : prefix + "." + name,
-                     out);
-    }
-}
-
-/** Relative drift of b vs a, symmetric in sign, safe around zero. */
-double
-drift(double a, double b)
-{
-    if (a == b)
-        return 0.0;
-    double denom = std::max(std::fabs(a), std::fabs(b));
-    return std::fabs(b - a) / denom;
-}
-
-/**
- * Compare two metric maps; print one line per divergence. Returns the
- * number of metrics beyond the threshold.
- */
-int
-compareMaps(const std::map<std::string, double> &base,
-            const std::map<std::string, double> &cur,
-            const std::string &section, double threshold)
-{
-    int flagged = 0;
-    for (const auto &[name, a] : base) {
-        auto it = cur.find(name);
-        if (it == cur.end()) {
-            std::printf("MISSING  %s%s (baseline %.6g, absent now)\n",
-                        section.c_str(), name.c_str(), a);
-            ++flagged;
-            continue;
-        }
-        double d = drift(a, it->second);
-        if (d > threshold) {
-            std::printf("DRIFT    %s%s: %.6g -> %.6g (%+.1f%%)\n",
-                        section.c_str(), name.c_str(), a, it->second,
-                        100.0 * (it->second - a) /
-                            (a != 0.0 ? std::fabs(a) : 1.0));
-            ++flagged;
-        }
-    }
-    for (const auto &[name, b] : cur) {
-        if (!base.count(name)) {
-            std::printf("NEW      %s%s = %.6g (not in baseline)\n",
-                        section.c_str(), name.c_str(), b);
-            // New metrics are informational, not failures.
-        }
-    }
-    return flagged;
 }
 
 } // namespace
@@ -201,30 +86,12 @@ main(int argc, char **argv)
     }
 
     Json base, cur;
-    if (!loadResults(opt.baselinePath, base) ||
-        !loadResults(opt.currentPath, cur))
+    if (!cctools::loadResults(opt.baselinePath, base) ||
+        !cctools::loadResults(opt.currentPath, cur))
         return 2;
 
-    const Json *bv = base.find("version");
-    const Json *cv = cur.find("version");
-    if (bv && cv && bv->asNumber() != cv->asNumber())
-        std::printf("note: schema versions differ (baseline %d, "
-                    "current %d)\n",
-                    static_cast<int>(bv->asNumber()),
-                    static_cast<int>(cv->asNumber()));
-
-    int flagged = compareMaps(numericMap(base.find("metrics")),
-                              numericMap(cur.find("metrics")), "",
-                              opt.threshold);
-
-    if (opt.compareStats) {
-        std::map<std::string, double> bstats, cstats;
-        if (const Json *s = base.find("stats"))
-            flattenStats(*s, "stats", bstats);
-        if (const Json *s = cur.find("stats"))
-            flattenStats(*s, "stats", cstats);
-        flagged += compareMaps(bstats, cstats, "", opt.threshold);
-    }
+    int flagged = cctools::compareResults(base, cur, opt.threshold,
+                                          opt.compareStats);
 
     const Json *bb = base.find("bench");
     std::printf("%s: %d metric(s) beyond %.1f%% threshold\n",
