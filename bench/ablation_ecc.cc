@@ -87,12 +87,11 @@ main()
     for (int s = 0; s < 3; ++s)
         std::printf("%10.0f ms %15.4f%% %24.2e\n", intervals_ms[s],
                     100.0 * scrub_overhead[s], scrub_errors[s]);
-    results.write();
 
     bench::rule();
     bench::note("With 0.7-7 soft errors/year, scrubbing at 100 ms costs");
     bench::note("<0.01% of cycles with ~1e-9 expected errors per window —");
     bench::note("the paper's preferred alternative. The XOR-check unit");
     bench::note("doubles logical-op energy but leaves zero exposure.");
-    return 0;
+    return bench::finish(results, sweep);
 }

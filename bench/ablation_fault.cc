@@ -241,7 +241,6 @@ main()
         std::snprintf(key, sizeof key, "stuck_%.0e", row.rate);
         record(key, row.run);
     }
-    results.write();
 
     bench::rule();
     bench::note("slowdown/energy are relative to the injection-disabled");
@@ -250,5 +249,5 @@ main()
     bench::note("singles/doubles strike it stays zero. Identical numbers");
     bench::note("across the two fixed-seed runs per row (checked above)");
     bench::note("demonstrate the injector's determinism.");
-    return 0;
+    return bench::finish(results, sweep);
 }

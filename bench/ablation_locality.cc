@@ -108,9 +108,8 @@ main()
                        static_cast<double>(aligned.cycles));
     results.metric("fully_misaligned.energy_ratio",
                    broken.dyn_nj / aligned.dyn_nj);
-    results.write();
     bench::note("Page alignment is cheap for software (Section IV-C) and");
     bench::note("protects the entire in-place advantage; every misaligned");
     bench::note("operation falls back to the serialized near-place unit.");
-    return 0;
+    return bench::finish(results, sweep);
 }

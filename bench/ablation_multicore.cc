@@ -132,10 +132,9 @@ main()
                                static_cast<double>(db_cycles[s]));
         }
     }
-    results.write();
     bench::note("Independent queries over the shared read-only index "
                 "parallelize");
     bench::note("across cores and slices with no coherence traffic on "
                 "the bins.");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -78,7 +78,6 @@ main()
         results.metric(key + ".cycles", static_cast<double>(c));
         results.metric(key + ".slowdown_vs_uncapped", slowdown);
     }
-    results.write();
 
     bench::rule();
     bench::note("The shared command bus already serializes issue, so the "
@@ -87,5 +86,5 @@ main()
                 "below that,");
     bench::note("throughput degrades linearly as peak power is traded "
                 "away.");
-    return 0;
+    return bench::finish(results, sweep);
 }

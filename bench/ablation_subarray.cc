@@ -89,7 +89,6 @@ main()
         std::printf("%8u %13.3f %16.2e %14s\n", row_counts[i],
                     out[i].margin, out[i].failRate,
                     out[i].intact ? "yes" : "CORRUPTED");
-    results.write();
 
     bench::rule();
     bench::note("With word-line underdrive, up to 64 simultaneously "
@@ -99,5 +98,5 @@ main()
     bench::note("margin at a 1.5% VDD amplifier sigma gives a ~0 "
                 "Monte-Carlo");
     bench::note("failure rate, consistent with the six-sigma claim.");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -63,7 +63,6 @@ main()
     for (std::size_t i = 0; i < hit_rates.size(); ++i)
         std::printf("%10.0f%% %20.0f %20.0f\n", hit_rates[i] * 100.0,
                     pj[i].first, pj[i].second);
-    results.write();
 
     bench::rule();
     bench::note("Parallel tag-data access burns the full multi-way read "
@@ -72,5 +71,5 @@ main()
                 "energy, so");
     bench::note("giving it up to get way-invariant operand locality is "
                 "a clear win.");
-    return 0;
+    return bench::finish(results, sweep);
 }

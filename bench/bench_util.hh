@@ -40,6 +40,10 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/event_trace.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -83,25 +87,87 @@ resultsDir()
     return env && *env ? env : "results";
 }
 
-/** Current git revision (short), or "unknown" outside a work tree. */
+/** True iff @p sha looks like a short-or-full git object name. */
+inline bool
+plausibleGitSha(const std::string &sha)
+{
+    if (sha.size() < 4 || sha.size() > 40)
+        return false;
+    for (char c : sha) {
+        bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Current git revision (short), or "unknown". Every failure mode of the
+ * probe — popen failure, non-git checkout, git missing, a non-zero exit,
+ * shell noise on stdout — yields exactly "unknown" so garbage can never
+ * reach a committed result file.
+ */
 inline std::string
 gitSha()
 {
-    std::string sha = "unknown";
+    std::string sha;
 #if defined(__unix__) || defined(__APPLE__)
-    if (FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-        char buf[64] = {};
-        if (std::fgets(buf, sizeof buf, p)) {
-            sha.assign(buf);
-            while (!sha.empty() && (sha.back() == '\n' || sha.back() == ' '))
-                sha.pop_back();
-        }
-        ::pclose(p);
-        if (sha.empty())
-            sha = "unknown";
-    }
+    FILE *p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+    if (!p)
+        return "unknown";
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p))
+        sha.assign(buf);
+    int status = ::pclose(p);
+    while (!sha.empty() &&
+           (sha.back() == '\n' || sha.back() == '\r' || sha.back() == ' '))
+        sha.pop_back();
+    if (status != 0 || !plausibleGitSha(sha))
+        return "unknown";
+#else
+    sha = "unknown";
 #endif
-    return sha;
+    return sha.empty() ? "unknown" : sha;
+}
+
+/**
+ * Crash-safe file write: the content lands in `<path>.tmp.<pid>` first
+ * and is atomically renamed over @p path only after every stream
+ * operation (open, write, flush, close) reported success. A reader —
+ * including `ccbench --resume` after a SIGKILL — therefore sees either
+ * the complete old file or the complete new file, never a torn one.
+ */
+inline bool
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+#if defined(__unix__) || defined(__APPLE__)
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+    std::string tmp = path + ".tmp";
+#endif
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        out.flush();
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code rm;
+        fs::remove(tmp, rm);
+        return false;
+    }
+    return true;
 }
 
 /**
@@ -160,6 +226,32 @@ class ResultsWriter
         doc_[key] = std::move(value);
     }
 
+    /**
+     * Record one contained per-point failure. The "errors" section is
+     * created on first use only, so error-free documents stay
+     * byte-identical to the committed baselines. Entry shape:
+     *
+     *     { "point": "<sweep key>", "kind": "sim_error" | "fatal_error"
+     *       | "exception", "message": "<what()>",
+     *       "diagnostic": <JSON, when the SimError carried one> }
+     */
+    void error(const std::string &point, const std::string &kind,
+               const std::string &message,
+               const ccache::Json *diagnostic = nullptr)
+    {
+        ccache::Json e = ccache::Json::object();
+        e["point"] = point;
+        e["kind"] = kind;
+        e["message"] = message;
+        if (diagnostic && !diagnostic->isNull())
+            e["diagnostic"] = *diagnostic;
+        doc_["errors"].push(std::move(e));
+        ++errorCount_;
+    }
+
+    /** Contained failures recorded so far (non-zero => bench exits 1). */
+    std::size_t errorCount() const { return errorCount_; }
+
     const std::string &name() const { return name_; }
 
     /** The accumulated result document (determinism tests compare its
@@ -168,7 +260,10 @@ class ResultsWriter
 
     /**
      * Write `<resultsDir()>/<bench>.json` (directory created on demand)
-     * and print where it landed. Returns the path, empty on failure.
+     * via temp-file + atomic rename with checked stream state, and
+     * print where it landed. Returns the path, empty on failure — the
+     * caller must propagate that as a non-zero exit (bench::finish
+     * does).
      */
     std::string write()
     {
@@ -176,12 +271,10 @@ class ResultsWriter
         std::error_code ec;
         fs::create_directories(resultsDir(), ec);
         std::string path = resultsDir() + "/" + name_ + ".json";
-        std::ofstream out(path, std::ios::binary);
-        if (!out) {
+        if (!atomicWriteFile(path, doc_.dump(2) + "\n")) {
             std::fprintf(stderr, "cannot write %s\n", path.c_str());
             return "";
         }
-        out << doc_.dump(2) << "\n";
         std::printf("\nresults: %s\n", path.c_str());
         return path;
     }
@@ -189,6 +282,7 @@ class ResultsWriter
   private:
     std::string name_;
     ccache::Json doc_;
+    std::size_t errorCount_ = 0;
 };
 
 /** Default base seed of a bench sweep (see SweepContext::seed()). */
@@ -305,7 +399,10 @@ class SweepRunner
     void add(std::string key, PointFn fn)
     {
         CC_ASSERT(!ran_, "SweepRunner::add after run");
-        points_.push_back(Point{std::move(key), std::move(fn), nullptr});
+        Point p;
+        p.key = std::move(key);
+        p.fn = std::move(fn);
+        points_.push_back(std::move(p));
     }
 
     std::size_t size() const { return points_.size(); }
@@ -334,11 +431,38 @@ class SweepRunner
         for (std::size_t i = 0; i < points_.size(); ++i)
             points_[i].ctx = std::make_unique<SweepContext>(
                 points_[i].key, i, baseSeed_);
+        // Failures are contained per point, INSIDE the task: the pool
+        // must never see an exception (it would rethrow at the barrier
+        // and discard the surviving points). A failed point contributes
+        // only its structured error record at the merge; whether other
+        // points ran before or after it cannot change their bytes
+        // (DESIGN.md §8 survives error containment).
         pool.parallelFor(points_.size(), [this](std::size_t i) {
-            points_[i].fn(*points_[i].ctx);
+            Point &p = points_[i];
+            try {
+                p.fn(*p.ctx);
+            } catch (const ccache::SimError &e) {
+                p.errorKind = "sim_error";
+                p.errorMessage = e.what();
+                if (!e.diagnostic().empty()) {
+                    std::string perr;
+                    p.errorDiagnostic =
+                        ccache::Json::parse(e.diagnostic(), &perr);
+                }
+            } catch (const ccache::FatalError &e) {
+                p.errorKind = "fatal_error";
+                p.errorMessage = e.what();
+            } catch (const std::exception &e) {
+                p.errorKind = "exception";
+                p.errorMessage = e.what();
+            }
         });
         merge();
     }
+
+    /** Points that failed (their error records are in the
+     *  ResultsWriter's "errors" section after the barrier). */
+    std::size_t errorCount() const { return errors_; }
 
     /** Every point's stats, merged in point order at the barrier. */
     const ccache::StatRegistry &mergedStats() const { return mergedStats_; }
@@ -352,11 +476,29 @@ class SweepRunner
         std::string key;
         PointFn fn;
         std::unique_ptr<SweepContext> ctx;
+        std::string errorKind;      ///< empty = the point succeeded
+        std::string errorMessage;
+        ccache::Json errorDiagnostic;
     };
 
     void merge()
     {
         for (Point &p : points_) {
+            if (!p.errorKind.empty()) {
+                // A failed point may hold partial metrics/stats from
+                // before the throw; contributing any of them would make
+                // the output depend on where exactly it died. Only the
+                // error record survives.
+                ++errors_;
+                std::fprintf(stderr,
+                             "sweep point '%s' FAILED (%s): %s\n",
+                             p.key.c_str(), p.errorKind.c_str(),
+                             p.errorMessage.c_str());
+                if (results_)
+                    results_->error(p.key, p.errorKind, p.errorMessage,
+                                    &p.errorDiagnostic);
+                continue;
+            }
             SweepContext &ctx = *p.ctx;
             if (results_) {
                 for (auto &[key, value] : ctx.configs_)
@@ -375,9 +517,26 @@ class SweepRunner
     ResultsWriter *results_;
     std::uint64_t baseSeed_;
     bool ran_ = false;
+    std::size_t errors_ = 0;
     ccache::StatRegistry mergedStats_;
     ccache::EventTrace mergedTrace_;
 };
+
+/**
+ * Standard bench epilogue: write the result file and derive the process
+ * exit code. Returns non-zero when the write failed, when any sweep
+ * point was contained as an error, or when the bench's own sanity check
+ * (@p ok) failed — so ccbench and CI see every degraded run.
+ */
+inline int
+finish(ResultsWriter &results, const SweepRunner &sweep, bool ok = true)
+{
+    bool wrote = !results.write().empty();
+    if (sweep.errorCount() > 0)
+        std::fprintf(stderr, "%s: %zu sweep point(s) failed\n",
+                     results.name().c_str(), sweep.errorCount());
+    return wrote && ok && sweep.errorCount() == 0 ? 0 : 1;
+}
 
 } // namespace bench
 

@@ -70,10 +70,9 @@ main()
         results.metric(std::string("average.") + engines[m] +
                            ".overhead_pct",
                        sum[m] / apps.size());
-    results.write();
     bench::note("");
     bench::note("Paper: up to 68% without SIMD, 30% average with Base_32,");
     bench::note("and a mere 6% with Compute Caches (perfect operand");
     bench::note("locality: checkpoint copies are page-aligned).");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -67,7 +67,6 @@ main()
                         t.uncoreStatic / 1e6, t.total() / 1e6);
         }
     }
-    results.write();
 
     bench::rule();
     bench::note("Paper: checkpointing energy overhead nearly disappears "
@@ -75,5 +74,5 @@ main()
     bench::note("the CC_L3 bars sit just above no_chkpt while Base/Base_32"
                 " add");
     bench::note("visible core-dynamic and uncore energy.");
-    return 0;
+    return bench::finish(results, sweep);
 }

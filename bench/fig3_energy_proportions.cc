@@ -112,6 +112,5 @@ main()
     bench::note("movement (<1% ALU); SIMD cuts the instruction share; CC");
     bench::note("reduces instruction processing by an order of magnitude");
     bench::note("and eliminates the data movement.");
-    results.write();
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -209,6 +209,5 @@ main()
     // different directories stay byte-identical (DESIGN.md §8).
     results.extra("trace_file", "fig7_microbench.trace.json");
 
-    results.write();
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -95,12 +95,11 @@ main()
                     toString(kernels[i / 3]), toString(levels[i % 3]),
                     rows[i].base / 1e3, rows[i].cc / 1e3,
                     100.0 * (1.0 - rows[i].cc / rows[i].base));
-    results.write();
 
     bench::rule();
     bench::note("Paper: absolute savings are largest at L3, but CC at L1 "
                 "and L2");
     bench::note("still saves (95% at L1, 34% at L2 relative to their "
                 "Base_32).");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -121,11 +121,10 @@ main()
                 std::pow(e_product, 0.25), std::pow(t_product, 0.25));
     results.metric("geomean.energy_ratio", std::pow(e_product, 0.25));
     results.metric("geomean.throughput_ratio", std::pow(t_product, 0.25));
-    results.write();
     bench::note("Paper (Section VI-D): in-place gives 3.6x total energy "
                 "and 16x");
     bench::note("throughput over near-place for 4 KB operands; near-place "
                 "still");
     bench::note("beats the conventional baseline.");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -118,7 +118,6 @@ main()
                    std::pow(s_prod, 1.0 / outcomes.size()));
     results.metric("geomean.energy_ratio",
                    std::pow(e_prod, 1.0 / outcomes.size()));
-    results.write();
 
     bench::note("");
     bench::note("Paper (Figure 9): BMM 3.2x, WordCount 2.0x, StringMatch "
@@ -126,5 +125,5 @@ main()
     bench::note("DB-BitMap 1.6x speedup; average 2.7x energy saving; "
                 "instruction");
     bench::note("reductions 98% / 87% / 32% / 43%.");
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -52,11 +52,10 @@ main()
         std::printf("%-10s %12.0f pJ %12.0f pJ %9.0f%%\n", row.name,
                     row.split.htree, row.split.access,
                     100.0 * row.split.htree / row.split.total());
-    results.write();
 
     bench::rule();
     bench::note("Paper: L1-D 179/116, L2 675/127, L3-slice 1985/467 pJ;");
     bench::note("the H-tree consumes ~80% of an L3-slice read "
                 "(Section III).");
-    return 0;
+    return bench::finish(results, sweep);
 }

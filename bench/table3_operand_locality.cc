@@ -50,7 +50,6 @@ main()
                     geom.minMatchBits(),
                     pageAlignmentSufficient(geom) ? "yes" : "NO");
     }
-    results.write();
 
     bench::rule();
     bench::note("Paper: L1-D 2/2/64/8, L2 8/2/64/10, L3-slice 16/4/64/12.");
@@ -70,5 +69,5 @@ main()
                     geom.rowsPerSubarray(), geom.subArrayParams().cols,
                     geom.blocksPerPartition());
     }
-    return 0;
+    return bench::finish(results, sweep);
 }

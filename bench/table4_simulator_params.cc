@@ -103,6 +103,5 @@ main()
                 "L3 (11 cyc");
     bench::note("+ queuing), 3-cycle-hop 256-bit ring, directory MESI, "
                 "120-cycle memory.");
-    results.write();
-    return 0;
+    return bench::finish(results, sweep);
 }

@@ -83,6 +83,5 @@ main()
                     match ? "ok" : "MISMATCH");
     }
     results.metric("consistency.ok", ok ? 1 : 0);
-    results.write();
-    return ok ? 0 : 1;
+    return bench::finish(results, sweep, ok);
 }

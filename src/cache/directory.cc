@@ -1,6 +1,7 @@
 #include "cache/directory.hh"
 
 #include "common/logging.hh"
+#include "verify/watchdog.hh"
 
 namespace ccache::cache {
 
@@ -21,6 +22,8 @@ void
 Directory::addSharer(Addr addr, CoreId core)
 {
     CC_ASSERT(core < cores_, "core ", core, " out of range");
+    if (watchdog_)
+        watchdog_->noteDirectoryOp("addSharer", addr);
     DirEntry &e = entries_[addr];
     e.sharers |= (1u << core);
     if (e.owner && *e.owner != core)
@@ -31,6 +34,8 @@ void
 Directory::setOwner(Addr addr, CoreId core)
 {
     CC_ASSERT(core < cores_, "core ", core, " out of range");
+    if (watchdog_)
+        watchdog_->noteDirectoryOp("setOwner", addr);
     DirEntry &e = entries_[addr];
     e.sharers = (1u << core);
     e.owner = core;
@@ -39,6 +44,8 @@ Directory::setOwner(Addr addr, CoreId core)
 void
 Directory::downgradeOwner(Addr addr)
 {
+    if (watchdog_)
+        watchdog_->noteDirectoryOp("downgradeOwner", addr);
     auto it = entries_.find(addr);
     if (it != entries_.end())
         it->second.owner.reset();
@@ -47,6 +54,8 @@ Directory::downgradeOwner(Addr addr)
 void
 Directory::removeSharer(Addr addr, CoreId core)
 {
+    if (watchdog_)
+        watchdog_->noteDirectoryOp("removeSharer", addr);
     auto it = entries_.find(addr);
     if (it == entries_.end())
         return;
@@ -60,6 +69,8 @@ Directory::removeSharer(Addr addr, CoreId core)
 void
 Directory::clear(Addr addr)
 {
+    if (watchdog_)
+        watchdog_->noteDirectoryOp("clear", addr);
     entries_.erase(addr);
 }
 

@@ -11,10 +11,15 @@
 #define CCACHE_CACHE_DIRECTORY_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
 #include "common/types.hh"
+
+namespace ccache::verify {
+class ProgressWatchdog;
+} // namespace ccache::verify
 
 namespace ccache::cache {
 
@@ -59,9 +64,26 @@ class Directory
 
     std::size_t trackedBlocks() const { return entries_.size(); }
 
+    /** Visit every tracked block (coherence audits, diagnostics).
+     *  Iteration order is unspecified; order-sensitive callers sort. */
+    void forEachEntry(
+        const std::function<void(Addr, const DirEntry &)> &fn) const
+    {
+        for (const auto &[addr, entry] : entries_)
+            fn(addr, entry);
+    }
+
+    /** Count every mutation against @p watchdog's per-transaction
+     *  directory-op ceiling (nullptr detaches). */
+    void setWatchdog(verify::ProgressWatchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+
   private:
     unsigned cores_;
     std::unordered_map<Addr, DirEntry> entries_;
+    verify::ProgressWatchdog *watchdog_ = nullptr;
 };
 
 } // namespace ccache::cache

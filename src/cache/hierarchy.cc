@@ -6,6 +6,8 @@
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
+#include "verify/coherence_checker.hh"
+#include "verify/watchdog.hh"
 
 namespace ccache::cache {
 
@@ -86,8 +88,30 @@ Hierarchy::traceAccess(const char *name, CoreId core, Addr addr,
 void
 Hierarchy::mapPage(Addr addr, unsigned slice)
 {
-    CC_ASSERT(slice < l3_.size(), "slice ", slice, " out of range");
+    // Caller-supplied placement: reachable from any bench config, so a
+    // bad slice is a configuration error, not a simulator bug.
+    if (slice >= l3_.size())
+        CC_FATAL("mapPage slice ", slice, " out of range (", l3_.size(),
+                 " slices)");
     pageSlice_[alignDown(addr, kPageSize)] = slice;
+}
+
+std::optional<unsigned>
+Hierarchy::homeSliceIfMapped(Addr addr) const
+{
+    auto it = pageSlice_.find(alignDown(addr, kPageSize));
+    if (it == pageSlice_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Hierarchy::setWatchdog(verify::ProgressWatchdog *watchdog)
+{
+    watchdog_ = watchdog;
+    ring_.setWatchdog(watchdog);
+    for (auto &dir : dir_)
+        dir->setWatchdog(watchdog);
 }
 
 unsigned
@@ -336,7 +360,11 @@ Hierarchy::ensureInL3(unsigned slice, Addr addr, bool for_overwrite)
     }
 
     auto fill = l3Slice(slice).fill(addr, data, Mesi::Exclusive);
-    CC_ASSERT(fill, "L3 fill blocked by pinned set at 0x", std::hex, addr);
+    // A workload can legally pin every way of a set with CC operands
+    // (extreme but valid config), so exhaustion is fatal, not a panic.
+    if (!fill)
+        CC_FATAL("L3 slice ", slice, " fill blocked at 0x", std::hex, addr,
+                 std::dec, ": every way of the set is pinned by CC operands");
     if (fill->evicted)
         l3Eviction(slice, *fill->evicted);
     return latency;
@@ -344,6 +372,42 @@ Hierarchy::ensureInL3(unsigned slice, Addr addr, bool for_overwrite)
 
 AccessResult
 Hierarchy::read(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
+{
+    if (watchdog_)
+        watchdog_->beginTransaction("read", addr);
+    AccessResult res = readImpl(core, addr, out, fill_to);
+    if (checker_)
+        checker_->onTransaction(addr);
+    return res;
+}
+
+AccessResult
+Hierarchy::write(CoreId core, Addr addr, const Block *data,
+                 CacheLevel fill_to)
+{
+    if (watchdog_)
+        watchdog_->beginTransaction("write", addr);
+    AccessResult res = writeImpl(core, addr, data, fill_to);
+    if (checker_)
+        checker_->onTransaction(addr);
+    return res;
+}
+
+Cycles
+Hierarchy::fetchToLevel(CoreId core, Addr addr, CacheLevel level,
+                        bool exclusive, bool for_overwrite)
+{
+    if (watchdog_)
+        watchdog_->beginTransaction("fetch", addr);
+    Cycles latency =
+        fetchToLevelImpl(core, addr, level, exclusive, for_overwrite);
+    if (checker_)
+        checker_->onTransaction(addr);
+    return latency;
+}
+
+AccessResult
+Hierarchy::readImpl(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
 {
     addr = alignDown(addr, kBlockSize);
     AccessResult res;
@@ -439,8 +503,8 @@ Hierarchy::read(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
 }
 
 AccessResult
-Hierarchy::write(CoreId core, Addr addr, const Block *data,
-                 CacheLevel fill_to)
+Hierarchy::writeImpl(CoreId core, Addr addr, const Block *data,
+                     CacheLevel fill_to)
 {
     addr = alignDown(addr, kBlockSize);
     AccessResult res;
@@ -506,6 +570,12 @@ Hierarchy::write(CoreId core, Addr addr, const Block *data,
     }
 
     if (fill_to == CacheLevel::L3) {
+        // Dropping the directory entry while a requester-side copy
+        // survives would orphan that copy (no later invalidation could
+        // reach it); the L3 line just written holds the newest data, so
+        // the private copies can simply be discarded.
+        l1(core).invalidate(addr);
+        l2(core).invalidate(addr);
         directory(slice).clear(addr);
     } else {
         directory(slice).setOwner(addr, core);
@@ -567,8 +637,8 @@ Hierarchy::storeBytes(CoreId core, Addr addr, const void *data,
 }
 
 Cycles
-Hierarchy::fetchToLevel(CoreId core, Addr addr, CacheLevel level,
-                        bool exclusive, bool for_overwrite)
+Hierarchy::fetchToLevelImpl(CoreId core, Addr addr, CacheLevel level,
+                            bool exclusive, bool for_overwrite)
 {
     addr = alignDown(addr, kBlockSize);
 
@@ -747,6 +817,11 @@ Hierarchy::flushAll()
         for (Addr addr : tracked)
             directory(s).clear(addr);
     }
+
+    // A flush must leave nothing behind: private lines, slices and
+    // directories are all empty, which the full audit confirms.
+    if (checker_)
+        checker_->checkNow();
 }
 
 } // namespace ccache::cache

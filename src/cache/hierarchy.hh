@@ -20,6 +20,7 @@
 #define CCACHE_CACHE_HIERARCHY_HH
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,11 @@
 #include "energy/energy_model.hh"
 #include "mem/memory.hh"
 #include "noc/ring.hh"
+
+namespace ccache::verify {
+class CoherenceChecker;
+class ProgressWatchdog;
+} // namespace ccache::verify
 
 namespace ccache::cache {
 
@@ -83,6 +89,25 @@ class Hierarchy
      *  core's slice; mapPage overrides). @{ */
     void mapPage(Addr addr, unsigned slice);
     unsigned sliceFor(CoreId core, Addr addr);
+    /** @} */
+
+    /** Home slice of @p addr's page, without binding an untouched page
+     *  (side-effect-free sliceFor, for auditors). */
+    std::optional<unsigned> homeSliceIfMapped(Addr addr) const;
+
+    /**
+     * Runtime verification hooks (DESIGN.md §9), both detachable with
+     * nullptr. The checker audits coherence invariants after every
+     * read/write/fetch transaction and after flushAll; the watchdog is
+     * notified at each transaction start and forwarded to the ring and
+     * the directories so their progress counts against its ceilings.
+     * Disabled (the default), each hook costs one branch. @{
+     */
+    void setChecker(verify::CoherenceChecker *checker)
+    {
+        checker_ = checker;
+    }
+    void setWatchdog(verify::ProgressWatchdog *watchdog);
     /** @} */
 
     /** Attach (or detach with nullptr) a timeline event sink. Reads
@@ -150,6 +175,15 @@ class Hierarchy
     void flushAll();
 
   private:
+    /** Pre-hook bodies of the public transaction entry points. @{ */
+    AccessResult readImpl(CoreId core, Addr addr, Block *out,
+                          CacheLevel fill_to);
+    AccessResult writeImpl(CoreId core, Addr addr, const Block *data,
+                           CacheLevel fill_to);
+    Cycles fetchToLevelImpl(CoreId core, Addr addr, CacheLevel level,
+                            bool exclusive, bool for_overwrite);
+    /** @} */
+
     /** Ring stop of a core (cores and slices share stops). */
     unsigned stopOf(CoreId core) const { return core % params_.ring.nodes; }
 
@@ -190,6 +224,8 @@ class Hierarchy
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
     EventTrace *trace_ = nullptr;
+    verify::CoherenceChecker *checker_ = nullptr;
+    verify::ProgressWatchdog *watchdog_ = nullptr;
 
     std::vector<std::unique_ptr<Cache>> l1_;
     std::vector<std::unique_ptr<Cache>> l2_;

@@ -5,6 +5,8 @@
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
+#include "verify/coherence_checker.hh"
+#include "verify/watchdog.hh"
 
 namespace ccache::cc {
 
@@ -84,7 +86,24 @@ CcController::CcController(cache::Hierarchy &hier,
 CcExecResult
 CcController::execute(CoreId core, const CcInstruction &instr)
 {
+    if (watchdog_)
+        watchdog_->beginInstruction(toString(instr.op));
+
     CcExecResult res = executeInstr(core, instr);
+
+    if (checker_) {
+        // The controller wrote the cache arrays directly, below the
+        // hierarchy's transaction hooks: audit every operand block now
+        // that the instruction (and any fault-ladder recovery) retired.
+        for (Addr base : {instr.src1, instr.src2, instr.dest}) {
+            if (!base)
+                continue;
+            Addr first = alignDown(base, kBlockSize);
+            Addr last = alignDown(base + instr.size - 1, kBlockSize);
+            for (Addr blk = first; blk <= last; blk += kBlockSize)
+                checker_->onTransaction(blk);
+        }
+    }
 
     if (stats_) {
         stats_->histogram("cc.instr_latency", 64.0, 64,
@@ -221,6 +240,8 @@ CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
         }
         if (stats_)
             stats_->counter("cc.lock_retries").inc();
+        if (watchdog_)
+            watchdog_->noteRetry("lock", addr);
     }
     return std::nullopt;
 }
@@ -474,6 +495,8 @@ CcController::senseOperands(const BlockOp &op, CacheLevel level,
                 energy_->chargeCacheOp(level, retry_op);
             if (stats_)
                 stats_->counter("cc.fault.retries").inc();
+            if (watchdog_)
+                watchdog_->noteRetry("sense", op.src1);
             traceFault("fault.retry", op.src1, level);
         }
         if (dual_row && faults_.drawMarginFailure(sid)) {

@@ -182,6 +182,23 @@ class CcController
      *  enabled; a disabled or absent sink costs one branch per hook. */
     void setTraceSink(EventTrace *trace) { trace_ = trace; }
 
+    /**
+     * Runtime verification hooks (DESIGN.md §9). The controller pokes
+     * cache arrays directly (bypassing Hierarchy's transaction hooks),
+     * so it re-audits every operand block after each instruction; the
+     * watchdog bounds the operand-lock and fault-retry ladders. Both
+     * detach with nullptr and cost one branch when absent. @{
+     */
+    void setChecker(verify::CoherenceChecker *checker)
+    {
+        checker_ = checker;
+    }
+    void setWatchdog(verify::ProgressWatchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+    /** @} */
+
     /** Execute one CC instruction issued by @p core to its L1 CC
      *  controller; blocks until completion (atomic-transaction model). */
     CcExecResult execute(CoreId core, const CcInstruction &instr);
@@ -288,6 +305,8 @@ class CcController
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
     EventTrace *trace_ = nullptr;
+    verify::CoherenceChecker *checker_ = nullptr;
+    verify::ProgressWatchdog *watchdog_ = nullptr;
     CcControllerParams params_;
 
     /** Shared scheduling state for one instruction or one stream. */

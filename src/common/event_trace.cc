@@ -1,9 +1,14 @@
 #include "common/event_trace.hh"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 
 #include "common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace ccache {
 
@@ -129,13 +134,42 @@ EventTrace::dumpChromeJson() const
 bool
 EventTrace::writeFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        CC_WARN("cannot open trace file ", path);
+    // Temp-file + atomic rename with checked stream state: an
+    // interrupted or failed write can never leave a torn trace file
+    // behind for tooling (or --resume) to trip over.
+    namespace fs = std::filesystem;
+#if defined(__unix__) || defined(__APPLE__)
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+    std::string tmp = path + ".tmp";
+#endif
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            CC_WARN("cannot open trace file ", tmp);
+            return false;
+        }
+        out << dumpChromeJson() << "\n";
+        out.flush();
+        if (!out) {
+            CC_WARN("write to trace file ", tmp, " failed");
+            out.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        CC_WARN("cannot rename ", tmp, " over ", path, ": ",
+                ec.message());
+        std::error_code rm;
+        fs::remove(tmp, rm);
         return false;
     }
-    out << dumpChromeJson() << "\n";
-    return static_cast<bool>(out);
+    return true;
 }
 
 } // namespace ccache

@@ -45,9 +45,17 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
-    std::abort();
+    std::ostringstream os;
+    os << "panic: " << msg << " @ " << file << ":" << line;
+    // $CCACHE_PANIC_ABORT=1 trades containment for a core dump at the
+    // failure site (debuggers, CI triage); the default throw lets
+    // SweepRunner/ccbench record the point as errored and continue.
+    const char *env = std::getenv("CCACHE_PANIC_ABORT");
+    if (env && env[0] == '1') {
+        std::cerr << os.str() << std::endl;
+        std::abort();
+    }
+    throw SimError(os.str());
 }
 
 void

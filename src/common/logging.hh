@@ -2,9 +2,31 @@
  * @file
  * gem5-style status/error reporting: panic, fatal, warn, inform.
  *
- * panic() is for simulator bugs (never the user's fault) and aborts;
- * fatal() is for unusable configurations and throws FatalError so that
- * tests can assert on misconfiguration handling instead of dying.
+ * Failure taxonomy (see DESIGN.md §9):
+ *
+ *  - panic() / CC_ASSERT are for broken simulator invariants — states
+ *    that no configuration, however extreme, should be able to reach.
+ *    They throw SimError so a sweep driver can contain one corrupted
+ *    point (record a structured error, keep the other points) instead
+ *    of losing a whole catalog run to std::abort(). Set
+ *    $CCACHE_PANIC_ABORT=1 to restore the aborting behaviour when a
+ *    core dump at the failure site is worth more than containment
+ *    (debugger sessions, CI triage).
+ *
+ *  - fatal() is for unusable *configurations*: the user asked for
+ *    something the model cannot simulate (zero cores, geometry that
+ *    does not decompose, fault rates outside [0,1], a cache too small
+ *    to stage a CC operand set). It throws FatalError so tests can
+ *    assert on misconfiguration handling, and so one bad sweep point
+ *    cannot kill a ccbench catalog run.
+ *
+ * The audit line between the two: if a CC_PANIC site is reachable by
+ * feeding the public API valid-but-extreme parameters, it is
+ * misclassified and must become CC_FATAL (the pinned-set exhaustion in
+ * Hierarchy::ensureInL3 and mapPage's slice range are the converted
+ * precedents). Unreachable enum-default panics (bad CacheLevel, bad
+ * BulkKernel, unknown SplashApp) stay panics: hitting one means the
+ * program itself is wrong, not its inputs.
  */
 
 #ifndef CCACHE_COMMON_LOGGING_HH
@@ -22,6 +44,27 @@ class FatalError : public std::runtime_error
 {
   public:
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Exception thrown by panic()/CC_ASSERT: a simulator invariant broke.
+ * Catchable so the sweep engine and ccbench can contain the failing
+ * point/bench; carries an optional structured diagnostic (JSON text,
+ * e.g. a ProgressWatchdog stall report) alongside the message.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg, std::string diagnostic = "")
+        : std::runtime_error(msg), diagnostic_(std::move(diagnostic))
+    {
+    }
+
+    /** Structured JSON diagnostic, empty when none was attached. */
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string diagnostic_;
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
+#include "verify/watchdog.hh"
 
 namespace ccache::noc {
 
@@ -41,6 +42,8 @@ Ring::send(unsigned src, unsigned dst, MsgClass cls)
     unsigned hops = std::max(distance(src, dst), params_.minHops);
     std::size_t bytes = messageBytes(cls);
     ++messages_;
+    if (watchdog_)
+        watchdog_->noteRingMessage(src, dst);
 
     if (hops == 0)
         return 0;

@@ -20,6 +20,10 @@
 #include "common/types.hh"
 #include "energy/energy_model.hh"
 
+namespace ccache::verify {
+class ProgressWatchdog;
+} // namespace ccache::verify
+
 namespace ccache::noc {
 
 /** Message classes carried on the ring. */
@@ -57,6 +61,13 @@ class Ring
      *  message becomes one event on its source stop's NoC track. */
     void setTraceSink(EventTrace *trace) { trace_ = trace; }
 
+    /** Count every message against @p watchdog's per-transaction ring
+     *  ceiling (nullptr detaches). */
+    void setWatchdog(verify::ProgressWatchdog *watchdog)
+    {
+        watchdog_ = watchdog;
+    }
+
     /** Hops between two stops using the shorter direction. */
     unsigned distance(unsigned src, unsigned dst) const;
 
@@ -76,6 +87,7 @@ class Ring
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
     EventTrace *trace_ = nullptr;
+    verify::ProgressWatchdog *watchdog_ = nullptr;
     std::uint64_t messages_ = 0;
     std::uint64_t flitHops_ = 0;
 };

@@ -1,11 +1,25 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
 
 namespace ccache::sim {
+
+namespace {
+
+/** $CCACHE_VERIFY_COHERENCE=1 forces the checker on (CI sets it to run
+ *  the whole test suite and bench catalog under continuous audit). */
+bool
+envForcesChecker()
+{
+    const char *env = std::getenv("CCACHE_VERIFY_COHERENCE");
+    return env && env[0] == '1';
+}
+
+} // namespace
 
 System::System(const SystemConfig &config)
     : config_(config),
@@ -29,6 +43,30 @@ System::System(const SystemConfig &config)
     });
     hier_->setTraceSink(&trace_);
     cc_->setTraceSink(&trace_);
+
+    if (config.verify.coherenceChecker || envForcesChecker()) {
+        checker_ = std::make_unique<verify::CoherenceChecker>(
+            *hier_, config.verify.checker);
+        hier_->setChecker(checker_.get());
+        cc_->setChecker(checker_.get());
+    }
+    if (config.verify.watchdog) {
+        watchdog_ = std::make_unique<verify::ProgressWatchdog>(
+            config.verify.watchdogParams);
+        watchdog_->setContextProvider([this]() {
+            Json ctx = Json::object();
+            Json dirs = Json::array();
+            for (unsigned s = 0; s < config_.hierarchy.ring.nodes; ++s)
+                dirs.push(static_cast<std::uint64_t>(
+                    hier_->directory(s).trackedBlocks()));
+            ctx["directory_tracked_blocks"] = std::move(dirs);
+            ctx["noc_messages"] = hier_->ring().messages();
+            ctx["elapsed_cycles"] = elapsed();
+            return ctx;
+        });
+        hier_->setWatchdog(watchdog_.get());
+        cc_->setWatchdog(watchdog_.get());
+    }
 }
 
 void

@@ -16,8 +16,26 @@
 #include "cc/cc_controller.hh"
 #include "common/event_trace.hh"
 #include "sim/engines.hh"
+#include "verify/coherence_checker.hh"
+#include "verify/watchdog.hh"
 
 namespace ccache::sim {
+
+/** Runtime-verification layer (DESIGN.md §9). */
+struct VerifyConfig
+{
+    /** Install the CoherenceChecker (audits MESI invariants after every
+     *  hierarchy transaction and CC instruction). Off by default in
+     *  benches; tests turn it on, and $CCACHE_VERIFY_COHERENCE=1 forces
+     *  it on for any System (how CI runs the whole suite checked). */
+    bool coherenceChecker = false;
+    verify::CoherenceCheckerParams checker;
+
+    /** Install the ProgressWatchdog (bounded-progress ceilings on ring
+     *  traffic, directory ops and CC retry ladders). */
+    bool watchdog = false;
+    verify::WatchdogParams watchdogParams;
+};
 
 /** Aggregate configuration (defaults reproduce Table IV). */
 struct SystemConfig
@@ -26,6 +44,7 @@ struct SystemConfig
     energy::EnergyParams energy;
     cc::CcControllerParams cc;
     CoreParams core;
+    VerifyConfig verify;
 };
 
 /** The assembled machine. */
@@ -50,6 +69,11 @@ class System
     energy::EnergyModel &energy() { return *energy_; }
     cache::Hierarchy &hierarchy() { return *hier_; }
     cc::CcController &cc() { return *cc_; }
+
+    /** Installed verification hooks, null when disabled. @{ */
+    verify::CoherenceChecker *coherenceChecker() { return checker_.get(); }
+    verify::ProgressWatchdog *watchdog() { return watchdog_.get(); }
+    /** @} */
 
     BaselineEngine &scalar() { return *scalar_; }
     BaselineEngine &simd32() { return *simd_; }
@@ -88,6 +112,8 @@ class System
     std::unique_ptr<energy::EnergyModel> energy_;
     std::unique_ptr<cache::Hierarchy> hier_;
     std::unique_ptr<cc::CcController> cc_;
+    std::unique_ptr<verify::CoherenceChecker> checker_;
+    std::unique_ptr<verify::ProgressWatchdog> watchdog_;
     std::unique_ptr<BaselineEngine> scalar_;
     std::unique_ptr<BaselineEngine> simd_;
     std::unique_ptr<CcEngine> ccEngine_;

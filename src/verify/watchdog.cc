@@ -1,0 +1,129 @@
+#include "verify/watchdog.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ccache::verify {
+
+namespace {
+
+std::string
+hexAddr(Addr addr)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    return buf;
+}
+
+} // namespace
+
+void
+ProgressWatchdog::remember(std::string event)
+{
+    recent_.push_back(std::move(event));
+    while (recent_.size() > params_.recentEventCapacity)
+        recent_.pop_front();
+}
+
+void
+ProgressWatchdog::beginTransaction(const char *kind, Addr addr)
+{
+    txnKind_ = kind;
+    txnAddr_ = addr;
+    ringInTxn_ = 0;
+    dirInTxn_ = 0;
+    ++transactions_;
+    remember(std::string("txn ") + kind + " " + hexAddr(addr));
+}
+
+void
+ProgressWatchdog::beginInstruction(const char *name)
+{
+    instrName_ = name;
+    retriesInInstr_ = 0;
+    ++instructions_;
+    remember(std::string("instr ") + name);
+}
+
+void
+ProgressWatchdog::noteRingMessage(unsigned src, unsigned dst)
+{
+    ++ringInTxn_;
+    if (ringInTxn_ > params_.maxRingMessagesPerTransaction) {
+        remember("ring " + std::to_string(src) + "->" +
+                 std::to_string(dst));
+        stall("ring_messages_per_transaction", ringInTxn_,
+              params_.maxRingMessagesPerTransaction);
+    }
+}
+
+void
+ProgressWatchdog::noteDirectoryOp(const char *op, Addr addr)
+{
+    ++dirInTxn_;
+    if (dirInTxn_ > params_.maxDirectoryOpsPerTransaction) {
+        remember(std::string("dir ") + op + " " + hexAddr(addr));
+        stall("directory_ops_per_transaction", dirInTxn_,
+              params_.maxDirectoryOpsPerTransaction);
+    }
+}
+
+void
+ProgressWatchdog::noteRetry(const char *stage, Addr addr)
+{
+    ++retriesInInstr_;
+    remember(std::string("retry ") + stage + " " + hexAddr(addr));
+    if (retriesInInstr_ > params_.maxRetriesPerInstruction)
+        stall("retries_per_instruction", retriesInInstr_,
+              params_.maxRetriesPerInstruction);
+}
+
+Json
+ProgressWatchdog::diagnostic() const
+{
+    Json d = Json::object();
+
+    Json txn = Json::object();
+    txn["kind"] = txnKind_;
+    txn["addr"] = hexAddr(txnAddr_);
+    d["transaction"] = std::move(txn);
+    d["instruction"] = instrName_;
+
+    Json counters = Json::object();
+    counters["ring_messages_in_transaction"] = ringInTxn_;
+    counters["directory_ops_in_transaction"] = dirInTxn_;
+    counters["retries_in_instruction"] = retriesInInstr_;
+    counters["transactions"] = transactions_;
+    counters["instructions"] = instructions_;
+    d["counters"] = std::move(counters);
+
+    Json events = Json::array();
+    for (const std::string &e : recent_)
+        events.push(e);
+    d["recent_events"] = std::move(events);
+
+    if (context_)
+        d["context"] = context_();
+    return d;
+}
+
+void
+ProgressWatchdog::stall(const char *bound, std::uint64_t count,
+                        std::uint64_t limit)
+{
+    ++stalls_;
+    Json d = diagnostic();
+    d["stalled_bound"] = bound;
+    d["count"] = count;
+    d["limit"] = limit;
+    std::string diag = d.dump(2);
+    throw SimError("watchdog: no forward progress (" + std::string(bound) +
+                       " = " + std::to_string(count) + " exceeds " +
+                       std::to_string(limit) + " during " + txnKind_ +
+                       " of " + hexAddr(txnAddr_) + ")",
+                   diag);
+}
+
+} // namespace ccache::verify

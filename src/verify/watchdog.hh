@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ProgressWatchdog: bounded-progress detection for the coherence and
+ * compute-cache transaction machinery (DESIGN.md §9).
+ *
+ * The simulator's transactions are atomic walks (hierarchy access) or
+ * bounded retry ladders (CC operand staging, fault re-sensing); every
+ * one of them must finish in a number of NoC messages / directory
+ * operations / retries bounded by the machine geometry. A livelocked
+ * transaction therefore shows up as one of those counters running away
+ * long before a human notices the hang. The watchdog counts them
+ * against configurable ceilings and, on a breach, throws SimError
+ * carrying a structured JSON diagnostic — the offending transaction,
+ * all counters, the last N progress events, and whatever the installed
+ * context provider contributes (pending directory entries, clocks) —
+ * instead of letting the run spin or die blind.
+ *
+ * Counters reset at every (re-)entered transaction or instruction, so
+ * the ceilings bound a single transaction phase, not a whole run.
+ */
+
+#ifndef CCACHE_VERIFY_WATCHDOG_HH
+#define CCACHE_VERIFY_WATCHDOG_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace ccache::verify {
+
+/** Progress ceilings. Defaults are sized for the Table IV machine
+ *  (8 cores): orders of magnitude above any legal transaction, low
+ *  enough to fire within microseconds of a real livelock. */
+struct WatchdogParams
+{
+    /** Ring messages one hierarchy transaction may send. A legal
+     *  transaction touches each core a small constant number of times
+     *  (recall + invalidate + data), so 64 per core is generous. */
+    std::uint64_t maxRingMessagesPerTransaction = 4096;
+
+    /** Directory mutations one hierarchy transaction may perform. */
+    std::uint64_t maxDirectoryOpsPerTransaction = 4096;
+
+    /** Retry-ladder steps (operand-lock retries + fault re-senses) one
+     *  CC instruction may take across all of its block ops. */
+    std::uint64_t maxRetriesPerInstruction = 65536;
+
+    /** Progress events kept for the stall diagnostic. */
+    std::size_t recentEventCapacity = 16;
+};
+
+/** See file header. Install via Hierarchy/CcController::setWatchdog. */
+class ProgressWatchdog
+{
+  public:
+    explicit ProgressWatchdog(const WatchdogParams &params = {})
+        : params_(params)
+    {
+    }
+
+    const WatchdogParams &params() const { return params_; }
+
+    /** Extra context merged into a stall diagnostic (directory entry
+     *  counts, pending transactions); called only when a stall fires. */
+    void setContextProvider(std::function<Json()> provider)
+    {
+        context_ = std::move(provider);
+    }
+
+    /** A hierarchy transaction (read/write/fetch) starts; resets the
+     *  per-transaction counters. */
+    void beginTransaction(const char *kind, Addr addr);
+
+    /** A CC instruction starts; resets the retry counter. */
+    void beginInstruction(const char *name);
+
+    /** Progress notes from the instrumented components. @{ */
+    void noteRingMessage(unsigned src, unsigned dst);
+    void noteDirectoryOp(const char *op, Addr addr);
+    void noteRetry(const char *stage, Addr addr);
+    /** @} */
+
+    /** Snapshot of the current diagnostic (also embedded in the
+     *  SimError a stall throws). */
+    Json diagnostic() const;
+
+    /** Stalls detected over this watchdog's lifetime. */
+    std::uint64_t stallsDetected() const { return stalls_; }
+
+  private:
+    [[noreturn]] void stall(const char *bound, std::uint64_t count,
+                            std::uint64_t limit);
+    void remember(std::string event);
+
+    WatchdogParams params_;
+    std::function<Json()> context_;
+
+    std::string txnKind_ = "none";
+    Addr txnAddr_ = 0;
+    std::string instrName_ = "none";
+
+    std::uint64_t ringInTxn_ = 0;
+    std::uint64_t dirInTxn_ = 0;
+    std::uint64_t retriesInInstr_ = 0;
+
+    std::uint64_t transactions_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t stalls_ = 0;
+
+    std::deque<std::string> recent_;
+};
+
+} // namespace ccache::verify
+
+#endif // CCACHE_VERIFY_WATCHDOG_HH

@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "cache/hierarchy.hh"
 #include "cc/cc_controller.hh"
 #include "common/rng.hh"
+#include "verify/coherence_checker.hh"
 
 namespace ccache::cc {
 namespace {
@@ -318,6 +321,80 @@ TEST(FaultLadderTest, ScrubberFindsLatentUpsets)
     EXPECT_GT(resolved, 0u);
     EXPECT_LT(sim.ctrl.faultInjector().latentCount(),
               sim.ctrl.faultInjector().backgroundUpsets());
+}
+
+TEST(FaultLadderTest, CoherenceCheckerGreenThroughEveryRung)
+{
+    // Every rung of the degradation ladder — ECC in-place correction,
+    // retry, near-place fallback, RISC refill+remap, background scrub —
+    // must leave the MESI state machine sound. The RISC rung is the
+    // interesting one: it discards and refills lines mid-instruction,
+    // which is exactly where a stale directory entry would slip in.
+    struct Rung
+    {
+        const char *name;
+        std::function<void(CcControllerParams &)> configure;
+    };
+    const Rung rungs[] = {
+        {"ecc_correct",
+         [](CcControllerParams &p) {
+             p.faults.transientPerBlockOp = 0.6;
+             p.faults.doubleBitFraction = 0.0;
+             p.faults.burstFraction = 0.0;
+         }},
+        {"retry",
+         [](CcControllerParams &p) {
+             p.faults.transientPerBlockOp = 0.5;
+             p.faults.doubleBitFraction = 1.0;
+             p.faults.burstFraction = 0.0;
+         }},
+        {"near_place",
+         [](CcControllerParams &p) {
+             p.faults.marginFailPerDualRowOp = 1.0;
+         }},
+        {"risc_refill_remap",
+         [](CcControllerParams &p) {
+             p.faults.stuckAtPerBlock = 1.0;
+             p.faults.stuckAtDoubleFraction = 1.0;
+         }},
+        {"scrub",
+         [](CcControllerParams &p) {
+             p.faults.backgroundUpsetPerInstr = 1.0;
+             p.scrubBlocksPerInstr = 16;
+         }},
+    };
+
+    for (const Rung &rung : rungs) {
+        CcControllerParams p;
+        p.faults.enabled = true;
+        p.faults.seed = 21;
+        rung.configure(p);
+
+        Sim sim(p);
+        verify::CoherenceCheckerParams cp;
+        cp.auditInterval = 1;
+        verify::CoherenceChecker checker(sim.hier, cp);
+        sim.hier.setChecker(&checker);
+        sim.ctrl.setChecker(&checker);
+
+        auto a = sim.loadRandom(0x10000, kLen, 1);
+        auto b = sim.loadRandom(0x20000, kLen, 2);
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_NO_THROW(sim.ctrl.execute(
+                0, CcInstruction::logicalAnd(0x10000, 0x20000, 0x30000,
+                                             kLen)))
+                << rung.name;
+        }
+        EXPECT_NO_THROW(sim.ctrl.execute(
+            0, CcInstruction::copy(0x10000, 0x50000, kLen)))
+            << rung.name;
+
+        EXPECT_EQ(sim.dumpBytes(0x30000, kLen), refAnd(a, b))
+            << rung.name;
+        EXPECT_TRUE(checker.auditAll().empty()) << rung.name;
+        EXPECT_GT(checker.checksRun(), 0u) << rung.name;
+        EXPECT_NO_THROW(sim.hier.flushAll()) << rung.name;
+    }
 }
 
 TEST(FaultLadderTest, CcRMaskSurvivesCorrectableFaults)

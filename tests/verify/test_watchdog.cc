@@ -1,0 +1,213 @@
+/**
+ * @file
+ * ProgressWatchdog tests: ceiling breaches must throw SimError with the
+ * full structured diagnostic (offending transaction, counters, recent
+ * events, provider context) instead of hanging or aborting; counters
+ * must reset per transaction/instruction; and real seeded stalls — a
+ * ring ceiling too low for a remote miss, a CC retry ladder pinned at
+ * 100% margin failure — must be caught through the wired hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cc/cc_controller.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/system.hh"
+#include "verify/watchdog.hh"
+
+namespace ccache::verify {
+namespace {
+
+TEST(Watchdog, RingCeilingFiresOnlyBeyondLimit)
+{
+    WatchdogParams p;
+    p.maxRingMessagesPerTransaction = 2;
+    ProgressWatchdog wd(p);
+
+    wd.beginTransaction("read", 0x40);
+    EXPECT_NO_THROW(wd.noteRingMessage(0, 1));
+    EXPECT_NO_THROW(wd.noteRingMessage(1, 2));
+    EXPECT_THROW(wd.noteRingMessage(2, 3), SimError);
+    EXPECT_EQ(wd.stallsDetected(), 1u);
+}
+
+TEST(Watchdog, CountersResetPerTransactionAndInstruction)
+{
+    WatchdogParams p;
+    p.maxRingMessagesPerTransaction = 2;
+    p.maxDirectoryOpsPerTransaction = 2;
+    p.maxRetriesPerInstruction = 2;
+    ProgressWatchdog wd(p);
+
+    // Staying at the ceiling across many transactions never fires: the
+    // ceilings bound one transaction phase, not the whole run.
+    for (int i = 0; i < 8; ++i) {
+        wd.beginTransaction("write", 0x1000 + 64 * i);
+        EXPECT_NO_THROW(wd.noteRingMessage(0, 1));
+        EXPECT_NO_THROW(wd.noteRingMessage(1, 0));
+        EXPECT_NO_THROW(wd.noteDirectoryOp("addSharer", 0x1000));
+        EXPECT_NO_THROW(wd.noteDirectoryOp("setOwner", 0x1000));
+    }
+    for (int i = 0; i < 8; ++i) {
+        wd.beginInstruction("cc_and");
+        EXPECT_NO_THROW(wd.noteRetry("lock", 0x2000));
+        EXPECT_NO_THROW(wd.noteRetry("sense", 0x2000));
+    }
+    EXPECT_EQ(wd.stallsDetected(), 0u);
+}
+
+TEST(Watchdog, DirectoryAndRetryCeilingsFire)
+{
+    WatchdogParams p;
+    p.maxDirectoryOpsPerTransaction = 1;
+    p.maxRetriesPerInstruction = 1;
+    ProgressWatchdog wd(p);
+
+    wd.beginTransaction("fetch", 0x80);
+    wd.noteDirectoryOp("addSharer", 0x80);
+    EXPECT_THROW(wd.noteDirectoryOp("removeSharer", 0x80), SimError);
+
+    wd.beginInstruction("cc_copy");
+    wd.noteRetry("sense", 0x80);
+    EXPECT_THROW(wd.noteRetry("sense", 0x80), SimError);
+    EXPECT_EQ(wd.stallsDetected(), 2u);
+}
+
+TEST(Watchdog, StallDiagnosticIsStructured)
+{
+    WatchdogParams p;
+    p.maxRingMessagesPerTransaction = 1;
+    p.recentEventCapacity = 4;
+    ProgressWatchdog wd(p);
+    wd.setContextProvider([]() {
+        Json ctx = Json::object();
+        ctx["pending"] = 7;
+        return ctx;
+    });
+
+    wd.beginTransaction("read", 0xbeefc0);
+    wd.noteRingMessage(0, 1);
+    try {
+        wd.noteRingMessage(1, 2);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("watchdog"),
+                  std::string::npos);
+        std::string perr;
+        Json d = Json::parse(e.diagnostic(), &perr);
+        ASSERT_TRUE(perr.empty()) << perr;
+        EXPECT_EQ(d["stalled_bound"].asString(),
+                  "ring_messages_per_transaction");
+        EXPECT_EQ(d["transaction"]["kind"].asString(), "read");
+        EXPECT_EQ(d["transaction"]["addr"].asString(), "0xbeefc0");
+        EXPECT_GT(d["counters"]["ring_messages_in_transaction"]
+                      .asNumber(),
+                  1.0);
+        EXPECT_GT(d["recent_events"].size(), 0u);
+        EXPECT_EQ(d["context"]["pending"].asNumber(), 7.0);
+    }
+}
+
+TEST(Watchdog, RecentEventWindowIsBounded)
+{
+    WatchdogParams p;
+    p.recentEventCapacity = 3;
+    ProgressWatchdog wd(p);
+    for (int i = 0; i < 10; ++i)
+        wd.beginTransaction("read", 0x40 * i);
+    EXPECT_EQ(wd.diagnostic()["recent_events"].size(), 3u);
+}
+
+TEST(Watchdog, SeededRingStallCaughtThroughSystem)
+{
+    sim::SystemConfig cfg;
+    cfg.verify.watchdog = true;
+    // A remote L3 miss legally needs a handful of ring messages; a
+    // ceiling of 1 turns that into a seeded "livelock".
+    cfg.verify.watchdogParams.maxRingMessagesPerTransaction = 1;
+    sim::System sys(cfg);
+    ASSERT_NE(sys.watchdog(), nullptr);
+
+    sys.hierarchy().mapPage(0x100000, 4);   // page homed away from core 0
+    EXPECT_THROW(sys.hierarchy().read(0, 0x100000), SimError);
+    EXPECT_EQ(sys.watchdog()->stallsDetected(), 1u);
+
+    // The diagnostic snapshot names the transaction that stalled and
+    // carries the System context provider's machine state.
+    Json d = sys.watchdog()->diagnostic();
+    EXPECT_EQ(d["transaction"]["kind"].asString(), "read");
+    EXPECT_FALSE(d["context"]["directory_tracked_blocks"].isNull());
+}
+
+TEST(Watchdog, SeededRetryLadderStallCaughtThroughController)
+{
+    // Pin the fault injector at 100% margin failure: every dual-row op
+    // walks the full retry ladder, overflowing a tiny retry ceiling.
+    cc::CcControllerParams params;
+    params.faults.enabled = true;
+    params.faults.seed = 7;
+    params.faults.marginFailPerDualRowOp = 1.0;
+
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier(cache::HierarchyParams{}, &em, &stats);
+    cc::CcController ctrl(hier, &em, &stats, params);
+
+    WatchdogParams wp;
+    wp.maxRetriesPerInstruction = 4;
+    ProgressWatchdog wd(wp);
+    ctrl.setWatchdog(&wd);
+
+    constexpr std::size_t kLen = 2048;
+    Rng rng(1);
+    std::vector<std::uint8_t> data(kLen);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    hier.memory().writeBytes(0x10000, data.data(), kLen);
+    hier.memory().writeBytes(0x20000, data.data(), kLen);
+
+    EXPECT_THROW(ctrl.execute(0, cc::CcInstruction::logicalAnd(
+                                     0x10000, 0x20000, 0x30000, kLen)),
+                 SimError);
+    EXPECT_EQ(wd.stallsDetected(), 1u);
+
+    // The same ladder under the default (generous) ceiling completes.
+    energy::EnergyModel em2;
+    StatRegistry stats2;
+    cache::Hierarchy hier2(cache::HierarchyParams{}, &em2, &stats2);
+    cc::CcController ctrl2(hier2, &em2, &stats2, params);
+    ProgressWatchdog wd2;
+    ctrl2.setWatchdog(&wd2);
+    hier2.memory().writeBytes(0x10000, data.data(), kLen);
+    hier2.memory().writeBytes(0x20000, data.data(), kLen);
+    EXPECT_NO_THROW(ctrl2.execute(
+        0, cc::CcInstruction::logicalAnd(0x10000, 0x20000, 0x30000,
+                                         kLen)));
+    EXPECT_EQ(wd2.stallsDetected(), 0u);
+}
+
+TEST(Watchdog, DefaultCeilingsStayQuietUnderNormalTraffic)
+{
+    sim::SystemConfig cfg;
+    cfg.verify.watchdog = true;
+    sim::System sys(cfg);
+
+    constexpr std::size_t kLen = 1024;
+    std::vector<std::uint8_t> a(kLen, 0xaa), b(kLen, 0x55);
+    sys.load(0x10000, a.data(), kLen);
+    sys.load(0x20000, b.data(), kLen);
+
+    Block blk{};
+    for (CoreId c = 0; c < sys.hierarchy().cores(); ++c) {
+        sys.hierarchy().write(c, 0x40000, &blk);
+        sys.hierarchy().read((c + 1) % sys.hierarchy().cores(), 0x40000);
+    }
+    sys.cc().execute(0, cc::CcInstruction::logicalAnd(0x10000, 0x20000,
+                                                      0x30000, kLen));
+    EXPECT_EQ(sys.watchdog()->stallsDetected(), 0u);
+}
+
+} // namespace
+} // namespace ccache::verify

@@ -7,13 +7,14 @@
  *
  *     ccbench [-j N] [--inner-jobs N] [--bin-dir DIR] [--results DIR]
  *             [--baseline DIR] [--threshold FRAC] [--stats] [--list]
- *             [--no-compare] [BENCH...]
+ *             [--no-compare] [--resume] [BENCH...]
  *
  * Every executable in the bench directory (default: the `bench/`
  * sibling of this binary's directory, i.e. `build/bench/`) is one unit
  * of work. ccbench fans the units out across a work-stealing thread
  * pool (`-j`, default: $CCACHE_JOBS or hardware threads), each bench
- * running as its own subprocess with
+ * running as its own subprocess (posix_spawn, not system(3), so SIGINT
+ * and SIGTERM reach ccbench itself) with
  *
  *   - CCACHE_RESULTS_DIR pointing at the shared results directory, so
  *     every bench writes `results/<bench>.json` exactly as a serial
@@ -31,26 +32,59 @@
  * parallel makespan against the serial-equivalent (sum of per-bench)
  * time.
  *
+ * Crash-safe recovery: each successful bench appends an `ok <name>`
+ * line to `<results>/ccbench.journal`. On SIGINT/SIGTERM ccbench
+ * drains gracefully — unstarted benches are skipped, already-running
+ * ones finish and are journaled, comparisons are skipped, and the exit
+ * status is 130. A follow-up `ccbench --resume` re-runs only the
+ * benches without a journal entry (and whose result JSON exists);
+ * because every bench rewrites its result file atomically and
+ * deterministically, an interrupted-then-resumed catalog is
+ * byte-identical to an uninterrupted run.
+ *
  * Exit status: 0 all benches ran and no metric drifted, 1 when a bench
- * failed or a metric drifted, 2 on usage or I/O errors.
+ * failed or a metric drifted, 2 on usage or I/O errors, 130 when
+ * interrupted.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <cerrno>
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/json.hh"
 #include "common/thread_pool.hh"
 #include "result_compare.hh"
 
+extern char **environ;
+
 namespace {
 
 namespace fs = std::filesystem;
+
+/** Set by the SIGINT/SIGTERM handler; polled between bench launches. */
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
 
 struct Options
 {
@@ -63,6 +97,7 @@ struct Options
     bool compareStats = false;
     bool listOnly = false;
     bool compare = true;
+    bool resume = false;
     std::vector<std::string> filters;
 };
 
@@ -72,6 +107,8 @@ struct BenchRun
     fs::path binary;
     int exitCode = -1;
     double seconds = 0.0;
+    bool cached = false;    ///< satisfied from the journal (--resume)
+    bool skipped = false;   ///< never started (graceful drain)
 };
 
 void
@@ -82,7 +119,7 @@ usage(const char *argv0)
                  "[--results DIR]\n"
                  "       [--baseline DIR] [--threshold FRAC] [--stats] "
                  "[--list] [--no-compare]\n"
-                 "       [BENCH...]\n",
+                 "       [--resume] [BENCH...]\n",
                  argv0);
 }
 
@@ -106,21 +143,6 @@ defaultResultsDir()
 {
     const char *env = std::getenv("CCACHE_RESULTS_DIR");
     return env && *env ? env : "results";
-}
-
-/** Single-quote @p s for POSIX sh (handles embedded quotes). */
-std::string
-shellQuote(const std::string &s)
-{
-    std::string out = "'";
-    for (char c : s) {
-        if (c == '\'')
-            out += "'\\''";
-        else
-            out += c;
-    }
-    out += "'";
-    return out;
 }
 
 /** Every executable regular file in @p dir, sorted by name. */
@@ -156,20 +178,83 @@ discoverCatalog(const std::string &dir,
     return catalog;
 }
 
-/** Run one bench as a subprocess, output captured to its log file. */
+/** Names journaled as complete in `<results>/ccbench.journal`. */
+std::set<std::string>
+readJournal(const std::string &path)
+{
+    std::set<std::string> done;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("ok ", 0) == 0)
+            done.insert(line.substr(3));
+    }
+    return done;
+}
+
+/**
+ * Run one bench as a subprocess, stdout+stderr captured to its log
+ * file. Returns via run.exitCode: the child's exit status, 128+sig if
+ * it died on a signal, or -1 if the spawn itself failed.
+ */
 void
 runBench(BenchRun &run, const Options &opt)
 {
     std::string log = opt.resultsDir + "/" + run.name + ".log";
-    std::string cmd = "CCACHE_JOBS=" + std::to_string(opt.innerJobs) +
-        " CCACHE_RESULTS_DIR=" + shellQuote(opt.resultsDir) + " " +
-        shellQuote(run.binary.string()) + " > " + shellQuote(log) +
-        " 2>&1";
+
+    // Child environment: inherit ours, overriding the two knobs that
+    // coordinate bench parallelism with ccbench's own fan-out.
+    std::vector<std::string> env_strings;
+    for (char **e = environ; *e; ++e) {
+        if (!std::strncmp(*e, "CCACHE_JOBS=", 12) ||
+            !std::strncmp(*e, "CCACHE_RESULTS_DIR=", 19))
+            continue;
+        env_strings.emplace_back(*e);
+    }
+    env_strings.push_back("CCACHE_JOBS=" + std::to_string(opt.innerJobs));
+    env_strings.push_back("CCACHE_RESULTS_DIR=" + opt.resultsDir);
+    std::vector<char *> envp;
+    envp.reserve(env_strings.size() + 1);
+    for (std::string &s : env_strings)
+        envp.push_back(s.data());
+    envp.push_back(nullptr);
+
+    std::string bin = run.binary.string();
+    char *child_argv[] = {bin.data(), nullptr};
+
+    posix_spawn_file_actions_t fa;
+    posix_spawn_file_actions_init(&fa);
+    posix_spawn_file_actions_addopen(&fa, 1, log.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    posix_spawn_file_actions_adddup2(&fa, 1, 2);
+
     auto start = std::chrono::steady_clock::now();
-    int rc = std::system(cmd.c_str());
+    pid_t pid = -1;
+    int rc = ::posix_spawn(&pid, bin.c_str(), &fa, nullptr, child_argv,
+                           envp.data());
+    posix_spawn_file_actions_destroy(&fa);
+    if (rc != 0) {
+        std::fprintf(stderr, "ccbench: cannot spawn %s: %s\n",
+                     bin.c_str(), std::strerror(rc));
+        run.exitCode = -1;
+        return;
+    }
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) {   // EINTR: our own SIGINT/SIGTERM handler
+            run.exitCode = -1;
+            return;
+        }
+    }
     auto end = std::chrono::steady_clock::now();
     run.seconds = std::chrono::duration<double>(end - start).count();
-    run.exitCode = rc;
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        run.exitCode = 128 + WTERMSIG(status);
+    else
+        run.exitCode = -1;
 }
 
 } // namespace
@@ -213,6 +298,8 @@ main(int argc, char **argv)
             opt.listOnly = true;
         } else if (!std::strcmp(argv[i], "--no-compare")) {
             opt.compare = false;
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            opt.resume = true;
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -251,33 +338,99 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Completion journal: fresh runs truncate it, --resume honours it.
+    std::string journal_path = opt.resultsDir + "/ccbench.journal";
+    std::size_t resumed = 0;
+    if (opt.resume) {
+        std::set<std::string> done = readJournal(journal_path);
+        for (BenchRun &b : catalog) {
+            if (done.count(b.name) &&
+                fs::exists(opt.resultsDir + "/" + b.name + ".json")) {
+                b.cached = true;
+                b.exitCode = 0;
+                ++resumed;
+            }
+        }
+    }
+    std::ofstream journal(journal_path, opt.resume
+                                            ? std::ios::app
+                                            : std::ios::trunc);
+    if (!journal) {
+        std::fprintf(stderr, "ccbench: cannot open %s\n",
+                     journal_path.c_str());
+        return 2;
+    }
+    std::mutex journal_mutex;
+
+    // Graceful drain on ^C / TERM: stop launching, let running benches
+    // finish (they are separate processes writing atomically anyway),
+    // journal what completed, and skip the baseline gate.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
     std::printf("ccbench: %zu benches, %u jobs (inner sweeps: %u), "
                 "results -> %s\n",
                 catalog.size(), opt.jobs, opt.innerJobs,
                 opt.resultsDir.c_str());
+    if (resumed)
+        std::printf("ccbench: resuming, %zu bench(es) already complete "
+                    "per %s\n",
+                    resumed, journal_path.c_str());
 
-    // Fan the catalog out. Each task writes only its own BenchRun slot,
-    // so no synchronization beyond the pool barrier is needed.
+    // Fan the catalog out. Each task writes only its own BenchRun slot;
+    // the journal is the only shared mutable state and has its mutex.
     auto wall_start = std::chrono::steady_clock::now();
     {
         ccache::ThreadPool pool(opt.jobs <= 1 ? 0 : opt.jobs);
         pool.parallelFor(catalog.size(), [&](std::size_t i) {
-            runBench(catalog[i], opt);
+            BenchRun &b = catalog[i];
+            if (b.cached)
+                return;
+            if (g_stop) {
+                b.skipped = true;
+                return;
+            }
+            runBench(b, opt);
+            if (b.exitCode == 0) {
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal << "ok " << b.name << "\n";
+                journal.flush();
+            }
         });
     }
     auto wall_end = std::chrono::steady_clock::now();
     double wall =
         std::chrono::duration<double>(wall_end - wall_start).count();
+    bool interrupted = g_stop != 0;
 
     int failures = 0;
+    std::size_t skipped = 0;
     double serial_equiv = 0.0;
     for (const BenchRun &b : catalog) {
         serial_equiv += b.seconds;
-        if (b.exitCode != 0) {
-            std::printf("FAIL     %-28s exit %d (see %s/%s.log)\n",
-                        b.name.c_str(), b.exitCode,
-                        opt.resultsDir.c_str(), b.name.c_str());
-            ++failures;
+        if (b.cached) {
+            std::printf("cached   %-28s (journal)\n", b.name.c_str());
+        } else if (b.skipped) {
+            std::printf("skip     %-28s (interrupted before start)\n",
+                        b.name.c_str());
+            ++skipped;
+        } else if (b.exitCode != 0) {
+            // A bench killed by the same ^C that stopped ccbench is part
+            // of the interruption, not a bench failure.
+            if (interrupted && b.exitCode >= 128) {
+                std::printf("int      %-28s (signal during drain)\n",
+                            b.name.c_str());
+                ++skipped;
+            } else {
+                std::printf("FAIL     %-28s exit %d (see %s/%s.log)\n",
+                            b.name.c_str(), b.exitCode,
+                            opt.resultsDir.c_str(), b.name.c_str());
+                ++failures;
+            }
         } else {
             std::printf("ok       %-28s %6.2fs\n", b.name.c_str(),
                         b.seconds);
@@ -285,9 +438,11 @@ main(int argc, char **argv)
     }
 
     // Baseline gate: every result file with a committed golden twin.
+    // Skipped entirely on interruption — a partial catalog must not be
+    // judged against the full baseline set.
     int flagged = 0;
     int compared = 0;
-    if (opt.compare && failures == 0) {
+    if (opt.compare && failures == 0 && !interrupted) {
         for (const BenchRun &b : catalog) {
             std::string base_path =
                 opt.baselineDir + "/" + b.name + ".json";
@@ -319,11 +474,17 @@ main(int argc, char **argv)
                 "%.2fs, %.2fx)\n",
                 catalog.size(), wall, serial_equiv,
                 wall > 0.0 ? serial_equiv / wall : 0.0);
+    if (interrupted)
+        std::printf("interrupted: %zu bench(es) not run; rerun with "
+                    "--resume to finish the catalog\n",
+                    skipped);
     if (failures)
         std::printf("%d bench(es) FAILED\n", failures);
     if (flagged)
         std::printf("%d metric(s) drifted beyond the baseline "
                     "threshold\n",
                     flagged);
+    if (interrupted)
+        return 130;
     return failures || flagged ? 1 : 0;
 }
