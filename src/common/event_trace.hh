@@ -38,6 +38,7 @@ inline constexpr const char *kCache = "cache";
 inline constexpr const char *kCc = "cc";
 inline constexpr const char *kNoc = "noc";
 inline constexpr const char *kFault = "fault";
+inline constexpr const char *kServe = "serve";
 } // namespace tracecat
 
 /** Collects simulation events and serializes Chrome trace-event JSON. */
@@ -53,6 +54,9 @@ class EventTrace
     /** NoC events live on per-stop tracks offset by this base so they do
      *  not serialize against the core tracks (track = base + stop). */
     static constexpr int kNocTrackBase = 100;
+
+    /** Serving-layer waves and admission events (DESIGN.md §11). */
+    static constexpr int kServeTrack = 200;
 
     bool enabled() const { return enabled_; }
     void enable(bool on = true) { enabled_ = on; }

@@ -1,6 +1,8 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -70,6 +72,121 @@ StatHistogram::mergeFrom(const StatHistogram &other)
     return true;
 }
 
+StatLogHistogram::StatLogHistogram(std::string name, std::string desc,
+                                   unsigned sub_bucket_bits)
+    : name_(std::move(name)), desc_(std::move(desc)),
+      subBucketBits_(sub_bucket_bits)
+{
+    CC_ASSERT(sub_bucket_bits >= 1 && sub_bucket_bits <= 16,
+              "log-histogram sub-bucket bits out of range");
+}
+
+std::size_t
+StatLogHistogram::bucketIndex(std::uint64_t value) const
+{
+    const std::uint64_t sub = std::uint64_t{1} << subBucketBits_;
+    if (value < sub)
+        return static_cast<std::size_t>(value);
+    unsigned msb = std::bit_width(value) - 1;   // value in [2^msb, 2^msb+1)
+    unsigned octave = msb - subBucketBits_;
+    return static_cast<std::size_t>(
+        sub + std::uint64_t{octave} * sub + ((value >> octave) - sub));
+}
+
+std::uint64_t
+StatLogHistogram::bucketLowerBound(std::size_t idx) const
+{
+    const std::uint64_t sub = std::uint64_t{1} << subBucketBits_;
+    if (idx < sub)
+        return idx;
+    unsigned octave = static_cast<unsigned>(idx / sub) - 1;
+    std::uint64_t offset = idx % sub;
+    return (sub + offset) << octave;
+}
+
+std::uint64_t
+StatLogHistogram::bucketUpperBound(std::size_t idx) const
+{
+    const std::uint64_t sub = std::uint64_t{1} << subBucketBits_;
+    if (idx < sub)
+        return idx;
+    unsigned octave = static_cast<unsigned>(idx / sub) - 1;
+    return bucketLowerBound(idx) + ((std::uint64_t{1} << octave) - 1);
+}
+
+void
+StatLogHistogram::sample(std::uint64_t value)
+{
+    std::size_t idx = bucketIndex(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += static_cast<double>(value);
+    if (count_ == 1) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+}
+
+void
+StatLogHistogram::reset()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0;
+}
+
+double
+StatLogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+bool
+StatLogHistogram::mergeFrom(const StatLogHistogram &other)
+{
+    if (subBucketBits_ != other.subBucketBits_)
+        return false;
+    if (other.count_ == 0)
+        return true;
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return true;
+}
+
+std::uint64_t
+StatLogHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
 StatCounter &
 StatRegistry::counter(const std::string &name, const std::string &desc)
 {
@@ -97,6 +214,18 @@ StatRegistry::histogram(const std::string &name, double bucket_width,
         it = histograms_
                  .emplace(name,
                           StatHistogram(name, bucket_width, nbuckets, desc))
+                 .first;
+    return it->second;
+}
+
+StatLogHistogram &
+StatRegistry::logHistogram(const std::string &name, const std::string &desc,
+                           unsigned sub_bucket_bits)
+{
+    auto it = logHistograms_.find(name);
+    if (it == logHistograms_.end())
+        it = logHistograms_
+                 .emplace(name, StatLogHistogram(name, desc, sub_bucket_bits))
                  .first;
     return it->second;
 }
@@ -143,6 +272,13 @@ StatRegistry::histogramAt(const std::string &name) const
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const StatLogHistogram *
+StatRegistry::logHistogramAt(const std::string &name) const
+{
+    auto it = logHistograms_.find(name);
+    return it == logHistograms_.end() ? nullptr : &it->second;
+}
+
 void
 StatRegistry::resetAll()
 {
@@ -151,6 +287,8 @@ StatRegistry::resetAll()
     for (auto &[name, a] : accums_)
         a.reset();
     for (auto &[name, h] : histograms_)
+        h.reset();
+    for (auto &[name, h] : logHistograms_)
         h.reset();
 }
 
@@ -171,6 +309,16 @@ StatRegistry::mergeFrom(const StatRegistry &other)
             CC_WARN("stat histogram '", name,
                     "' has mismatched bucket geometry; merge skipped");
     }
+    for (const auto &[name, h] : other.logHistograms_) {
+        auto it = logHistograms_.find(name);
+        if (it == logHistograms_.end()) {
+            logHistograms_.emplace(name, h);
+            continue;
+        }
+        if (!it->second.mergeFrom(h))
+            CC_WARN("stat log-histogram '", name,
+                    "' has mismatched sub-bucket resolution; merge skipped");
+    }
 }
 
 std::string
@@ -184,6 +332,10 @@ StatRegistry::dump() const
     for (const auto &[name, h] : histograms_)
         os << name << " count=" << h.count() << " mean=" << h.mean()
            << " min=" << h.min() << " max=" << h.max() << "\n";
+    for (const auto &[name, h] : logHistograms_)
+        os << name << " count=" << h.count() << " mean=" << h.mean()
+           << " p50=" << h.quantile(0.50) << " p99=" << h.quantile(0.99)
+           << " max=" << h.max() << "\n";
     for (const auto &[name, f] : formulas_)
         os << name << " " << f.value() << "\n";
     return os.str();
@@ -239,6 +391,38 @@ StatRegistry::dumpJson() const
         describe(name, h.description());
     }
     doc["histograms"] = std::move(histograms);
+
+    Json log_histograms = Json::object();
+    for (const auto &[name, h] : logHistograms_) {
+        Json entry = Json::object();
+        entry["count"] = h.count();
+        entry["mean"] = h.mean();
+        entry["min"] = h.min();
+        entry["max"] = h.max();
+        entry["sub_bucket_bits"] = h.subBucketBits();
+        Json quantiles = Json::object();
+        quantiles["p50"] = h.quantile(0.50);
+        quantiles["p90"] = h.quantile(0.90);
+        quantiles["p99"] = h.quantile(0.99);
+        quantiles["p999"] = h.quantile(0.999);
+        entry["quantiles"] = std::move(quantiles);
+        // Sparse export: one [lower, upper, count] triple per occupied
+        // bucket, so wide-range histograms stay small on disk.
+        Json buckets = Json::array();
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            if (h.buckets()[i] == 0)
+                continue;
+            Json triple = Json::array();
+            triple.push(h.bucketLowerBound(i));
+            triple.push(h.bucketUpperBound(i));
+            triple.push(h.buckets()[i]);
+            buckets.push(std::move(triple));
+        }
+        entry["buckets"] = std::move(buckets);
+        log_histograms[name] = std::move(entry);
+        describe(name, h.description());
+    }
+    doc["log_histograms"] = std::move(log_histograms);
 
     doc["descriptions"] = std::move(descriptions);
     return doc;

@@ -35,8 +35,14 @@ namespace ccache {
  * Bump on any change that could break a consumer (renamed sections,
  * changed value types); adding new top-level sections is backward
  * compatible and does not require a bump.
+ *
+ * v2: histogram bucket arrays switched semantics for the new
+ * log-bucketed type — "log_histograms" entries carry sparse
+ * [lower, upper, count] triples plus a "quantiles" object, and
+ * quantile keys (p50/p90/p99/p999) are part of the contract
+ * (DESIGN.md §7.2).
  */
-inline constexpr int kStatsSchemaVersion = 1;
+inline constexpr int kStatsSchemaVersion = 2;
 
 /** A named monotonically-updated scalar statistic. */
 class StatCounter
@@ -121,6 +127,78 @@ class StatHistogram
 };
 
 /**
+ * Log-bucketed histogram for long-tailed quantities (latencies, queue
+ * depths): values are integer-valued samples bucketed HDR-histogram
+ * style — exact below 2^subBucketBits, then 2^subBucketBits
+ * sub-buckets per octave, bounding the relative quantization error by
+ * 2^-subBucketBits (6.25% at the default 4 bits) across the whole
+ * 64-bit range with under a thousand buckets.
+ *
+ * Unlike StatHistogram's fixed uniform grid, no upper bound needs to
+ * be guessed at registration time, which is what tail-latency
+ * accounting needs: p99.9 of a saturated queue can be orders of
+ * magnitude above the median. Quantiles are deterministic functions
+ * of the recorded counts (no interpolation): quantile(q) is the
+ * smallest bucket upper bound covering at least ceil(q * count)
+ * samples, clamped to the observed max.
+ */
+class StatLogHistogram
+{
+  public:
+    /** Default sub-bucket resolution (16 sub-buckets per octave). */
+    static constexpr unsigned kDefaultSubBucketBits = 4;
+
+    StatLogHistogram() = default;
+    explicit StatLogHistogram(std::string name, std::string desc = "",
+                              unsigned sub_bucket_bits =
+                                  kDefaultSubBucketBits);
+
+    void sample(std::uint64_t value);
+    void reset();
+
+    /** Fold @p other into this histogram. Returns false (no change)
+     *  when the sub-bucket resolutions differ. */
+    bool mergeFrom(const StatLogHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    unsigned subBucketBits() const { return subBucketBits_; }
+
+    /**
+     * Upper bound on the q-quantile (0 < q <= 1): the smallest bucket
+     * upper bound b with #(samples <= b) >= ceil(q * count), clamped
+     * to max(). 0 when empty.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** Bucket index of @p value. */
+    std::size_t bucketIndex(std::uint64_t value) const;
+
+    /** Smallest / largest value mapping to bucket @p idx. @{ */
+    std::uint64_t bucketLowerBound(std::size_t idx) const;
+    std::uint64_t bucketUpperBound(std::size_t idx) const;
+    /** @} */
+
+    /** Dense bucket counts (sized to the highest sampled index). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    const std::string &name() const { return name_; }
+    const std::string &description() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    unsigned subBucketBits_ = kDefaultSubBucketBits;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A named derived statistic: a function of other stats, evaluated at
  * dump time (e.g. a hit ratio or per-instruction rate). Formulas are
  * never reset — they have no state of their own.
@@ -165,6 +243,12 @@ class StatRegistry
                              std::size_t nbuckets,
                              const std::string &desc = "");
 
+    /** Get or create a log-bucketed histogram. Resolution is fixed by
+     *  the first registration. */
+    StatLogHistogram &logHistogram(
+        const std::string &name, const std::string &desc = "",
+        unsigned sub_bucket_bits = StatLogHistogram::kDefaultSubBucketBits);
+
     /** Register (or replace) a derived formula evaluated at dump time. */
     StatFormula &formula(const std::string &name, StatFormula::Fn fn,
                          const std::string &desc = "");
@@ -183,6 +267,9 @@ class StatRegistry
 
     /** Look up an existing histogram; nullptr if absent. */
     const StatHistogram *histogramAt(const std::string &name) const;
+
+    /** Look up an existing log histogram; nullptr if absent. */
+    const StatLogHistogram *logHistogramAt(const std::string &name) const;
 
     /** Reset every statistic to zero (formulas have no state). */
     void resetAll();
@@ -214,6 +301,12 @@ class StatRegistry
      *       "formulas":   { "<name>": <double>, ... },
      *       "histograms": { "<name>": { "count", "mean", "min", "max",
      *                                   "bucket_width", "buckets": [...] } },
+     *       "log_histograms": { "<name>": { "count", "mean", "min", "max",
+     *                                       "sub_bucket_bits",
+     *                                       "quantiles": { "p50", "p90",
+     *                                                      "p99", "p999" },
+     *                                       "buckets":
+     *                                           [[lo, hi, count], ...] } },
      *       "descriptions": { "<name>": "<desc>", ... } }   // non-empty only
      */
     Json dumpJson() const;
@@ -222,6 +315,7 @@ class StatRegistry
     std::map<std::string, StatCounter> counters_;
     std::map<std::string, StatAccum> accums_;
     std::map<std::string, StatHistogram> histograms_;
+    std::map<std::string, StatLogHistogram> logHistograms_;
     std::map<std::string, StatFormula> formulas_;
 };
 
@@ -268,6 +362,14 @@ class StatGroup
     {
         return registry_->histogram(qualify(name), bucket_width, nbuckets,
                                     desc);
+    }
+
+    StatLogHistogram &logHistogram(
+        const std::string &name, const std::string &desc = "",
+        unsigned sub_bucket_bits = StatLogHistogram::kDefaultSubBucketBits)
+    {
+        return registry_->logHistogram(qualify(name), desc,
+                                       sub_bucket_bits);
     }
 
     StatFormula &formula(const std::string &name, StatFormula::Fn fn,

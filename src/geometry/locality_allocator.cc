@@ -17,9 +17,37 @@ LocalityAllocator::LocalityAllocator(Addr base, std::size_t size)
 }
 
 Addr
+LocalityAllocator::carveFree(std::size_t bytes, Addr offset)
+{
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        Addr start = it->first;
+        std::size_t len = it->second;
+        Addr end = start + len;
+        // Lowest address in the range honouring the offset constraint
+        // (free-list entries are always block-aligned).
+        Addr cand = offset == ~Addr{0} ? start
+                                       : alignToOperand(offset, start);
+        if (cand + bytes > end)
+            continue;
+        freeList_.erase(it);
+        if (cand > start)
+            freeList_.emplace(start, cand - start);
+        if (cand + bytes < end)
+            freeList_.emplace(cand + bytes, end - (cand + bytes));
+        freeBytes_ -= bytes;
+        ++reuses_;
+        return cand;
+    }
+    return ~Addr{0};
+}
+
+Addr
 LocalityAllocator::allocate(std::size_t bytes)
 {
     bytes = alignUp(bytes, kBlockSize);
+    Addr recycled = carveFree(bytes, ~Addr{0});
+    if (recycled != ~Addr{0})
+        return recycled;
     Addr addr = alignUp(next_, kBlockSize);
     if (addr + bytes > base_ + size_)
         CC_FATAL("locality allocator exhausted (", size_, " bytes)");
@@ -40,6 +68,10 @@ LocalityAllocator::allocate(std::size_t bytes, GroupId group)
         return addr;
     }
 
+    Addr recycled = carveFree(bytes, it->second);
+    if (recycled != ~Addr{0})
+        return recycled;
+
     // Advance to the next address with the group's page offset.
     Addr addr = alignToOperand(it->second, alignUp(next_, kBlockSize));
     if (addr + bytes > base_ + size_)
@@ -47,6 +79,38 @@ LocalityAllocator::allocate(std::size_t bytes, GroupId group)
     padding_ += addr - next_;
     next_ = addr + bytes;
     return addr;
+}
+
+void
+LocalityAllocator::free(Addr addr, std::size_t bytes)
+{
+    bytes = alignUp(bytes, kBlockSize);
+    if (!isAligned(addr, kBlockSize))
+        CC_FATAL("free of unaligned address 0x", std::hex, addr);
+    if (addr < base_ || addr + bytes > next_)
+        CC_FATAL("free of 0x", std::hex, addr, std::dec, " +", bytes,
+                 " outside the allocated region");
+    freeBytes_ += bytes;
+
+    auto next = freeList_.lower_bound(addr);
+    if (next != freeList_.end() && addr + bytes > next->first)
+        CC_FATAL("double free / overlap at 0x", std::hex, addr);
+    if (next != freeList_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second > addr)
+            CC_FATAL("double free / overlap at 0x", std::hex, addr);
+        // Coalesce with the preceding range when adjacent.
+        if (prev->first + prev->second == addr) {
+            addr = prev->first;
+            bytes += prev->second;
+            freeList_.erase(prev);
+        }
+    }
+    if (next != freeList_.end() && addr + bytes == next->first) {
+        bytes += next->second;
+        freeList_.erase(next);
+    }
+    freeList_.emplace(addr, bytes);
 }
 
 Addr

@@ -15,6 +15,7 @@
 #define CCACHE_GEOMETRY_LOCALITY_ALLOCATOR_HH
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -25,7 +26,18 @@ namespace ccache::geometry {
 /** Identifier of a co-located operand group. */
 using GroupId = std::uint32_t;
 
-/** Bump allocator with page-offset groups. */
+/**
+ * Bump allocator with page-offset groups and buffer recycling.
+ *
+ * free() returns a buffer to an address-ordered free list (adjacent
+ * ranges coalesce); subsequent allocations are satisfied first-fit
+ * from the free list — at the lowest address whose page offset can
+ * satisfy the group constraint — before falling back to the bump
+ * pointer. First-fit by address is deterministic: the same
+ * allocate/free sequence always yields the same addresses, which the
+ * serving layer's churn (one buffer set per request) depends on
+ * (DESIGN.md §8, §11).
+ */
 class LocalityAllocator
 {
   public:
@@ -46,22 +58,45 @@ class LocalityAllocator
     /** Plain allocation with no locality constraint. */
     Addr allocate(std::size_t bytes);
 
+    /**
+     * Return [addr, addr+bytes) (rounded up to a 64-byte multiple, as
+     * allocate() rounded it) to the free list for reuse. @p addr must
+     * be block-aligned and inside the managed region; freeing a range
+     * that overlaps an already-free range is fatal (double free).
+     */
+    void free(Addr addr, std::size_t bytes);
+
     /** Bytes handed out (including alignment padding). */
     std::size_t used() const { return next_ - base_; }
 
     /** Bytes lost to page-offset alignment padding. */
     std::size_t padding() const { return padding_; }
 
+    /** Bytes currently sitting on the free list. */
+    std::size_t freeBytes() const { return freeBytes_; }
+
+    /** Allocations satisfied from recycled ranges. */
+    std::size_t reuses() const { return reuses_; }
+
     /** The page offset assigned to @p group (first allocation decides);
      *  ~0 if the group has not allocated yet. */
     Addr groupOffset(GroupId group) const;
 
   private:
+    /** First-fit search of the free list for @p bytes whose address is
+     *  congruent to @p offset mod page size (~0 = no constraint).
+     *  Returns ~0 when nothing fits; otherwise carves and returns the
+     *  block-aligned address. */
+    Addr carveFree(std::size_t bytes, Addr offset);
+
     Addr base_;
     std::size_t size_;
     Addr next_;
     std::size_t padding_ = 0;
+    std::size_t freeBytes_ = 0;
+    std::size_t reuses_ = 0;
     std::unordered_map<GroupId, Addr> groupOffset_;
+    std::map<Addr, std::size_t> freeList_;   ///< start -> length
 };
 
 } // namespace ccache::geometry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Request/tenant model of the serving layer (DESIGN.md §11).
+ *
+ * A Request is one admitted CC operation: the tenant that issued it,
+ * the fully-placed Table II instruction (operand addresses assigned by
+ * the server's LocalityAllocator), its arrival time, and the buffers
+ * to recycle at completion. Admission can fail: every rejection
+ * carries a structured RejectReason so shed load is observable, never
+ * a silent drop.
+ */
+
+#ifndef CCACHE_SERVE_REQUEST_HH
+#define CCACHE_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/isa.hh"
+#include "common/types.hh"
+
+namespace ccache::serve {
+
+using RequestId = std::uint64_t;
+using TenantId = unsigned;
+
+/** Why admission control refused a request. */
+enum class RejectReason {
+    QueueFull,        ///< global queue capacity reached (backpressure)
+    TenantQueueFull,  ///< the tenant's pending cap reached (QoS isolation)
+    Malformed,        ///< instruction failed ISA validation
+};
+
+const char *toString(RejectReason reason);
+
+/** Per-tenant quality-of-service contract. */
+struct TenantQos
+{
+    std::string name = "tenant";
+
+    /** Relative service share under contention (deficit round-robin
+     *  credit per scheduling round, in bytes x weight). */
+    unsigned weight = 1;
+
+    /** Pending-request cap: admission rejects beyond this, so one
+     *  misbehaving tenant cannot occupy the whole queue. */
+    std::size_t maxPending = 64;
+};
+
+/** One admitted in-flight request. */
+struct Request
+{
+    RequestId id = 0;
+    TenantId tenant = 0;
+    Cycles arrival = 0;
+
+    /** The placed instruction (single chunk; multi-chunk requests carry
+     *  their extra chunks in @p chunks). */
+    cc::CcInstruction instr;
+
+    /** Follow-on chunks for requests larger than one ISA vector (e.g.
+     *  a cc_cmp over more than 512 bytes). Empty for most requests;
+     *  a chunked request occupies slots() instruction slots of its
+     *  wave, and its chunks overlap like independent instructions. */
+    std::vector<cc::CcInstruction> chunks;
+
+    /** Operand footprint in bytes (for accounting). */
+    std::size_t bytes = 0;
+
+    /** Operands deliberately non-local: the controller will take the
+     *  near-place path for this request's block ops. */
+    bool scattered = false;
+
+    /** Buffers to return to the allocator at completion. */
+    std::vector<std::pair<Addr, std::size_t>> buffers;
+
+    /** Instruction slots this request occupies in a wave. */
+    std::size_t slots() const { return 1 + chunks.size(); }
+};
+
+} // namespace ccache::serve
+
+#endif // CCACHE_SERVE_REQUEST_HH

@@ -1,0 +1,138 @@
+#include "serve/request_queue.hh"
+
+#include "common/logging.hh"
+
+namespace ccache::serve {
+
+namespace {
+constexpr std::size_t kNumReasons = 3;
+} // namespace
+
+const char *
+toString(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::QueueFull: return "queue_full";
+      case RejectReason::TenantQueueFull: return "tenant_queue_full";
+      case RejectReason::Malformed: return "malformed";
+    }
+    return "unknown";
+}
+
+RequestQueue::RequestQueue(const QueueParams &params,
+                           const std::vector<TenantQos> &tenants,
+                           StatGroup stats)
+    : params_(params), qos_(tenants), pending_(tenants.size()),
+      rejectCounts_(tenants.size(),
+                    std::vector<std::uint64_t>(kNumReasons, 0)),
+      stats_(stats)
+{
+    CC_ASSERT(!tenants.empty(), "request queue needs at least one tenant");
+    for (const TenantQos &t : tenants) {
+        StatGroup g = stats_.group(t.name);
+        admittedCtr_.push_back(
+            &g.counter("admitted", "requests accepted into the queue"));
+        rejectedCtr_.push_back(
+            &g.counter("rejected", "requests refused at admission"));
+    }
+}
+
+std::optional<RejectReason>
+RequestQueue::offer(const Request &req, Cycles now)
+{
+    (void)now;
+    CC_ASSERT(req.tenant < pending_.size(), "unknown tenant");
+
+    std::optional<RejectReason> reason;
+    try {
+        req.instr.validate();
+        for (const cc::CcInstruction &c : req.chunks)
+            c.validate();
+    } catch (const FatalError &) {
+        reason = RejectReason::Malformed;
+    }
+    if (!reason && size_ >= params_.capacity)
+        reason = RejectReason::QueueFull;
+    if (!reason && pending_[req.tenant].size() >= qos_[req.tenant].maxPending)
+        reason = RejectReason::TenantQueueFull;
+
+    if (reason) {
+        ++rejectedTotal_;
+        ++rejectCounts_[req.tenant][static_cast<std::size_t>(*reason)];
+        rejectedCtr_[req.tenant]->inc();
+        stats_.counter(std::string("rejected.") + toString(*reason)).inc();
+        if (rejectSamples_.size() < params_.maxRejectSamples)
+            rejectSamples_.push_back(
+                {req.id, req.tenant, *reason, req.arrival});
+        return reason;
+    }
+
+    pending_[req.tenant].push_back(req);
+    ++size_;
+    admittedCtr_[req.tenant]->inc();
+    return std::nullopt;
+}
+
+Request
+RequestQueue::pop(TenantId t)
+{
+    CC_ASSERT(t < pending_.size() && !pending_[t].empty(),
+              "pop from empty tenant queue");
+    Request req = std::move(pending_[t].front());
+    pending_[t].pop_front();
+    --size_;
+    return req;
+}
+
+bool
+RequestQueue::oldest(Cycles *arrival, TenantId *tenant) const
+{
+    bool found = false;
+    for (TenantId t = 0; t < pending_.size(); ++t) {
+        if (pending_[t].empty())
+            continue;
+        const Request &front = pending_[t].front();
+        if (!found || front.arrival < *arrival ||
+            (front.arrival == *arrival && t < *tenant)) {
+            *arrival = front.arrival;
+            *tenant = t;
+            found = true;
+        }
+    }
+    return found;
+}
+
+Json
+RequestQueue::rejectionsJson() const
+{
+    Json doc = Json::object();
+    doc["total"] = rejectedTotal_;
+    Json by_tenant = Json::object();
+    for (std::size_t t = 0; t < rejectCounts_.size(); ++t) {
+        Json reasons = Json::object();
+        bool any = false;
+        for (std::size_t r = 0; r < kNumReasons; ++r) {
+            if (rejectCounts_[t][r] == 0)
+                continue;
+            reasons[toString(static_cast<RejectReason>(r))] =
+                rejectCounts_[t][r];
+            any = true;
+        }
+        if (any)
+            by_tenant[qos_[t].name] = std::move(reasons);
+    }
+    doc["by_tenant"] = std::move(by_tenant);
+    Json samples = Json::array();
+    for (const RejectSample &s : rejectSamples_) {
+        Json e = Json::object();
+        e["id"] = s.id;
+        e["tenant"] = qos_[s.tenant].name;
+        e["reason"] = toString(s.reason);
+        e["arrival"] = s.arrival;
+        samples.push(std::move(e));
+    }
+    doc["samples"] = std::move(samples);
+    return doc;
+}
+
+} // namespace ccache::serve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded multi-tenant request queue with admission control
+ * (DESIGN.md §11).
+ *
+ * One FIFO per tenant under a global capacity bound. offer() is the
+ * single admission point: it enforces the global bound (backpressure
+ * toward the client) and the per-tenant pending cap (isolation between
+ * tenants), and records every rejection as a structured entry — stats
+ * counters per (tenant, reason) plus a bounded sample list exported as
+ * JSON — so shed load is first-class output, never a silent drop.
+ */
+
+#ifndef CCACHE_SERVE_REQUEST_QUEUE_HH
+#define CCACHE_SERVE_REQUEST_QUEUE_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "serve/request.hh"
+
+namespace ccache::serve {
+
+/** Queue sizing. */
+struct QueueParams
+{
+    /** Global pending-request capacity across all tenants. */
+    std::size_t capacity = 256;
+
+    /** Rejection samples kept for the JSON export (counters are always
+     *  complete; samples give the first few concrete victims). */
+    std::size_t maxRejectSamples = 32;
+};
+
+class RequestQueue
+{
+  public:
+    RequestQueue(const QueueParams &params,
+                 const std::vector<TenantQos> &tenants, StatGroup stats);
+
+    /**
+     * Admit @p req at time @p now, or reject with a reason. On
+     * rejection the request is NOT stored; the caller still owns its
+     * buffers and must recycle them.
+     */
+    std::optional<RejectReason> offer(const Request &req, Cycles now);
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t tenantCount() const { return pending_.size(); }
+
+    /** The tenant's FIFO of pending requests (front = oldest). */
+    const std::deque<Request> &pending(TenantId t) const
+    {
+        return pending_[t];
+    }
+
+    /** Pop the oldest pending request of tenant @p t. */
+    Request pop(TenantId t);
+
+    /** Arrival time of the oldest pending request across all tenants
+     *  (and that tenant's id via @p tenant); false when empty. */
+    bool oldest(Cycles *arrival, TenantId *tenant) const;
+
+    /** Total rejections so far (all tenants, all reasons). */
+    std::uint64_t rejected() const { return rejectedTotal_; }
+
+    /**
+     * Structured shed-load report:
+     *
+     *     { "total": N,
+     *       "by_tenant": { "<tenant>": { "<reason>": count, ... } },
+     *       "samples": [ { "id", "tenant", "reason", "arrival" }, ... ] }
+     */
+    Json rejectionsJson() const;
+
+  private:
+    QueueParams params_;
+    std::vector<TenantQos> qos_;
+    std::vector<std::deque<Request>> pending_;
+    std::size_t size_ = 0;
+
+    struct RejectSample
+    {
+        RequestId id;
+        TenantId tenant;
+        RejectReason reason;
+        Cycles arrival;
+    };
+
+    std::uint64_t rejectedTotal_ = 0;
+    /** [tenant][reason] -> count (dense; reasons are a small enum). */
+    std::vector<std::vector<std::uint64_t>> rejectCounts_;
+    std::vector<RejectSample> rejectSamples_;
+
+    StatGroup stats_;
+    std::vector<StatCounter *> admittedCtr_;
+    std::vector<StatCounter *> rejectedCtr_;
+};
+
+} // namespace ccache::serve
+
+#endif // CCACHE_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,277 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace ccache::serve {
+
+Json
+ServeReport::toJson() const
+{
+    Json doc = Json::object();
+    doc["offered"] = offered;
+    doc["admitted"] = admitted;
+    doc["served"] = served;
+    doc["rejected"] = rejected;
+    doc["elapsed_cycles"] = elapsed;
+    doc["throughput_rpmc"] = throughputRpmc;
+    Json tens = Json::object();
+    for (const TenantSummary &t : tenants) {
+        Json e = Json::object();
+        e["admitted"] = t.admitted;
+        e["served"] = t.served;
+        e["rejected"] = t.rejected;
+        e["p50_queue_cycles"] = t.p50QueueCycles;
+        e["p99_queue_cycles"] = t.p99QueueCycles;
+        e["p999_queue_cycles"] = t.p999QueueCycles;
+        e["p50_service_cycles"] = t.p50ServiceCycles;
+        e["p99_service_cycles"] = t.p99ServiceCycles;
+        e["mean_sojourn_cycles"] = t.meanSojournCycles;
+        tens[t.name] = std::move(e);
+    }
+    doc["tenants"] = std::move(tens);
+    doc["rejections"] = rejections;
+    return doc;
+}
+
+CcServer::CcServer(sim::System &sys, const ServerParams &params)
+    : sys_(sys), params_(params)
+{
+    CC_ASSERT(!params_.tenants.empty(), "server needs at least one tenant");
+    std::set<std::string> names;
+    for (const TenantQos &t : params_.tenants)
+        CC_ASSERT(names.insert(t.name).second,
+                  "tenant names must be unique: ", t.name);
+
+    alloc_ = std::make_unique<geometry::LocalityAllocator>(
+        params_.heapBase, params_.heapBytes);
+    StatGroup serve = sys_.stats().group("serve");
+    queue_ = std::make_unique<RequestQueue>(params_.queue, params_.tenants,
+                                            serve);
+    sched_ = std::make_unique<BatchScheduler>(
+        sys_, *queue_, params_.tenants, params_.sched, serve);
+    for (const TenantQos &t : params_.tenants) {
+        StatGroup g = serve.group(t.name);
+        tenantStats_.push_back(TenantStats{
+            &g.counter("served", "requests completed"),
+            &g.logHistogram("queue_cycles",
+                            "admission -> dispatch wait per request"),
+            &g.logHistogram("service_cycles",
+                            "dispatch -> completion per request"),
+            &g.logHistogram("sojourn_cycles",
+                            "admission -> completion per request"),
+        });
+    }
+}
+
+Request
+CcServer::buildRequest(const workload::RequestSpec &spec, RequestId id)
+{
+    Request req;
+    req.id = id;
+    req.tenant = spec.tenant;
+    req.arrival = spec.arrival;
+    req.bytes = spec.bytes;
+    req.scattered = spec.scattered;
+
+    const geometry::GroupId group =
+        static_cast<geometry::GroupId>(id % params_.allocGroups);
+
+    auto alloc_local = [&](std::size_t n) {
+        Addr a = alloc_->allocate(n, group);
+        req.buffers.emplace_back(a, n);
+        return a;
+    };
+    // Scattered operand: same size, page offset guaranteed to differ
+    // from the request's locality group, so the controller's operand-
+    // locality check fails and the op degrades to the near-place unit.
+    auto alloc_scattered = [&](std::size_t n) {
+        Addr group_off = alloc_->groupOffset(group);
+        Addr a = alloc_->allocate(n + kBlockSize);
+        req.buffers.emplace_back(a, n + kBlockSize);
+        return (a & (kPageSize - 1)) == group_off ? a + kBlockSize : a;
+    };
+    auto alloc_second = [&](std::size_t n) {
+        return spec.scattered ? alloc_scattered(n) : alloc_local(n);
+    };
+
+    // CC-R ops (cmp/search) are limited to 512 B so the result fits a
+    // 64-bit register; everything else takes a full 16 KB ISA vector.
+    const std::size_t n = spec.bytes;
+    const std::size_t chunk_limit =
+        cc::isCcR(spec.op) ? cc::kMaxCmpBytes : cc::kMaxVectorBytes;
+
+    Addr src1 = 0, src2 = 0, dest = 0;
+    switch (spec.op) {
+      case cc::CcOpcode::Buz:
+        src1 = alloc_local(n);
+        break;
+      case cc::CcOpcode::Copy:
+      case cc::CcOpcode::Not:
+        src1 = alloc_local(n);
+        dest = alloc_second(n);
+        break;
+      case cc::CcOpcode::Cmp:
+        src1 = alloc_local(n);
+        src2 = alloc_second(n);
+        break;
+      case cc::CcOpcode::Search:
+        src1 = alloc_local(n);
+        src2 = alloc_second(cc::kSearchKeyBytes);   // 64-byte key
+        break;
+      default:   // And / Or / Xor
+        src1 = alloc_local(n);
+        src2 = alloc_second(n);
+        dest = alloc_local(n);
+        break;
+    }
+
+    if (params_.warmL3) {
+        for (const auto &[addr, len] : req.buffers)
+            sys_.warm(CacheLevel::L3, 0, addr, len);
+    }
+
+    // Chunk to the ISA limits; the first chunk is the head instruction,
+    // the rest ride in req.chunks and batch into the wave as extra
+    // instruction slots.
+    std::vector<cc::CcInstruction> instrs;
+    for (std::size_t off = 0; off < n; off += chunk_limit) {
+        std::size_t len = std::min(chunk_limit, n - off);
+        switch (spec.op) {
+          case cc::CcOpcode::Buz:
+            instrs.push_back(cc::CcInstruction::buz(src1 + off, len));
+            break;
+          case cc::CcOpcode::Copy:
+            instrs.push_back(
+                cc::CcInstruction::copy(src1 + off, dest + off, len));
+            break;
+          case cc::CcOpcode::Not:
+            instrs.push_back(
+                cc::CcInstruction::logicalNot(src1 + off, dest + off, len));
+            break;
+          case cc::CcOpcode::Cmp:
+            instrs.push_back(
+                cc::CcInstruction::cmp(src1 + off, src2 + off, len));
+            break;
+          case cc::CcOpcode::Search:
+            instrs.push_back(
+                cc::CcInstruction::search(src1 + off, src2, len));
+            break;
+          case cc::CcOpcode::And:
+            instrs.push_back(cc::CcInstruction::logicalAnd(
+                src1 + off, src2 + off, dest + off, len));
+            break;
+          case cc::CcOpcode::Or:
+            instrs.push_back(cc::CcInstruction::logicalOr(
+                src1 + off, src2 + off, dest + off, len));
+            break;
+          case cc::CcOpcode::Xor:
+            instrs.push_back(cc::CcInstruction::logicalXor(
+                src1 + off, src2 + off, dest + off, len));
+            break;
+          default:
+            CC_FATAL("unsupported serve opcode ",
+                     cc::toString(spec.op));
+        }
+    }
+    CC_ASSERT(!instrs.empty(), "request built no instructions");
+    req.instr = instrs.front();
+    req.chunks.assign(instrs.begin() + 1, instrs.end());
+    return req;
+}
+
+void
+CcServer::recycle(const Request &req)
+{
+    for (const auto &[addr, len] : req.buffers)
+        alloc_->free(addr, len);
+}
+
+ServeReport
+CcServer::run(const std::vector<workload::RequestSpec> &specs)
+{
+    ServeReport report;
+    report.offered = specs.size();
+
+    std::size_t next = 0;
+    Cycles now = 0;
+    while (true) {
+        // Admit every arrival up to the current time, in arrival order.
+        while (next < specs.size() && specs[next].arrival <= now) {
+            Request req = buildRequest(specs[next], nextId_++);
+            ++next;
+            if (auto reason = queue_->offer(req, now)) {
+                (void)reason;   // counted inside the queue
+                recycle(req);
+                ++report.rejected;
+            } else {
+                ++report.admitted;
+            }
+        }
+        if (queue_->empty()) {
+            if (next == specs.size())
+                break;
+            now = specs[next].arrival;   // idle until the next arrival
+            continue;
+        }
+
+        BatchScheduler::Wave wave = sched_->dispatch(now);
+        CC_ASSERT(!wave.requests.empty(), "dispatch made no progress");
+        CC_ASSERT(wave.results.size() == wave.requests.size(),
+                  "wave result/request mismatch");
+        for (std::size_t i = 0; i < wave.requests.size(); ++i) {
+            const Request &req = wave.requests[i];
+            TenantStats &ts = tenantStats_[req.tenant];
+            Cycles queue_wait = now - req.arrival;
+            Cycles service = wave.results[i].latency;
+            ts.served->inc();
+            ts.queueCycles->sample(queue_wait);
+            ts.serviceCycles->sample(service);
+            ts.sojournCycles->sample(queue_wait + service);
+            recycle(req);
+            ++report.served;
+        }
+        now += wave.makespan;
+        sys_.advance(0, wave.makespan);
+    }
+
+    report.elapsed = now;
+    report.throughputRpmc = now
+        ? static_cast<double>(report.served) * 1e6 /
+              static_cast<double>(now)
+        : 0.0;
+    report.rejections = queue_->rejectionsJson();
+
+    const StatRegistry &reg = sys_.stats();
+    for (std::size_t t = 0; t < params_.tenants.size(); ++t) {
+        const std::string &name = params_.tenants[t].name;
+        ServeReport::TenantSummary s;
+        s.name = name;
+        s.admitted = reg.value("serve." + name + ".admitted");
+        s.served = reg.value("serve." + name + ".served");
+        s.rejected = reg.value("serve." + name + ".rejected");
+        const StatLogHistogram *q =
+            reg.logHistogramAt("serve." + name + ".queue_cycles");
+        const StatLogHistogram *sv =
+            reg.logHistogramAt("serve." + name + ".service_cycles");
+        const StatLogHistogram *so =
+            reg.logHistogramAt("serve." + name + ".sojourn_cycles");
+        if (q) {
+            s.p50QueueCycles = q->quantile(0.50);
+            s.p99QueueCycles = q->quantile(0.99);
+            s.p999QueueCycles = q->quantile(0.999);
+        }
+        if (sv) {
+            s.p50ServiceCycles = sv->quantile(0.50);
+            s.p99ServiceCycles = sv->quantile(0.99);
+        }
+        if (so)
+            s.meanSojournCycles = so->mean();
+        report.tenants.push_back(std::move(s));
+    }
+    return report;
+}
+
+} // namespace ccache::serve

@@ -1,0 +1,123 @@
+#include "workload/traffic_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ccache::workload {
+
+namespace {
+
+/** Per-tenant generation state: an independent arrival clock + RNG. */
+struct TenantState
+{
+    Rng rng{0};
+    Cycles clock = 0;
+    double rate = 0.0;                  ///< requests per cycle
+    std::vector<std::pair<double, cc::CcOpcode>> mix;  ///< cumulative
+    double mixTotal = 0.0;
+};
+
+/** Exponential inter-arrival draw, at least one cycle. */
+Cycles
+interArrival(TenantState &t)
+{
+    double u = t.rng.uniform();                   // [0, 1)
+    double gap = -std::log1p(-u) / t.rate;        // cycles
+    if (gap > 1e15)                               // degenerate rate guard
+        gap = 1e15;
+    return std::max<Cycles>(1, static_cast<Cycles>(std::llround(gap)));
+}
+
+cc::CcOpcode
+drawOp(TenantState &t)
+{
+    double x = t.rng.uniform() * t.mixTotal;
+    for (const auto &[cum, op] : t.mix) {
+        if (x < cum)
+            return op;
+    }
+    return t.mix.back().second;
+}
+
+std::size_t
+drawBytes(TenantState &t, const TenantTraffic &spec, cc::CcOpcode op)
+{
+    double lo = static_cast<double>(std::max<std::size_t>(
+        spec.minBytes, kBlockSize));
+    double hi = static_cast<double>(std::max(spec.maxBytes, spec.minBytes));
+    double v = lo * std::pow(hi / lo, t.rng.uniform());
+    (void)op;
+    std::size_t bytes = static_cast<std::size_t>(v);
+    bytes = ((bytes + kBlockSize - 1) / kBlockSize) * kBlockSize;
+    return std::max(bytes, kBlockSize);
+}
+
+} // namespace
+
+std::vector<RequestSpec>
+generateTraffic(const TrafficParams &params)
+{
+    CC_ASSERT(!params.tenants.empty(), "traffic needs at least one tenant");
+
+    std::vector<TenantState> state(params.tenants.size());
+    for (std::size_t i = 0; i < params.tenants.size(); ++i) {
+        const TenantTraffic &spec = params.tenants[i];
+        TenantState &t = state[i];
+        // Seed from (seed, tenant index + name) so reordering or
+        // renaming tenants decorrelates every stream.
+        t.rng = Rng(deriveSeed(params.seed,
+                               std::to_string(i) + ":" + spec.name));
+        CC_ASSERT(spec.requestsPerKilocycle > 0.0,
+                  "tenant arrival rate must be positive");
+        t.rate = spec.requestsPerKilocycle / 1000.0;
+        const std::pair<double, cc::CcOpcode> weights[] = {
+            {spec.weightAnd, cc::CcOpcode::And},
+            {spec.weightOr, cc::CcOpcode::Or},
+            {spec.weightXor, cc::CcOpcode::Xor},
+            {spec.weightCopy, cc::CcOpcode::Copy},
+            {spec.weightSearch, cc::CcOpcode::Search},
+            {spec.weightCmp, cc::CcOpcode::Cmp},
+            {spec.weightBuz, cc::CcOpcode::Buz},
+            {spec.weightNot, cc::CcOpcode::Not},
+        };
+        for (const auto &[w, op] : weights) {
+            if (w <= 0.0)
+                continue;
+            t.mixTotal += w;
+            t.mix.emplace_back(t.mixTotal, op);
+        }
+        CC_ASSERT(!t.mix.empty(), "tenant op mix is empty");
+        t.clock = interArrival(t);
+    }
+
+    // Deterministic k-way merge: always emit the earliest pending
+    // arrival, ties broken by tenant index.
+    std::vector<RequestSpec> out;
+    out.reserve(params.totalRequests);
+    while (out.size() < params.totalRequests) {
+        std::size_t pick = 0;
+        for (std::size_t i = 1; i < state.size(); ++i) {
+            if (state[i].clock < state[pick].clock)
+                pick = i;
+        }
+        TenantState &t = state[pick];
+        const TenantTraffic &spec = params.tenants[pick];
+
+        RequestSpec req;
+        req.arrival = t.clock;
+        req.tenant = static_cast<unsigned>(pick);
+        req.op = drawOp(t);
+        req.bytes = drawBytes(t, spec, req.op);
+        req.scattered = spec.scatterFraction > 0.0 &&
+            t.rng.chance(spec.scatterFraction);
+        out.push_back(req);
+
+        t.clock += interArrival(t);
+    }
+    return out;
+}
+
+} // namespace ccache::workload

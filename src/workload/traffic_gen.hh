@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic multi-tenant open-loop traffic generator for the serving
+ * layer (DESIGN.md §11).
+ *
+ * Each tenant is an independent Poisson arrival process with its own
+ * op mix and size distribution; the generator performs a deterministic
+ * k-way merge of the per-tenant streams (ties broken by tenant index)
+ * so the emitted request list is a pure function of the parameters and
+ * seed — the serving determinism contract (§8) starts here. Arrivals
+ * are open-loop: the offered load never adapts to the server, which is
+ * what makes saturation and shed-load measurements meaningful.
+ */
+
+#ifndef CCACHE_WORKLOAD_TRAFFIC_GEN_HH
+#define CCACHE_WORKLOAD_TRAFFIC_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/isa.hh"
+#include "common/types.hh"
+
+namespace ccache::workload {
+
+/** One tenant's offered-traffic profile. */
+struct TenantTraffic
+{
+    std::string name = "tenant";
+
+    /** Poisson arrival rate, requests per 1000 cycles. */
+    double requestsPerKilocycle = 0.5;
+
+    /**
+     * Relative op-mix weights over the batch-friendly Table II subset.
+     * Zero-weight ops never occur. @{
+     */
+    double weightAnd = 1.0;
+    double weightOr = 1.0;
+    double weightXor = 1.0;
+    double weightCopy = 1.0;
+    double weightSearch = 1.0;
+    double weightCmp = 0.0;
+    double weightBuz = 0.0;
+    double weightNot = 0.0;
+    /** @} */
+
+    /** Log-uniform request size range in bytes, rounded to 64-byte
+     *  blocks. Sizes beyond the per-op ISA limit (512 B for cc_cmp,
+     *  16 KB otherwise) are legal: the server chunks such requests
+     *  into multiple instructions that batch into the wave. @{ */
+    std::size_t minBytes = 256;
+    std::size_t maxBytes = 4096;
+    /** @} */
+
+    /**
+     * Fraction of requests whose operands are deliberately scattered
+     * across unrelated pages — they lose in-place operand locality and
+     * exercise the controller's near-place fallback inside a wave.
+     */
+    double scatterFraction = 0.0;
+};
+
+/** Aggregate traffic description. */
+struct TrafficParams
+{
+    std::vector<TenantTraffic> tenants;
+    std::size_t totalRequests = 1000;   ///< across all tenants
+    std::uint64_t seed = 0x5e47ed7aff1cULL;
+};
+
+/** One generated request before placement (no addresses yet). */
+struct RequestSpec
+{
+    Cycles arrival = 0;
+    unsigned tenant = 0;
+    cc::CcOpcode op = cc::CcOpcode::And;
+    std::size_t bytes = 256;
+    bool scattered = false;
+};
+
+/** Generate @p params.totalRequests specs sorted by (arrival, tenant). */
+std::vector<RequestSpec> generateTraffic(const TrafficParams &params);
+
+} // namespace ccache::workload
+
+#endif // CCACHE_WORKLOAD_TRAFFIC_GEN_HH

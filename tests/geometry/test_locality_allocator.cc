@@ -86,5 +86,87 @@ TEST(LocalityAllocator, RejectsMisalignedBase)
     EXPECT_THROW((void)LocalityAllocator(0x1000, 100), FatalError);
 }
 
+TEST(LocalityAllocator, FreeCoalescesAndRecycles)
+{
+    LocalityAllocator alloc(0x100000, 1 << 20);
+    Addr a = alloc.allocate(256);
+    Addr b = alloc.allocate(256);
+    Addr c = alloc.allocate(256);
+    (void)c;
+    alloc.free(a, 256);
+    alloc.free(b, 256);   // adjacent: coalesces with [a, a+256)
+    EXPECT_EQ(alloc.freeBytes(), 512u);
+    // A 512-byte request only fits the free list if the ranges merged.
+    Addr d = alloc.allocate(512);
+    EXPECT_EQ(d, a);
+    EXPECT_EQ(alloc.reuses(), 1u);
+    EXPECT_EQ(alloc.freeBytes(), 0u);
+}
+
+TEST(LocalityAllocator, DoubleFreeIsFatal)
+{
+    LocalityAllocator alloc(0x100000, 1 << 20);
+    Addr a = alloc.allocate(128);
+    alloc.free(a, 128);
+    EXPECT_THROW(alloc.free(a, 128), FatalError);
+}
+
+/** Serving-layer churn: request-rate allocate/free cycles must neither
+ *  leak free-list bytes nor break the group page-offset contract. */
+TEST(LocalityAllocator, ChurnPreservesGroupOffsetsAndBalance)
+{
+    LocalityAllocator alloc(0x400000, 8 << 20);
+    // Pin down each group's offset first.
+    Addr off[4];
+    std::vector<std::pair<Addr, std::size_t>> warm;
+    for (GroupId g = 0; g < 4; ++g) {
+        warm.emplace_back(alloc.allocate(64, g), 64);
+        off[g] = alloc.groupOffset(g);
+    }
+    std::size_t resting_free = alloc.freeBytes();
+    for (int round = 0; round < 200; ++round) {
+        GroupId g = static_cast<GroupId>(round % 4);
+        std::size_t bytes = 64 + 64 * (round % 13);
+        std::vector<std::pair<Addr, std::size_t>> live;
+        for (int i = 0; i < 3; ++i) {
+            Addr a = alloc.allocate(bytes, g);
+            EXPECT_EQ(a & (kPageSize - 1), off[g]) << "round " << round;
+            live.emplace_back(a, bytes);
+        }
+        // Free out of allocation order to fragment the list.
+        alloc.free(live[1].first, live[1].second);
+        alloc.free(live[0].first, live[0].second);
+        alloc.free(live[2].first, live[2].second);
+        EXPECT_GE(alloc.freeBytes(), resting_free);
+    }
+    EXPECT_GT(alloc.reuses(), 0u);
+    for (auto &[a, n] : warm)
+        alloc.free(a, n);
+    // Everything ever handed out is back on the free list; only
+    // alignment padding is unaccounted for. A drifting freeBytes_
+    // (double-count or leak on coalesce) breaks this balance.
+    EXPECT_EQ(alloc.freeBytes(), alloc.used() - alloc.padding());
+}
+
+/** Fragmentation: a free-list hole with the wrong page offset is
+ *  skipped for a group allocation but still serves plain requests. */
+TEST(LocalityAllocator, FragmentedHolesRespectGroupConstraint)
+{
+    LocalityAllocator alloc(0x600000, 4 << 20);
+    Addr g0 = alloc.allocate(256, 0);          // defines offset for group 0
+    alloc.allocate(64);                        // shift the bump pointer
+    Addr stray = alloc.allocate(192);          // offset != group 0's
+    ASSERT_NE(stray & (kPageSize - 1), alloc.groupOffset(0));
+    alloc.free(stray, 192);
+    // Group allocation must NOT take the misaligned hole.
+    Addr g1 = alloc.allocate(192, 0);
+    EXPECT_EQ(g1 & (kPageSize - 1), alloc.groupOffset(0));
+    EXPECT_NE(g1, stray);
+    // A plain allocation happily recycles it.
+    Addr p = alloc.allocate(192);
+    EXPECT_EQ(p, stray);
+    (void)g0;
+}
+
 } // namespace
 } // namespace ccache::geometry

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the serving layer's admission control: global capacity
+ * backpressure, per-tenant isolation caps, ISA validation at the
+ * admission point, and the structured shed-load JSON record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "serve/request_queue.hh"
+
+namespace ccache::serve {
+namespace {
+
+Request
+makeRequest(RequestId id, TenantId tenant, Cycles arrival,
+            std::size_t bytes = 256)
+{
+    Request req;
+    req.id = id;
+    req.tenant = tenant;
+    req.arrival = arrival;
+    req.bytes = bytes;
+    req.instr = cc::CcInstruction::buz(0x40000000 + id * 0x10000, bytes);
+    return req;
+}
+
+struct QueueFixture
+{
+    StatRegistry reg;
+    QueueParams params;
+    std::vector<TenantQos> tenants;
+    std::unique_ptr<RequestQueue> queue;
+
+    QueueFixture(std::size_t capacity, std::size_t t0_cap,
+                 std::size_t t1_cap)
+    {
+        params.capacity = capacity;
+        tenants = {TenantQos{"t0", 1, t0_cap}, TenantQos{"t1", 1, t1_cap}};
+        queue = std::make_unique<RequestQueue>(params, tenants,
+                                               reg.group("serve"));
+    }
+};
+
+TEST(RequestQueue, GlobalCapacityBackpressure)
+{
+    QueueFixture f(/*capacity=*/4, /*t0=*/64, /*t1=*/64);
+    for (RequestId i = 0; i < 4; ++i)
+        EXPECT_FALSE(f.queue->offer(makeRequest(i, i % 2, i), i));
+    auto reason = f.queue->offer(makeRequest(4, 0, 4), 4);
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_EQ(*reason, RejectReason::QueueFull);
+    EXPECT_EQ(f.queue->size(), 4u);
+    EXPECT_EQ(f.queue->rejected(), 1u);
+}
+
+TEST(RequestQueue, PerTenantCapIsolates)
+{
+    QueueFixture f(/*capacity=*/64, /*t0=*/2, /*t1=*/64);
+    EXPECT_FALSE(f.queue->offer(makeRequest(0, 0, 0), 0));
+    EXPECT_FALSE(f.queue->offer(makeRequest(1, 0, 0), 0));
+    auto reason = f.queue->offer(makeRequest(2, 0, 0), 0);
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_EQ(*reason, RejectReason::TenantQueueFull);
+    // The other tenant is unaffected by t0 hitting its cap.
+    EXPECT_FALSE(f.queue->offer(makeRequest(3, 1, 0), 0));
+    EXPECT_EQ(f.queue->pending(0).size(), 2u);
+    EXPECT_EQ(f.queue->pending(1).size(), 1u);
+}
+
+TEST(RequestQueue, MalformedInstructionsRejectedAtAdmission)
+{
+    QueueFixture f(64, 64, 64);
+    // cc_cmp beyond the 512-byte CC-R limit fails ISA validation.
+    Request bad = makeRequest(0, 0, 0);
+    bad.instr = cc::CcInstruction{};
+    bad.instr.op = cc::CcOpcode::Cmp;
+    bad.instr.src1 = 0x40000000;
+    bad.instr.src2 = 0x40010000;
+    bad.instr.size = 1024;
+    auto reason = f.queue->offer(bad, 0);
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_EQ(*reason, RejectReason::Malformed);
+
+    // A malformed trailing chunk is caught too.
+    Request chunked = makeRequest(1, 0, 0);
+    chunked.chunks.push_back(bad.instr);
+    reason = f.queue->offer(chunked, 0);
+    ASSERT_TRUE(reason.has_value());
+    EXPECT_EQ(*reason, RejectReason::Malformed);
+    EXPECT_TRUE(f.queue->empty());
+}
+
+TEST(RequestQueue, OldestTracksAcrossTenants)
+{
+    QueueFixture f(64, 64, 64);
+    EXPECT_FALSE(f.queue->offer(makeRequest(0, 1, 7), 7));
+    EXPECT_FALSE(f.queue->offer(makeRequest(1, 0, 3), 7));
+    Cycles arrival = 0;
+    TenantId tenant = 99;
+    ASSERT_TRUE(f.queue->oldest(&arrival, &tenant));
+    EXPECT_EQ(arrival, 3u);
+    EXPECT_EQ(tenant, 0u);
+    Request popped = f.queue->pop(tenant);
+    EXPECT_EQ(popped.id, 1u);
+    ASSERT_TRUE(f.queue->oldest(&arrival, &tenant));
+    EXPECT_EQ(tenant, 1u);
+    f.queue->pop(tenant);
+    EXPECT_FALSE(f.queue->oldest(&arrival, &tenant));
+}
+
+TEST(RequestQueue, RejectionsJsonIsStructured)
+{
+    QueueFixture f(/*capacity=*/2, /*t0=*/1, /*t1=*/64);
+    EXPECT_FALSE(f.queue->offer(makeRequest(0, 0, 0), 0));
+    EXPECT_TRUE(f.queue->offer(makeRequest(1, 0, 1), 1));   // tenant cap
+    EXPECT_FALSE(f.queue->offer(makeRequest(2, 1, 2), 2));
+    EXPECT_TRUE(f.queue->offer(makeRequest(3, 1, 3), 3));   // global cap
+
+    Json doc = f.queue->rejectionsJson();
+    EXPECT_EQ(doc["total"].asNumber(), 2.0);
+    EXPECT_GT(doc["by_tenant"]["t0"]["tenant_queue_full"].asNumber(), 0.0);
+    EXPECT_GT(doc["by_tenant"]["t1"]["queue_full"].asNumber(), 0.0);
+    const Json::Array &samples = doc["samples"].asArray();
+    ASSERT_EQ(samples.size(), 2u);
+    for (const Json &s : samples) {
+        EXPECT_TRUE(s.find("id") != nullptr);
+        EXPECT_TRUE(s.find("tenant") != nullptr);
+        EXPECT_TRUE(s.find("reason") != nullptr);
+        EXPECT_TRUE(s.find("arrival") != nullptr);
+    }
+
+    // Counters land in the registry under the tenant's group.
+    EXPECT_EQ(f.reg.value("serve.t0.rejected"), 1u);
+    EXPECT_EQ(f.reg.value("serve.t1.rejected"), 1u);
+    EXPECT_EQ(f.reg.value("serve.t0.admitted"), 1u);
+}
+
+} // namespace
+} // namespace ccache::serve

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for ccbench's catalog selection and resume planning
+ * (tools/catalog_filter.hh): substring + regex composition, the
+ * journal append-mode rule that keeps `--filter` and `--resume`
+ * composable, and journal-vs-results resume planning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/catalog_filter.hh"
+
+namespace {
+
+using cctools::CatalogFilter;
+
+TEST(CatalogFilter, EmptySelectsEverything)
+{
+    CatalogFilter f;
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.matches("anything_at_all"));
+}
+
+TEST(CatalogFilter, SubstringIsAnyOf)
+{
+    CatalogFilter f;
+    f.addSubstring("fig7");
+    f.addSubstring("serve");
+    EXPECT_FALSE(f.empty());
+    EXPECT_TRUE(f.matches("fig7_microbench"));
+    EXPECT_TRUE(f.matches("serve_scheduler"));
+    EXPECT_FALSE(f.matches("ablation_fault"));
+}
+
+TEST(CatalogFilter, RegexIsPartialMatch)
+{
+    CatalogFilter f;
+    std::string err;
+    ASSERT_TRUE(f.addRegex("^serve_", &err)) << err;
+    EXPECT_TRUE(f.matches("serve_scheduler"));
+    EXPECT_FALSE(f.matches("observe_serve"));   // anchored
+}
+
+TEST(CatalogFilter, SubstringAndRegexBothMustPass)
+{
+    CatalogFilter f;
+    std::string err;
+    f.addSubstring("sched");
+    ASSERT_TRUE(f.addRegex("^serve", &err)) << err;
+    EXPECT_TRUE(f.matches("serve_scheduler"));
+    EXPECT_FALSE(f.matches("serve_latency"));   // regex ok, substring not
+    EXPECT_FALSE(f.matches("noc_scheduler"));   // substring ok, regex not
+}
+
+TEST(CatalogFilter, BadRegexReportsError)
+{
+    CatalogFilter f;
+    std::string err;
+    EXPECT_FALSE(f.addRegex("*oops", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_TRUE(f.empty());   // nothing was added
+}
+
+/** The rule that keeps --filter and --resume composable: any run not
+ *  covering the full catalog must append to the journal, otherwise a
+ *  filtered run would erase every other bench's completion record. */
+TEST(JournalAppendMode, OnlyUnrestrictedFreshRunsTruncate)
+{
+    EXPECT_FALSE(cctools::journalAppendMode(false, false));
+    EXPECT_TRUE(cctools::journalAppendMode(true, false));    // --resume
+    EXPECT_TRUE(cctools::journalAppendMode(false, true));    // --filter
+    EXPECT_TRUE(cctools::journalAppendMode(true, true));
+}
+
+TEST(PlanResume, RequiresJournalEntryAndResultFile)
+{
+    std::vector<std::string> names = {"a", "b", "c", "d"};
+    std::set<std::string> done = {"a", "b", "d"};
+    // "b" was journaled but its result file vanished (cleaned dir):
+    // it must re-run, the journal alone is not proof.
+    auto exists = [](const std::string &n) { return n != "b"; };
+    std::vector<bool> cached = cctools::planResume(names, done, exists);
+    ASSERT_EQ(cached.size(), 4u);
+    EXPECT_TRUE(cached[0]);
+    EXPECT_FALSE(cached[1]);
+    EXPECT_FALSE(cached[2]);   // never ran
+    EXPECT_TRUE(cached[3]);
+}
+
+/** Filtered-run resume: the plan for the filtered subset must not
+ *  depend on unrelated catalog entries in the journal. */
+TEST(PlanResume, FilteredSubsetIgnoresOtherJournalEntries)
+{
+    CatalogFilter f;
+    std::string err;
+    ASSERT_TRUE(f.addRegex("serve", &err)) << err;
+    std::vector<std::string> catalog = {"fig7_microbench", "serve_scheduler",
+                                        "ablation_fault"};
+    std::vector<std::string> selected;
+    for (const std::string &n : catalog)
+        if (f.matches(n))
+            selected.push_back(n);
+    ASSERT_EQ(selected, std::vector<std::string>{"serve_scheduler"});
+
+    std::set<std::string> done = {"fig7_microbench", "serve_scheduler"};
+    auto exists = [](const std::string &) { return true; };
+    std::vector<bool> cached = cctools::planResume(selected, done, exists);
+    EXPECT_TRUE(cached[0]);   // satisfied; filtered resume runs nothing
+}
+
+} // namespace

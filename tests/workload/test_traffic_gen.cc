@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the multi-tenant Poisson traffic generator: determinism
+ * (the serving §8 contract starts here), the (arrival, tenant) sort
+ * order, size/op-mix plumbing and scatter marking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/traffic_gen.hh"
+
+namespace ccache::workload {
+namespace {
+
+TrafficParams
+twoTenants()
+{
+    TrafficParams params;
+    params.totalRequests = 500;
+    params.seed = 0x1234;
+    TenantTraffic a;
+    a.name = "a";
+    a.requestsPerKilocycle = 2.0;
+    a.minBytes = 256;
+    a.maxBytes = 1024;
+    TenantTraffic b;
+    b.name = "b";
+    b.requestsPerKilocycle = 8.0;
+    b.minBytes = 1024;
+    b.maxBytes = 8192;
+    b.scatterFraction = 1.0;
+    params.tenants = {a, b};
+    return params;
+}
+
+TEST(TrafficGen, DeterministicAndSorted)
+{
+    TrafficParams params = twoTenants();
+    std::vector<RequestSpec> x = generateTraffic(params);
+    std::vector<RequestSpec> y = generateTraffic(params);
+    ASSERT_EQ(x.size(), params.totalRequests);
+    ASSERT_EQ(y.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(x[i].arrival, y[i].arrival);
+        EXPECT_EQ(x[i].tenant, y[i].tenant);
+        EXPECT_EQ(x[i].op, y[i].op);
+        EXPECT_EQ(x[i].bytes, y[i].bytes);
+        EXPECT_EQ(x[i].scattered, y[i].scattered);
+    }
+    EXPECT_TRUE(std::is_sorted(x.begin(), x.end(),
+                               [](const RequestSpec &l, const RequestSpec &r) {
+                                   return l.arrival != r.arrival
+                                              ? l.arrival < r.arrival
+                                              : l.tenant < r.tenant;
+                               }));
+}
+
+TEST(TrafficGen, SeedChangesTheStream)
+{
+    TrafficParams params = twoTenants();
+    std::vector<RequestSpec> x = generateTraffic(params);
+    params.seed ^= 1;
+    std::vector<RequestSpec> y = generateTraffic(params);
+    bool differs = false;
+    for (std::size_t i = 0; i < x.size() && !differs; ++i)
+        differs = x[i].arrival != y[i].arrival || x[i].bytes != y[i].bytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(TrafficGen, SizesBlockRoundedWithinRange)
+{
+    std::vector<RequestSpec> specs = generateTraffic(twoTenants());
+    for (const RequestSpec &s : specs) {
+        EXPECT_EQ(s.bytes % 64, 0u);
+        if (s.tenant == 0) {
+            EXPECT_GE(s.bytes, 256u);
+            EXPECT_LE(s.bytes, 1024u);
+        } else {
+            EXPECT_GE(s.bytes, 1024u);
+            EXPECT_LE(s.bytes, 8192u);
+        }
+    }
+}
+
+TEST(TrafficGen, RateRatioApproximatelyHonored)
+{
+    std::vector<RequestSpec> specs = generateTraffic(twoTenants());
+    std::size_t a = 0, b = 0;
+    for (const RequestSpec &s : specs)
+        (s.tenant == 0 ? a : b)++;
+    // b offers 4x a's rate; the merged 500-request prefix should be
+    // roughly 1:4 (loose bounds, it is a stochastic process).
+    EXPECT_GT(b, 3 * a / 2);
+    EXPECT_GT(a, 20u);
+}
+
+TEST(TrafficGen, ScatterFractionMarksRequests)
+{
+    std::vector<RequestSpec> specs = generateTraffic(twoTenants());
+    for (const RequestSpec &s : specs) {
+        if (s.tenant == 0)
+            EXPECT_FALSE(s.scattered);   // fraction 0
+        else
+            EXPECT_TRUE(s.scattered);    // fraction 1
+    }
+}
+
+TEST(TrafficGen, ZeroWeightOpsNeverOccur)
+{
+    TrafficParams params = twoTenants();
+    for (TenantTraffic &t : params.tenants) {
+        t.weightAnd = 0.0;
+        t.weightOr = 0.0;
+        t.weightXor = 0.0;
+        t.weightCopy = 1.0;
+        t.weightSearch = 0.0;
+        t.weightCmp = 0.0;
+    }
+    for (const RequestSpec &s : generateTraffic(params))
+        EXPECT_EQ(s.op, cc::CcOpcode::Copy);
+}
+
+TEST(TrafficGen, OversizedRequestsAreLegal)
+{
+    // Sizes beyond the ISA per-op limit are the server's problem (it
+    // chunks them); the generator must pass them through untouched.
+    TrafficParams params;
+    params.totalRequests = 50;
+    TenantTraffic t;
+    t.requestsPerKilocycle = 1.0;
+    t.minBytes = 4096;
+    t.maxBytes = 4096;
+    t.weightCmp = 1.0;
+    t.weightAnd = t.weightOr = t.weightXor = 0.0;
+    t.weightCopy = t.weightSearch = 0.0;
+    params.tenants = {t};
+    for (const RequestSpec &s : generateTraffic(params)) {
+        EXPECT_EQ(s.op, cc::CcOpcode::Cmp);
+        EXPECT_EQ(s.bytes, 4096u);   // > kMaxCmpBytes, not clamped
+    }
+}
+
+} // namespace
+} // namespace ccache::workload

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Catalog selection and resume planning for ccbench — factored out of
+ * the driver so the behaviour is unit-testable without spawning
+ * subprocesses.
+ *
+ * Two selection mechanisms compose (a bench runs when it passes both):
+ *  - positional BENCH arguments: plain substring match, any-of;
+ *  - --filter PATTERN flags: ECMAScript regex, partial match, any-of.
+ *
+ * Resume planning: a bench can be satisfied from the journal when it
+ * has an `ok <name>` entry AND its result JSON still exists (the
+ * journal alone is not proof — results directories get cleaned).
+ *
+ * Journal open mode: a run restricted to a subset of the catalog
+ * (filtered or resumed) must APPEND to the journal; only an
+ * unrestricted fresh run truncates it. Otherwise `ccbench --filter x`
+ * would erase the completion records of every other bench and a later
+ * `--resume` would needlessly re-run the whole catalog.
+ */
+
+#ifndef CCACHE_TOOLS_CATALOG_FILTER_HH
+#define CCACHE_TOOLS_CATALOG_FILTER_HH
+
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cctools {
+
+/** Bench-name selection: substrings (positional args) + regexes
+ *  (--filter). An empty filter selects everything. */
+class CatalogFilter
+{
+  public:
+    void addSubstring(std::string s) { substrings_.push_back(std::move(s)); }
+
+    /** Compile and add one regex; false (with @p error set) when the
+     *  pattern does not parse. */
+    bool addRegex(const std::string &pattern, std::string *error)
+    {
+        try {
+            regexes_.emplace_back(pattern, std::regex::ECMAScript);
+        } catch (const std::regex_error &e) {
+            if (error)
+                *error = e.what();
+            return false;
+        }
+        return true;
+    }
+
+    bool empty() const { return substrings_.empty() && regexes_.empty(); }
+
+    /** True when @p name passes the selection: it must match at least
+     *  one substring (if any are given) and at least one regex (if any
+     *  are given). */
+    bool matches(const std::string &name) const
+    {
+        if (!substrings_.empty()) {
+            bool any = false;
+            for (const std::string &s : substrings_)
+                any = any || name.find(s) != std::string::npos;
+            if (!any)
+                return false;
+        }
+        if (!regexes_.empty()) {
+            bool any = false;
+            for (const std::regex &re : regexes_)
+                any = any || std::regex_search(name, re);
+            if (!any)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::vector<std::string> substrings_;
+    std::vector<std::regex> regexes_;
+};
+
+/** True when the journal must be opened in append mode: any run that
+ *  does not cover the full catalog (resume, or a filtered subset) must
+ *  preserve the completion records of the benches it is not running. */
+inline bool
+journalAppendMode(bool resume, bool filtered)
+{
+    return resume || filtered;
+}
+
+/**
+ * Which of @p names are already satisfied: journaled as done AND their
+ * result file still exists (per @p result_exists). Returns a parallel
+ * bool vector.
+ */
+template <typename ResultExistsFn>
+std::vector<bool>
+planResume(const std::vector<std::string> &names,
+           const std::set<std::string> &done,
+           ResultExistsFn &&result_exists)
+{
+    std::vector<bool> cached(names.size(), false);
+    for (std::size_t i = 0; i < names.size(); ++i)
+        cached[i] = done.count(names[i]) != 0 && result_exists(names[i]);
+    return cached;
+}
+
+} // namespace cctools
+
+#endif // CCACHE_TOOLS_CATALOG_FILTER_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * cc_server: replay synthetic multi-tenant open-loop traffic through
+ * the serving layer (DESIGN.md §11) and report tail latency.
+ *
+ * Usage:
+ *
+ *     cc_server [--tenants N] [--requests N] [--load RPKC]
+ *               [--policy fifo|batch] [--seed HEX] [--scatter FRAC]
+ *               [--queue-cap N] [--wave N] [--json PATH] [--stats]
+ *               [--trace PATH]
+ *
+ * Tenant 0 is a small-request interactive tenant with weight 4; the
+ * remaining tenants are heavier background traffic (some scattered
+ * operands, some multi-chunk cc_cmp requests). The run is simulated
+ * time only and a pure function of its arguments: the same command
+ * line always prints the same bytes (DESIGN.md §8).
+ *
+ * Output: a human summary on stdout, plus the ServeReport JSON
+ * (`--json -` for stdout, or a file path). `--stats` embeds the full
+ * stats registry dump; `--trace` writes a Chrome trace of the waves.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "serve/server.hh"
+#include "sim/system.hh"
+#include "workload/traffic_gen.hh"
+
+using namespace ccache;
+
+namespace {
+
+struct Options
+{
+    unsigned tenants = 2;
+    std::size_t requests = 1000;
+    double loadRpkc = 4.0;
+    serve::ServePolicy policy = serve::ServePolicy::Batch;
+    std::uint64_t seed = 0x5e47ed7aff1cULL;
+    double scatter = 0.2;
+    std::size_t queueCap = 256;
+    unsigned waveSize = 16;
+    std::string jsonPath;
+    std::string tracePath;
+    bool stats = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--tenants N] [--requests N] [--load RPKC]\n"
+                 "       [--policy fifo|batch] [--seed HEX] "
+                 "[--scatter FRAC]\n"
+                 "       [--queue-cap N] [--wave N] [--json PATH|-] "
+                 "[--stats] [--trace PATH]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        auto needArg = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cc_server: %s needs an argument\n",
+                             flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--tenants")) {
+            opt.tenants = static_cast<unsigned>(
+                std::strtoul(needArg("--tenants"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--requests")) {
+            opt.requests = std::strtoull(needArg("--requests"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--load")) {
+            opt.loadRpkc = std::atof(needArg("--load"));
+        } else if (!std::strcmp(argv[i], "--policy")) {
+            if (!serve::parsePolicy(needArg("--policy"), &opt.policy)) {
+                std::fprintf(stderr,
+                             "cc_server: --policy must be fifo or batch\n");
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            opt.seed = std::strtoull(needArg("--seed"), nullptr, 16);
+        } else if (!std::strcmp(argv[i], "--scatter")) {
+            opt.scatter = std::atof(needArg("--scatter"));
+        } else if (!std::strcmp(argv[i], "--queue-cap")) {
+            opt.queueCap =
+                std::strtoull(needArg("--queue-cap"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--wave")) {
+            opt.waveSize = static_cast<unsigned>(
+                std::strtoul(needArg("--wave"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--json")) {
+            opt.jsonPath = needArg("--json");
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            opt.tracePath = needArg("--trace");
+        } else if (!std::strcmp(argv[i], "--stats")) {
+            opt.stats = true;
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "cc_server: unknown option %s\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (opt.tenants < 1 || opt.requests < 1 || opt.loadRpkc <= 0.0 ||
+        opt.waveSize < 1 || opt.queueCap < 1) {
+        std::fprintf(stderr, "cc_server: invalid parameters\n");
+        return 2;
+    }
+
+    // Traffic: tenant 0 interactive, the rest background.
+    workload::TrafficParams traffic;
+    traffic.totalRequests = opt.requests;
+    traffic.seed = opt.seed;
+    for (unsigned i = 0; i < opt.tenants; ++i) {
+        workload::TenantTraffic t;
+        t.name = "t" + std::to_string(i);
+        if (i == 0 && opt.tenants > 1) {
+            t.requestsPerKilocycle = 0.2 * opt.loadRpkc;
+            t.minBytes = 256;
+            t.maxBytes = 1024;
+        } else {
+            t.requestsPerKilocycle =
+                opt.tenants > 1 ? 0.8 * opt.loadRpkc / (opt.tenants - 1)
+                                : opt.loadRpkc;
+            t.minBytes = 1024;
+            t.maxBytes = 8192;
+            t.weightCmp = 0.5;
+            t.scatterFraction = opt.scatter;
+        }
+        traffic.tenants.push_back(std::move(t));
+    }
+
+    sim::System sys;
+    if (!opt.tracePath.empty())
+        sys.trace().enable();
+
+    serve::ServerParams params;
+    params.queue.capacity = opt.queueCap;
+    params.sched.policy = opt.policy;
+    params.sched.waveSize = opt.waveSize;
+    params.tenants.clear();
+    for (unsigned i = 0; i < opt.tenants; ++i) {
+        serve::TenantQos q;
+        q.name = "t" + std::to_string(i);
+        q.weight = i == 0 ? 4 : 1;
+        params.tenants.push_back(std::move(q));
+    }
+
+    serve::CcServer server(sys, params);
+    serve::ServeReport report =
+        server.run(generateTraffic(traffic));
+
+    std::printf("cc_server: policy=%s tenants=%u load=%.2f rpkc "
+                "seed=%llx\n",
+                serve::toString(opt.policy), opt.tenants, opt.loadRpkc,
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  offered %llu, admitted %llu, served %llu, rejected "
+                "%llu in %llu cycles (%.2f req/Mcycle)\n",
+                static_cast<unsigned long long>(report.offered),
+                static_cast<unsigned long long>(report.admitted),
+                static_cast<unsigned long long>(report.served),
+                static_cast<unsigned long long>(report.rejected),
+                static_cast<unsigned long long>(report.elapsed),
+                report.throughputRpmc);
+    for (const auto &t : report.tenants)
+        std::printf("  %-8s served %6llu  queue p50/p99/p99.9 = "
+                    "%llu/%llu/%llu cy  service p50/p99 = %llu/%llu cy\n",
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.served),
+                    static_cast<unsigned long long>(t.p50QueueCycles),
+                    static_cast<unsigned long long>(t.p99QueueCycles),
+                    static_cast<unsigned long long>(t.p999QueueCycles),
+                    static_cast<unsigned long long>(t.p50ServiceCycles),
+                    static_cast<unsigned long long>(t.p99ServiceCycles));
+
+    Json doc = report.toJson();
+    if (opt.stats)
+        doc["stats"] = sys.stats().dumpJson();
+    if (!opt.jsonPath.empty()) {
+        std::string text = doc.dump(2) + "\n";
+        if (opt.jsonPath == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else {
+            std::ofstream out(opt.jsonPath,
+                              std::ios::binary | std::ios::trunc);
+            out << text;
+            if (!out) {
+                std::fprintf(stderr, "cc_server: cannot write %s\n",
+                             opt.jsonPath.c_str());
+                return 1;
+            }
+            std::printf("report: %s\n", opt.jsonPath.c_str());
+        }
+    }
+    if (!opt.tracePath.empty() &&
+        !sys.trace().writeFile(opt.tracePath))
+        return 1;
+
+    return 0;
+}

@@ -7,7 +7,14 @@
  *
  *     ccbench [-j N] [--inner-jobs N] [--bin-dir DIR] [--results DIR]
  *             [--baseline DIR] [--threshold FRAC] [--stats] [--list]
- *             [--no-compare] [--resume] [BENCH...]
+ *             [--no-compare] [--resume] [--filter REGEX] [BENCH...]
+ *
+ * Catalog selection: positional BENCH arguments are substring matches;
+ * `--filter` takes an ECMAScript regex (partial match, repeatable).
+ * Both may be combined — a bench runs when it passes both. A filtered
+ * run appends to the completion journal instead of truncating it, so
+ * `--resume` of the full catalog stays correct after a filtered run
+ * (see tools/catalog_filter.hh).
  *
  * Every executable in the bench directory (default: the `bench/`
  * sibling of this binary's directory, i.e. `build/bench/`) is one unit
@@ -69,6 +76,7 @@
 
 #include "common/json.hh"
 #include "common/thread_pool.hh"
+#include "catalog_filter.hh"
 #include "result_compare.hh"
 
 extern char **environ;
@@ -98,7 +106,7 @@ struct Options
     bool listOnly = false;
     bool compare = true;
     bool resume = false;
-    std::vector<std::string> filters;
+    cctools::CatalogFilter filter;
 };
 
 struct BenchRun
@@ -119,7 +127,7 @@ usage(const char *argv0)
                  "[--results DIR]\n"
                  "       [--baseline DIR] [--threshold FRAC] [--stats] "
                  "[--list] [--no-compare]\n"
-                 "       [--resume] [BENCH...]\n",
+                 "       [--resume] [--filter REGEX] [BENCH...]\n",
                  argv0);
 }
 
@@ -145,10 +153,10 @@ defaultResultsDir()
     return env && *env ? env : "results";
 }
 
-/** Every executable regular file in @p dir, sorted by name. */
+/** Every executable regular file in @p dir passing @p filter, sorted
+ *  by name. */
 std::vector<BenchRun>
-discoverCatalog(const std::string &dir,
-                const std::vector<std::string> &filters)
+discoverCatalog(const std::string &dir, const cctools::CatalogFilter &filter)
 {
     std::vector<BenchRun> catalog;
     std::error_code ec;
@@ -160,11 +168,7 @@ discoverCatalog(const std::string &dir,
                   fs::perms::others_exec)) == fs::perms::none)
             continue;
         std::string name = entry.path().filename().string();
-        if (!filters.empty() &&
-            std::none_of(filters.begin(), filters.end(),
-                         [&](const std::string &f) {
-                             return name.find(f) != std::string::npos;
-                         }))
+        if (!filter.matches(name))
             continue;
         catalog.push_back(BenchRun{name, entry.path()});
     }
@@ -300,6 +304,13 @@ main(int argc, char **argv)
             opt.compare = false;
         } else if (!std::strcmp(argv[i], "--resume")) {
             opt.resume = true;
+        } else if (!std::strcmp(argv[i], "--filter")) {
+            std::string error;
+            if (!opt.filter.addRegex(needArg("--filter"), &error)) {
+                std::fprintf(stderr, "ccbench: bad --filter regex: %s\n",
+                             error.c_str());
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -309,7 +320,7 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 2;
         } else {
-            opt.filters.push_back(argv[i]);
+            opt.filter.addSubstring(argv[i]);
         }
     }
     if (opt.binDir.empty())
@@ -318,7 +329,7 @@ main(int argc, char **argv)
         opt.resultsDir = defaultResultsDir();
 
     std::vector<BenchRun> catalog =
-        discoverCatalog(opt.binDir, opt.filters);
+        discoverCatalog(opt.binDir, opt.filter);
     if (catalog.empty()) {
         std::fprintf(stderr, "ccbench: no bench executables in %s\n",
                      opt.binDir.c_str());
@@ -338,23 +349,33 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Completion journal: fresh runs truncate it, --resume honours it.
+    // Completion journal: an unrestricted fresh run truncates it;
+    // --resume honours it; a filtered run appends so the records of
+    // benches outside the filter survive (catalog_filter.hh).
     std::string journal_path = opt.resultsDir + "/ccbench.journal";
     std::size_t resumed = 0;
     if (opt.resume) {
         std::set<std::string> done = readJournal(journal_path);
-        for (BenchRun &b : catalog) {
-            if (done.count(b.name) &&
-                fs::exists(opt.resultsDir + "/" + b.name + ".json")) {
-                b.cached = true;
-                b.exitCode = 0;
+        std::vector<std::string> names;
+        names.reserve(catalog.size());
+        for (const BenchRun &b : catalog)
+            names.push_back(b.name);
+        std::vector<bool> cached = cctools::planResume(
+            names, done, [&](const std::string &name) {
+                return fs::exists(opt.resultsDir + "/" + name + ".json");
+            });
+        for (std::size_t i = 0; i < catalog.size(); ++i) {
+            if (cached[i]) {
+                catalog[i].cached = true;
+                catalog[i].exitCode = 0;
                 ++resumed;
             }
         }
     }
-    std::ofstream journal(journal_path, opt.resume
-                                            ? std::ios::app
-                                            : std::ios::trunc);
+    bool append = cctools::journalAppendMode(opt.resume,
+                                             !opt.filter.empty());
+    std::ofstream journal(journal_path,
+                          append ? std::ios::app : std::ios::trunc);
     if (!journal) {
         std::fprintf(stderr, "ccbench: cannot open %s\n",
                      journal_path.c_str());
