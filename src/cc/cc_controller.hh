@@ -225,6 +225,11 @@ class CcController
     const fault::FaultInjector &faultInjector() const { return faults_; }
     /** @} */
 
+    /** Mutable injector access for runtime fault-rate scheduling (the
+     *  chaos harness raises and clears per-shard fault storms through
+     *  FaultInjector::setParams; see DESIGN.md §12). */
+    fault::FaultInjector &mutableFaultInjector() { return faults_; }
+
   private:
     /** One simple vector operation, decomposed and placed. */
     struct BlockOp

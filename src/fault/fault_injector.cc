@@ -73,6 +73,13 @@ FaultInjector::FaultInjector(const FaultParams &params)
     params_.validate();
 }
 
+void
+FaultInjector::setParams(const FaultParams &params)
+{
+    params.validate();
+    params_ = params;
+}
+
 std::uint64_t
 FaultInjector::locHash(std::uint64_t a, std::uint64_t b) const
 {

@@ -133,6 +133,19 @@ class FaultInjector
     const FaultParams &params() const { return params_; }
     bool enabled() const { return params_.enabled; }
 
+    /**
+     * Swap the injection rates mid-run (validated). The event stream's
+     * RNG state is preserved — changing rates never rewinds or reseeds
+     * it — so a run that applies the same parameter schedule at the
+     * same points in its instruction stream reproduces the same fault
+     * history. The serving layer's chaos harness uses this to raise
+     * margin-fail / stuck-at storms on a shard for a bounded window of
+     * simulated time (DESIGN.md §12). Location-keyed faults (stuck-at,
+     * weak sub-arrays) re-key if the seed changes; pass the original
+     * seed to keep them stable across windows.
+     */
+    void setParams(const FaultParams &params);
+
     /** Deterministic rate multiplier of one sub-array (1.0, or
      *  weakSubarrayScale for the hash-selected weak fraction). */
     double rateScale(std::uint64_t subarray_id) const;

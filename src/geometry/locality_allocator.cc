@@ -41,8 +41,8 @@ LocalityAllocator::carveFree(std::size_t bytes, Addr offset)
     return ~Addr{0};
 }
 
-Addr
-LocalityAllocator::allocate(std::size_t bytes)
+std::optional<Addr>
+LocalityAllocator::tryAllocate(std::size_t bytes)
 {
     bytes = alignUp(bytes, kBlockSize);
     Addr recycled = carveFree(bytes, ~Addr{0});
@@ -50,21 +50,22 @@ LocalityAllocator::allocate(std::size_t bytes)
         return recycled;
     Addr addr = alignUp(next_, kBlockSize);
     if (addr + bytes > base_ + size_)
-        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+        return std::nullopt;
     padding_ += addr - next_;
     next_ = addr + bytes;
     return addr;
 }
 
-Addr
-LocalityAllocator::allocate(std::size_t bytes, GroupId group)
+std::optional<Addr>
+LocalityAllocator::tryAllocate(std::size_t bytes, GroupId group)
 {
     bytes = alignUp(bytes, kBlockSize);
 
     auto it = groupOffset_.find(group);
     if (it == groupOffset_.end()) {
-        Addr addr = allocate(bytes);
-        groupOffset_.emplace(group, addr & (kPageSize - 1));
+        std::optional<Addr> addr = tryAllocate(bytes);
+        if (addr)
+            groupOffset_.emplace(group, *addr & (kPageSize - 1));
         return addr;
     }
 
@@ -75,10 +76,28 @@ LocalityAllocator::allocate(std::size_t bytes, GroupId group)
     // Advance to the next address with the group's page offset.
     Addr addr = alignToOperand(it->second, alignUp(next_, kBlockSize));
     if (addr + bytes > base_ + size_)
-        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+        return std::nullopt;
     padding_ += addr - next_;
     next_ = addr + bytes;
     return addr;
+}
+
+Addr
+LocalityAllocator::allocate(std::size_t bytes)
+{
+    std::optional<Addr> addr = tryAllocate(bytes);
+    if (!addr)
+        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+    return *addr;
+}
+
+Addr
+LocalityAllocator::allocate(std::size_t bytes, GroupId group)
+{
+    std::optional<Addr> addr = tryAllocate(bytes, group);
+    if (!addr)
+        CC_FATAL("locality allocator exhausted (", size_, " bytes)");
+    return *addr;
 }
 
 void

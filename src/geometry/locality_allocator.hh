@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +58,17 @@ class LocalityAllocator
 
     /** Plain allocation with no locality constraint. */
     Addr allocate(std::size_t bytes);
+
+    /**
+     * Non-throwing variants: return std::nullopt when the region cannot
+     * satisfy the request, leaving the allocator untouched. The serving
+     * layer uses these so heap exhaustion degrades into a structured
+     * `no_capacity` admission rejection instead of killing the run
+     * (DESIGN.md §12). @{
+     */
+    std::optional<Addr> tryAllocate(std::size_t bytes, GroupId group);
+    std::optional<Addr> tryAllocate(std::size_t bytes);
+    /** @} */
 
     /**
      * Return [addr, addr+bytes) (rounded up to a 64-byte multiple, as

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic chaos harness for the sharded serving layer
+ * (DESIGN.md §12).
+ *
+ * A ChaosSchedule is a fixed list of shard-level failure windows in
+ * simulated time, applied by the ShardRouter's event loop at exact
+ * cycle boundaries — no host randomness, no wall clocks, so a chaos
+ * run is byte-identical at any thread count (§8). Three fault shapes:
+ *
+ *  - crash:   the shard goes dark for the window. In-flight work
+ *             fails, queued work reroutes or sheds (ShardDown), and
+ *             the shard rejoins (cold) when the window ends.
+ *  - slow:    a sensing-margin storm — the shard's FaultInjector rates
+ *             are raised (marginFailPerDualRowOp scaled by magnitude)
+ *             so every dual-row op risks the detect-and-retry ladder.
+ *             The shard stays correct but its latency balloons; this
+ *             is the shape that exercises timeouts and hedging.
+ *  - partial: partial sub-array loss — stuck-at defects appear under
+ *             a fraction of the shard (stuckAtPerBlock and the weak
+ *             sub-array fraction scaled by magnitude). Correctable
+ *             through the controller's remap ladder, at a latency and
+ *             energy cost.
+ *
+ * The spec grammar (tools/cc_server --chaos, bench/serve_failover):
+ *
+ *     event   := kind '@' start '+' duration ':' shard [ '*' magnitude ]
+ *     spec    := event ( ';' event )*
+ *
+ * e.g. "crash@200000+150000:1;slow@100000+400000:2*8". random() draws
+ * a schedule from a seed via the shared deriveSeed discipline, for
+ * sweeps that want varied-but-reproducible fault patterns.
+ */
+
+#ifndef CCACHE_SERVE_CHAOS_HH
+#define CCACHE_SERVE_CHAOS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace ccache::serve {
+
+/** Shard-level failure shapes. */
+enum class ChaosKind {
+    Crash,    ///< shard dark for the window
+    Slow,     ///< margin-fail storm: correct but slow
+    Partial,  ///< stuck-at storm: partial sub-array loss, remappable
+};
+
+const char *toString(ChaosKind kind);
+
+/** One failure window on one shard. */
+struct ChaosEvent
+{
+    ChaosKind kind = ChaosKind::Crash;
+    unsigned shard = 0;
+    Cycles start = 0;
+    Cycles duration = 0;
+
+    /** Fault-rate scale for slow/partial windows (ignored by crash). */
+    double magnitude = 4.0;
+
+    Cycles end() const { return start + duration; }
+
+    /** Round-trippable "kind@start+duration:shard[*magnitude]". */
+    std::string toSpec() const;
+
+    Json toJson() const;
+};
+
+/** A full schedule: events sorted by (start, shard, kind). */
+struct ChaosSchedule
+{
+    std::vector<ChaosEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Parse the spec grammar above. Returns false (with a diagnostic
+     * in @p err, when non-null) on malformed input, an out-of-range
+     * shard (>= @p shards), a zero duration or a bad magnitude.
+     * Events are sorted on success.
+     */
+    static bool parse(const std::string &spec, unsigned shards,
+                      ChaosSchedule *out, std::string *err = nullptr);
+
+    /** Semicolon-joined round trip of every event. */
+    std::string toSpec() const;
+
+    Json toJson() const;
+
+    /**
+     * Draw @p count events over @p horizon cycles across @p shards
+     * from @p seed — a pure function of its arguments (deriveSeed
+     * discipline), so sweep points regenerate identical schedules at
+     * any thread count. Never crashes shard 0, so a single-tenant
+     * fleet always keeps one live home candidate.
+     */
+    static ChaosSchedule random(std::uint64_t seed, unsigned shards,
+                                Cycles horizon, unsigned count);
+
+    /** Sort into canonical (start, shard, kind) order. */
+    void canonicalize();
+};
+
+} // namespace ccache::serve
+
+#endif // CCACHE_SERVE_CHAOS_HH

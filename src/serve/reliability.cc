@@ -1,0 +1,104 @@
+#include "serve/reliability.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace ccache::serve {
+
+Cycles
+BackoffPolicy::delay(RequestId id, unsigned attempt) const
+{
+    unsigned shift = attempt > 0 ? attempt - 1 : 0;
+    // Saturate the doubling instead of overflowing it.
+    Cycles d = shift < 63 && (params_.backoffBase << shift) >> shift ==
+                   params_.backoffBase
+        ? params_.backoffBase << shift
+        : params_.backoffCap;
+    d = std::min(d, params_.backoffCap);
+
+    double j = std::clamp(params_.jitterFraction, 0.0, 1.0);
+    if (j > 0.0) {
+        // Pure hash -> uniform fraction in [0, 1); no RNG stream.
+        std::uint64_t h = mix64(mix64(params_.seed ^ id) ^
+                                (0x5e7261ULL + attempt));
+        double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+        double scaled = static_cast<double>(d) * (1.0 - j / 2 + j * frac);
+        d = static_cast<Cycles>(scaled);
+    }
+    return std::max<Cycles>(1, d);
+}
+
+CircuitBreaker::State
+CircuitBreaker::state(Cycles now) const
+{
+    if (state_ == State::Open && now >= openedAt_ + params_.openCooloff)
+        return State::HalfOpen;
+    return state_;
+}
+
+void
+CircuitBreaker::onSuccess(Cycles now)
+{
+    switch (state(now)) {
+      case State::HalfOpen:
+        if (++probeStreak_ >= params_.probeSuccesses) {
+            state_ = State::Closed;
+            failureStreak_ = 0;
+            probeStreak_ = 0;
+        } else {
+            // Stay half-open; materialize the lazy transition so a
+            // later failure re-opens from HalfOpen, not stale Open.
+            state_ = State::HalfOpen;
+        }
+        break;
+      case State::Closed:
+        failureStreak_ = 0;
+        break;
+      case State::Open:
+        break;   // stale success from before the trip: ignore
+    }
+}
+
+void
+CircuitBreaker::onFailure(Cycles now)
+{
+    switch (state(now)) {
+      case State::HalfOpen:
+        // Materialize the lazy Open -> HalfOpen transition first so
+        // the re-trip below is counted as a real one.
+        state_ = State::HalfOpen;
+        trip(now);   // failed probe: full cooloff again
+        break;
+      case State::Closed:
+        if (++failureStreak_ >= params_.failureThreshold)
+            trip(now);
+        break;
+      case State::Open:
+        break;
+    }
+}
+
+void
+CircuitBreaker::trip(Cycles now)
+{
+    if (state_ != State::Open)
+        ++trips_;
+    state_ = State::Open;
+    openedAt_ = now;
+    failureStreak_ = 0;
+    probeStreak_ = 0;
+}
+
+const char *
+toString(CircuitBreaker::State state)
+{
+    switch (state) {
+      case CircuitBreaker::State::Closed: return "closed";
+      case CircuitBreaker::State::Open: return "open";
+      case CircuitBreaker::State::HalfOpen: return "half-open";
+    }
+    return "unknown";
+}
+
+} // namespace ccache::serve

@@ -26,12 +26,24 @@ namespace ccache::serve {
 using RequestId = std::uint64_t;
 using TenantId = unsigned;
 
-/** Why admission control refused a request. */
+/**
+ * Why the serving layer refused (or gave up on) a request. The first
+ * three fire at queue admission; the rest come from the reliability
+ * pipeline (DESIGN.md §12) and the operand allocator.
+ */
 enum class RejectReason {
     QueueFull,        ///< global queue capacity reached (backpressure)
     TenantQueueFull,  ///< the tenant's pending cap reached (QoS isolation)
     Malformed,        ///< instruction failed ISA validation
+    DeadlineExpired,  ///< admission deadline passed before dispatch
+    BreakerOpen,      ///< shard circuit breaker open (brownout shed)
+    ShardDown,        ///< no live shard available for placement
+    NoCapacity,       ///< operand heap exhausted at request build
+    RetriesExhausted, ///< every retry attempt failed
 };
+
+/** Number of RejectReason values (dense-array sizing). */
+inline constexpr std::size_t kNumRejectReasons = 8;
 
 const char *toString(RejectReason reason);
 

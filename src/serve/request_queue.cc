@@ -4,10 +4,6 @@
 
 namespace ccache::serve {
 
-namespace {
-constexpr std::size_t kNumReasons = 3;
-} // namespace
-
 const char *
 toString(RejectReason reason)
 {
@@ -15,6 +11,11 @@ toString(RejectReason reason)
       case RejectReason::QueueFull: return "queue_full";
       case RejectReason::TenantQueueFull: return "tenant_queue_full";
       case RejectReason::Malformed: return "malformed";
+      case RejectReason::DeadlineExpired: return "deadline_expired";
+      case RejectReason::BreakerOpen: return "breaker_open";
+      case RejectReason::ShardDown: return "shard_down";
+      case RejectReason::NoCapacity: return "no_capacity";
+      case RejectReason::RetriesExhausted: return "retries_exhausted";
     }
     return "unknown";
 }
@@ -23,17 +24,13 @@ RequestQueue::RequestQueue(const QueueParams &params,
                            const std::vector<TenantQos> &tenants,
                            StatGroup stats)
     : params_(params), qos_(tenants), pending_(tenants.size()),
-      rejectCounts_(tenants.size(),
-                    std::vector<std::uint64_t>(kNumReasons, 0)),
-      stats_(stats)
+      shed_(tenants, stats, params.maxRejectSamples)
 {
     CC_ASSERT(!tenants.empty(), "request queue needs at least one tenant");
     for (const TenantQos &t : tenants) {
-        StatGroup g = stats_.group(t.name);
+        StatGroup g = stats.group(t.name);
         admittedCtr_.push_back(
             &g.counter("admitted", "requests accepted into the queue"));
-        rejectedCtr_.push_back(
-            &g.counter("rejected", "requests refused at admission"));
     }
 }
 
@@ -57,13 +54,7 @@ RequestQueue::offer(const Request &req, Cycles now)
         reason = RejectReason::TenantQueueFull;
 
     if (reason) {
-        ++rejectedTotal_;
-        ++rejectCounts_[req.tenant][static_cast<std::size_t>(*reason)];
-        rejectedCtr_[req.tenant]->inc();
-        stats_.counter(std::string("rejected.") + toString(*reason)).inc();
-        if (rejectSamples_.size() < params_.maxRejectSamples)
-            rejectSamples_.push_back(
-                {req.id, req.tenant, *reason, req.arrival});
+        shed_.record(req.id, req.tenant, *reason, req.arrival);
         return reason;
     }
 
@@ -102,37 +93,38 @@ RequestQueue::oldest(Cycles *arrival, TenantId *tenant) const
     return found;
 }
 
-Json
-RequestQueue::rejectionsJson() const
+std::vector<Request>
+RequestQueue::pruneIf(const std::function<bool(const Request &)> &pred)
 {
-    Json doc = Json::object();
-    doc["total"] = rejectedTotal_;
-    Json by_tenant = Json::object();
-    for (std::size_t t = 0; t < rejectCounts_.size(); ++t) {
-        Json reasons = Json::object();
-        bool any = false;
-        for (std::size_t r = 0; r < kNumReasons; ++r) {
-            if (rejectCounts_[t][r] == 0)
-                continue;
-            reasons[toString(static_cast<RejectReason>(r))] =
-                rejectCounts_[t][r];
-            any = true;
+    std::vector<Request> removed;
+    for (std::deque<Request> &fifo : pending_) {
+        for (auto it = fifo.begin(); it != fifo.end();) {
+            if (pred(*it)) {
+                removed.push_back(std::move(*it));
+                it = fifo.erase(it);
+                --size_;
+            } else {
+                ++it;
+            }
         }
-        if (any)
-            by_tenant[qos_[t].name] = std::move(reasons);
     }
-    doc["by_tenant"] = std::move(by_tenant);
-    Json samples = Json::array();
-    for (const RejectSample &s : rejectSamples_) {
-        Json e = Json::object();
-        e["id"] = s.id;
-        e["tenant"] = qos_[s.tenant].name;
-        e["reason"] = toString(s.reason);
-        e["arrival"] = s.arrival;
-        samples.push(std::move(e));
+    return removed;
+}
+
+std::optional<Request>
+RequestQueue::removeById(RequestId id)
+{
+    for (std::deque<Request> &fifo : pending_) {
+        for (auto it = fifo.begin(); it != fifo.end(); ++it) {
+            if (it->id == id) {
+                Request req = std::move(*it);
+                fifo.erase(it);
+                --size_;
+                return req;
+            }
+        }
     }
-    doc["samples"] = std::move(samples);
-    return doc;
+    return std::nullopt;
 }
 
 } // namespace ccache::serve

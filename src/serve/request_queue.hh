@@ -6,21 +6,26 @@
  * One FIFO per tenant under a global capacity bound. offer() is the
  * single admission point: it enforces the global bound (backpressure
  * toward the client) and the per-tenant pending cap (isolation between
- * tenants), and records every rejection as a structured entry — stats
- * counters per (tenant, reason) plus a bounded sample list exported as
- * JSON — so shed load is first-class output, never a silent drop.
+ * tenants), and records every rejection in the embedded ShedLog —
+ * per-(tenant, reason) stats counters plus a bounded sample list
+ * exported as JSON — so shed load is first-class output, never a
+ * silent drop. The reliability pipeline (DESIGN.md §12) records its
+ * own sheds (deadlines, breaker brownout, heap exhaustion) through
+ * recordShed() so one structured report covers the whole queue.
  */
 
 #ifndef CCACHE_SERVE_REQUEST_QUEUE_HH
 #define CCACHE_SERVE_REQUEST_QUEUE_HH
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "common/json.hh"
 #include "common/stats.hh"
 #include "serve/request.hh"
+#include "serve/shed_log.hh"
 
 namespace ccache::serve {
 
@@ -65,17 +70,39 @@ class RequestQueue
      *  (and that tenant's id via @p tenant); false when empty. */
     bool oldest(Cycles *arrival, TenantId *tenant) const;
 
-    /** Total rejections so far (all tenants, all reasons). */
-    std::uint64_t rejected() const { return rejectedTotal_; }
-
     /**
-     * Structured shed-load report:
-     *
-     *     { "total": N,
-     *       "by_tenant": { "<tenant>": { "<reason>": count, ... } },
-     *       "samples": [ { "id", "tenant", "reason", "arrival" }, ... ] }
+     * Remove and return every pending request matching @p pred, walking
+     * tenants in index order and each FIFO front-to-back (deterministic
+     * order). The caller owns the removed requests' buffers; removal
+     * records nothing — pair with recordShed() when the removal is a
+     * shed (deadline expiry) rather than a transfer (hedge cancel).
      */
-    Json rejectionsJson() const;
+    std::vector<Request> pruneIf(
+        const std::function<bool(const Request &)> &pred);
+
+    /** Remove the pending request with id @p id, if present; the
+     *  removed request is returned for buffer recycling. */
+    std::optional<Request> removeById(RequestId id);
+
+    /** Record a shed that happened outside offer() — deadline expiry,
+     *  breaker brownout, heap exhaustion, retry exhaustion. */
+    void recordShed(RequestId id, TenantId tenant, RejectReason reason,
+                    Cycles arrival)
+    {
+        shed_.record(id, tenant, reason, arrival);
+    }
+
+    /** Total recorded sheds (admission + external, all reasons). */
+    std::uint64_t rejected() const { return shed_.total(); }
+
+    /** Sheds of @p tenant for @p reason (ShedLog::count). */
+    std::uint64_t rejectedFor(TenantId tenant, RejectReason reason) const
+    {
+        return shed_.count(tenant, reason);
+    }
+
+    /** Structured shed-load report (ShedLog::toJson). */
+    Json rejectionsJson() const { return shed_.toJson(); }
 
   private:
     QueueParams params_;
@@ -83,22 +110,8 @@ class RequestQueue
     std::vector<std::deque<Request>> pending_;
     std::size_t size_ = 0;
 
-    struct RejectSample
-    {
-        RequestId id;
-        TenantId tenant;
-        RejectReason reason;
-        Cycles arrival;
-    };
-
-    std::uint64_t rejectedTotal_ = 0;
-    /** [tenant][reason] -> count (dense; reasons are a small enum). */
-    std::vector<std::vector<std::uint64_t>> rejectCounts_;
-    std::vector<RejectSample> rejectSamples_;
-
-    StatGroup stats_;
+    ShedLog shed_;
     std::vector<StatCounter *> admittedCtr_;
-    std::vector<StatCounter *> rejectedCtr_;
 };
 
 } // namespace ccache::serve

@@ -66,145 +66,37 @@ CcServer::CcServer(sim::System &sys, const ServerParams &params)
     }
 }
 
-Request
-CcServer::buildRequest(const workload::RequestSpec &spec, RequestId id)
-{
-    Request req;
-    req.id = id;
-    req.tenant = spec.tenant;
-    req.arrival = spec.arrival;
-    req.bytes = spec.bytes;
-    req.scattered = spec.scattered;
-
-    const geometry::GroupId group =
-        static_cast<geometry::GroupId>(id % params_.allocGroups);
-
-    auto alloc_local = [&](std::size_t n) {
-        Addr a = alloc_->allocate(n, group);
-        req.buffers.emplace_back(a, n);
-        return a;
-    };
-    // Scattered operand: same size, page offset guaranteed to differ
-    // from the request's locality group, so the controller's operand-
-    // locality check fails and the op degrades to the near-place unit.
-    auto alloc_scattered = [&](std::size_t n) {
-        Addr group_off = alloc_->groupOffset(group);
-        Addr a = alloc_->allocate(n + kBlockSize);
-        req.buffers.emplace_back(a, n + kBlockSize);
-        return (a & (kPageSize - 1)) == group_off ? a + kBlockSize : a;
-    };
-    auto alloc_second = [&](std::size_t n) {
-        return spec.scattered ? alloc_scattered(n) : alloc_local(n);
-    };
-
-    // CC-R ops (cmp/search) are limited to 512 B so the result fits a
-    // 64-bit register; everything else takes a full 16 KB ISA vector.
-    const std::size_t n = spec.bytes;
-    const std::size_t chunk_limit =
-        cc::isCcR(spec.op) ? cc::kMaxCmpBytes : cc::kMaxVectorBytes;
-
-    Addr src1 = 0, src2 = 0, dest = 0;
-    switch (spec.op) {
-      case cc::CcOpcode::Buz:
-        src1 = alloc_local(n);
-        break;
-      case cc::CcOpcode::Copy:
-      case cc::CcOpcode::Not:
-        src1 = alloc_local(n);
-        dest = alloc_second(n);
-        break;
-      case cc::CcOpcode::Cmp:
-        src1 = alloc_local(n);
-        src2 = alloc_second(n);
-        break;
-      case cc::CcOpcode::Search:
-        src1 = alloc_local(n);
-        src2 = alloc_second(cc::kSearchKeyBytes);   // 64-byte key
-        break;
-      default:   // And / Or / Xor
-        src1 = alloc_local(n);
-        src2 = alloc_second(n);
-        dest = alloc_local(n);
-        break;
-    }
-
-    if (params_.warmL3) {
-        for (const auto &[addr, len] : req.buffers)
-            sys_.warm(CacheLevel::L3, 0, addr, len);
-    }
-
-    // Chunk to the ISA limits; the first chunk is the head instruction,
-    // the rest ride in req.chunks and batch into the wave as extra
-    // instruction slots.
-    std::vector<cc::CcInstruction> instrs;
-    for (std::size_t off = 0; off < n; off += chunk_limit) {
-        std::size_t len = std::min(chunk_limit, n - off);
-        switch (spec.op) {
-          case cc::CcOpcode::Buz:
-            instrs.push_back(cc::CcInstruction::buz(src1 + off, len));
-            break;
-          case cc::CcOpcode::Copy:
-            instrs.push_back(
-                cc::CcInstruction::copy(src1 + off, dest + off, len));
-            break;
-          case cc::CcOpcode::Not:
-            instrs.push_back(
-                cc::CcInstruction::logicalNot(src1 + off, dest + off, len));
-            break;
-          case cc::CcOpcode::Cmp:
-            instrs.push_back(
-                cc::CcInstruction::cmp(src1 + off, src2 + off, len));
-            break;
-          case cc::CcOpcode::Search:
-            instrs.push_back(
-                cc::CcInstruction::search(src1 + off, src2, len));
-            break;
-          case cc::CcOpcode::And:
-            instrs.push_back(cc::CcInstruction::logicalAnd(
-                src1 + off, src2 + off, dest + off, len));
-            break;
-          case cc::CcOpcode::Or:
-            instrs.push_back(cc::CcInstruction::logicalOr(
-                src1 + off, src2 + off, dest + off, len));
-            break;
-          case cc::CcOpcode::Xor:
-            instrs.push_back(cc::CcInstruction::logicalXor(
-                src1 + off, src2 + off, dest + off, len));
-            break;
-          default:
-            CC_FATAL("unsupported serve opcode ",
-                     cc::toString(spec.op));
-        }
-    }
-    CC_ASSERT(!instrs.empty(), "request built no instructions");
-    req.instr = instrs.front();
-    req.chunks.assign(instrs.begin() + 1, instrs.end());
-    return req;
-}
-
-void
-CcServer::recycle(const Request &req)
-{
-    for (const auto &[addr, len] : req.buffers)
-        alloc_->free(addr, len);
-}
-
 ServeReport
 CcServer::run(const std::vector<workload::RequestSpec> &specs)
 {
     ServeReport report;
     report.offered = specs.size();
 
+    RequestBuildParams build;
+    build.warmL3 = params_.warmL3;
+    build.allocGroups = params_.allocGroups;
+
     std::size_t next = 0;
     Cycles now = 0;
     while (true) {
         // Admit every arrival up to the current time, in arrival order.
         while (next < specs.size() && specs[next].arrival <= now) {
-            Request req = buildRequest(specs[next], nextId_++);
+            const workload::RequestSpec &spec = specs[next];
+            RequestId id = nextId_++;
             ++next;
-            if (auto reason = queue_->offer(req, now)) {
+            RejectReason why = RejectReason::NoCapacity;
+            std::optional<Request> req =
+                buildRequest(sys_, *alloc_, build, spec, id, &why);
+            if (!req) {
+                // Operand heap exhausted: a structured shed, not a
+                // panic (the heap recovers as in-flight waves recycle).
+                queue_->recordShed(id, spec.tenant, why, spec.arrival);
+                ++report.rejected;
+                continue;
+            }
+            if (auto reason = queue_->offer(*req, now)) {
                 (void)reason;   // counted inside the queue
-                recycle(req);
+                recycleRequest(*alloc_, *req);
                 ++report.rejected;
             } else {
                 ++report.admitted;
@@ -230,7 +122,7 @@ CcServer::run(const std::vector<workload::RequestSpec> &specs)
             ts.queueCycles->sample(queue_wait);
             ts.serviceCycles->sample(service);
             ts.sojournCycles->sample(queue_wait + service);
-            recycle(req);
+            recycleRequest(*alloc_, req);
             ++report.served;
         }
         now += wave.makespan;

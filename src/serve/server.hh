@@ -27,6 +27,7 @@
 
 #include "geometry/locality_allocator.hh"
 #include "serve/batch_scheduler.hh"
+#include "serve/request_builder.hh"
 #include "serve/request_queue.hh"
 #include "sim/system.hh"
 #include "workload/traffic_gen.hh"
@@ -101,13 +102,6 @@ class CcServer
     geometry::LocalityAllocator &allocator() { return *alloc_; }
 
   private:
-    /** Place one spec: allocate + (optionally) warm operand buffers,
-     *  build the chunked instruction list. */
-    Request buildRequest(const workload::RequestSpec &spec, RequestId id);
-
-    /** Return a request's buffers to the allocator. */
-    void recycle(const Request &req);
-
     sim::System &sys_;
     ServerParams params_;
     std::unique_ptr<geometry::LocalityAllocator> alloc_;

@@ -1,0 +1,701 @@
+#include "serve/shard_router.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ccache::serve {
+
+namespace {
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+} // namespace
+
+Json
+FleetReport::toJson() const
+{
+    Json doc = Json::object();
+    doc["offered"] = offered;
+    doc["served"] = served;
+    doc["shed"] = shed;
+    doc["availability"] = availability;
+    doc["retries"] = retries;
+    doc["reroutes"] = reroutes;
+    doc["hedges_launched"] = hedgesLaunched;
+    doc["hedge_wins"] = hedgeWins;
+    doc["hedge_cancelled"] = hedgeCancelled;
+    doc["hedge_wasted"] = hedgeWasted;
+    doc["breaker_trips"] = breakerTrips;
+    doc["golden_checked"] = goldenChecked;
+    doc["golden_mismatch"] = goldenMismatch;
+    doc["elapsed_cycles"] = elapsed;
+
+    Json sh = Json::array();
+    for (const ShardSummary &s : shards) {
+        Json e = Json::object();
+        e["index"] = s.index;
+        e["served"] = s.served;
+        e["failed"] = s.failed;
+        e["waves"] = s.waves;
+        e["down_cycles"] = s.downCycles;
+        e["breaker_trips"] = s.breakerTrips;
+        e["p50_service_cycles"] = s.p50ServiceCycles;
+        e["p99_service_cycles"] = s.p99ServiceCycles;
+        sh.push(std::move(e));
+    }
+    doc["shards"] = std::move(sh);
+
+    Json tens = Json::object();
+    for (const TenantSummary &t : tenants) {
+        Json e = Json::object();
+        e["served"] = t.served;
+        e["shed"] = t.shed;
+        e["p50_sojourn_cycles"] = t.p50SojournCycles;
+        e["p99_sojourn_cycles"] = t.p99SojournCycles;
+        e["p999_sojourn_cycles"] = t.p999SojournCycles;
+        tens[t.name] = std::move(e);
+    }
+    doc["tenants"] = std::move(tens);
+    doc["rejections"] = rejections;
+    doc["chaos"] = chaos;
+    return doc;
+}
+
+ShardRouter::ShardRouter(const sim::SystemConfig &sys_config,
+                         const ServerParams &serve_params,
+                         const RouterParams &router_params)
+    : serve_(serve_params), params_(router_params),
+      backoff_(router_params.retry)
+{
+    CC_ASSERT(params_.shards >= 1, "router needs at least one shard");
+    CC_ASSERT(params_.vnodesPerShard >= 1, "ring needs vnodes");
+    CC_ASSERT(!serve_.tenants.empty(), "router needs at least one tenant");
+    std::set<std::string> names;
+    for (const TenantQos &t : serve_.tenants)
+        CC_ASSERT(names.insert(t.name).second,
+                  "tenant names must be unique: ", t.name);
+
+    StatGroup fleet = fleetStats_.group("fleet");
+    fleetShed_ = std::make_unique<ShedLog>(serve_.tenants,
+                                           fleet.group("sheds"));
+    fleetSojourn_ = &fleet.logHistogram(
+        "sojourn_cycles", "offered arrival -> commit, fleet-wide");
+    for (const TenantQos &t : serve_.tenants) {
+        StatGroup g = fleet.group(t.name);
+        tenantServed_.push_back(&g.counter("served", "commits"));
+        tenantSojourn_.push_back(&g.logHistogram(
+            "sojourn_cycles", "offered arrival -> commit"));
+    }
+
+    for (unsigned s = 0; s < params_.shards; ++s) {
+        Shard sh;
+        sh.sys = std::make_unique<sim::System>(sys_config);
+        sh.alloc = std::make_unique<geometry::LocalityAllocator>(
+            serve_.heapBase, serve_.heapBytes);
+        StatGroup g = sh.sys->stats().group("serve");
+        sh.queue = std::make_unique<RequestQueue>(serve_.queue,
+                                                  serve_.tenants, g);
+        sh.sched = std::make_unique<BatchScheduler>(
+            *sh.sys, *sh.queue, serve_.tenants, serve_.sched, g);
+        sh.breaker = CircuitBreaker(params_.breaker);
+        sh.baseFaults = sh.sys->cc().mutableFaultInjector().params();
+
+        StatGroup sg = fleetStats_.group("shard." + std::to_string(s));
+        sh.servedCtr = &sg.counter("served", "requests committed here");
+        sh.failedCtr = &sg.counter("failed",
+                                   "requests failed here (crash/timeout)");
+        sh.wavesCtr = &sg.counter("waves", "waves dispatched");
+        sh.downCyclesCtr = &sg.counter("down_cycles",
+                                       "simulated cycles spent crashed");
+        sh.serviceHist = &sg.logHistogram("service_cycles",
+                                          "per-request service latency");
+        shards_.push_back(std::move(sh));
+    }
+
+    // Consistent-hash ring: vnodesPerShard points per shard, sorted.
+    for (unsigned s = 0; s < params_.shards; ++s) {
+        for (unsigned v = 0; v < params_.vnodesPerShard; ++v) {
+            std::uint64_t point = mix64(
+                mix64(params_.ringSeed ^ (s + 1)) ^
+                (0x9e3779b97f4a7c15ULL * (v + 1)));
+            ring_.emplace_back(point, s);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+
+    // Per-tenant failover order: distinct shards met on the clockwise
+    // successor walk from the tenant's hash point (home first).
+    for (const TenantQos &t : serve_.tenants) {
+        std::uint64_t key = deriveSeed(params_.ringSeed, t.name);
+        auto it = std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(key, 0u),
+            [](const auto &a, const auto &b) { return a.first < b.first; });
+        std::vector<unsigned> order;
+        std::vector<bool> seen(params_.shards, false);
+        for (std::size_t i = 0;
+             i < ring_.size() && order.size() < params_.shards; ++i) {
+            if (it == ring_.end())
+                it = ring_.begin();
+            if (!seen[it->second]) {
+                seen[it->second] = true;
+                order.push_back(it->second);
+            }
+            ++it;
+        }
+        order_.push_back(std::move(order));
+    }
+}
+
+ShardRouter::~ShardRouter() = default;
+
+bool
+ShardRouter::hiQos(TenantId t) const
+{
+    return serve_.tenants[t].weight >= params_.brownoutWeightFloor;
+}
+
+void
+ShardRouter::note(Cycles now, const std::string &what)
+{
+    if (params_.recordEvents)
+        events_.push_back("t=" + std::to_string(now) + " " + what);
+}
+
+std::optional<unsigned>
+ShardRouter::routeShard(TenantId t, Cycles now, int avoid,
+                        RejectReason *why) const
+{
+    const std::vector<unsigned> &ord = order_[t];
+    // Brownout policy: low-QoS tenants only ever use their home shard;
+    // when it is dark they shed, so rerouted capacity goes to high-QoS
+    // tenants first.
+    const std::size_t span = hiQos(t) ? ord.size() : 1;
+    bool saw_breaker = false;
+    for (std::size_t i = 0; i < span; ++i) {
+        unsigned s = ord[i];
+        if (static_cast<int>(s) == avoid)
+            continue;
+        const Shard &sh = shards_[s];
+        if (!sh.up)
+            continue;
+        if (!sh.breaker.allowDispatch(now)) {
+            saw_breaker = true;
+            continue;
+        }
+        return s;
+    }
+    if (why) {
+        *why = saw_breaker ? RejectReason::BreakerOpen
+                           : RejectReason::ShardDown;
+    }
+    return std::nullopt;
+}
+
+bool
+ShardRouter::placeCopy(Track &tr, unsigned s, Cycles now, bool hedge)
+{
+    Shard &sh = shards_[s];
+    if (!hedge) {
+        ++tr.attempts;
+        tr.primaryShard = s;
+    }
+
+    RequestBuildParams build;
+    build.warmL3 = serve_.warmL3;
+    build.allocGroups = serve_.allocGroups;
+    build.fillPattern = params_.verifyGolden;
+    build.patternSeed = params_.patternSeed;
+
+    RejectReason why = RejectReason::NoCapacity;
+    std::optional<Request> req =
+        buildRequest(*sh.sys, *sh.alloc, build, tr.spec, tr.id, &why);
+    if (!req) {
+        if (!hedge)
+            failCopy(tr, now, static_cast<int>(s), why);
+        return false;
+    }
+    if (std::optional<RejectReason> reason = sh.queue->offer(*req, now)) {
+        recycleRequest(*sh.alloc, *req);
+        if (!hedge)
+            failCopy(tr, now, static_cast<int>(s), *reason);
+        return false;
+    }
+    ++tr.inFlight;
+    return true;
+}
+
+void
+ShardRouter::failCopy(Track &tr, Cycles now, int shard, RejectReason reason)
+{
+    if (tr.done)
+        return;
+    if (tr.inFlight > 0)
+        return;   // a sibling copy is still alive; let it decide
+    if (tr.attempts >= params_.retry.maxAttempts) {
+        shedTrack(tr, now, reason == RejectReason::DeadlineExpired
+                               ? reason
+                               : RejectReason::RetriesExhausted);
+        return;
+    }
+    Cycles delay = backoff_.delay(tr.id, tr.attempts);
+    retries_.push(Timer{now + delay, tr.id, shard});
+    ++report_.retries;
+    note(now, "retry id=" + std::to_string(tr.id) + " attempt=" +
+                  std::to_string(tr.attempts) + " after=" +
+                  std::to_string(delay) + " avoid=" +
+                  std::to_string(shard));
+}
+
+void
+ShardRouter::shedTrack(Track &tr, Cycles now, RejectReason reason)
+{
+    if (tr.done)
+        return;
+    tr.done = true;
+    ++report_.shed;
+    fleetShed_->record(tr.id, tr.spec.tenant, reason, tr.spec.arrival);
+    note(now, "shed id=" + std::to_string(tr.id) + " reason=" +
+                  toString(reason));
+}
+
+void
+ShardRouter::commitCopy(Track &tr, unsigned s, const Request &req,
+                        const cc::CcExecResult &result, Cycles now)
+{
+    Shard &sh = shards_[s];
+    if (params_.verifyGolden) {
+        ++report_.goldenChecked;
+        if (!goldenVerifyRequest(*sh.sys, req, result.result)) {
+            ++report_.goldenMismatch;
+            note(now, "GOLDEN MISMATCH id=" + std::to_string(tr.id));
+        }
+    }
+    recycleRequest(*sh.alloc, req);
+
+    tr.done = true;
+    ++report_.served;
+    sh.servedCtr->inc();
+    sh.serviceHist->sample(result.latency);
+    Cycles sojourn = now > tr.spec.arrival ? now - tr.spec.arrival : 0;
+    fleetSojourn_->sample(sojourn);
+    tenantServed_[tr.spec.tenant]->inc();
+    tenantSojourn_[tr.spec.tenant]->sample(sojourn);
+    if (tr.hedged && s != tr.primaryShard)
+        ++report_.hedgeWins;
+    note(now, "commit id=" + std::to_string(tr.id) + " shard=" +
+                  std::to_string(s));
+
+    // First commit wins: cancel any still-queued sibling copy. An
+    // executing sibling is discarded (hedge_wasted) at its completion.
+    if (tr.inFlight > 0) {
+        for (unsigned o = 0; o < shards_.size(); ++o) {
+            if (std::optional<Request> twin =
+                    shards_[o].queue->removeById(tr.id)) {
+                recycleRequest(*shards_[o].alloc, *twin);
+                --tr.inFlight;
+                ++report_.hedgeCancelled;
+            }
+        }
+    }
+}
+
+void
+ShardRouter::refreshFaultParams(Shard &shard)
+{
+    fault::FaultParams p = shard.baseFaults;
+    for (const ChaosEvent *ev : shard.storms) {
+        p.enabled = true;
+        if (ev->kind == ChaosKind::Slow) {
+            p.marginFailPerDualRowOp = std::min(
+                0.5, std::max(p.marginFailPerDualRowOp,
+                              params_.slowMarginFailBase * ev->magnitude));
+        } else {   // Partial: stuck-at defects under part of the shard
+            p.stuckAtPerBlock = std::min(
+                0.25, std::max(p.stuckAtPerBlock,
+                               params_.partialStuckAtBase * ev->magnitude));
+        }
+    }
+    shard.sys->cc().mutableFaultInjector().setParams(p);
+}
+
+void
+ShardRouter::crashFlush(unsigned s, Cycles now)
+{
+    Shard &sh = shards_[s];
+    // The in-flight wave dies with the shard: its (eagerly computed)
+    // results are discarded and every request fails over.
+    if (sh.busy) {
+        sh.busy = false;
+        for (const Request &req : sh.wave.requests) {
+            Track &tr = tracks_.at(req.id);
+            --tr.inFlight;
+            recycleRequest(*sh.alloc, req);
+            sh.failedCtr->inc();
+            failCopy(tr, now, static_cast<int>(s), RejectReason::ShardDown);
+        }
+        sh.wave = BatchScheduler::Wave{};
+    }
+    std::vector<Request> queued =
+        sh.queue->pruneIf([](const Request &) { return true; });
+    for (const Request &req : queued) {
+        Track &tr = tracks_.at(req.id);
+        --tr.inFlight;
+        recycleRequest(*sh.alloc, req);
+        sh.failedCtr->inc();
+        failCopy(tr, now, static_cast<int>(s), RejectReason::ShardDown);
+    }
+}
+
+void
+ShardRouter::applyChaosStart(const ChaosEvent &ev, Cycles now)
+{
+    Shard &sh = shards_[ev.shard];
+    note(now, std::string("chaos ") + toString(ev.kind) + " start shard=" +
+                  std::to_string(ev.shard));
+    if (ev.kind == ChaosKind::Crash) {
+        bool was_up = sh.up;
+        sh.up = false;
+        if (was_up) {
+            sh.downSince = now;
+            sh.breaker.trip(now);
+            crashFlush(ev.shard, now);
+        }
+    } else {
+        sh.storms.push_back(&ev);
+        refreshFaultParams(sh);
+    }
+}
+
+void
+ShardRouter::applyChaosEnd(const ChaosEvent &ev, Cycles now)
+{
+    Shard &sh = shards_[ev.shard];
+    note(now, std::string("chaos ") + toString(ev.kind) + " end shard=" +
+                  std::to_string(ev.shard));
+    if (ev.kind == ChaosKind::Crash) {
+        if (!sh.up) {
+            sh.up = true;
+            sh.downCyclesCtr->inc(now - sh.downSince);
+        }
+    } else {
+        sh.storms.erase(
+            std::remove(sh.storms.begin(), sh.storms.end(), &ev),
+            sh.storms.end());
+        refreshFaultParams(sh);
+    }
+}
+
+void
+ShardRouter::pruneDeadlines(unsigned s, Cycles now)
+{
+    if (params_.admissionDeadline == 0)
+        return;
+    Shard &sh = shards_[s];
+    std::vector<Request> expired = sh.queue->pruneIf(
+        [&](const Request &r) {
+            return now > r.arrival &&
+                   now - r.arrival > params_.admissionDeadline;
+        });
+    for (const Request &req : expired) {
+        recycleRequest(*sh.alloc, req);
+        Track &tr = tracks_.at(req.id);
+        --tr.inFlight;
+        if (tr.done) {
+            ++report_.hedgeCancelled;   // stale twin aged out
+            continue;
+        }
+        // Deadlines are terminal: a rebuilt copy would carry the same
+        // offered arrival and expire again. A live sibling copy may
+        // still commit the track.
+        if (tr.inFlight == 0) {
+            sh.queue->recordShed(req.id, req.tenant,
+                                 RejectReason::DeadlineExpired, req.arrival);
+            shedTrack(tr, now, RejectReason::DeadlineExpired);
+        }
+    }
+}
+
+bool
+ShardRouter::dispatchShard(unsigned s, Cycles now)
+{
+    Shard &sh = shards_[s];
+    if (!sh.up || sh.busy)
+        return false;
+    if (!sh.breaker.allowDispatch(now))
+        return false;
+    pruneDeadlines(s, now);
+    if (sh.queue->empty())
+        return false;
+    sh.wave = sh.sched->dispatch(now);
+    if (sh.wave.requests.empty())
+        return false;
+    sh.busy = true;
+    sh.busyUntil = now + std::max<Cycles>(1, sh.wave.makespan);
+    sh.wavesCtr->inc();
+    note(now, "dispatch shard=" + std::to_string(s) + " requests=" +
+                  std::to_string(sh.wave.requests.size()) + " until=" +
+                  std::to_string(sh.busyUntil));
+    return true;
+}
+
+void
+ShardRouter::completeWave(unsigned s, Cycles now)
+{
+    Shard &sh = shards_[s];
+    sh.busy = false;
+    BatchScheduler::Wave wave = std::move(sh.wave);
+    sh.wave = BatchScheduler::Wave{};
+    sh.sys->advance(0, wave.makespan);
+
+    for (std::size_t i = 0; i < wave.requests.size(); ++i) {
+        const Request &req = wave.requests[i];
+        const cc::CcExecResult &res = wave.results[i];
+        Track &tr = tracks_.at(req.id);
+        --tr.inFlight;
+
+        bool timed_out = params_.shardTimeout != 0 &&
+                         res.latency > params_.shardTimeout;
+        if (timed_out) {
+            sh.breaker.onFailure(now);
+            sh.failedCtr->inc();
+            recycleRequest(*sh.alloc, req);
+            note(now, "timeout id=" + std::to_string(req.id) + " shard=" +
+                          std::to_string(s) + " latency=" +
+                          std::to_string(res.latency));
+            failCopy(tr, now, static_cast<int>(s),
+                     RejectReason::RetriesExhausted);
+            continue;
+        }
+
+        sh.breaker.onSuccess(now);
+        if (tr.done) {
+            // The sibling copy already committed (or the track shed
+            // while this copy was executing): discard this result.
+            ++report_.hedgeWasted;
+            recycleRequest(*sh.alloc, req);
+            continue;
+        }
+        commitCopy(tr, s, req, res, now);
+    }
+}
+
+FleetReport
+ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
+                 const ChaosSchedule &chaos)
+{
+    CC_ASSERT(!ran_, "one run per ShardRouter instance");
+    ran_ = true;
+    for (const workload::RequestSpec &spec : specs) {
+        CC_ASSERT(spec.tenant < serve_.tenants.size(),
+                  "request names tenant ", spec.tenant,
+                  " but only ", serve_.tenants.size(),
+                  " tenants are configured");
+    }
+    report_.offered = specs.size();
+    report_.chaos = chaos.toJson();
+
+    // Merge the schedule into a boundary timeline; at equal times ends
+    // apply before starts (a shard recovering exactly when another
+    // window opens is recovered first), ties break by (shard, kind).
+    struct Boundary
+    {
+        Cycles at;
+        int phase;   ///< 0 = end, 1 = start
+        const ChaosEvent *ev;
+    };
+    std::vector<Boundary> bounds;
+    for (const ChaosEvent &ev : chaos.events) {
+        bounds.push_back(Boundary{ev.start, 1, &ev});
+        bounds.push_back(Boundary{ev.end(), 0, &ev});
+    }
+    std::sort(bounds.begin(), bounds.end(),
+              [](const Boundary &a, const Boundary &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.phase != b.phase)
+                      return a.phase < b.phase;
+                  if (a.ev->shard != b.ev->shard)
+                      return a.ev->shard < b.ev->shard;
+                  return static_cast<int>(a.ev->kind) <
+                         static_cast<int>(b.ev->kind);
+              });
+
+    std::size_t next_spec = 0;
+    std::size_t next_bound = 0;
+    Cycles now = 0;
+
+    while (true) {
+        // 1. Chaos boundaries due now.
+        while (next_bound < bounds.size() && bounds[next_bound].at <= now) {
+            const Boundary &b = bounds[next_bound++];
+            if (b.phase == 1)
+                applyChaosStart(*b.ev, now);
+            else
+                applyChaosEnd(*b.ev, now);
+        }
+
+        // 2. Wave completions, shard index order.
+        for (unsigned s = 0; s < shards_.size(); ++s) {
+            if (shards_[s].busy && shards_[s].busyUntil <= now)
+                completeWave(s, now);
+        }
+
+        // 3. Arrivals due now: route to the tenant's first live shard.
+        while (next_spec < specs.size() &&
+               specs[next_spec].arrival <= now) {
+            const workload::RequestSpec &spec = specs[next_spec++];
+            RequestId id = nextId_++;
+            Track &tr = tracks_
+                            .emplace(id, Track{spec, id, 0, 0, 0, false,
+                                               false})
+                            .first->second;
+            RejectReason why = RejectReason::ShardDown;
+            std::optional<unsigned> s =
+                routeShard(spec.tenant, now, -1, &why);
+            if (!s) {
+                // Brownout shed at the front door: no retry budget is
+                // spent on a request the policy refuses outright.
+                shedTrack(tr, now, why);
+                continue;
+            }
+            if (*s != order_[spec.tenant][0])
+                ++report_.reroutes;
+            if (placeCopy(tr, *s, now, false) && params_.hedgeAge != 0 &&
+                hiQos(spec.tenant)) {
+                hedges_.push(Timer{now + params_.hedgeAge, id, -1});
+            }
+        }
+
+        // 4. Retry timers due now.
+        while (!retries_.empty() && retries_.top().at <= now) {
+            Timer t = retries_.top();
+            retries_.pop();
+            Track &tr = tracks_.at(t.id);
+            if (tr.done)
+                continue;
+            RejectReason why = RejectReason::ShardDown;
+            std::optional<unsigned> s =
+                routeShard(tr.spec.tenant, now, t.avoidShard, &why);
+            if (!s)   // nowhere else: the avoided shard may have healed
+                s = routeShard(tr.spec.tenant, now, -1, &why);
+            if (!s) {
+                ++tr.attempts;   // a consumed (failed) attempt
+                failCopy(tr, now, -1, why);
+                continue;
+            }
+            if (*s != order_[tr.spec.tenant][0])
+                ++report_.reroutes;
+            placeCopy(tr, *s, now, false);
+        }
+
+        // 5. Hedge timers due now.
+        while (!hedges_.empty() && hedges_.top().at <= now) {
+            Timer t = hedges_.top();
+            hedges_.pop();
+            Track &tr = tracks_.at(t.id);
+            if (tr.done || tr.hedged || tr.inFlight == 0)
+                continue;
+            std::optional<unsigned> s = routeShard(
+                tr.spec.tenant, now,
+                static_cast<int>(tr.primaryShard), nullptr);
+            if (!s)
+                continue;   // no live sibling to hedge onto
+            tr.hedged = true;
+            if (placeCopy(tr, *s, now, true)) {
+                ++report_.hedgesLaunched;
+                note(now, "hedge id=" + std::to_string(t.id) +
+                              " twin_shard=" + std::to_string(*s));
+            } else {
+                tr.hedged = false;
+            }
+        }
+
+        // 6. Dispatch every idle live shard with pending work.
+        for (unsigned s = 0; s < shards_.size(); ++s)
+            dispatchShard(s, now);
+
+        // 7. Done when every offered request is committed or shed.
+        if (next_spec == specs.size() &&
+            report_.served + report_.shed == report_.offered) {
+            break;
+        }
+
+        // 8. Advance simulated time to the next pending event.
+        Cycles nxt = kNever;
+        if (next_spec < specs.size())
+            nxt = std::min(nxt, specs[next_spec].arrival);
+        if (next_bound < bounds.size())
+            nxt = std::min(nxt, bounds[next_bound].at);
+        for (const Shard &sh : shards_) {
+            if (sh.busy) {
+                nxt = std::min(nxt, sh.busyUntil);
+            } else if (sh.up && !sh.queue->empty() &&
+                       sh.breaker.state(now) ==
+                           CircuitBreaker::State::Open) {
+                nxt = std::min(nxt, sh.breaker.halfOpenAt());
+            }
+        }
+        if (!retries_.empty())
+            nxt = std::min(nxt, retries_.top().at);
+        if (!hedges_.empty())
+            nxt = std::min(nxt, hedges_.top().at);
+        CC_ASSERT(nxt != kNever, "router stalled with ",
+                  report_.offered - report_.served - report_.shed,
+                  " requests outstanding at cycle ", now);
+        CC_ASSERT(nxt > now, "router failed to advance time");
+        now = nxt;
+    }
+
+    // Finalize.
+    report_.availability = report_.offered
+        ? static_cast<double>(report_.served) /
+              static_cast<double>(report_.offered)
+        : 1.0;
+    report_.elapsed = now;
+
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        Shard &sh = shards_[s];
+        if (!sh.up)   // still dark at end of run
+            sh.downCyclesCtr->inc(now - sh.downSince);
+        FleetReport::ShardSummary sum;
+        sum.index = s;
+        sum.served = sh.servedCtr->value();
+        sum.failed = sh.failedCtr->value();
+        sum.waves = sh.wavesCtr->value();
+        sum.downCycles = sh.downCyclesCtr->value();
+        sum.breakerTrips = sh.breaker.trips();
+        sum.p50ServiceCycles = sh.serviceHist->quantile(0.50);
+        sum.p99ServiceCycles = sh.serviceHist->quantile(0.99);
+        report_.breakerTrips += sh.breaker.trips();
+        report_.shards.push_back(sum);
+    }
+
+    for (TenantId t = 0; t < serve_.tenants.size(); ++t) {
+        FleetReport::TenantSummary sum;
+        sum.name = serve_.tenants[t].name;
+        sum.served = tenantServed_[t]->value();
+        for (std::size_t r = 0; r < kNumRejectReasons; ++r)
+            sum.shed += fleetShed_->count(t, static_cast<RejectReason>(r));
+        sum.p50SojournCycles = tenantSojourn_[t]->quantile(0.50);
+        sum.p99SojournCycles = tenantSojourn_[t]->quantile(0.99);
+        sum.p999SojournCycles = tenantSojourn_[t]->quantile(0.999);
+        report_.tenants.push_back(std::move(sum));
+    }
+
+    Json rej = Json::object();
+    rej["fleet"] = fleetShed_->toJson();
+    Json per_shard = Json::array();
+    for (Shard &sh : shards_)
+        per_shard.push(sh.queue->rejectionsJson());
+    rej["shard_queues"] = std::move(per_shard);
+    report_.rejections = std::move(rej);
+
+    return report_;
+}
+
+} // namespace ccache::serve

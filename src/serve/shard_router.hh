@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Fault-tolerant sharded serving front end (DESIGN.md §12).
+ *
+ * The ShardRouter places tenants across N independent sim::System
+ * shards by consistent hashing (a vnode ring keyed by tenant name;
+ * each tenant's failover order is its clockwise successor walk) and
+ * runs every request through a reliability pipeline:
+ *
+ *  - admission deadline: a request that cannot be dispatched within
+ *    admissionDeadline cycles of its offered arrival is shed
+ *    (deadline_expired) instead of serving arbitrarily stale work;
+ *  - per-shard timeout: a request whose service latency exceeds
+ *    shardTimeout counts as a shard failure and re-dispatches;
+ *  - seeded retries: failed requests rebuild on the next live shard in
+ *    their failover order after a deterministic exponential backoff
+ *    with hash-derived jitter (BackoffPolicy — no RNG stream);
+ *  - hedging: a high-QoS request still incomplete hedgeAge cycles
+ *    after admission launches a twin on its sibling shard; the first
+ *    copy to commit wins and the loser is cancelled or discarded;
+ *  - circuit breaking + brownout: per-shard breakers trip on failure
+ *    streaks (or instantly on a crash). An open breaker browns the
+ *    shard out: high-QoS tenants (weight >= brownoutWeightFloor)
+ *    reroute along the ring, lower tenants shed (breaker_open) —
+ *    lowest QoS first, as structured shed records. Half-open probes
+ *    re-close the breaker after probeSuccesses clean requests.
+ *
+ * Failures are injected by a ChaosSchedule in simulated time (shard
+ * crash windows; margin-fail and stuck-at storms through each shard's
+ * FaultInjector::setParams). The event loop advances through a merged
+ * timeline of arrivals, chaos boundaries, wave completions, retry
+ * timers, hedge timers and breaker cooloffs in a fixed deterministic
+ * order, so a chaos run is byte-identical at any thread count (§8).
+ * Waves execute eagerly at dispatch (their makespan is known up
+ * front); a crash boundary inside a wave's window dooms the wave and
+ * fails its requests — chaos is wave-granular by construction.
+ *
+ * With verifyGolden set, every request's operands are filled with
+ * bytes derived from (patternSeed, id) — identical on every shard it
+ * lands on — and every commit is checked bit-for-bit against a
+ * host-side reference model (request_builder.hh), so "availability"
+ * counts only provably correct completions.
+ */
+
+#ifndef CCACHE_SERVE_SHARD_ROUTER_HH
+#define CCACHE_SERVE_SHARD_ROUTER_HH
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "serve/chaos.hh"
+#include "serve/reliability.hh"
+#include "serve/request_builder.hh"
+#include "serve/server.hh"
+
+namespace ccache::serve {
+
+/** Fleet-level knobs layered over the per-shard ServerParams. */
+struct RouterParams
+{
+    unsigned shards = 2;
+
+    /** Consistent-hash ring geometry. @{ */
+    unsigned vnodesPerShard = 16;
+    std::uint64_t ringSeed = 0x5eedULL;
+    /** @} */
+
+    /** Shed a request not dispatched within this many cycles of its
+     *  offered arrival (0 = no deadline). */
+    Cycles admissionDeadline = 60000;
+
+    /** Service latency above this counts as a shard failure and the
+     *  request re-dispatches (0 = no timeout). */
+    Cycles shardTimeout = 0;
+
+    RetryParams retry;
+    BreakerParams breaker;
+
+    /** Hedge a high-QoS request still incomplete this long after
+     *  admission (0 = hedging off). */
+    Cycles hedgeAge = 0;
+
+    /** Brownout split: tenants with weight >= this floor reroute (and
+     *  may hedge); lower tenants shed when their home shard is dark. */
+    unsigned brownoutWeightFloor = 2;
+
+    /** Golden verification: fill operands from patternSeed and check
+     *  every commit against the host-side reference model. @{ */
+    bool verifyGolden = false;
+    std::uint64_t patternSeed = 0x601dULL;
+    /** @} */
+
+    /** Chaos storm intensity: fault rates applied at magnitude 1 (the
+     *  event magnitude scales them, clamped to sane ceilings). @{ */
+    double slowMarginFailBase = 0.02;
+    double partialStuckAtBase = 0.004;
+    /** @} */
+
+    /** Keep a human-readable event log (determinism tests). */
+    bool recordEvents = false;
+};
+
+/** End-of-run fleet summary (also exported as JSON). */
+struct FleetReport
+{
+    std::uint64_t offered = 0;
+    std::uint64_t served = 0;
+    std::uint64_t shed = 0;
+
+    /** served / offered (every offered request is accounted one way
+     *  or the other, so this is completion availability). */
+    double availability = 0.0;
+
+    std::uint64_t retries = 0;
+    std::uint64_t reroutes = 0;
+    std::uint64_t hedgesLaunched = 0;
+    std::uint64_t hedgeWins = 0;
+    std::uint64_t hedgeCancelled = 0;
+    std::uint64_t hedgeWasted = 0;
+    std::uint64_t breakerTrips = 0;
+    std::uint64_t goldenChecked = 0;
+    std::uint64_t goldenMismatch = 0;
+    Cycles elapsed = 0;
+
+    struct ShardSummary
+    {
+        unsigned index = 0;
+        std::uint64_t served = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t waves = 0;
+        std::uint64_t downCycles = 0;
+        std::uint64_t breakerTrips = 0;
+        std::uint64_t p50ServiceCycles = 0;
+        std::uint64_t p99ServiceCycles = 0;
+    };
+    std::vector<ShardSummary> shards;
+
+    struct TenantSummary
+    {
+        std::string name;
+        std::uint64_t served = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t p50SojournCycles = 0;
+        std::uint64_t p99SojournCycles = 0;
+        std::uint64_t p999SojournCycles = 0;
+    };
+    std::vector<TenantSummary> tenants;
+
+    /** Structured shed records: router pipeline sheds plus each
+     *  shard's admission-queue log. */
+    Json rejections;
+
+    /** The chaos schedule the run was subjected to. */
+    Json chaos;
+
+    Json toJson() const;
+};
+
+class ShardRouter
+{
+  public:
+    ShardRouter(const sim::SystemConfig &sys_config,
+                const ServerParams &serve_params,
+                const RouterParams &router_params);
+    ~ShardRouter();
+
+    /** Replay @p specs (sorted by arrival) to completion under
+     *  @p chaos. One run per router instance. */
+    FleetReport run(const std::vector<workload::RequestSpec> &specs,
+                    const ChaosSchedule &chaos);
+
+    unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
+    sim::System &shardSystem(unsigned i) { return *shards_[i].sys; }
+
+    /** A tenant's ring failover order (home shard first). */
+    const std::vector<unsigned> &failoverOrder(TenantId t) const
+    {
+        return order_[t];
+    }
+
+    /** Fleet-level stats registry (histograms, per-shard counters). */
+    StatRegistry &fleetStats() { return fleetStats_; }
+
+    /** Event log (only populated with RouterParams::recordEvents). */
+    const std::vector<std::string> &eventLog() const { return events_; }
+
+  private:
+    struct Shard
+    {
+        std::unique_ptr<sim::System> sys;
+        std::unique_ptr<geometry::LocalityAllocator> alloc;
+        std::unique_ptr<RequestQueue> queue;
+        std::unique_ptr<BatchScheduler> sched;
+        CircuitBreaker breaker;
+
+        bool up = true;
+        Cycles downSince = 0;
+        bool busy = false;
+        Cycles busyUntil = 0;
+        bool waveDoomed = false;
+        BatchScheduler::Wave wave;
+
+        /** Restore point + active storm windows for chaos. @{ */
+        fault::FaultParams baseFaults;
+        std::vector<const ChaosEvent *> storms;
+        /** @} */
+
+        StatCounter *servedCtr = nullptr;
+        StatCounter *failedCtr = nullptr;
+        StatCounter *wavesCtr = nullptr;
+        StatCounter *downCyclesCtr = nullptr;
+        StatLogHistogram *serviceHist = nullptr;
+    };
+
+    /** Lifecycle of one offered request across attempts and copies. */
+    struct Track
+    {
+        workload::RequestSpec spec;
+        RequestId id = 0;
+        unsigned attempts = 0;   ///< placements consumed (incl. first)
+        unsigned inFlight = 0;   ///< copies queued or executing
+        unsigned primaryShard = 0;
+        bool hedged = false;
+        bool done = false;
+    };
+
+    /** (ready cycle, request id, shard to avoid) — min-heap. */
+    struct Timer
+    {
+        Cycles at = 0;
+        RequestId id = 0;
+        int avoidShard = -1;
+        bool operator>(const Timer &o) const
+        {
+            return at != o.at ? at > o.at : id > o.id;
+        }
+    };
+    using TimerHeap =
+        std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>;
+
+    bool hiQos(TenantId t) const;
+    void note(Cycles now, const std::string &what);
+
+    /** First dispatchable shard in @p t's failover order (skipping
+     *  @p avoid); lo-QoS tenants only consider their home shard. On
+     *  failure @p why says whether brownout or a dead fleet refused. */
+    std::optional<unsigned> routeShard(TenantId t, Cycles now, int avoid,
+                                       RejectReason *why) const;
+
+    /** Build + enqueue one copy of @p tr on shard @p s. */
+    bool placeCopy(Track &tr, unsigned s, Cycles now, bool hedge);
+
+    /** A copy of @p tr failed on @p shard: schedule a retry or shed. */
+    void failCopy(Track &tr, Cycles now, int shard, RejectReason reason);
+
+    void shedTrack(Track &tr, Cycles now, RejectReason reason);
+    void commitCopy(Track &tr, unsigned s, const Request &req,
+                    const cc::CcExecResult &result, Cycles now);
+
+    void applyChaosStart(const ChaosEvent &ev, Cycles now);
+    void applyChaosEnd(const ChaosEvent &ev, Cycles now);
+    void refreshFaultParams(Shard &shard);
+    void crashFlush(unsigned s, Cycles now);
+
+    void completeWave(unsigned s, Cycles now);
+    void pruneDeadlines(unsigned s, Cycles now);
+    bool dispatchShard(unsigned s, Cycles now);
+
+    ServerParams serve_;
+    RouterParams params_;
+    BackoffPolicy backoff_;
+
+    std::vector<Shard> shards_;
+    /** Sorted vnode ring: (point, shard). */
+    std::vector<std::pair<std::uint64_t, unsigned>> ring_;
+    /** Per-tenant failover order (home first). */
+    std::vector<std::vector<unsigned>> order_;
+
+    std::unordered_map<RequestId, Track> tracks_;
+    TimerHeap retries_;
+    TimerHeap hedges_;
+    RequestId nextId_ = 0;
+    bool ran_ = false;
+
+    StatRegistry fleetStats_;
+    std::unique_ptr<ShedLog> fleetShed_;
+    StatLogHistogram *fleetSojourn_ = nullptr;
+    std::vector<StatCounter *> tenantServed_;
+    std::vector<StatLogHistogram *> tenantSojourn_;
+    FleetReport report_;
+    std::vector<std::string> events_;
+};
+
+} // namespace ccache::serve
+
+#endif // CCACHE_SERVE_SHARD_ROUTER_HH

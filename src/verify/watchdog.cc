@@ -104,6 +104,8 @@ ProgressWatchdog::diagnostic() const
         events.push(e);
     d["recent_events"] = std::move(events);
 
+    if (!serveContext_.isNull())
+        d["serve"] = serveContext_;
     if (context_)
         d["context"] = context_();
     return d;

@@ -71,6 +71,18 @@ class ProgressWatchdog
         context_ = std::move(provider);
     }
 
+    /**
+     * Serving-layer attribution (DESIGN.md §12): the BatchScheduler
+     * installs the in-flight wave's request ids and owning tenants
+     * before issuing it, so a stall that fires inside a served CC
+     * instruction names the victims in its diagnostic — chaos-run
+     * stall reports are actionable, not anonymous. Cleared after the
+     * wave completes; a null Json clears explicitly. @{
+     */
+    void setServeContext(Json ctx) { serveContext_ = std::move(ctx); }
+    void clearServeContext() { serveContext_ = Json(); }
+    /** @} */
+
     /** A hierarchy transaction (read/write/fetch) starts; resets the
      *  per-transaction counters. */
     void beginTransaction(const char *kind, Addr addr);
@@ -98,6 +110,7 @@ class ProgressWatchdog
 
     WatchdogParams params_;
     std::function<Json()> context_;
+    Json serveContext_;
 
     std::string txnKind_ = "none";
     Addr txnAddr_ = 0;

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the reliability primitives of the sharded serving front
+ * end: the deterministic retry-backoff schedule and the per-shard
+ * circuit breaker state machine (DESIGN.md §12).
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/reliability.hh"
+
+namespace ccache::serve {
+namespace {
+
+TEST(BackoffPolicy, PureFunctionOfInputs)
+{
+    RetryParams params;
+    params.seed = 42;
+    BackoffPolicy a(params);
+    BackoffPolicy b(params);
+    for (RequestId id = 0; id < 64; ++id)
+        for (unsigned attempt = 1; attempt <= 6; ++attempt)
+            EXPECT_EQ(a.delay(id, attempt), b.delay(id, attempt));
+}
+
+TEST(BackoffPolicy, ExponentialWithinJitterBand)
+{
+    RetryParams params;
+    params.backoffBase = 1000;
+    params.backoffCap = 64000;
+    params.jitterFraction = 0.5;
+    BackoffPolicy policy(params);
+    for (RequestId id = 0; id < 32; ++id) {
+        for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+            Cycles nominal = std::min<Cycles>(
+                params.backoffCap, params.backoffBase << (attempt - 1));
+            Cycles d = policy.delay(id, attempt);
+            EXPECT_GE(d, static_cast<Cycles>(nominal * 0.75) - 1)
+                << "id " << id << " attempt " << attempt;
+            EXPECT_LE(d, static_cast<Cycles>(nominal * 1.25) + 1)
+                << "id " << id << " attempt " << attempt;
+        }
+    }
+}
+
+TEST(BackoffPolicy, SaturatesAtCapForHugeAttempts)
+{
+    RetryParams params;
+    params.backoffBase = 1000;
+    params.backoffCap = 8000;
+    params.jitterFraction = 0.0;
+    BackoffPolicy policy(params);
+    // Attempt numbers past the shift width must not wrap around.
+    EXPECT_EQ(policy.delay(7, 40), 8000u);
+    EXPECT_EQ(policy.delay(7, 64), 8000u);
+    EXPECT_EQ(policy.delay(7, 200), 8000u);
+}
+
+TEST(BackoffPolicy, JitterDecorrelatesRequests)
+{
+    RetryParams params;
+    params.jitterFraction = 0.5;
+    BackoffPolicy policy(params);
+    // Not all first-retry delays may collide: the jitter hash must
+    // spread distinct request ids across the band.
+    bool differs = false;
+    Cycles first = policy.delay(0, 1);
+    for (RequestId id = 1; id < 16 && !differs; ++id)
+        differs = policy.delay(id, 1) != first;
+    EXPECT_TRUE(differs);
+}
+
+TEST(BackoffPolicy, NeverZero)
+{
+    RetryParams params;
+    params.backoffBase = 1;
+    params.backoffCap = 1;
+    params.jitterFraction = 1.0;
+    BackoffPolicy policy(params);
+    for (RequestId id = 0; id < 64; ++id)
+        EXPECT_GE(policy.delay(id, 1), 1u);
+}
+
+TEST(CircuitBreaker, TripsOnFailureStreak)
+{
+    BreakerParams params;
+    params.failureThreshold = 3;
+    CircuitBreaker breaker(params);
+
+    EXPECT_EQ(breaker.state(0), CircuitBreaker::State::Closed);
+    breaker.onFailure(10);
+    breaker.onFailure(20);
+    EXPECT_EQ(breaker.state(20), CircuitBreaker::State::Closed);
+    // A success resets the streak.
+    breaker.onSuccess(30);
+    breaker.onFailure(40);
+    breaker.onFailure(50);
+    EXPECT_EQ(breaker.state(50), CircuitBreaker::State::Closed);
+    breaker.onFailure(60);
+    EXPECT_EQ(breaker.state(60), CircuitBreaker::State::Open);
+    EXPECT_FALSE(breaker.allowDispatch(60));
+    EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpensAfterCooloffAndCloses)
+{
+    BreakerParams params;
+    params.failureThreshold = 1;
+    params.openCooloff = 1000;
+    params.probeSuccesses = 2;
+    CircuitBreaker breaker(params);
+
+    breaker.onFailure(100);
+    EXPECT_EQ(breaker.state(100), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.halfOpenAt(), 1100u);
+    EXPECT_FALSE(breaker.allowDispatch(1099));
+    EXPECT_EQ(breaker.state(1100), CircuitBreaker::State::HalfOpen);
+    EXPECT_TRUE(breaker.allowDispatch(1100));
+
+    // One clean probe is not enough; the second closes it.
+    breaker.onSuccess(1200);
+    EXPECT_EQ(breaker.state(1200), CircuitBreaker::State::HalfOpen);
+    breaker.onSuccess(1300);
+    EXPECT_EQ(breaker.state(1300), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopens)
+{
+    BreakerParams params;
+    params.failureThreshold = 1;
+    params.openCooloff = 1000;
+    CircuitBreaker breaker(params);
+
+    breaker.onFailure(0);
+    EXPECT_EQ(breaker.state(1000), CircuitBreaker::State::HalfOpen);
+    breaker.onFailure(1100);
+    EXPECT_EQ(breaker.state(1100), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.trips(), 2u);
+    // The cooloff restarts from the re-trip.
+    EXPECT_EQ(breaker.state(2050), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.state(2100), CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreaker, ForcedTripIgnoresThreshold)
+{
+    BreakerParams params;
+    params.failureThreshold = 100;
+    CircuitBreaker breaker(params);
+
+    breaker.trip(500);
+    EXPECT_EQ(breaker.state(500), CircuitBreaker::State::Open);
+    EXPECT_EQ(breaker.trips(), 1u);
+    EXPECT_EQ(breaker.halfOpenAt(), 500 + params.openCooloff);
+}
+
+} // namespace
+} // namespace ccache::serve

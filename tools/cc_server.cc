@@ -9,6 +9,9 @@
  *               [--policy fifo|batch] [--seed HEX] [--scatter FRAC]
  *               [--queue-cap N] [--wave N] [--json PATH] [--stats]
  *               [--trace PATH]
+ *               [--shards N] [--chaos SPEC] [--deadline CY]
+ *               [--timeout CY] [--attempts N] [--hedge CY]
+ *               [--verify-golden]
  *
  * Tenant 0 is a small-request interactive tenant with weight 4; the
  * remaining tenants are heavier background traffic (some scattered
@@ -16,9 +19,19 @@
  * time only and a pure function of its arguments: the same command
  * line always prints the same bytes (DESIGN.md §8).
  *
- * Output: a human summary on stdout, plus the ServeReport JSON
- * (`--json -` for stdout, or a file path). `--stats` embeds the full
- * stats registry dump; `--trace` writes a Chrome trace of the waves.
+ * With `--shards N` (N >= 1) the run goes through the fault-tolerant
+ * ShardRouter (DESIGN.md §12): tenants place onto N shards by
+ * consistent hashing, and `--chaos` injects shard failures using the
+ * "kind@start+duration:shard[*magnitude]" grammar (kinds: crash,
+ * slow, partial; e.g. "crash@200000+150000:1"). `--deadline`,
+ * `--timeout`, `--attempts` and `--hedge` tune the reliability
+ * pipeline; `--verify-golden` checks every completed request against
+ * a host-side reference model.
+ *
+ * Output: a human summary on stdout, plus the report JSON (`--json -`
+ * for stdout, or a file path). `--stats` embeds the stats registry
+ * dump(s); `--trace` writes a Chrome trace of the waves (single-shard
+ * mode only).
  */
 
 #include <cstdio>
@@ -28,6 +41,7 @@
 #include <string>
 
 #include "serve/server.hh"
+#include "serve/shard_router.hh"
 #include "sim/system.hh"
 #include "workload/traffic_gen.hh"
 
@@ -48,6 +62,15 @@ struct Options
     std::string jsonPath;
     std::string tracePath;
     bool stats = false;
+
+    /** Sharded mode (0 = classic single-server path). */
+    unsigned shards = 0;
+    std::string chaosSpec;
+    Cycles deadline = 60000;
+    Cycles timeout = 0;
+    unsigned attempts = 3;
+    Cycles hedge = 0;
+    bool verifyGolden = false;
 };
 
 void
@@ -58,7 +81,10 @@ usage(const char *argv0)
                  "       [--policy fifo|batch] [--seed HEX] "
                  "[--scatter FRAC]\n"
                  "       [--queue-cap N] [--wave N] [--json PATH|-] "
-                 "[--stats] [--trace PATH]\n",
+                 "[--stats] [--trace PATH]\n"
+                 "       [--shards N] [--chaos SPEC] [--deadline CY] "
+                 "[--timeout CY]\n"
+                 "       [--attempts N] [--hedge CY] [--verify-golden]\n",
                  argv0);
 }
 
@@ -107,6 +133,22 @@ main(int argc, char **argv)
             opt.tracePath = needArg("--trace");
         } else if (!std::strcmp(argv[i], "--stats")) {
             opt.stats = true;
+        } else if (!std::strcmp(argv[i], "--shards")) {
+            opt.shards = static_cast<unsigned>(
+                std::strtoul(needArg("--shards"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--chaos")) {
+            opt.chaosSpec = needArg("--chaos");
+        } else if (!std::strcmp(argv[i], "--deadline")) {
+            opt.deadline = std::strtoull(needArg("--deadline"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--timeout")) {
+            opt.timeout = std::strtoull(needArg("--timeout"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--attempts")) {
+            opt.attempts = static_cast<unsigned>(
+                std::strtoul(needArg("--attempts"), nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--hedge")) {
+            opt.hedge = std::strtoull(needArg("--hedge"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--verify-golden")) {
+            opt.verifyGolden = true;
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -146,10 +188,6 @@ main(int argc, char **argv)
         traffic.tenants.push_back(std::move(t));
     }
 
-    sim::System sys;
-    if (!opt.tracePath.empty())
-        sys.trace().enable();
-
     serve::ServerParams params;
     params.queue.capacity = opt.queueCap;
     params.sched.policy = opt.policy;
@@ -161,6 +199,109 @@ main(int argc, char **argv)
         q.weight = i == 0 ? 4 : 1;
         params.tenants.push_back(std::move(q));
     }
+
+    if (opt.shards > 0) {
+        // Sharded, fault-tolerant path (DESIGN.md §12).
+        serve::ChaosSchedule chaos;
+        if (!opt.chaosSpec.empty()) {
+            std::string err;
+            if (!serve::ChaosSchedule::parse(opt.chaosSpec, opt.shards,
+                                             &chaos, &err)) {
+                std::fprintf(stderr, "cc_server: bad --chaos: %s\n",
+                             err.c_str());
+                return 2;
+            }
+        }
+
+        serve::RouterParams router;
+        router.shards = opt.shards;
+        router.admissionDeadline = opt.deadline;
+        router.shardTimeout = opt.timeout;
+        router.retry.maxAttempts = opt.attempts;
+        router.retry.seed = opt.seed;
+        router.hedgeAge = opt.hedge;
+        router.verifyGolden = opt.verifyGolden;
+        router.patternSeed = opt.seed;
+
+        serve::ShardRouter fleet(sim::SystemConfig{}, params, router);
+        serve::FleetReport report =
+            fleet.run(generateTraffic(traffic), chaos);
+
+        std::printf("cc_server: shards=%u tenants=%u load=%.2f rpkc "
+                    "seed=%llx chaos=\"%s\"\n",
+                    opt.shards, opt.tenants, opt.loadRpkc,
+                    static_cast<unsigned long long>(opt.seed),
+                    chaos.toSpec().c_str());
+        std::printf("  offered %llu, served %llu, shed %llu "
+                    "(availability %.4f) in %llu cycles\n",
+                    static_cast<unsigned long long>(report.offered),
+                    static_cast<unsigned long long>(report.served),
+                    static_cast<unsigned long long>(report.shed),
+                    report.availability,
+                    static_cast<unsigned long long>(report.elapsed));
+        std::printf("  retries %llu, reroutes %llu, hedges %llu "
+                    "(wins %llu), breaker trips %llu\n",
+                    static_cast<unsigned long long>(report.retries),
+                    static_cast<unsigned long long>(report.reroutes),
+                    static_cast<unsigned long long>(report.hedgesLaunched),
+                    static_cast<unsigned long long>(report.hedgeWins),
+                    static_cast<unsigned long long>(report.breakerTrips));
+        if (opt.verifyGolden)
+            std::printf("  golden: %llu checked, %llu mismatches\n",
+                        static_cast<unsigned long long>(
+                            report.goldenChecked),
+                        static_cast<unsigned long long>(
+                            report.goldenMismatch));
+        for (const auto &s : report.shards)
+            std::printf("  shard %u: served %6llu failed %4llu waves "
+                        "%5llu down %llu cy service p50/p99 = "
+                        "%llu/%llu cy\n",
+                        s.index,
+                        static_cast<unsigned long long>(s.served),
+                        static_cast<unsigned long long>(s.failed),
+                        static_cast<unsigned long long>(s.waves),
+                        static_cast<unsigned long long>(s.downCycles),
+                        static_cast<unsigned long long>(s.p50ServiceCycles),
+                        static_cast<unsigned long long>(
+                            s.p99ServiceCycles));
+        for (const auto &t : report.tenants)
+            std::printf("  %-8s served %6llu shed %4llu sojourn "
+                        "p50/p99/p99.9 = %llu/%llu/%llu cy\n",
+                        t.name.c_str(),
+                        static_cast<unsigned long long>(t.served),
+                        static_cast<unsigned long long>(t.shed),
+                        static_cast<unsigned long long>(
+                            t.p50SojournCycles),
+                        static_cast<unsigned long long>(
+                            t.p99SojournCycles),
+                        static_cast<unsigned long long>(
+                            t.p999SojournCycles));
+
+        Json doc = report.toJson();
+        if (opt.stats)
+            doc["fleet_stats"] = fleet.fleetStats().dumpJson();
+        if (!opt.jsonPath.empty()) {
+            std::string text = doc.dump(2) + "\n";
+            if (opt.jsonPath == "-") {
+                std::fputs(text.c_str(), stdout);
+            } else {
+                std::ofstream out(opt.jsonPath,
+                                  std::ios::binary | std::ios::trunc);
+                out << text;
+                if (!out) {
+                    std::fprintf(stderr, "cc_server: cannot write %s\n",
+                                 opt.jsonPath.c_str());
+                    return 1;
+                }
+                std::printf("report: %s\n", opt.jsonPath.c_str());
+            }
+        }
+        return report.goldenMismatch == 0 ? 0 : 1;
+    }
+
+    sim::System sys;
+    if (!opt.tracePath.empty())
+        sys.trace().enable();
 
     serve::CcServer server(sys, params);
     serve::ServeReport report =
