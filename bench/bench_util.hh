@@ -15,11 +15,20 @@
  *
  * Result-file schema (version kBenchResultsVersion; see DESIGN.md §7):
  *
- *     { "schema": "ccache-bench-results", "version": 1,
+ *     { "schema": "ccache-bench-results", "version": 2,
  *       "bench": "<name>", "git_sha": "<sha or unknown>",
  *       "config": { "<key>": <value>, ... },
  *       "metrics": { "<metric>": <number>, ... },
- *       "stats": { "<label>": <StatRegistry::dumpJson()>, ... } }
+ *       "stats": { "<label>": <StatRegistry::dumpJson()>, ... },
+ *       "perf": { "wall_clock_s": <number>, "cc_block_ops": <number>,
+ *                 "ops_per_sec": <number> } }
+ *
+ * The "perf" section is the one intentionally nondeterministic part of
+ * the file: it measures this run on this machine (DESIGN.md §13). It is
+ * composed only at write() time and never enters document(), so the
+ * determinism tests and the thread-count identity checks compare
+ * documents without it; byte-level comparisons of written files must
+ * strip it first (`ccstat --identical` does).
  *
  * Benches define their measurement grid as SweepRunner points (one per
  * independent (bench, config) simulation) and print their tables after
@@ -31,6 +40,7 @@
 #ifndef CCACHE_BENCH_BENCH_UTIL_HH
 #define CCACHE_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -47,14 +57,16 @@
 #include "common/event_trace.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/perf_counters.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 
 namespace bench {
 
-/** Version of the bench-results JSON schema (see file header). */
-inline constexpr int kBenchResultsVersion = 1;
+/** Version of the bench-results JSON schema (see file header).
+ *  v2 added the run-local "perf" section. */
+inline constexpr int kBenchResultsVersion = 2;
 
 inline void
 header(const std::string &title)
@@ -255,13 +267,35 @@ class ResultsWriter
     const std::string &name() const { return name_; }
 
     /** The accumulated result document (determinism tests compare its
-     *  serialized form across thread counts). */
+     *  serialized form across thread counts). Deliberately excludes the
+     *  "perf" section, which is nondeterministic by design. */
     const ccache::Json &document() const { return doc_; }
+
+    /**
+     * This run's measured throughput: wall-clock since this writer was
+     * constructed, the CC block ops the process executed in that window,
+     * and their quotient. Nondeterministic on purpose — this is the
+     * number the perf CI gate tracks (DESIGN.md §13).
+     */
+    ccache::Json perfSection() const
+    {
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        std::uint64_t ops = ccache::perf::ccBlockOps() - startOps_;
+        ccache::Json p = ccache::Json::object();
+        p["wall_clock_s"] = wall;
+        p["cc_block_ops"] = ops;
+        p["ops_per_sec"] =
+            wall > 0.0 ? static_cast<double>(ops) / wall : 0.0;
+        return p;
+    }
 
     /**
      * Write `<resultsDir()>/<bench>.json` (directory created on demand)
      * via temp-file + atomic rename with checked stream state, and
-     * print where it landed. Returns the path, empty on failure — the
+     * print where it landed. The perf section is composed here, on the
+     * deterministic document. Returns the path, empty on failure — the
      * caller must propagate that as a non-zero exit (bench::finish
      * does).
      */
@@ -271,7 +305,9 @@ class ResultsWriter
         std::error_code ec;
         fs::create_directories(resultsDir(), ec);
         std::string path = resultsDir() + "/" + name_ + ".json";
-        if (!atomicWriteFile(path, doc_.dump(2) + "\n")) {
+        ccache::Json doc = doc_;
+        doc["perf"] = perfSection();
+        if (!atomicWriteFile(path, doc.dump(2) + "\n")) {
             std::fprintf(stderr, "cannot write %s\n", path.c_str());
             return "";
         }
@@ -283,6 +319,9 @@ class ResultsWriter
     std::string name_;
     ccache::Json doc_;
     std::size_t errorCount_ = 0;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    std::uint64_t startOps_ = ccache::perf::ccBlockOps();
 };
 
 /** Default base seed of a bench sweep (see SweepContext::seed()). */

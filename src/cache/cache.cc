@@ -9,7 +9,8 @@ Cache::Cache(const CacheParams &params, energy::EnergyModel *energy,
              StatRegistry *stats, std::string stat_prefix)
     : params_(params), geom_(params.geometry),
       tags_(geom_.numSets(), params.geometry.ways),
-      data_(geom_.numSets() * params.geometry.ways, Block{}),
+      data_(std::make_unique_for_overwrite<Block[]>(
+          geom_.numSets() * params.geometry.ways)),
       energy_(energy)
 {
     if (stats) {
@@ -25,37 +26,27 @@ Cache::Cache(const CacheParams &params, energy::EnergyModel *energy,
     }
 }
 
-std::optional<std::size_t>
-Cache::findWay(Addr addr) const
-{
-    auto f = geom_.decode(addr);
-    Lookup l = tags_.lookup(f.set, f.tag);
-    if (!l.hit)
-        return std::nullopt;
-    return l.way;
-}
-
 bool
 Cache::contains(Addr addr) const
 {
-    return findWay(addr).has_value();
+    return locate(addr).has_value();
 }
 
 Mesi
 Cache::state(Addr addr) const
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return Mesi::Invalid;
-    return tags_.line(geom_.setIndex(addr), *way).state;
+    return tags_.line(loc->set, loc->way).state;
 }
 
 void
 Cache::setState(Addr addr, Mesi state)
 {
-    auto way = findWay(addr);
-    CC_ASSERT(way, "setState on absent line 0x", std::hex, addr);
-    tags_.line(geom_.setIndex(addr), *way).state = state;
+    auto loc = locate(addr);
+    CC_ASSERT(loc, "setState on absent line 0x", std::hex, addr);
+    tags_.line(loc->set, loc->way).state = state;
 }
 
 void
@@ -79,12 +70,11 @@ Cache::chargeWrite()
 bool
 Cache::read(Addr addr, Block &out)
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return false;
-    std::size_t set = geom_.setIndex(addr);
-    tags_.touch(set, *way);
-    out = data_[dataIndex(set, *way)];
+    tags_.touch(loc->set, loc->way);
+    out = data_[dataIndex(loc->set, loc->way)];
     chargeRead();
     return true;
 }
@@ -92,14 +82,13 @@ Cache::read(Addr addr, Block &out)
 bool
 Cache::write(Addr addr, const Block &data, bool set_dirty)
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return false;
-    std::size_t set = geom_.setIndex(addr);
-    tags_.touch(set, *way);
-    data_[dataIndex(set, *way)] = data;
+    tags_.touch(loc->set, loc->way);
+    data_[dataIndex(loc->set, loc->way)] = data;
     if (set_dirty)
-        tags_.line(set, *way).dirty = true;
+        tags_.line(loc->set, loc->way).dirty = true;
     chargeWrite();
     return true;
 }
@@ -112,13 +101,12 @@ Cache::fill(Addr addr, const Block &data, Mesi state)
     auto f = geom_.decode(addr);
 
     // Refill of a line that is already resident just updates it.
-    if (auto way = findWay(addr)) {
-        tags_.touch(f.set, *way);
-        Line &l = tags_.line(f.set, *way);
-        l.state = state;
-        data_[dataIndex(f.set, *way)] = data;
+    if (Lookup l = tags_.lookup(f.set, f.tag); l.hit) {
+        tags_.touch(f.set, l.way);
+        tags_.line(f.set, l.way).state = state;
+        data_[dataIndex(f.set, l.way)] = data;
         chargeWrite();
-        return FillResult{*way, std::nullopt};
+        return FillResult{l.way, std::nullopt};
     }
 
     auto victim_way = tags_.victim(f.set);
@@ -157,14 +145,13 @@ Cache::fill(Addr addr, const Block &data, Mesi state)
 std::optional<Eviction>
 Cache::invalidate(Addr addr)
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return std::nullopt;
-    std::size_t set = geom_.setIndex(addr);
-    Line &line = tags_.line(set, *way);
+    Line &line = tags_.line(loc->set, loc->way);
     Eviction ev;
     ev.addr = addr;
-    ev.data = data_[dataIndex(set, *way)];
+    ev.data = data_[dataIndex(loc->set, loc->way)];
     ev.dirty = line.dirty;
     ev.state = line.state;
     line.state = Mesi::Invalid;
@@ -178,77 +165,83 @@ Cache::invalidate(Addr addr)
 bool
 Cache::pin(Addr addr)
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return false;
-    tags_.line(geom_.setIndex(addr), *way).pinned = true;
+    tags_.line(loc->set, loc->way).pinned = true;
     return true;
 }
 
 void
 Cache::unpin(Addr addr)
 {
-    auto way = findWay(addr);
-    if (way)
-        tags_.line(geom_.setIndex(addr), *way).pinned = false;
+    if (auto loc = locate(addr))
+        tags_.line(loc->set, loc->way).pinned = false;
 }
 
 bool
 Cache::isPinned(Addr addr) const
 {
-    auto way = findWay(addr);
-    return way && tags_.line(geom_.setIndex(addr), *way).pinned;
+    auto loc = locate(addr);
+    return loc && tags_.line(loc->set, loc->way).pinned;
 }
 
 void
 Cache::promoteMRU(Addr addr)
 {
-    auto way = findWay(addr);
-    if (way)
-        tags_.touch(geom_.setIndex(addr), *way);
+    if (auto loc = locate(addr))
+        tags_.touch(loc->set, loc->way);
 }
 
 void
 Cache::markDirty(Addr addr)
 {
-    auto way = findWay(addr);
-    CC_ASSERT(way, "markDirty on absent line 0x", std::hex, addr);
-    std::size_t set = geom_.setIndex(addr);
-    tags_.line(set, *way).dirty = true;
-    tags_.line(set, *way).state = Mesi::Modified;
+    auto loc = locate(addr);
+    CC_ASSERT(loc, "markDirty on absent line 0x", std::hex, addr);
+    Line &l = tags_.line(loc->set, loc->way);
+    l.dirty = true;
+    l.state = Mesi::Modified;
 }
 
 bool
 Cache::isDirty(Addr addr) const
 {
-    auto way = findWay(addr);
-    return way && tags_.line(geom_.setIndex(addr), *way).dirty;
+    auto loc = locate(addr);
+    return loc && tags_.line(loc->set, loc->way).dirty;
 }
 
 void
 Cache::clearDirty(Addr addr)
 {
-    auto way = findWay(addr);
-    if (way)
-        tags_.line(geom_.setIndex(addr), *way).dirty = false;
+    if (auto loc = locate(addr))
+        tags_.line(loc->set, loc->way).dirty = false;
+}
+
+const Block *
+Cache::dirtyPeek(Addr addr) const
+{
+    auto loc = locate(addr);
+    if (!loc || !tags_.line(loc->set, loc->way).dirty)
+        return nullptr;
+    return &data_[dataIndex(loc->set, loc->way)];
 }
 
 const Block *
 Cache::peek(Addr addr) const
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return nullptr;
-    return &data_[dataIndex(geom_.setIndex(addr), *way)];
+    return &data_[dataIndex(loc->set, loc->way)];
 }
 
 bool
 Cache::poke(Addr addr, const Block &data)
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return false;
-    data_[dataIndex(geom_.setIndex(addr), *way)] = data;
+    data_[dataIndex(loc->set, loc->way)] = data;
     return true;
 }
 
@@ -278,10 +271,10 @@ Cache::forEachLine(
 std::optional<geometry::BlockPlace>
 Cache::placeOf(Addr addr) const
 {
-    auto way = findWay(addr);
-    if (!way)
+    auto loc = locate(addr);
+    if (!loc)
         return std::nullopt;
-    return geom_.place(geom_.setIndex(addr), *way);
+    return geom_.place(loc->set, loc->way);
 }
 
 } // namespace ccache::cache

@@ -12,6 +12,7 @@
 #define CCACHE_CACHE_CACHE_HH
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -121,6 +122,12 @@ class Cache
     bool poke(Addr addr, const Block &data);
     /** @} */
 
+    /** Data of a resident DIRTY line, nullptr otherwise: one address
+     *  decode where isDirty() + peek() would pay two. This is the
+     *  Hierarchy::debugRead hot path (golden verification reads every
+     *  block of every request). */
+    const Block *dirtyPeek(Addr addr) const;
+
     /** Physical placement of a resident line, for the CC scheduler. */
     std::optional<geometry::BlockPlace> placeOf(Addr addr) const;
 
@@ -141,8 +148,23 @@ class Cache
         return set * params_.geometry.ways + way;
     }
 
-    /** Locate a resident line. */
-    std::optional<std::size_t> findWay(Addr addr) const;
+    /** A resident line located by one address decode. */
+    struct Located
+    {
+        std::size_t set;
+        std::size_t way;
+    };
+
+    /** Locate a resident line with a single geometry decode; every public
+     *  entry point reuses the returned set instead of re-decoding. */
+    std::optional<Located> locate(Addr addr) const
+    {
+        auto f = geom_.decode(addr);
+        Lookup l = tags_.lookup(f.set, f.tag);
+        if (!l.hit)
+            return std::nullopt;
+        return Located{f.set, l.way};
+    }
 
     void chargeRead();
     void chargeWrite();
@@ -150,7 +172,12 @@ class Cache
     CacheParams params_;
     geometry::CacheGeometry geom_;
     TagArray tags_;
-    std::vector<Block> data_;
+    /** Block storage, deliberately NOT zero-initialized: a data slot is
+     *  meaningful only while its tag line is valid, and every path that
+     *  validates a line (fill) writes the slot in the same call — so
+     *  the constructor skips zeroing megabytes per cache. Restart-heavy
+     *  harnesses construct hundreds of caches (DESIGN.md §13). */
+    std::unique_ptr<Block[]> data_;
     energy::EnergyModel *energy_;
     /** Counters pre-registered under the cache's stat prefix (StatGroup
      *  registration), so the hot paths increment through stable pointers

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -62,15 +62,17 @@ class Directory
      *  exclusive request. */
     std::uint32_t sharersExcept(Addr addr, CoreId except) const;
 
-    std::size_t trackedBlocks() const { return entries_.size(); }
+    std::size_t trackedBlocks() const { return live_; }
 
     /** Visit every tracked block (coherence audits, diagnostics).
      *  Iteration order is unspecified; order-sensitive callers sort. */
     void forEachEntry(
         const std::function<void(Addr, const DirEntry &)> &fn) const
     {
-        for (const auto &[addr, entry] : entries_)
-            fn(addr, entry);
+        for (const Slot &s : slots_) {
+            if (s.used)
+                fn(s.key, s.val);
+        }
     }
 
     /** Count every mutation against @p watchdog's per-transaction
@@ -81,8 +83,32 @@ class Directory
     }
 
   private:
+    /** The directory is on the hit path of every L3-level coherence
+     *  action, so entries live in a linear-probing open-addressing
+     *  table (power-of-two capacity, mix64 hash) rather than a node
+     *  heap. Erases use backward-shift deletion to keep probe chains
+     *  intact without tombstones (DESIGN.md §13). */
+    struct Slot
+    {
+        Addr key = 0;
+        DirEntry val;
+        bool used = false;
+    };
+
+    /** Index of @p addr's slot, or slots_.size() if untracked. */
+    std::size_t findSlot(Addr addr) const;
+
+    /** Entry for @p addr, inserting an empty one if untracked. */
+    DirEntry &findOrInsert(Addr addr);
+
+    /** Remove the entry in slot @p hole (backward-shift deletion). */
+    void eraseSlot(std::size_t hole);
+
+    void grow();
+
     unsigned cores_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    std::vector<Slot> slots_;
+    std::size_t live_ = 0;
     verify::ProgressWatchdog *watchdog_ = nullptr;
 };
 

@@ -65,6 +65,21 @@ Hierarchy::Hierarchy(const HierarchyParams &params,
         g.formula("l3_hit_rate",
                   ratio("hier.l3_hits", "hier.l3_misses"),
                   "fraction of L3 lookups served by L3");
+
+        l1HitsStat_ = &g.counter("l1_hits");
+        l1MissesStat_ = &g.counter("l1_misses");
+        l2HitsStat_ = &g.counter("l2_hits");
+        l2MissesStat_ = &g.counter("l2_misses");
+        l3HitsStat_ = &g.counter("l3_hits");
+        l3MissesStat_ = &g.counter("l3_misses");
+        memReadsStat_ = &g.counter("mem_reads");
+        allocNoFetchStat_ = &g.counter("alloc_no_fetch");
+        l2WritebacksStat_ = &g.counter("l2_writebacks");
+        l3WritebacksStat_ = &g.counter("l3_writebacks");
+        ownerWritebacksStat_ = &g.counter("owner_writebacks");
+        sharerInvalidationsStat_ = &g.counter("sharer_invalidations");
+        upgradesStat_ = &g.counter("upgrades");
+        l1WriteHitsStat_ = &g.counter("l1_write_hits");
     }
 }
 
@@ -94,14 +109,20 @@ Hierarchy::mapPage(Addr addr, unsigned slice)
         CC_FATAL("mapPage slice ", slice, " out of range (", l3_.size(),
                  " slices)");
     pageSlice_[alignDown(addr, kPageSize)] = slice;
+    lastPage_ = ~Addr{0};   // drop the sliceFor memo: it may now be stale
 }
 
 std::optional<unsigned>
 Hierarchy::homeSliceIfMapped(Addr addr) const
 {
-    auto it = pageSlice_.find(alignDown(addr, kPageSize));
+    Addr page = alignDown(addr, kPageSize);
+    if (page == lastPage_)
+        return lastSlice_;
+    auto it = pageSlice_.find(page);
     if (it == pageSlice_.end())
         return std::nullopt;
+    lastPage_ = page;
+    lastSlice_ = it->second;
     return it->second;
 }
 
@@ -118,13 +139,20 @@ unsigned
 Hierarchy::sliceFor(CoreId core, Addr addr)
 {
     Addr page = alignDown(addr, kPageSize);
+    if (page == lastPage_)
+        return lastSlice_;
     auto it = pageSlice_.find(page);
-    if (it != pageSlice_.end())
+    if (it != pageSlice_.end()) {
+        lastPage_ = page;
+        lastSlice_ = it->second;
         return it->second;
+    }
     // First touch: the page lands on the accessing core's local slice
     // (Section IV-C assumption).
     unsigned slice = stopOf(core);
     pageSlice_.emplace(page, slice);
+    lastPage_ = page;
+    lastSlice_ = slice;
     return slice;
 }
 
@@ -162,7 +190,7 @@ Hierarchy::l2Eviction(CoreId core, const Eviction &victim)
         CC_ASSERT(ok, "L2 victim 0x", std::hex, victim.addr,
                   " absent from inclusive L3");
         if (stats_)
-            stats_->counter("hier.l2_writebacks").inc();
+            l2WritebacksStat_->inc();
     } else {
         // Presence notification so the directory stays precise.
         latency += ring_.send(stopOf(core), slice, noc::MsgClass::Control);
@@ -203,7 +231,7 @@ Hierarchy::l3Eviction(unsigned slice, const Eviction &victim)
         if (energy_)
             energy_->chargeDram();
         if (stats_)
-            stats_->counter("hier.l3_writebacks").inc();
+            l3WritebacksStat_->inc();
     }
 }
 
@@ -264,7 +292,7 @@ Hierarchy::recallFromOwner(CoreId requester, CoreId owner, Addr addr,
             CC_ASSERT(ok, "recalled line 0x", std::hex, addr,
                       " absent from inclusive L3");
             if (stats_)
-                stats_->counter("hier.owner_writebacks").inc();
+                ownerWritebacksStat_->inc();
         }
     }
 
@@ -304,7 +332,7 @@ Hierarchy::invalidateSharers(Addr addr, unsigned slice, CoreId keeper)
         }
         directory(slice).removeSharer(addr, c);
         if (stats_)
-            stats_->counter("hier.sharer_invalidations").inc();
+            sharerInvalidationsStat_->inc();
     }
     return latency;
 }
@@ -349,14 +377,14 @@ Hierarchy::ensureInL3(unsigned slice, Addr addr, bool for_overwrite)
         // Figure 6 step 4 note: a destination that will be fully
         // overwritten is allocated without a memory read.
         if (stats_)
-            stats_->counter("hier.alloc_no_fetch").inc();
+            allocNoFetchStat_->inc();
     } else {
         data = memory_.readBlock(addr);
         latency += params_.memory.accessLatency;
         if (energy_)
             energy_->chargeDram();
         if (stats_)
-            stats_->counter("hier.mem_reads").inc();
+            memReadsStat_->inc();
     }
 
     auto fill = l3Slice(slice).fill(addr, data, Mesi::Exclusive);
@@ -418,21 +446,21 @@ Hierarchy::readImpl(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
         res.latency = l1(core).latency();
         res.servedBy = ServedBy::L1;
         if (stats_)
-            stats_->counter("hier.l1_hits").inc();
+            l1HitsStat_->inc();
         if (out)
             *out = data;
         return res;
     }
     res.latency += l1(core).latency();
     if (stats_)
-        stats_->counter("hier.l1_misses").inc();
+        l1MissesStat_->inc();
 
     // L2.
     if (l2(core).read(addr, data)) {
         res.latency += l2(core).latency();
         res.servedBy = ServedBy::L2;
         if (stats_)
-            stats_->counter("hier.l2_hits").inc();
+            l2HitsStat_->inc();
         if (fill_to == CacheLevel::L1) {
             // A set full of pinned CC operands refuses the fill; the
             // access is served from L2 without allocating.
@@ -447,7 +475,7 @@ Hierarchy::readImpl(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
     }
     res.latency += l2(core).latency();
     if (stats_)
-        stats_->counter("hier.l2_misses").inc();
+        l2MissesStat_->inc();
 
     // L3 home slice.
     unsigned slice = sliceFor(core, addr);
@@ -457,7 +485,7 @@ Hierarchy::readImpl(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
     if (l3Slice(slice).contains(addr)) {
         res.servedBy = ServedBy::L3;
         if (stats_)
-            stats_->counter("hier.l3_hits").inc();
+            l3HitsStat_->inc();
         DirEntry e = directory(slice).entry(addr);
         if (e.owner && *e.owner != core)
             res.latency += recallFromOwner(core, *e.owner, addr, slice,
@@ -465,7 +493,7 @@ Hierarchy::readImpl(CoreId core, Addr addr, Block *out, CacheLevel fill_to)
     } else {
         res.servedBy = ServedBy::Memory;
         if (stats_)
-            stats_->counter("hier.l3_misses").inc();
+            l3MissesStat_->inc();
         res.latency += ensureInL3(slice, addr, /*for_overwrite=*/false);
     }
 
@@ -524,7 +552,7 @@ Hierarchy::writeImpl(CoreId core, Addr addr, const Block *data,
         res.latency = l1(core).latency();
         res.servedBy = ServedBy::L1;
         if (stats_)
-            stats_->counter("hier.l1_write_hits").inc();
+            l1WriteHitsStat_->inc();
         return res;
     }
 
@@ -544,7 +572,7 @@ Hierarchy::writeImpl(CoreId core, Addr addr, const Block *data,
             ring_.send(stopOf(core), slice, noc::MsgClass::Control);
         res.latency += invalidateSharers(addr, slice, core);
         if (stats_)
-            stats_->counter("hier.upgrades").inc();
+            upgradesStat_->inc();
     } else {
         // Exclusive grant may still leave stale sharers in the directory
         // if another core raced; directory invariants keep this empty.
@@ -724,19 +752,28 @@ CacheLevel
 Hierarchy::chooseLevel(CoreId core, const std::vector<Addr> &operands)
 {
     // Section IV-E: compute at the highest level where ALL operands are
-    // present; if any operand is uncached, compute at L3.
-    bool all_l1 = true, all_l2 = true, all_l3 = true;
+    // present; if any operand is uncached, compute at L3. No L3 probe is
+    // needed: L3 is the unconditional fallback, and the probe's only
+    // side effect — sliceFor's first-touch page pinning — is reproduced
+    // exactly by ensureInL3 with the same core whenever the op actually
+    // computes at L3 (an operand resident in L1/L2 had its page pinned
+    // by the fill that brought it there). This runs once per block
+    // operand per instruction, so it early-exits as soon as both
+    // candidate levels are ruled out.
+    bool all_l1 = true, all_l2 = true;
     for (Addr a : operands) {
         Addr blk = alignDown(a, kBlockSize);
-        all_l1 &= l1(core).contains(blk);
-        all_l2 &= l2(core).contains(blk);
-        all_l3 &= l3Slice(sliceFor(core, blk)).contains(blk);
+        if (all_l1)
+            all_l1 = l1(core).contains(blk);
+        if (all_l2)
+            all_l2 = l2(core).contains(blk);
+        if (!all_l1 && !all_l2)
+            return CacheLevel::L3;
     }
     if (all_l1)
         return CacheLevel::L1;
     if (all_l2)
         return CacheLevel::L2;
-    (void)all_l3;
     return CacheLevel::L3;
 }
 
@@ -744,19 +781,32 @@ Block
 Hierarchy::debugRead(Addr addr)
 {
     addr = alignDown(addr, kBlockSize);
-    for (unsigned c = 0; c < params_.cores; ++c) {
-        if (l1(c).isDirty(addr))
-            return *l1(c).peek(addr);
-        if (l2(c).isDirty(addr))
-            return *l2(c).peek(addr);
-    }
-    for (auto &slice : l3_) {
-        if (const Block *d = slice->peek(addr)) {
-            // L3 data is newest unless a private M copy exists (checked
-            // above); L3-dirty beats memory.
-            return *d;
+    // Private copies can exist only for cores whose sharer bit is set in
+    // the home slice's directory, and only for mapped pages (the
+    // inclusion and dir.missing_sharer invariants the coherence checker
+    // audits, DESIGN.md §9) — so walk the directory instead of probing
+    // every core's L1 and L2. Core order is preserved, so the answer is
+    // bit-identical to the exhaustive scan.
+    if (auto home = homeSliceIfMapped(addr)) {
+        DirEntry e = dir_[*home]->entry(addr);
+        for (unsigned c = 0; c < params_.cores && e.sharers != 0; ++c) {
+            if (!(e.sharers & (1u << c)))
+                continue;
+            if (const Block *d = l1(c).dirtyPeek(addr))
+                return *d;
+            if (const Block *d = l2(c).dirtyPeek(addr))
+                return *d;
         }
+        // L3 residency is possible only at the home slice: every fill
+        // goes through ensureInL3 with a sliceFor-derived target, and
+        // sliceFor pins the page mapping on first touch (mapPage is
+        // pre-access test setup only). L3 data is newest unless a
+        // private M copy exists (checked above); L3-dirty beats memory.
+        if (const Block *d = l3_[*home]->peek(addr))
+            return *d;
     }
+    // Unmapped page: never filled anywhere (the coherence checker's
+    // "unmapped implies no valid copies" invariant, DESIGN.md §9).
     return memory_.readBlock(addr);
 }
 
@@ -765,12 +815,22 @@ Hierarchy::debugWrite(Addr addr, const Block &data)
 {
     addr = alignDown(addr, kBlockSize);
     memory_.writeBlock(addr, data);
-    for (unsigned c = 0; c < params_.cores; ++c) {
-        l1(c).poke(addr, data);
-        l2(c).poke(addr, data);
+    // Same directory walk as debugRead: only sharer-listed cores can
+    // hold private copies, so the old poke-every-cache broadcast (24
+    // probes per block on the System::load workload-setup hot path)
+    // reduces to the tracked copies plus the slices.
+    if (auto home = homeSliceIfMapped(addr)) {
+        DirEntry e = dir_[*home]->entry(addr);
+        for (unsigned c = 0; c < params_.cores && e.sharers != 0; ++c) {
+            if (!(e.sharers & (1u << c)))
+                continue;
+            l1(c).poke(addr, data);
+            l2(c).poke(addr, data);
+        }
+        // Only the home slice can hold the line (see debugRead); an
+        // unmapped page has no cached copies to update at all.
+        l3_[*home]->poke(addr, data);
     }
-    for (auto &slice : l3_)
-        slice->poke(addr, data);
 }
 
 void

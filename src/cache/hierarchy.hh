@@ -234,6 +234,34 @@ class Hierarchy
     mem::Memory memory_;
     noc::Ring ring_;
     std::unordered_map<Addr, unsigned> pageSlice_;
+    /** One-entry memo over pageSlice_: accesses stream through a page
+     *  (64 blocks), so the last-page hit rate is high enough to skip
+     *  most hash probes on the sliceFor / homeSliceIfMapped hot paths
+     *  (DESIGN.md §13). Only mapped pages are memoized; invalidated by
+     *  mapPage. Mutable: homeSliceIfMapped is logically const. @{ */
+    mutable Addr lastPage_ = ~Addr{0};
+    mutable unsigned lastSlice_ = 0;
+    /** @} */
+
+    /** Counters pre-registered under "hier." so the transaction hot
+     *  paths increment through stable pointers instead of resolving
+     *  dotted names per access (same pattern as Cache). Null without a
+     *  registry. @{ */
+    StatCounter *l1HitsStat_ = nullptr;
+    StatCounter *l1MissesStat_ = nullptr;
+    StatCounter *l2HitsStat_ = nullptr;
+    StatCounter *l2MissesStat_ = nullptr;
+    StatCounter *l3HitsStat_ = nullptr;
+    StatCounter *l3MissesStat_ = nullptr;
+    StatCounter *memReadsStat_ = nullptr;
+    StatCounter *allocNoFetchStat_ = nullptr;
+    StatCounter *l2WritebacksStat_ = nullptr;
+    StatCounter *l3WritebacksStat_ = nullptr;
+    StatCounter *ownerWritebacksStat_ = nullptr;
+    StatCounter *sharerInvalidationsStat_ = nullptr;
+    StatCounter *upgradesStat_ = nullptr;
+    StatCounter *l1WriteHitsStat_ = nullptr;
+    /** @} */
 };
 
 } // namespace ccache::cache

@@ -5,27 +5,12 @@
 namespace ccache::cache {
 
 TagArray::TagArray(std::size_t sets, std::size_t ways)
-    : sets_(sets), ways_(ways), lines_(sets * ways)
+    : sets_(sets), ways_(ways),
+      lines_(static_cast<Line *>(std::calloc(sets * ways, sizeof(Line))))
 {
     CC_ASSERT(sets > 0 && ways > 0, "degenerate tag array");
-}
-
-Lookup
-TagArray::lookup(std::size_t set, Addr tag) const
-{
-    CC_ASSERT(set < sets_, "set ", set, " out of range");
-    for (std::size_t w = 0; w < ways_; ++w) {
-        const Line &l = lines_[index(set, w)];
-        if (l.valid() && l.tag == tag)
-            return {true, w};
-    }
-    return {false, 0};
-}
-
-void
-TagArray::touch(std::size_t set, std::size_t way)
-{
-    lines_[index(set, way)].lastUse = ++useClock_;
+    if (!lines_)
+        CC_FATAL("tag array allocation failed (", sets, "x", ways, ")");
 }
 
 std::optional<std::size_t>
@@ -46,28 +31,12 @@ TagArray::victim(std::size_t set) const
     return best;
 }
 
-Line &
-TagArray::line(std::size_t set, std::size_t way)
-{
-    CC_ASSERT(set < sets_ && way < ways_, "line (", set, ",", way,
-              ") out of range");
-    return lines_[index(set, way)];
-}
-
-const Line &
-TagArray::line(std::size_t set, std::size_t way) const
-{
-    CC_ASSERT(set < sets_ && way < ways_, "line (", set, ",", way,
-              ") out of range");
-    return lines_[index(set, way)];
-}
-
 std::size_t
 TagArray::validLines() const
 {
     std::size_t n = 0;
-    for (const auto &l : lines_)
-        n += l.valid() ? 1 : 0;
+    for (std::size_t i = 0; i < sets_ * ways_; ++i)
+        n += lines_[i].valid() ? 1 : 0;
     return n;
 }
 

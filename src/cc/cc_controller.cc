@@ -2,15 +2,72 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
+#include "common/perf_counters.hh"
+#include "common/rng.hh"
 #include "verify/coherence_checker.hh"
 #include "verify/watchdog.hh"
 
 namespace ccache::cc {
 
 using cache::Cache;
+
+Cycles &
+CcController::PartitionClock::operator[](std::uint64_t key)
+{
+    if (slots.empty())
+        slots.resize(256);
+    else if (live * 4 >= slots.size() * 3)
+        grow();
+    std::size_t mask = slots.size() - 1;
+    std::size_t i = mix64(key) & mask;
+    while (true) {
+        Slot &s = slots[i];
+        if (s.epoch != epoch) {
+            s.key = key;
+            s.value = 0;
+            s.epoch = epoch;
+            ++live;
+            return s.value;
+        }
+        if (s.key == key)
+            return s.value;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+CcController::PartitionClock::clear()
+{
+    ++epoch;
+    live = 0;
+    if (epoch == 0) {
+        // Epoch counter wrapped: stale slots could alias the new epoch,
+        // so pay one full sweep every 2^32 clears.
+        for (Slot &s : slots)
+            s.epoch = 0;
+        epoch = 1;
+    }
+}
+
+void
+CcController::PartitionClock::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    std::size_t mask = slots.size() - 1;
+    for (const Slot &s : old) {
+        if (s.epoch != epoch)
+            continue;
+        std::size_t i = mix64(s.key) & mask;
+        while (slots[i].epoch == epoch)
+            i = (i + 1) & mask;
+        slots[i] = s;
+    }
+}
 
 void
 CcController::ScheduleState::reset(unsigned power_cap)
@@ -21,8 +78,10 @@ CcController::ScheduleState::reset(unsigned power_cap)
     partitionFree.clear();
     nearFree.clear();
     powerSlots.clear();
-    if (power_cap > 0)
-        powerSlots.assign(power_cap, 0);
+    // An ascending-index run of equal keys is already a valid min-heap,
+    // so no make_heap is needed after this fill.
+    for (unsigned i = 0; i < power_cap; ++i)
+        powerSlots.emplace_back(0, i);
     fetchLats.clear();
 }
 
@@ -81,6 +140,49 @@ CcController::CcController(cache::Hierarchy &hier,
         sp.cols = 8 * kBlockSize;
         circuit_ = std::make_unique<sram::SubArray>(sp);
     }
+
+    if (stats_) {
+        instrLatencyHist_ = &stats_->histogram(
+            "cc.instr_latency", 64.0, 64,
+            "per-CC-instruction completion latency (cycles)");
+        faultScrubCyclesAccum_ = &stats_->accum("cc.fault.scrub_cycles");
+        instructionsStat_ = &stats_->counter("cc.instructions");
+        pageSplitExceptionsStat_ =
+            &stats_->counter("cc.page_split_exceptions");
+        lockRetriesStat_ = &stats_->counter("cc.lock_retries");
+        operandRefetchesStat_ = &stats_->counter("cc.operand_refetches");
+        inPlaceOpsStat_ = &stats_->counter("cc.in_place_ops");
+        nearPlaceOpsStat_ = &stats_->counter("cc.near_place_ops");
+        blockOpsStat_ = &stats_->counter("cc.block_ops");
+        circuitVerificationsStat_ =
+            &stats_->counter("cc.circuit_verifications");
+        riscFallbacksStat_ = &stats_->counter("cc.risc_fallbacks");
+        reuseHoistsStat_ = &stats_->counter("cc.reuse_hoists");
+        instrTableFullStat_ = &stats_->counter("cc.instr_table_full");
+        stagingRacesStat_ = &stats_->counter("cc.staging_races");
+        keyReplicationsStat_ = &stats_->counter("cc.key_replications");
+        opTableOverflowsStat_ = &stats_->counter("cc.op_table_overflows");
+        faultRiscRecoveriesStat_ =
+            &stats_->counter("cc.fault.risc_recoveries");
+        faultDegradedNearPlaceStat_ =
+            &stats_->counter("cc.fault.degraded_near_place");
+        faultRetriesStat_ = &stats_->counter("cc.fault.retries");
+        faultMarginFailuresStat_ =
+            &stats_->counter("cc.fault.margin_failures");
+        faultEccUncorrectableStat_ =
+            &stats_->counter("cc.fault.ecc_uncorrectable");
+        faultEccCorrectedStat_ = &stats_->counter("cc.fault.ecc_corrected");
+        faultSilentCorruptionsStat_ =
+            &stats_->counter("cc.fault.silent_corruptions");
+        faultScrubVisitsStat_ = &stats_->counter("cc.fault.scrub_visits");
+        faultScrubRefillsStat_ = &stats_->counter("cc.fault.scrub_refills");
+        faultScrubCorrectionsStat_ =
+            &stats_->counter("cc.fault.scrub_corrections");
+        for (CacheLevel lvl :
+             {CacheLevel::L1, CacheLevel::L2, CacheLevel::L3})
+            levelOpsStat_[static_cast<unsigned>(lvl)] = &stats_->counter(
+                std::string("cc.level_") + ccache::toString(lvl));
+    }
 }
 
 CcExecResult
@@ -106,9 +208,7 @@ CcController::execute(CoreId core, const CcInstruction &instr)
     }
 
     if (stats_) {
-        stats_->histogram("cc.instr_latency", 64.0, 64,
-                          "per-CC-instruction completion latency (cycles)")
-            .sample(static_cast<double>(res.latency));
+        instrLatencyHist_->sample(static_cast<double>(res.latency));
     }
     if (trace_ && trace_->enabled()) {
         Json args = Json::object();
@@ -134,7 +234,7 @@ CcController::executeInstr(CoreId core, const CcInstruction &instr)
     instr.validate();
 
     if (stats_)
-        stats_->counter("cc.instructions").inc();
+        instructionsStat_->inc();
     if (energy_)
         energy_->chargeVectorInstructions(1);
 
@@ -151,7 +251,7 @@ CcController::executeInstr(CoreId core, const CcInstruction &instr)
     // Section IV-D: page-spanning operands raise a pipeline exception and
     // the handler splits the instruction per page.
     if (stats_)
-        stats_->counter("cc.page_split_exceptions").inc();
+        pageSplitExceptionsStat_->inc();
     CcExecResult total;
     total.latency = params_.pageSplitPenalty;
     std::size_t result_bits = 0;
@@ -239,7 +339,7 @@ CcController::stageOperand(CoreId core, Addr addr, CacheLevel level,
             return latency;
         }
         if (stats_)
-            stats_->counter("cc.lock_retries").inc();
+            lockRetriesStat_->inc();
         if (watchdog_)
             watchdog_->noteRetry("lock", addr);
     }
@@ -259,7 +359,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         // A staged operand can be lost to an unexpected invalidation;
         // re-fetch it instead of aborting the simulation.
         if (stats_)
-            stats_->counter("cc.operand_refetches").inc();
+            operandRefetchesStat_->inc();
         Block blk{};
         out.extraLatency += hier_.read(core, a, &blk, level).latency;
         return blk;
@@ -272,7 +372,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
             return;
         }
         if (stats_)
-            stats_->counter("cc.operand_refetches").inc();
+            operandRefetchesStat_->inc();
         out.extraLatency += hier_.write(core, a, &data, level).latency;
     };
 
@@ -283,7 +383,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
     auto risc_recover = [&]() {
         out.riscRecovered = true;
         if (stats_)
-            stats_->counter("cc.fault.risc_recoveries").inc();
+            faultRiscRecoveriesStat_->inc();
         traceFault("fault.risc_recovery", op.src1, level);
         for (Addr addr : {op.src1, op.src2}) {
             if (!addr)
@@ -312,7 +412,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
     auto degrade_sense = [&]() -> std::pair<Block, Block> {
         out.degradedNearPlace = true;
         if (stats_)
-            stats_->counter("cc.fault.degraded_near_place").inc();
+            faultDegradedNearPlaceStat_->inc();
         traceFault("fault.degrade_near_place", op.src1, level);
         out.extraLatency += params_.nearPlace.latency(level);
         std::uint64_t sid = fault::subarrayId(level, op.cacheIndex,
@@ -350,8 +450,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         if (energy_)
             energy_->chargeCacheOp(level, cost_op);
         if (stats_)
-            stats_->counter(op.inPlace ? "cc.in_place_ops"
-                                       : "cc.near_place_ops").inc();
+            (op.inPlace ? inPlaceOpsStat_ : nearPlaceOpsStat_)->inc();
 
         if (faults_.enabled() &&
             !senseOperands(op, level, dual_row && op.inPlace,
@@ -379,7 +478,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
             // The packed destination was evicted mid-instruction;
             // recover the partial parities instead of aborting.
             if (stats_)
-                stats_->counter("cc.operand_refetches").inc();
+                operandRefetchesStat_->inc();
             out.extraLatency +=
                 hier_.read(core, op.dest, &merged, level).latency;
         }
@@ -404,7 +503,7 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
         if (energy_)
             energy_->chargeCacheOp(level, cost_op);
         if (stats_)
-            stats_->counter("cc.in_place_ops").inc();
+            inPlaceOpsStat_->inc();
 
         if (faults_.enabled() &&
             !senseOperands(op, level, dual_row,
@@ -494,7 +593,7 @@ CcController::senseOperands(const BlockOp &op, CacheLevel level,
             if (energy_)
                 energy_->chargeCacheOp(level, retry_op);
             if (stats_)
-                stats_->counter("cc.fault.retries").inc();
+                faultRetriesStat_->inc();
             if (watchdog_)
                 watchdog_->noteRetry("sense", op.src1);
             traceFault("fault.retry", op.src1, level);
@@ -503,7 +602,7 @@ CcController::senseOperands(const BlockOp &op, CacheLevel level,
             // The margin detector flagged this dual-row activation:
             // nothing sensed in this attempt can be trusted.
             if (stats_)
-                stats_->counter("cc.fault.margin_failures").inc();
+                faultMarginFailuresStat_->inc();
             traceFault("fault.margin_failure", op.src1, level);
             continue;
         }
@@ -548,12 +647,12 @@ CcController::checkOperand(Block *sensed, const Block &truth, Addr addr,
     EccStatus status = checkBlock(*sensed, stored);
     if (status == EccStatus::DetectedDoubleBit) {
         if (stats_)
-            stats_->counter("cc.fault.ecc_uncorrectable").inc();
+            faultEccUncorrectableStat_->inc();
         traceFault("fault.ecc_uncorrectable", addr, level);
         return false;
     }
     if (status == EccStatus::CorrectedSingleBit && stats_)
-        stats_->counter("cc.fault.ecc_corrected").inc();
+        faultEccCorrectedStat_->inc();
 
     // A clean or corrected pass also scrubs any latent damage on the
     // line (access-triggered scrubbing).
@@ -562,7 +661,7 @@ CcController::checkOperand(Block *sensed, const Block &truth, Addr addr,
     if (*sensed != truth && stats_) {
         // The check unit saw nothing wrong (or miscorrected an odd-
         // count burst): the op consumes wrong bits with no error raised.
-        stats_->counter("cc.fault.silent_corruptions").inc();
+        faultSilentCorruptionsStat_->inc();
     }
     return true;
 }
@@ -577,13 +676,13 @@ CcController::scrubTick()
     if (visited == 0)
         return;
     if (stats_) {
-        stats_->counter("cc.fault.scrub_visits").inc(visited);
+        faultScrubVisitsStat_->inc(visited);
         // Scrubbing steals idle cycles (Section IV-I alternative 2), so
         // its time is tracked in its own budget, not in any
         // instruction's latency.
-        stats_->accum("cc.fault.scrub_cycles")
-            .add(static_cast<double>(visited) *
-                 static_cast<double>(params_.scrubCheckLatency));
+        faultScrubCyclesAccum_->add(static_cast<double>(visited) *
+                                    static_cast<double>(
+                                        params_.scrubCheckLatency));
     }
     if (energy_)
         energy_->chargeCacheOp(CacheLevel::L3, energy::CacheOp::Read,
@@ -601,7 +700,7 @@ CcController::scrubTick()
             faults_.clearLatent(hit.addr);
             faults_.remap(hit.addr);
             if (stats_)
-                stats_->counter("cc.fault.scrub_refills").inc();
+                faultScrubRefillsStat_->inc();
             if (energy_)
                 energy_->chargeDram(1);
             continue;
@@ -611,10 +710,10 @@ CcController::scrubTick()
             // An odd-count burst aliased through the scrubber's check:
             // it "corrected" the line into a still-wrong value.
             if (stats_)
-                stats_->counter("cc.fault.silent_corruptions").inc();
+                faultSilentCorruptionsStat_->inc();
         } else if (status == EccStatus::CorrectedSingleBit) {
             if (stats_)
-                stats_->counter("cc.fault.scrub_corrections").inc();
+                faultScrubCorrectionsStat_->inc();
             if (energy_)
                 energy_->chargeCacheOp(CacheLevel::L3,
                                        energy::CacheOp::Write);
@@ -671,7 +770,7 @@ CcController::verifyAgainstCircuit(const CcInstruction &instr,
     CC_ASSERT(circuit_result == result,
               "circuit/functional divergence for ", toString(instr.op));
     if (stats_)
-        stats_->counter("cc.circuit_verifications").inc();
+        circuitVerificationsStat_->inc();
 }
 
 CcExecResult
@@ -683,7 +782,7 @@ CcController::riscFallback(CoreId core, const CcInstruction &instr)
     res.riscFallback = true;
     res.level = CacheLevel::L1;
     if (stats_)
-        stats_->counter("cc.risc_fallbacks").inc();
+        riscFallbacksStat_->inc();
 
     std::size_t blocks = divCeil(instr.size, kBlockSize);
     for (std::size_t i = 0; i < blocks; ++i) {
@@ -726,6 +825,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
     res.latency = params_.issueLatency;
     std::size_t blocks = divCeil(instr.size, kBlockSize);
     res.blockOps = blocks;
+    perf::addCcBlockOps(blocks);
 
     // ------------------------------------------------------------------
     // Level selection (Section IV-E): highest level where all operands
@@ -740,7 +840,8 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
         dest_blocks = divCeil(blocks, ops_per_dest_block);
     }
 
-    std::vector<Addr> all_blocks;
+    std::vector<Addr> &all_blocks = scratchBlocks_;
+    all_blocks.clear();
     for (std::size_t i = 0; i < blocks; ++i) {
         Addr off = i * kBlockSize;
         if (instr.src1)
@@ -763,7 +864,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
     if (params_.useReusePredictor && !params_.forceLevel) {
         level = reuse_.recommend(level, all_blocks);
         if (level != CacheLevel::L3 && stats_)
-            stats_->counter("cc.reuse_hoists").inc();
+            reuseHoistsStat_->inc();
     }
     if (params_.useReusePredictor) {
         for (Addr a : all_blocks)
@@ -777,7 +878,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
         // A full instruction table is a structural hazard, not a bug:
         // degrade to the scalar path rather than aborting.
         if (stats_)
-            stats_->counter("cc.instr_table_full").inc();
+            instrTableFullStat_->inc();
         return riscFallback(core, instr);
     }
 
@@ -785,8 +886,10 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
     // Operand staging: fetch + pin every block of every operand. Misses
     // overlap up to fetchMlp deep.
     // ------------------------------------------------------------------
-    std::vector<Addr> pinned;
-    std::vector<Cycles> fetch_lats;
+    std::vector<Addr> &pinned = scratchPinned_;
+    std::vector<Cycles> &fetch_lats = scratchFetchLats_;
+    pinned.clear();
+    fetch_lats.clear();
     bool fallback = false;
 
     auto stage = [&](Addr addr, bool exclusive, bool overwrite) {
@@ -847,7 +950,8 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
     // ------------------------------------------------------------------
     // Build block ops, resolve placement and operand locality.
     // ------------------------------------------------------------------
-    std::vector<BlockOp> ops(blocks);
+    std::vector<BlockOp> &ops = scratchOps_;
+    ops.assign(blocks, BlockOp{});
     for (std::size_t i = 0; i < blocks; ++i) {
         BlockOp &op = ops[i];
         op.index = i;
@@ -866,7 +970,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
             // Lost to an invalidation race between staging and issue
             // (Section IV-E's lock window): release and degrade.
             if (stats_)
-                stats_->counter("cc.staging_races").inc();
+                stagingRacesStat_->inc();
             unpin_all();
             keys_.releaseInstr(seq);
             instrTable_.release(*instr_id);
@@ -881,16 +985,18 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
         // instance and block partition. The search key is replicated, so
         // it never constrains locality.
         op.inPlace = !params_.forceNearPlace;
-        std::vector<Addr> members;
+        std::array<Addr, 3> members;
+        std::size_t n_members = 0;
         if (op.src1)
-            members.push_back(op.src1);
+            members[n_members++] = op.src1;
         if (op.src2 && !fixed_src2)
-            members.push_back(op.src2);
+            members[n_members++] = op.src2;
         // A replicated clmul's dest is filled by the controller's result
         // shift register, so it does not constrain bit-line locality.
         if (op.dest && !instr.src2Replicated)
-            members.push_back(op.dest);
-        for (Addr m : members) {
+            members[n_members++] = op.dest;
+        for (std::size_t mi = 0; mi < n_members; ++mi) {
+            Addr m = members[mi];
             unsigned idx = level == CacheLevel::L3
                 ? hier_.sliceFor(core, m)
                 : core;
@@ -900,7 +1006,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
                 // Same race as the anchor, but survivable: the near-
                 // place path re-reads through the hierarchy.
                 if (stats_)
-                    stats_->counter("cc.staging_races").inc();
+                    stagingRacesStat_->inc();
                 op.inPlace = false;
                 continue;
             }
@@ -920,7 +1026,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
                 op.keyWrite = true;
                 ++res.keyReplications;
                 if (stats_)
-                    stats_->counter("cc.key_replications").inc();
+                    keyReplicationsStat_->inc();
             }
         }
     }
@@ -955,7 +1061,7 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
             for (std::size_t oi = 0; oi < 3; ++oi)
                 opTable_.markFetched(*op_entry, oi);
         } else if (stats_) {
-            stats_->counter("cc.op_table_overflows").inc();
+            opTableOverflowsStat_->inc();
         }
 
         issue_clock += 1;  // command delivery on the shared bus
@@ -978,12 +1084,18 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
             ++res.faultRiscRecoveries;
 
         if (op.inPlace) {
-            auto key = std::make_pair(op.cacheIndex, op.partition);
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(op.cacheIndex) << 32) |
+                (static_cast<std::uint64_t>(op.partition) & 0xffffffffULL);
             Cycles interval = std::max<Cycles>(
                 1, static_cast<Cycles>(params_.partitionPipelineFactor *
                                        static_cast<double>(
                                            params_.inPlaceLatency(level))));
-            start = std::max(start, partition_free[key]);
+            // One probe serves both the read here and the store below;
+            // no other PartitionClock access intervenes, so the
+            // reference stays valid.
+            Cycles &pfree = partition_free[key];
+            start = std::max(start, pfree);
             if (op.keyWrite) {
                 // The key replication write occupies the partition before
                 // the search op can activate. Energy: one H-tree
@@ -1005,17 +1117,25 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
             Cycles busy = params_.inPlaceLatency(level) +
                 outcome.extraLatency;
             if (!power_slots.empty()) {
-                auto slot = std::min_element(power_slots.begin(),
-                                             power_slots.end());
-                start = std::max(start, *slot);
+                // Lexicographic (free-at, index) min-heap: the popped
+                // slot is the first minimum a linear scan would find,
+                // so schedules are bit-identical to the scan version.
+                std::pop_heap(power_slots.begin(), power_slots.end(),
+                              std::greater<>{});
+                auto &slot = power_slots.back();
+                start = std::max(start, slot.first);
                 end = start + busy;
-                *slot = end;
+                slot.first = end;
+                std::push_heap(power_slots.begin(), power_slots.end(),
+                               std::greater<>{});
             } else {
                 end = start + busy;
             }
-            partition_free[key] = start + interval + outcome.extraLatency;
+            pfree = start + interval + outcome.extraLatency;
             ++res.inPlaceOps;
         } else {
+            if (op.cacheIndex >= near_free.size())
+                near_free.resize(op.cacheIndex + 1, 0);
             start = std::max(start, near_free[op.cacheIndex]);
             end = start + params_.nearPlace.latency(level) +
                 outcome.extraLatency;
@@ -1058,9 +1178,8 @@ CcController::executeOnce(CoreId core, const CcInstruction &instr)
     instrTable_.release(*instr_id);
 
     if (stats_) {
-        stats_->counter("cc.block_ops").inc(blocks);
-        stats_->counter(std::string("cc.level_") +
-                        ccache::toString(level)).inc();
+        blockOpsStat_->inc(blocks);
+        levelOpsStat_[static_cast<unsigned>(level)]->inc();
     }
     return res;
 }

@@ -19,6 +19,7 @@
 #ifndef CCACHE_CC_CC_CONTROLLER_HH
 #define CCACHE_CC_CC_CONTROLLER_HH
 
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -314,15 +315,56 @@ class CcController
     verify::ProgressWatchdog *watchdog_ = nullptr;
     CcControllerParams params_;
 
+    /**
+     * Flat open-addressed map from a packed (cache index, partition)
+     * key to that partition's next-free cycle. The schedule loop hits
+     * this once per in-place block op, which made the former
+     * `std::map<std::pair<...>, Cycles>` the single hottest scheduler
+     * structure (DESIGN.md §13); linear probing over a power-of-two
+     * table keeps the lookup allocation-free, and clear() is O(1) via
+     * an epoch stamp instead of touching every slot. Fully
+     * deterministic: probe order depends only on the keys inserted.
+     */
+    struct PartitionClock
+    {
+        struct Slot
+        {
+            std::uint64_t key = 0;
+            Cycles value = 0;
+            std::uint32_t epoch = 0;   ///< live iff equal to map epoch
+        };
+
+        /** Find-or-insert; a fresh entry reads as 0 (partition free at
+         *  cycle 0). The reference stays valid until the next call. */
+        Cycles &operator[](std::uint64_t key);
+
+        /** Forget every entry (O(1): bumps the epoch). */
+        void clear();
+
+        std::vector<Slot> slots;
+        std::uint32_t epoch = 1;
+        std::size_t live = 0;
+
+      private:
+        void grow();
+    };
+
     /** Shared scheduling state for one instruction or one stream. */
     struct ScheduleState
     {
         bool streaming = false;
         Cycles issueClock = 0;
         Cycles horizon = 0;
-        std::map<std::pair<unsigned, std::size_t>, Cycles> partitionFree;
-        std::map<unsigned, Cycles> nearFree;
-        std::vector<Cycles> powerSlots;
+        PartitionClock partitionFree;
+        /** Next-free cycle of each controller's near-place logic unit,
+         *  indexed by cache index (flat: at most one per core/slice). */
+        std::vector<Cycles> nearFree;
+        /** Active-sub-array power slots as a binary min-heap of
+         *  (free-at cycle, slot index), ordered lexicographically so the
+         *  pop matches what a first-minimum linear scan would pick —
+         *  smallest free time, then smallest slot index. Replaces an
+         *  O(cap) std::min_element per in-place op with O(log cap). */
+        std::vector<std::pair<Cycles, std::uint32_t>> powerSlots;
         std::vector<Cycles> fetchLats;
 
         void reset(unsigned power_cap);
@@ -336,6 +378,52 @@ class CcController
     fault::FaultInjector faults_;
     ScheduleState sched_;
     std::uint64_t instrSeq_ = 0;
+
+    /** Stats pre-registered in the constructor under "cc." so the
+     *  per-block-op paths increment through stable pointers instead of
+     *  resolving dotted names in every iteration (same pattern as Cache
+     *  and Hierarchy; StatRegistry storage is pointer-stable). All null
+     *  without a registry. @{ */
+    StatHistogram *instrLatencyHist_ = nullptr;
+    StatAccum *faultScrubCyclesAccum_ = nullptr;
+    StatCounter *instructionsStat_ = nullptr;
+    StatCounter *pageSplitExceptionsStat_ = nullptr;
+    StatCounter *lockRetriesStat_ = nullptr;
+    StatCounter *operandRefetchesStat_ = nullptr;
+    StatCounter *inPlaceOpsStat_ = nullptr;
+    StatCounter *nearPlaceOpsStat_ = nullptr;
+    StatCounter *blockOpsStat_ = nullptr;
+    StatCounter *circuitVerificationsStat_ = nullptr;
+    StatCounter *riscFallbacksStat_ = nullptr;
+    StatCounter *reuseHoistsStat_ = nullptr;
+    StatCounter *instrTableFullStat_ = nullptr;
+    StatCounter *stagingRacesStat_ = nullptr;
+    StatCounter *keyReplicationsStat_ = nullptr;
+    StatCounter *opTableOverflowsStat_ = nullptr;
+    StatCounter *faultRiscRecoveriesStat_ = nullptr;
+    StatCounter *faultDegradedNearPlaceStat_ = nullptr;
+    StatCounter *faultRetriesStat_ = nullptr;
+    StatCounter *faultMarginFailuresStat_ = nullptr;
+    StatCounter *faultEccUncorrectableStat_ = nullptr;
+    StatCounter *faultEccCorrectedStat_ = nullptr;
+    StatCounter *faultSilentCorruptionsStat_ = nullptr;
+    StatCounter *faultScrubVisitsStat_ = nullptr;
+    StatCounter *faultScrubRefillsStat_ = nullptr;
+    StatCounter *faultScrubCorrectionsStat_ = nullptr;
+    /** Per-level op counters ("cc.level_L1" .. "cc.level_L3"), indexed
+     *  by the CacheLevel enum value (slot 0 unused). */
+    std::array<StatCounter *, 4> levelOpsStat_{};
+    /** @} */
+
+    /** Per-instruction scratch buffers, pool-allocated once and reused
+     *  across executeOnce() calls so the block-op hot path performs no
+     *  heap allocation in steady state (DESIGN.md §13 arena rules:
+     *  contents are dead outside one executeOnce activation). @{ */
+    std::vector<Addr> scratchBlocks_;
+    std::vector<Addr> scratchPinned_;
+    std::vector<Cycles> scratchFetchLats_;
+    std::vector<BlockOp> scratchOps_;
+    /** @} */
 
     /** Scratch sub-array for verifyCircuit mode. */
     std::unique_ptr<sram::SubArray> circuit_;

@@ -16,59 +16,59 @@ namespace {
  */
 constexpr unsigned kCodeBits = 71;
 
-bool
+constexpr bool
 isParityPos(unsigned pos)
 {
     return (pos & (pos - 1)) == 0;  // 1, 2, 4, ..., 64
 }
 
-/** Map data bit index to its code position; nullopt when the index is
- *  outside the 64 data bits (total function: a bad index comes from a
- *  corrupted syndrome, which is a detectable error, not a bug). */
-std::optional<unsigned>
-dataPos(unsigned data_idx)
-{
-    // Precomputable, but clarity wins: walk positions skipping parity.
-    unsigned seen = 0;
-    for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
-        if (isParityPos(pos))
-            continue;
-        if (seen == data_idx)
-            return pos;
-        ++seen;
-    }
-    return std::nullopt;
-}
+/** Marker for code positions that hold a parity bit, not a data bit. */
+constexpr std::uint8_t kNotData = 0xff;
 
-/** Expand data into a 72-bit position-indexed value (bit pos-1). */
-std::array<bool, kCodeBits + 1>
-expand(std::uint64_t data)
+/**
+ * Precomputed code tables. Hamming parity p covers every position with
+ * bit p set, so over the 64 *data* bits it is the parity of
+ * `data & parityMask[p]` — one AND + popcount per parity instead of a
+ * 71-position walk per word. posToDataIdx inverts the position mapping
+ * for syndrome decoding. Both tables are derived at compile time from
+ * the same position-skipping rule the scalar definition used.
+ */
+struct SecdedTables
 {
-    std::array<bool, kCodeBits + 1> code{};
+    std::array<std::uint64_t, 7> parityMask{};
+    std::array<std::uint8_t, kCodeBits + 1> posToDataIdx{};
+};
+
+consteval SecdedTables
+makeTables()
+{
+    SecdedTables t{};
+    for (auto &entry : t.posToDataIdx)
+        entry = kNotData;
     unsigned data_idx = 0;
     for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
         if (isParityPos(pos))
             continue;
-        code[pos] = (data >> data_idx) & 1;
+        t.posToDataIdx[pos] = static_cast<std::uint8_t>(data_idx);
+        for (unsigned p = 0; p < 7; ++p) {
+            if (pos & (1u << p))
+                t.parityMask[p] |= std::uint64_t{1} << data_idx;
+        }
         ++data_idx;
     }
-    return code;
+    return t;
 }
 
-/** Hamming parity bits for an expanded code word (data positions only —
- *  parity positions must be zero or already filled consistently). */
+constexpr SecdedTables kTables = makeTables();
+
+/** Hamming parity bits of the 64 data bits, via the mask tables. */
 std::uint8_t
-hammingParities(const std::array<bool, kCodeBits + 1> &code)
+hammingParities(std::uint64_t data)
 {
     std::uint8_t parities = 0;
     for (unsigned p = 0; p < 7; ++p) {
-        unsigned mask = 1u << p;
-        bool parity = false;
-        for (unsigned pos = 1; pos <= kCodeBits; ++pos) {
-            if ((pos & mask) && !isParityPos(pos))
-                parity ^= code[pos];
-        }
-        parities |= static_cast<std::uint8_t>(parity) << p;
+        unsigned parity = std::popcount(data & kTables.parityMask[p]) & 1;
+        parities |= static_cast<std::uint8_t>(parity << p);
     }
     return parities;
 }
@@ -78,8 +78,7 @@ hammingParities(const std::array<bool, kCodeBits + 1> &code)
 std::uint8_t
 Secded::encode(std::uint64_t data)
 {
-    auto code = expand(data);
-    std::uint8_t parities = hammingParities(code);
+    std::uint8_t parities = hammingParities(data);
     // Overall parity covers all data and parity bits.
     bool overall = std::popcount(data) & 1;
     overall ^= std::popcount(static_cast<unsigned>(parities)) & 1;
@@ -92,8 +91,7 @@ EccStatus
 Secded::decode(std::uint64_t &data, std::uint8_t check)
 {
     // Syndrome: recomputed Hamming parities vs the *stored* ones.
-    auto code = expand(data);
-    std::uint8_t syndrome = hammingParities(code) ^ (check & 0x7f);
+    std::uint8_t syndrome = hammingParities(data) ^ (check & 0x7f);
 
     // Overall parity is evaluated over the bits as RECEIVED (data plus
     // the stored check byte): even for a clean word, odd for any
@@ -121,12 +119,8 @@ Secded::decode(std::uint64_t &data, std::uint8_t check)
         return EccStatus::CorrectedSingleBit;  // a stored parity bit
 
     // Locate which data bit lives at that position and flip it back.
-    unsigned data_idx = 0;
-    for (unsigned p = 1; p < pos; ++p) {
-        if (!isParityPos(p))
-            ++data_idx;
-    }
-    if (dataPos(data_idx) != pos) {
+    unsigned data_idx = kTables.posToDataIdx[pos];
+    if (data_idx == kNotData) {
         // No data bit maps back to the syndrome position: the syndrome
         // was forged by a multi-bit error pattern, so report it as
         // detected-uncorrectable instead of corrupting a healthy bit.

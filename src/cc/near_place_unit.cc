@@ -79,6 +79,8 @@ NearPlaceUnit::NearPlaceUnit(const NearPlaceParams &params,
                              StatRegistry *stats)
     : params_(params), energy_(energy), stats_(stats)
 {
+    if (stats_)
+        opsStat_ = &stats_->counter("cc.near_place_ops");
 }
 
 NearPlaceResult
@@ -86,8 +88,8 @@ NearPlaceUnit::execute(CcOpcode op, CacheLevel level, const Block &a,
                        const Block &b, std::size_t clmul_word_bits)
 {
     ++ops_;
-    if (stats_)
-        stats_->counter("cc.near_place_ops").inc();
+    if (opsStat_)
+        opsStat_->inc();
 
     NearPlaceResult res;
     res.latency = params_.latency(level);

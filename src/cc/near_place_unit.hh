@@ -85,6 +85,10 @@ class NearPlaceUnit
     NearPlaceParams params_;
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
+    /** Pre-registered "cc.near_place_ops" counter: execute() runs once
+     *  per near-place block op, so it increments through a stable
+     *  pointer instead of a name lookup. Null without a registry. */
+    StatCounter *opsStat_ = nullptr;
     std::uint64_t ops_ = 0;
 };
 

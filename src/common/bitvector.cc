@@ -36,24 +36,6 @@ BitVector::fromBytes(const std::uint8_t *data, std::size_t nbytes)
     return bv;
 }
 
-bool
-BitVector::get(std::size_t i) const
-{
-    CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
-    return (words_[i / 64] >> (i % 64)) & 1;
-}
-
-void
-BitVector::set(std::size_t i, bool value)
-{
-    CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
-    std::uint64_t mask = std::uint64_t{1} << (i % 64);
-    if (value)
-        words_[i / 64] |= mask;
-    else
-        words_[i / 64] &= ~mask;
-}
-
 void
 BitVector::setAll(bool value)
 {
@@ -144,7 +126,16 @@ std::vector<std::uint8_t>
 BitVector::toBytes() const
 {
     std::vector<std::uint8_t> bytes(divCeil(nbits_, 8), 0);
-    for (std::size_t j = 0; j < bytes.size(); ++j)
+    // Word-at-a-time with an explicit little-endian byte unpack (the
+    // layout the old byte loop defined); the fixed inner loop compiles
+    // to a single 64-bit store on little-endian targets.
+    std::size_t full = bytes.size() / 8;
+    for (std::size_t w = 0; w < full; ++w) {
+        std::uint64_t v = words_[w];
+        for (unsigned k = 0; k < 8; ++k)
+            bytes[w * 8 + k] = static_cast<std::uint8_t>(v >> (k * 8));
+    }
+    for (std::size_t j = full * 8; j < bytes.size(); ++j)
         bytes[j] = static_cast<std::uint8_t>(words_[j / 8] >> ((j % 8) * 8));
     return bytes;
 }

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace ccache {
 
 /** Fixed-size-at-construction bit vector backed by 64-bit words. */
@@ -34,8 +36,27 @@ class BitVector
     std::size_t size() const { return nbits_; }
     bool empty() const { return nbits_ == 0; }
 
-    bool get(std::size_t i) const;
-    void set(std::size_t i, bool value);
+    /** Single-bit accessors, inline: workload generators call these
+     *  once per row/bit (millions of times per bench). @{ */
+    bool
+    get(std::size_t i) const
+    {
+        CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+        return (words_[i / 64] >> (i % 64)) & 1;
+    }
+
+    void
+    set(std::size_t i, bool value)
+    {
+        CC_ASSERT(i < nbits_, "bit index ", i, " out of range ", nbits_);
+        std::uint64_t mask = std::uint64_t{1} << (i % 64);
+        if (value)
+            words_[i / 64] |= mask;
+        else
+            words_[i / 64] &= ~mask;
+    }
+    /** @} */
+
     void setAll(bool value);
 
     /** Number of set bits. */

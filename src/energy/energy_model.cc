@@ -24,6 +24,16 @@ EnergyBreakdown::operator+=(const EnergyBreakdown &other)
 
 EnergyModel::EnergyModel(const EnergyParams &params) : params_(params)
 {
+    for (CacheLevel level :
+         {CacheLevel::L1, CacheLevel::L2, CacheLevel::L3}) {
+        for (std::size_t o = 0; o < kOps; ++o) {
+            CacheOp op = static_cast<CacheOp>(o);
+            OpCost &c =
+                opCost_[static_cast<unsigned>(level) - 1][o];
+            c.perBlock = params_.cacheOpEnergy(level, op);
+            c.icFrac = params_.htreeFraction(level, op);
+        }
+    }
 }
 
 void
@@ -50,8 +60,10 @@ void
 EnergyModel::chargeCacheOp(CacheLevel level, CacheOp op,
                            std::uint64_t blocks)
 {
-    EnergyPJ per_block = params_.cacheOpEnergy(level, op);
-    double ic_frac = params_.htreeFraction(level, op);
+    const OpCost &c = opCost_[static_cast<unsigned>(level) - 1]
+                             [static_cast<std::size_t>(op)];
+    EnergyPJ per_block = c.perBlock;
+    double ic_frac = c.icFrac;
     EnergyPJ total = per_block * static_cast<double>(blocks);
     addCacheIc(level, total * ic_frac);
     addCacheAccess(level, total * (1.0 - ic_frac));

@@ -111,8 +111,23 @@ class EnergyModel
     std::string report() const;
 
   private:
+    /** Per-(level, op) Table V cost, precomputed at construction:
+     *  chargeCacheOp runs once per simulated cache access, and the
+     *  switch-ladder lookups dominate it. The cached values feed the
+     *  exact arithmetic the uncached path used, so charged energies are
+     *  bit-identical (DESIGN.md §13). */
+    struct OpCost
+    {
+        EnergyPJ perBlock;
+        double icFrac;
+    };
+    static constexpr std::size_t kLevels = 3;
+    static constexpr std::size_t kOps =
+        static_cast<std::size_t>(CacheOp::Clmul) + 1;
+
     EnergyParams params_;
     EnergyBreakdown dyn_;
+    OpCost opCost_[kLevels][kOps];
 };
 
 } // namespace ccache::energy

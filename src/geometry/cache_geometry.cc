@@ -83,48 +83,6 @@ CacheGeometry::CacheGeometry(const CacheGeometryParams &params)
                  ") is not a power of two");
 }
 
-AddrFields
-CacheGeometry::decode(Addr addr) const
-{
-    AddrFields f;
-    f.blockOffset = bits(addr, 0, static_cast<unsigned>(blockBits_));
-    Addr block_addr = addr >> blockBits_;
-    f.set = static_cast<std::size_t>(
-        bits(block_addr, 0, static_cast<unsigned>(setBits_)));
-    // Figure 5(b): low set-index bits choose bank then block partition.
-    f.bank = static_cast<std::size_t>(
-        bits(block_addr, 0, static_cast<unsigned>(bankBits_)));
-    f.bp = static_cast<std::size_t>(
-        bits(block_addr, static_cast<unsigned>(bankBits_),
-             static_cast<unsigned>(bpBits_)));
-    f.tag = block_addr >> setBits_;
-    return f;
-}
-
-BlockPlace
-CacheGeometry::place(std::size_t set, std::size_t way) const
-{
-    CC_ASSERT(set < numSets_, "set ", set, " out of range");
-    CC_ASSERT(way < params_.ways, "way ", way, " out of range");
-
-    BlockPlace p;
-    p.bank = set & ((std::size_t{1} << bankBits_) - 1);
-    std::size_t bp = (set >> bankBits_) &
-        ((std::size_t{1} << bpBits_) - 1);
-    p.subarray = bp / params_.blocksPerRow;
-    p.partition = bp % params_.blocksPerRow;
-
-    // Sets that share a (bank, bp) stack vertically; all ways of a set are
-    // consecutive rows within the partition (design choice 1).
-    std::size_t local_set = set >> (bankBits_ + bpBits_);
-    p.row = local_set * params_.ways + way;
-    CC_ASSERT(p.row < rowsPerSubarray_, "derived row ", p.row,
-              " exceeds sub-array rows ", rowsPerSubarray_);
-
-    p.globalPartition = p.bank * params_.blockPartitionsPerBank + bp;
-    return p;
-}
-
 bool
 CacheGeometry::sameBlockPartition(Addr a, Addr b) const
 {

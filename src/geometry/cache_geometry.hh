@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/bit_util.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "sram/subarray_params.hh"
 
@@ -118,15 +120,60 @@ class CacheGeometry
         return static_cast<unsigned>(blockBits_ + bankBits_ + bpBits_);
     }
 
-    /** Decompose @p addr per the Figure 5(b) decoding. */
-    AddrFields decode(Addr addr) const;
+    /**
+     * Decompose @p addr per the Figure 5(b) decoding. Inline: this sits
+     * on the hit path of every cache access, so it must compile down to
+     * a handful of shifts and masks.
+     */
+    AddrFields decode(Addr addr) const
+    {
+        AddrFields f;
+        f.blockOffset = bits(addr, 0, static_cast<unsigned>(blockBits_));
+        Addr block_addr = addr >> blockBits_;
+        f.set = static_cast<std::size_t>(
+            bits(block_addr, 0, static_cast<unsigned>(setBits_)));
+        // Figure 5(b): low set-index bits choose bank then block partition.
+        f.bank = static_cast<std::size_t>(
+            bits(block_addr, 0, static_cast<unsigned>(bankBits_)));
+        f.bp = static_cast<std::size_t>(
+            bits(block_addr, static_cast<unsigned>(bankBits_),
+                 static_cast<unsigned>(bpBits_)));
+        f.tag = block_addr >> setBits_;
+        return f;
+    }
 
     /** Set index of @p addr. */
-    std::size_t setIndex(Addr addr) const { return decode(addr).set; }
+    std::size_t setIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>(
+            bits(addr >> blockBits_, 0, static_cast<unsigned>(setBits_)));
+    }
 
     /** Physical placement of (set, way): all ways of a set land in the
-     *  same block partition, at consecutive rows. */
-    BlockPlace place(std::size_t set, std::size_t way) const;
+     *  same block partition, at consecutive rows. Inline: the CC
+     *  scheduler derives a placement per block-op operand. */
+    BlockPlace place(std::size_t set, std::size_t way) const
+    {
+        CC_ASSERT(set < numSets_, "set ", set, " out of range");
+        CC_ASSERT(way < params_.ways, "way ", way, " out of range");
+
+        BlockPlace p;
+        p.bank = set & ((std::size_t{1} << bankBits_) - 1);
+        std::size_t bp = (set >> bankBits_) &
+            ((std::size_t{1} << bpBits_) - 1);
+        p.subarray = bp / params_.blocksPerRow;
+        p.partition = bp % params_.blocksPerRow;
+
+        // Sets sharing a (bank, bp) stack vertically; all ways of a set
+        // are consecutive rows within the partition (design choice 1).
+        std::size_t local_set = set >> (bankBits_ + bpBits_);
+        p.row = local_set * params_.ways + way;
+        CC_ASSERT(p.row < rowsPerSubarray_, "derived row ", p.row,
+                  " exceeds sub-array rows ", rowsPerSubarray_);
+
+        p.globalPartition = p.bank * params_.blockPartitionsPerBank + bp;
+        return p;
+    }
 
     /** True iff the two block addresses map to the same block partition
      *  (in-place compute is possible between them). */

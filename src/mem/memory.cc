@@ -16,12 +16,16 @@ Memory::Page &
 Memory::pageFor(Addr addr)
 {
     Addr page = alignDown(addr, kPageSize);
+    if (page == lastPageAddr_ && lastPage_)
+        return *lastPage_;
     auto it = pages_.find(page);
     if (it == pages_.end()) {
         auto fresh = std::make_unique<Page>();
         fresh->fill(0);
         it = pages_.emplace(page, std::move(fresh)).first;
     }
+    lastPageAddr_ = page;
+    lastPage_ = it->second.get();
     return *it->second;
 }
 
@@ -29,8 +33,14 @@ const Memory::Page *
 Memory::pageForConst(Addr addr) const
 {
     Addr page = alignDown(addr, kPageSize);
+    if (page == lastPageAddr_)
+        return lastPage_;
     auto it = pages_.find(page);
-    return it == pages_.end() ? nullptr : it->second.get();
+    if (it == pages_.end())
+        return nullptr;
+    lastPageAddr_ = page;
+    lastPage_ = it->second.get();
+    return lastPage_;
 }
 
 Block

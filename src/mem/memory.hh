@@ -68,6 +68,15 @@ class Memory
 
     MemoryParams params_;
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    /** One-entry page memo: block accesses stream 64-to-a-page, and the
+     *  map's unique_ptr targets are stable (pages are never erased), so
+     *  a cached pointer stays valid across inserts (DESIGN.md §13).
+     *  ~Addr{0} is never page-aligned, so the empty memo never hits.
+     *  Mutable: readBlock() is logically const. */
+    mutable Addr lastPageAddr_ = ~Addr{0};
+    mutable Page *lastPage_ = nullptr;
+
     Cycles channelFree_ = 0;
     mutable std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

@@ -24,6 +24,10 @@ Ring::Ring(const RingParams &params, energy::EnergyModel *energy,
 {
     if (params_.nodes == 0)
         CC_FATAL("ring needs at least one node");
+    if (stats_) {
+        messagesStat_ = &stats_->counter("noc.messages");
+        flitHopsStat_ = &stats_->counter("noc.flit_hops");
+    }
 }
 
 unsigned
@@ -53,9 +57,9 @@ Ring::send(unsigned src, unsigned dst, MsgClass cls)
 
     if (energy_)
         energy_->chargeNoc(bytes, hops);
-    if (stats_) {
-        stats_->counter("noc.messages").inc();
-        stats_->counter("noc.flit_hops").inc(flits * hops);
+    if (messagesStat_) {
+        messagesStat_->inc();
+        flitHopsStat_->inc(flits * hops);
     }
 
     // Wormhole-style: head latency plus serialization of the payload over

@@ -86,6 +86,11 @@ class Ring
     RingParams params_;
     energy::EnergyModel *energy_;
     StatRegistry *stats_;
+    /** Pre-registered counters: send() is called once per coherence hop,
+     *  so it must not re-resolve dotted stat names. Null w/o registry. @{ */
+    StatCounter *messagesStat_ = nullptr;
+    StatCounter *flitHopsStat_ = nullptr;
+    /** @} */
     EventTrace *trace_ = nullptr;
     verify::ProgressWatchdog *watchdog_ = nullptr;
     std::uint64_t messages_ = 0;

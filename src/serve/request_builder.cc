@@ -20,8 +20,22 @@ patternBytes(std::uint64_t pattern_seed, RequestId id, unsigned stream,
 {
     Rng rng(mix64(mix64(pattern_seed ^ id) ^ (0xb0b0000 + stream)));
     Bytes out(n);
-    for (auto &b : out)
-        b = static_cast<std::uint8_t>(rng.below(256));
+    // One xoshiro draw yields eight operand bytes (low byte first, a
+    // platform-independent unpack). Operand fill is the serve harness's
+    // hottest loop (DESIGN.md §13), and the bytes stay a pure function
+    // of (patternSeed, id, stream), so every shard still builds
+    // identical request data.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t w = rng.next();
+        for (unsigned k = 0; k < 8; ++k)
+            out[i + k] = static_cast<std::uint8_t>(w >> (k * 8));
+    }
+    if (i < n) {
+        std::uint64_t w = rng.next();
+        for (; i < n; ++i, w >>= 8)
+            out[i] = static_cast<std::uint8_t>(w);
+    }
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/bit_util.hh"
 #include "common/logging.hh"
@@ -94,8 +95,8 @@ System::dump(Addr addr, std::size_t len)
         std::size_t lo = blk < addr ? addr - blk : 0;
         std::size_t hi = std::min<std::size_t>(kBlockSize,
                                                addr + len - blk);
-        for (std::size_t i = lo; i < hi; ++i)
-            out[written++] = b[i];
+        std::memcpy(out.data() + written, b.data() + lo, hi - lo);
+        written += hi - lo;
     }
     return out;
 }

@@ -53,6 +53,22 @@ class BitcellArray
     BitVector readRow(std::size_t row) const;
 
     /**
+     * Packed-row accessor: the row's backing bit vector, without copying.
+     * Bit `c` of the row is bit `c % 64` of `row(r).words()[c / 64]`; this
+     * is the representation the vectorized bit-line path operates on
+     * (DESIGN.md §13).
+     */
+    const BitVector &row(std::size_t r) const;
+
+    /**
+     * Overwrite words `[word_lo, word_lo + data.words().size())` of
+     * @p row through the write port, word-at-a-time. @p data must be a
+     * whole number of 64-bit words (a block partition always is).
+     */
+    void writeWordsThroughBitlines(std::size_t row, std::size_t word_lo,
+                                   const BitVector &data);
+
+    /**
      * Activate a set of word-lines simultaneously and return the resulting
      * analog bit-line levels.
      *
@@ -67,6 +83,39 @@ class BitcellArray
      */
     BitlineLevels activate(const std::vector<std::size_t> &active_rows,
                            double underdrive);
+
+    /**
+     * Digital word-packed equivalent of activate() + single-ended sensing
+     * at Vref = 0.5, the only reference the sub-array sense amplifiers use.
+     */
+    struct DigitalSense
+    {
+        /** Per column: every activated cell stores '1' (the BL sense). */
+        BitVector andBits;
+
+        /** Per column: no activated cell stores '1' (the BLB sense). */
+        BitVector norBits;
+
+        /** Smallest |level - 0.5| over both bit-lines, or -1.0 when margin
+         *  tracking was not requested. */
+        double margin = -1.0;
+    };
+
+    /**
+     * Vectorized activation: computes the AND/NOR senses word-at-a-time
+     * over the packed 64-bit row words, applies the same read-disturb
+     * corruption as activate(), and (optionally) the sense margin.
+     *
+     * Bit-exact to activate() followed by SenseAmpArray::senseBL /
+     * senseBLB / senseMargin at Vref = 0.5: with kPullStrength = 0.6 a
+     * bit-line sits at 1.0 (no pulling cell), 0.4 (exactly one) or 0.0
+     * (two or more), so the threshold comparison against 0.5 reduces to
+     * "no pulling cell" and the margin to 0.1 iff some column has exactly
+     * one puller on either line, else 0.5.
+     */
+    DigitalSense activateWords(const std::vector<std::size_t> &active_rows,
+                               double underdrive,
+                               bool track_margin = false);
 
     /**
      * Drive values directly onto the bit-lines and write into @p row

@@ -1,5 +1,9 @@
 #include "sram/subarray.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace ccache::sram {
@@ -15,7 +19,34 @@ opIndex(BitlineOp op)
     return static_cast<std::size_t>(op);
 }
 
+/** -1 = follow the environment, 0/1 = forced by a test. */
+std::atomic<int> g_scalar_override{-1};
+
+bool
+scalarBitlineEnv()
+{
+    const char *env = std::getenv("CCACHE_SCALAR_BITLINE");
+    return env && env[0] == '1';
+}
+
 } // namespace
+
+bool
+SubArray::scalarBitline()
+{
+    int forced = g_scalar_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    static const bool from_env = scalarBitlineEnv();
+    return from_env;
+}
+
+void
+SubArray::forceScalarBitline(std::optional<bool> on)
+{
+    g_scalar_override.store(on ? (*on ? 1 : 0) : -1,
+                            std::memory_order_relaxed);
+}
 
 SubArray::SubArray(const SubArrayParams &params)
     : params_(params), cells_(params.rows, params.cols),
@@ -37,6 +68,15 @@ SubArray::extractPartition(const BitVector &row_bits, std::size_t p) const
 {
     auto [lo, hi] = columnRange(p);
     BitVector out(hi - lo);
+    if (!scalarBitline()) {
+        // Partitions are whole 64-bit words (the block width is 512 bits
+        // and cols is a multiple of it), so the extraction is a word copy.
+        const auto &src = row_bits.words();
+        auto &dst = out.words();
+        std::copy(src.begin() + lo / 64, src.begin() + lo / 64 + dst.size(),
+                  dst.begin());
+        return out;
+    }
     for (std::size_t c = lo; c < hi; ++c)
         out.set(c - lo, row_bits.get(c));
     return out;
@@ -72,9 +112,17 @@ SubArray::attachFaults(fault::FaultInjector *injector,
 BitVector
 SubArray::senseBlock(const BlockLoc &loc)
 {
-    auto levels = cells_.activate({loc.row}, params_.wordlineUnderdrive);
-    auto full = senseAmps_.senseDifferential(levels);
-    BitVector bits = extractPartition(full, loc.partition);
+    BitVector bits;
+    if (scalarBitline()) {
+        auto levels = cells_.activate({loc.row}, params_.wordlineUnderdrive);
+        auto full = senseAmps_.senseDifferential(levels);
+        bits = extractPartition(full, loc.partition);
+    } else {
+        // A single-row differential sense observes exactly the stored bits
+        // (BL/BLB sit at 1.0 vs 0.4) and one active row can never disturb,
+        // so the sense is a word copy of the packed row (DESIGN.md §13).
+        bits = extractPartition(cells_.row(loc.row), loc.partition);
+    }
 
     // Single-row sensing sees full margin: only cell defects and
     // in-flight soft errors can corrupt the observed bits.
@@ -97,6 +145,10 @@ SubArray::storeBlock(const BlockLoc &loc, const BitVector &bits)
 {
     CC_ASSERT(bits.size() == 8 * kBlockSize, "block bit width mismatch");
     auto [lo, hi] = columnRange(loc.partition);
+    if (!scalarBitline()) {
+        cells_.writeWordsThroughBitlines(loc.row, lo / 64, bits);
+        return;
+    }
     BitVector row = cells_.readRow(loc.row);
     for (std::size_t c = lo; c < hi; ++c)
         row.set(c, bits.get(c - lo));
@@ -132,13 +184,22 @@ SubArray::activatePair(const BlockLoc &a, const BlockLoc &b)
 {
     checkSamePartition(a, b);
     CC_ASSERT(a.row != b.row, "in-place op needs two distinct rows");
-    auto levels = cells_.activate({a.row, b.row},
-                                  params_.wordlineUnderdrive);
     TwoRowSense sense;
-    sense.andBits = extractPartition(senseAmps_.senseBL(levels),
-                                     a.partition);
-    sense.norBits = extractPartition(senseAmps_.senseBLB(levels),
-                                     a.partition);
+    if (scalarBitline()) {
+        auto levels = cells_.activate({a.row, b.row},
+                                      params_.wordlineUnderdrive);
+        sense.andBits = extractPartition(senseAmps_.senseBL(levels),
+                                         a.partition);
+        sense.norBits = extractPartition(senseAmps_.senseBLB(levels),
+                                         a.partition);
+    } else {
+        pairRows_[0] = a.row;
+        pairRows_[1] = b.row;
+        auto digital =
+            cells_.activateWords(pairRows_, params_.wordlineUnderdrive);
+        sense.andBits = extractPartition(digital.andBits, a.partition);
+        sense.norBits = extractPartition(digital.norBits, a.partition);
+    }
 
     // Dual-row activation halves the worst-case sense margin: an
     // injected margin failure flips the weakest column's observation on
@@ -218,9 +279,14 @@ SubArray::opNot(const BlockLoc &src, const BlockLoc &dst)
     ++opCounts_[opIndex(BitlineOp::Not)];
 
     // Single-row activation; BLB carries the complement of the stored data.
-    auto levels = cells_.activate({src.row}, params_.wordlineUnderdrive);
-    BitVector result = extractPartition(senseAmps_.senseBLB(levels),
-                                        src.partition);
+    BitVector result;
+    if (scalarBitline()) {
+        auto levels = cells_.activate({src.row}, params_.wordlineUnderdrive);
+        result = extractPartition(senseAmps_.senseBLB(levels),
+                                  src.partition);
+    } else {
+        result = ~extractPartition(cells_.row(src.row), src.partition);
+    }
     storeBlock(dst, result);
     return {params_.opDelay(BitlineOp::Not),
             params_.opEnergy(BitlineOp::Not)};
@@ -266,12 +332,22 @@ SubArray::opCmp(const BlockLoc &a, const BlockLoc &b)
     BitVector xorBits = ~(sense.andBits | sense.norBits);
 
     CmpResult result;
-    for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
-        bool any_diff = false;
-        for (std::size_t bit = 0; bit < 64; ++bit)
-            any_diff |= xorBits.get(w * 64 + bit);
-        if (!any_diff)
-            result.wordEqualMask |= std::uint64_t{1} << w;
+    if (!scalarBitline()) {
+        // Each 64-bit block word is exactly one packed word of the 512-bit
+        // partition, so the wired-NOR per word is a zero test.
+        const auto &xor_w = xorBits.words();
+        for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+            if (xor_w[w] == 0)
+                result.wordEqualMask |= std::uint64_t{1} << w;
+        }
+    } else {
+        for (std::size_t w = 0; w < kWordsPerBlock; ++w) {
+            bool any_diff = false;
+            for (std::size_t bit = 0; bit < 64; ++bit)
+                any_diff |= xorBits.get(w * 64 + bit);
+            if (!any_diff)
+                result.wordEqualMask |= std::uint64_t{1} << w;
+        }
     }
     result.allEqual =
         result.wordEqualMask == (std::uint64_t{1} << kWordsPerBlock) - 1;
@@ -319,13 +395,21 @@ SubArray::rawActivate(const std::vector<std::size_t> &rows)
     if (rows.size() > params_.maxSafeActiveRows)
         underdrive = 1.0;
 
-    auto levels = cells_.activate(rows, underdrive);
     RawSense sense;
-    sense.andResult = senseAmps_.senseBL(levels);
-    sense.norResult = senseAmps_.senseBLB(levels);
-    double margin_bl = senseAmps_.senseMargin(levels.bl);
-    double margin_blb = senseAmps_.senseMargin(levels.blb);
-    sense.margin = margin_bl < margin_blb ? margin_bl : margin_blb;
+    if (scalarBitline()) {
+        auto levels = cells_.activate(rows, underdrive);
+        sense.andResult = senseAmps_.senseBL(levels);
+        sense.norResult = senseAmps_.senseBLB(levels);
+        double margin_bl = senseAmps_.senseMargin(levels.bl);
+        double margin_blb = senseAmps_.senseMargin(levels.blb);
+        sense.margin = margin_bl < margin_blb ? margin_bl : margin_blb;
+    } else {
+        auto digital =
+            cells_.activateWords(rows, underdrive, /*track_margin=*/true);
+        sense.andResult = std::move(digital.andBits);
+        sense.norResult = std::move(digital.norBits);
+        sense.margin = digital.margin;
+    }
 
     // An injected margin failure collapses the observed margin and
     // corrupts the weakest column, like amplifier offset noise would.

@@ -148,6 +148,21 @@ class SubArray
     /** True iff the last dual-row activation had a margin failure. */
     bool lastMarginFailed() const { return lastMarginFailed_; }
 
+    /**
+     * Scalar-reference gate (DESIGN.md §13): by default every op runs the
+     * vectorized word-at-a-time bit-line evaluation; setting the
+     * environment variable `CCACHE_SCALAR_BITLINE=1` (or calling
+     * forceScalarBitline) selects the per-bit analog scalar path instead.
+     * The two paths are bit-exact — including fault injection and RNG
+     * draw order — and the differential tests hold them to that. @{
+     */
+    static bool scalarBitline();
+
+    /** Programmatic override for in-process differential tests:
+     *  true/false force a path, nullopt restores the environment gate. */
+    static void forceScalarBitline(std::optional<bool> on);
+    /** @} */
+
     /** Fault injected into the last single-row sense, if any. */
     const fault::FaultEvent &lastSenseFault() const
     {
@@ -189,6 +204,9 @@ class SubArray
     SenseAmpArray senseAmps_;
     XorReductionTree xorTree_;
     std::vector<std::uint64_t> opCounts_;
+
+    /** Scratch row list reused by activatePair (no per-op allocation). */
+    std::vector<std::size_t> pairRows_ = {0, 0};
 
     fault::FaultInjector *faults_ = nullptr;
     std::uint64_t faultBaseId_ = 0;

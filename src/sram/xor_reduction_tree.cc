@@ -1,5 +1,7 @@
 #include "sram/xor_reduction_tree.hh"
 
+#include <bit>
+
 #include "common/bit_util.hh"
 #include "common/logging.hh"
 
@@ -28,12 +30,16 @@ XorReductionTree::reduceWords(const BitVector &input,
     CC_ASSERT(width_ % word_bits == 0, "row width ", width_,
               " not a multiple of word width ", word_bits);
 
+    // word_bits is a multiple of 64, so each reduction word covers whole
+    // packed words of the input and the parity is a popcount reduction.
+    const auto &words = input.words();
+    const std::size_t packed_per = word_bits / 64;
     std::vector<bool> parities;
     parities.reserve(width_ / word_bits);
     for (std::size_t w = 0; w < width_ / word_bits; ++w) {
         unsigned ones = 0;
-        for (std::size_t b = 0; b < word_bits; ++b)
-            ones += input.get(w * word_bits + b) ? 1 : 0;
+        for (std::size_t j = 0; j < packed_per; ++j)
+            ones += std::popcount(words[w * packed_per + j]);
         parities.push_back((ones & 1) != 0);
     }
     return parities;

@@ -5,6 +5,7 @@
  * Usage:
  *
  *     ccstat BASELINE.json CURRENT.json [--threshold FRAC] [--stats]
+ *            [--perf] [--perf-threshold FRAC] [--identical]
  *
  * Both inputs are `ccache-bench-results` files written by
  * bench::ResultsWriter (see bench/bench_util.hh and DESIGN.md §7). The
@@ -13,6 +14,16 @@
  * exceeds the threshold (default 5%). Drift is flagged in BOTH
  * directions: the simulator is deterministic, so an unexpected
  * improvement is as suspicious as a regression.
+ *
+ * Two perf-aware modes (DESIGN.md §13, README "Profiling & perf CI"):
+ *
+ *  - `--perf` additionally compares the run-local "perf" sections. This
+ *    check is one-sided — only a slowdown beyond `--perf-threshold`
+ *    (default 50%, generous because wall clock is noisy) fails.
+ *  - `--identical` replaces the semantic comparison with a byte-level
+ *    one that ignores the "perf" section: the documents must serialize
+ *    identically after stripping it. This is what CI's thread-count and
+ *    resume identity loops use instead of raw `cmp`.
  *
  * Exit status: 0 when everything is within the threshold, 1 when at
  * least one metric drifted, 2 on I/O, parse or schema errors — so CI
@@ -37,7 +48,10 @@ struct Options
     std::string baselinePath;
     std::string currentPath;
     double threshold = 0.05;
+    double perfThreshold = 0.5;
     bool compareStats = false;
+    bool comparePerf = false;
+    bool identical = false;
 };
 
 void
@@ -45,7 +59,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s BASELINE.json CURRENT.json "
-                 "[--threshold FRAC] [--stats]\n",
+                 "[--threshold FRAC] [--stats]\n"
+                 "       [--perf] [--perf-threshold FRAC] "
+                 "[--identical]\n",
                  argv0);
 }
 
@@ -65,6 +81,16 @@ main(int argc, char **argv)
             opt.threshold = std::atof(argv[++i]);
         } else if (!std::strcmp(argv[i], "--stats")) {
             opt.compareStats = true;
+        } else if (!std::strcmp(argv[i], "--perf")) {
+            opt.comparePerf = true;
+        } else if (!std::strcmp(argv[i], "--perf-threshold")) {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            opt.perfThreshold = std::atof(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--identical")) {
+            opt.identical = true;
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -90,12 +116,33 @@ main(int argc, char **argv)
         !cctools::loadResults(opt.currentPath, cur))
         return 2;
 
+    const Json *bb = base.find("bench");
+    const char *bench = bb ? bb->asString().c_str() : "ccstat";
+
+    if (opt.identical) {
+        // Byte-level identity modulo the run-local perf section.
+        std::string a = cctools::stripPerf(base).dump(2);
+        std::string b = cctools::stripPerf(cur).dump(2);
+        if (a != b) {
+            std::printf("%s: documents DIFFER (ignoring perf)\n", bench);
+            return 1;
+        }
+        std::printf("%s: identical (ignoring perf)\n", bench);
+        return 0;
+    }
+
     int flagged = cctools::compareResults(base, cur, opt.threshold,
                                           opt.compareStats);
+    std::printf("%s: %d metric(s) beyond %.1f%% threshold\n", bench,
+                flagged, 100.0 * opt.threshold);
 
-    const Json *bb = base.find("bench");
-    std::printf("%s: %d metric(s) beyond %.1f%% threshold\n",
-                bb ? bb->asString().c_str() : "ccstat", flagged,
-                100.0 * opt.threshold);
+    if (opt.comparePerf) {
+        int perf_flagged =
+            cctools::comparePerf(base, cur, opt.perfThreshold);
+        std::printf("%s: %d perf regression(s) beyond %.0f%% "
+                    "tolerance\n",
+                    bench, perf_flagged, 100.0 * opt.perfThreshold);
+        flagged += perf_flagged;
+    }
     return flagged ? 1 : 0;
 }

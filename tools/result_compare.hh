@@ -138,6 +138,76 @@ compareMaps(const std::map<std::string, double> &base,
 }
 
 /**
+ * Copy of @p doc without the run-local "perf" section. Every byte-level
+ * identity check (thread-count determinism, resume integrity) must
+ * compare through this: the perf section measures the machine, not the
+ * simulation, and legitimately differs between otherwise identical runs
+ * (DESIGN.md §13).
+ */
+inline ccache::Json
+stripPerf(const ccache::Json &doc)
+{
+    if (!doc.isObject())
+        return doc;
+    ccache::Json::Object out;
+    for (const auto &[key, value] : doc.asObject()) {
+        if (key != "perf")
+            out.emplace(key, value);
+    }
+    return ccache::Json(std::move(out));
+}
+
+/**
+ * Compare the "perf" sections of two result documents. Unlike metric
+ * drift this is one-sided: only a slowdown beyond @p tolerance is
+ * flagged (wall_clock_s up, or ops_per_sec down) — wall clock is noisy
+ * and an improvement is never a failure. Baselines written before the
+ * perf section existed (or with zero ops) pass trivially. Returns the
+ * number of flagged regressions.
+ */
+inline int
+comparePerf(const ccache::Json &base, const ccache::Json &cur,
+            double tolerance)
+{
+    const ccache::Json *bp = base.find("perf");
+    const ccache::Json *cp = cur.find("perf");
+    if (!bp || !bp->isObject()) {
+        std::printf("note: baseline has no perf section, skipping "
+                    "perf comparison\n");
+        return 0;
+    }
+    if (!cp || !cp->isObject()) {
+        std::printf("MISSING  perf section (baseline has one)\n");
+        return 1;
+    }
+    int flagged = 0;
+    const ccache::Json *bw = bp->find("wall_clock_s");
+    const ccache::Json *cw = cp->find("wall_clock_s");
+    if (bw && cw && bw->isNumber() && cw->isNumber()) {
+        double a = bw->asNumber(), b = cw->asNumber();
+        if (b > a * (1.0 + tolerance)) {
+            std::printf("PERF     wall_clock_s: %.3f -> %.3f "
+                        "(%+.0f%%, tolerance %.0f%%)\n",
+                        a, b, 100.0 * (b - a) / (a != 0.0 ? a : 1.0),
+                        100.0 * tolerance);
+            ++flagged;
+        }
+    }
+    const ccache::Json *bo = bp->find("ops_per_sec");
+    const ccache::Json *co = cp->find("ops_per_sec");
+    if (bo && co && bo->isNumber() && co->isNumber()) {
+        double a = bo->asNumber(), b = co->asNumber();
+        if (a > 0.0 && b < a / (1.0 + tolerance)) {
+            std::printf("PERF     ops_per_sec: %.4g -> %.4g "
+                        "(%+.0f%%, tolerance %.0f%%)\n",
+                        a, b, 100.0 * (b - a) / a, 100.0 * tolerance);
+            ++flagged;
+        }
+    }
+    return flagged;
+}
+
+/**
  * Compare two loaded result documents (metrics, and with @p with_stats
  * also every embedded stats dump). Returns the number of flagged
  * divergences; a schema-version difference prints a note only.
