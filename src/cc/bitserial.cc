@@ -1,0 +1,168 @@
+#include "cc/bitserial.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ccache::cc {
+
+namespace {
+
+std::uint64_t
+loadWord(const std::uint8_t *p)
+{
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    return w;
+}
+
+void
+storeWord(std::uint8_t *p, std::uint64_t w)
+{
+    std::memcpy(p, &w, 8);
+}
+
+} // namespace
+
+void
+BitSerialCompute::add(std::uint8_t *dst, const std::uint8_t *a,
+                      const std::uint8_t *b, std::size_t slice_bytes,
+                      std::size_t width)
+{
+    CC_ASSERT(slice_bytes % 8 == 0, "slice bytes must be word multiple");
+    for (std::size_t off = 0; off < slice_bytes; off += 8) {
+        std::uint64_t carry = 0;
+        for (std::size_t k = 0; k < width; ++k) {
+            std::uint64_t ak = loadWord(a + k * slice_bytes + off);
+            std::uint64_t bk = loadWord(b + k * slice_bytes + off);
+            std::uint64_t x = ak ^ bk;
+            storeWord(dst + k * slice_bytes + off, x ^ carry);
+            carry = (ak & bk) | (x & carry);
+        }
+    }
+}
+
+void
+BitSerialCompute::sub(std::uint8_t *dst, const std::uint8_t *a,
+                      const std::uint8_t *b, std::size_t slice_bytes,
+                      std::size_t width)
+{
+    CC_ASSERT(slice_bytes % 8 == 0, "slice bytes must be word multiple");
+    for (std::size_t off = 0; off < slice_bytes; off += 8) {
+        std::uint64_t borrow = 0;
+        for (std::size_t k = 0; k < width; ++k) {
+            std::uint64_t ak = loadWord(a + k * slice_bytes + off);
+            std::uint64_t bk = loadWord(b + k * slice_bytes + off);
+            std::uint64_t x = ak ^ bk;
+            storeWord(dst + k * slice_bytes + off, x ^ borrow);
+            // ~a & b recovered as b & (a ^ b), matching the circuit's
+            // extra single-row sense of b.
+            borrow = (bk & x) | (~x & borrow);
+        }
+    }
+}
+
+void
+BitSerialCompute::mul(std::uint8_t *dst, const std::uint8_t *a,
+                      const std::uint8_t *b, std::size_t slice_bytes,
+                      std::size_t width)
+{
+    CC_ASSERT(slice_bytes % 8 == 0, "slice bytes must be word multiple");
+    CC_ASSERT(dst + slice_bytes * width <= a ||
+                  a + slice_bytes * width <= dst,
+              "mul accumulator overlaps source a");
+    CC_ASSERT(dst + slice_bytes * width <= b ||
+                  b + slice_bytes * width <= dst,
+              "mul accumulator overlaps source b");
+    std::memset(dst, 0, slice_bytes * width);
+    for (std::size_t off = 0; off < slice_bytes; off += 8) {
+        for (std::size_t j = 0; j < width; ++j) {
+            std::uint64_t bj = loadWord(b + j * slice_bytes + off);
+            std::uint64_t carry = 0;
+            for (std::size_t k = 0; j + k < width; ++k) {
+                std::uint64_t pp =
+                    loadWord(a + k * slice_bytes + off) & bj;
+                std::uint8_t *accp = dst + (j + k) * slice_bytes + off;
+                std::uint64_t acc = loadWord(accp);
+                std::uint64_t x = acc ^ pp;
+                storeWord(accp, x ^ carry);
+                carry = (acc & pp) | (x & carry);
+            }
+        }
+    }
+}
+
+void
+BitSerialCompute::compare(CcOpcode op, std::uint8_t *dst,
+                          const std::uint8_t *a, const std::uint8_t *b,
+                          std::size_t slice_bytes, std::size_t width,
+                          bool is_signed)
+{
+    CC_ASSERT(slice_bytes % 8 == 0, "slice bytes must be word multiple");
+    CC_ASSERT(isBitSerialCompare(op), "compare called with ",
+              cc::toString(op));
+    for (std::size_t off = 0; off < slice_bytes; off += 8) {
+        std::uint64_t decided = 0, lt = 0, gt = 0;
+        for (std::size_t k = width; k-- > 0;) {
+            std::uint64_t ak = loadWord(a + k * slice_bytes + off);
+            std::uint64_t bk = loadWord(b + k * slice_bytes + off);
+            std::uint64_t fresh = ~decided & (ak ^ bk);
+            // At the sign slice a set bit means the smaller value.
+            bool sign_slice = is_signed && k + 1 == width;
+            lt |= fresh & (sign_slice ? ak : bk);
+            gt |= fresh & (sign_slice ? bk : ak);
+            decided |= fresh;
+        }
+        std::uint64_t out = op == CcOpcode::Lt   ? lt
+                            : op == CcOpcode::Gt ? gt
+                                                 : ~decided;
+        storeWord(dst + off, out);
+    }
+}
+
+void
+BitSerialCompute::apply(const CcInstruction &instr, std::uint8_t *dst,
+                        const std::uint8_t *a, const std::uint8_t *b,
+                        std::size_t slice_bytes)
+{
+    switch (instr.op) {
+      case CcOpcode::Add:
+        add(dst, a, b, slice_bytes, instr.laneBits);
+        return;
+      case CcOpcode::Sub:
+        sub(dst, a, b, slice_bytes, instr.laneBits);
+        return;
+      case CcOpcode::Mul:
+        mul(dst, a, b, slice_bytes, instr.laneBits);
+        return;
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        compare(instr.op, dst, a, b, slice_bytes, instr.laneBits,
+                instr.isSigned);
+        return;
+      default:
+        CC_PANIC("BitSerialCompute::apply on ", instr.toString());
+    }
+}
+
+std::size_t
+BitSerialCompute::steps(CcOpcode op, std::size_t w)
+{
+    switch (op) {
+      case CcOpcode::Add:
+        return w;
+      case CcOpcode::Sub:
+        return 2 * w;
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        return 2 * w + 1;
+      case CcOpcode::Mul:
+        return w + w * (w + 1);
+      default:
+        CC_PANIC("steps() on non-bit-serial ", cc::toString(op));
+    }
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reference semantics and cycle model of the bit-serial arithmetic class
+ * (Neural Cache, arXiv 1805.03718).
+ *
+ * Operands live in the transposed bit-slice layout: an N-lane, W-bit
+ * vector is W consecutive slice rows of slice_bytes = N/8 bytes each, and
+ * bit l of slice k holds bit k of lane l (little-endian within the slice:
+ * byte l/8, bit l%8). BitSerialCompute applies the same word-at-a-time
+ * carry/borrow recurrences the SubArray carry latch implements, so the
+ * differential tests can hold controller, circuit and near-place paths to
+ * one definition.
+ */
+
+#ifndef CCACHE_CC_BITSERIAL_HH
+#define CCACHE_CC_BITSERIAL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cc/isa.hh"
+
+namespace ccache::cc {
+
+/** Pure slice-buffer semantics of the bit-serial ops. All buffers hold
+ *  whole slices of @p slice_bytes bytes (a multiple of 8); source and
+ *  destination stacks must be byte-identical ranges or disjoint. */
+struct BitSerialCompute
+{
+    /** dst = a + b (mod 2^width), lane-wise. dst may alias a source. */
+    static void add(std::uint8_t *dst, const std::uint8_t *a,
+                    const std::uint8_t *b, std::size_t slice_bytes,
+                    std::size_t width);
+
+    /** dst = a - b (mod 2^width) via the borrow recurrence. */
+    static void sub(std::uint8_t *dst, const std::uint8_t *a,
+                    const std::uint8_t *b, std::size_t slice_bytes,
+                    std::size_t width);
+
+    /** dst = a * b (mod 2^width), shift-and-add. dst must be disjoint
+     *  from both sources (it is the read-modify-written accumulator). */
+    static void mul(std::uint8_t *dst, const std::uint8_t *a,
+                    const std::uint8_t *b, std::size_t slice_bytes,
+                    std::size_t width);
+
+    /** One-slice lt/gt/eq predicate, MSB-first; @p op selects which of
+     *  the three latches is written to @p dst. @p is_signed flips the
+     *  lt/gt roles at the sign slice (ignored by Eq). */
+    static void compare(CcOpcode op, std::uint8_t *dst,
+                        const std::uint8_t *a, const std::uint8_t *b,
+                        std::size_t slice_bytes, std::size_t width,
+                        bool is_signed);
+
+    /** Dispatch on @p instr.op over slice buffers (compare included). */
+    static void apply(const CcInstruction &instr, std::uint8_t *dst,
+                      const std::uint8_t *a, const std::uint8_t *b,
+                      std::size_t slice_bytes);
+
+    /**
+     * Bit-line steps one lane group (one partition's worth of columns)
+     * spends on @p op at lane width @p w — the analytical cycle model
+     * the gemm bench gates measured throughput against:
+     *  - add: w dual-row activations;
+     *  - sub: w activations, each with an extra single-row sense (2w);
+     *  - lt/gt/eq: w compare steps with the extra sense, plus the
+     *    predicate write-back (2w + 1);
+     *  - mul: w accumulator-zeroing steps plus w(w+1)/2 partial-product
+     *    (read, add-step) pairs: w + w(w+1).
+     */
+    static std::size_t steps(CcOpcode op, std::size_t w);
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_BITSERIAL_HH

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "cc/bitserial.hh"
 #include "common/bit_util.hh"
 #include "common/logging.hh"
 #include "common/perf_counters.hh"
@@ -114,6 +115,14 @@ isDualRowOp(CcOpcode op)
       case CcOpcode::Cmp:
       case CcOpcode::Search:
       case CcOpcode::Clmul:
+      // Every bit-serial step senses two rows at once (the a/b or
+      // partial-product/accumulator slice pair).
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
         return true;
       case CcOpcode::Copy:
       case CcOpcode::Buz:
@@ -136,7 +145,9 @@ CcController::CcController(cache::Hierarchy &hier,
 {
     if (params_.verifyCircuit) {
         sram::SubArrayParams sp;
-        sp.rows = 8;
+        // Three bit-serial slice stacks of up to kMaxBitSerialWidth rows
+        // must fit alongside the single-block scratch rows.
+        sp.rows = 128;
         sp.cols = 8 * kBlockSize;
         circuit_ = std::make_unique<sram::SubArray>(sp);
     }
@@ -200,10 +211,18 @@ CcController::execute(CoreId core, const CcInstruction &instr)
         for (Addr base : {instr.src1, instr.src2, instr.dest}) {
             if (!base)
                 continue;
-            Addr first = alignDown(base, kBlockSize);
-            Addr last = alignDown(base + instr.size - 1, kBlockSize);
-            for (Addr blk = first; blk <= last; blk += kBlockSize)
-                checker_->onTransaction(blk);
+            std::size_t slices =
+                isBitSerial(instr.op) ? instr.sliceCount(base) : 1;
+            for (std::size_t k = 0; k < slices; ++k) {
+                Addr slice = isBitSerial(instr.op)
+                    ? CcInstruction::sliceAddr(base, k)
+                    : base;
+                Addr first = alignDown(slice, kBlockSize);
+                Addr last =
+                    alignDown(slice + instr.size - 1, kBlockSize);
+                for (Addr blk = first; blk <= last; blk += kBlockSize)
+                    checker_->onTransaction(blk);
+            }
         }
     }
 
@@ -244,6 +263,9 @@ CcController::executeInstr(CoreId core, const CcInstruction &instr)
         faults_.backgroundTick();
         scrubTick();
     }
+
+    if (isBitSerial(instr.op))
+        return executeBitSerial(core, instr);
 
     if (!instr.spansPage())
         return executeOnce(core, instr);
@@ -442,6 +464,15 @@ CcController::performBlockOp(CoreId core, const CcInstruction &instr,
       case CcOpcode::Xor: cost_op = energy::CacheOp::Logic; break;
       case CcOpcode::Not: cost_op = energy::CacheOp::Not; break;
       case CcOpcode::Clmul: cost_op = energy::CacheOp::Clmul; break;
+      // Bit-serial instructions never reach the block-op path (they
+      // dispatch to executeBitSerial), but the classification keeps
+      // this switch exhaustive.
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq: cost_op = energy::CacheOp::Logic; break;
     }
 
     if (instr.src2Replicated) {
@@ -766,6 +797,13 @@ CcController::verifyAgainstCircuit(const CcInstruction &instr,
       case CcOpcode::Cmp:
       case CcOpcode::Search:
         return;  // mask ops verified separately at the sub-array tests
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        return;  // slice stacks go through verifyBitSerialCircuit
     }
     CC_ASSERT(circuit_result == result,
               "circuit/functional divergence for ", toString(instr.op));
@@ -776,6 +814,9 @@ CcController::verifyAgainstCircuit(const CcInstruction &instr,
 CcExecResult
 CcController::riscFallback(CoreId core, const CcInstruction &instr)
 {
+    if (isBitSerial(instr.op))
+        return riscBitSerial(core, instr);
+
     // Section IV-E: after repeated lock failures the core translates the
     // CC operation into RISC operations.
     CcExecResult res;
@@ -811,6 +852,518 @@ CcController::riscFallback(CoreId core, const CcInstruction &instr)
         res.latency += kWordsPerBlock;  // ALU ops overlap the misses
     }
     res.blockOps = blocks;
+    return res;
+}
+
+CcExecResult
+CcController::riscBitSerial(CoreId core, const CcInstruction &instr)
+{
+    CcExecResult res;
+    res.riscFallback = true;
+    res.level = CacheLevel::L1;
+    if (stats_)
+        riscFallbacksStat_->inc();
+
+    const std::size_t width = instr.laneBits;
+    const std::size_t groups = instr.size / kBlockSize;
+    const std::size_t dst_slices = instr.sliceCount(instr.dest);
+    const std::size_t steps = BitSerialCompute::steps(instr.op, width);
+
+    std::vector<Block> &a = scratchSliceA_;
+    std::vector<Block> &b = scratchSliceB_;
+    std::vector<Block> &d = scratchSliceD_;
+    for (std::size_t g = 0; g < groups; ++g) {
+        Addr off = g * kBlockSize;
+        a.assign(width, Block{});
+        b.assign(width, Block{});
+        d.assign(dst_slices, Block{});
+        for (std::size_t k = 0; k < width; ++k) {
+            res.latency += hier_.read(
+                core, CcInstruction::sliceAddr(instr.src1, k) + off,
+                &a[k]).latency;
+            res.latency += hier_.read(
+                core, CcInstruction::sliceAddr(instr.src2, k) + off,
+                &b[k]).latency;
+        }
+        // One 64-byte block per slice: the group's slice stride is
+        // kBlockSize in the scratch buffers (vector<Block> is
+        // contiguous).
+        BitSerialCompute::apply(instr, d[0].data(), a[0].data(),
+                                b[0].data(), kBlockSize);
+        for (std::size_t k = 0; k < dst_slices; ++k) {
+            res.latency += hier_.write(
+                core, CcInstruction::sliceAddr(instr.dest, k) + off,
+                &d[k]).latency;
+        }
+        // Word-granular loads/stores plus the shift/mask ALU work of
+        // the software bit-serial recurrences on the scalar core.
+        if (energy_)
+            energy_->chargeInstructions(
+                (2 * width + dst_slices + steps) * kWordsPerBlock);
+        res.latency += steps;  // ALU recurrences overlap the misses
+    }
+    res.blockOps = groups * (2 * width + dst_slices);
+    return res;
+}
+
+void
+CcController::verifyBitSerialCircuit(const CcInstruction &instr,
+                                     const std::vector<Block> &a,
+                                     const std::vector<Block> &b,
+                                     const std::vector<Block> &dst)
+{
+    const std::size_t width = instr.laneBits;
+    // Disjoint row stacks inside the scratch sub-array; row capacity is
+    // checked at construction (rows = 128 >= 3 * kMaxBitSerialWidth).
+    sram::BitSerialOperand oa{0, 0};
+    sram::BitSerialOperand ob{0, kMaxBitSerialWidth};
+    sram::BitSerialOperand od{0, 2 * kMaxBitSerialWidth};
+    for (std::size_t k = 0; k < width; ++k) {
+        circuit_->write({0, oa.row0 + k}, a[k]);
+        circuit_->write({0, ob.row0 + k}, b[k]);
+    }
+    if (isBitSerialCompare(instr.op)) {
+        sram::BitSerialCmpResult cres = circuit_->opBitSerialCompare(
+            oa, ob, width, instr.isSigned);
+        const BitVector &want = instr.op == CcOpcode::Lt ? cres.lt
+            : instr.op == CcOpcode::Gt                   ? cres.gt
+                                                         : cres.eq;
+        CC_ASSERT(bitsToBlock(want) == dst[0],
+                  "circuit/functional divergence for ",
+                  toString(instr.op));
+    } else {
+        switch (instr.op) {
+          case CcOpcode::Add:
+            circuit_->opBitSerialAdd(oa, ob, od, width);
+            break;
+          case CcOpcode::Sub:
+            circuit_->opBitSerialSub(oa, ob, od, width);
+            break;
+          case CcOpcode::Mul:
+            circuit_->opBitSerialMul(oa, ob, od, width);
+            break;
+          default:
+            CC_PANIC("not a bit-serial arithmetic op");
+        }
+        for (std::size_t k = 0; k < width; ++k) {
+            CC_ASSERT(circuit_->read({0, od.row0 + k}) == dst[k],
+                      "circuit/functional divergence for ",
+                      toString(instr.op), " slice ", k);
+        }
+    }
+    if (stats_)
+        circuitVerificationsStat_->inc();
+}
+
+CcExecResult
+CcController::executeBitSerial(CoreId core, const CcInstruction &instr)
+{
+    CcExecResult res;
+    if (!sched_.streaming)
+        sched_.reset(params_.maxActiveSubarrays);
+    else
+        sched_.issueClock += params_.issueLatency;  // dispatch serializes
+    res.latency = params_.issueLatency;
+
+    const std::size_t width = instr.laneBits;
+    const std::size_t groups = instr.size / kBlockSize;
+    const std::size_t dst_slices = instr.sliceCount(instr.dest);
+    const std::size_t steps = BitSerialCompute::steps(instr.op, width);
+    res.blockOps = groups * steps;
+    perf::addCcBlockOps(res.blockOps);
+
+    // ------------------------------------------------------------------
+    // Level selection over every slice block of every operand.
+    // ------------------------------------------------------------------
+    std::vector<Addr> &all_blocks = scratchBlocks_;
+    all_blocks.clear();
+    for (std::size_t g = 0; g < groups; ++g) {
+        Addr off = g * kBlockSize;
+        for (std::size_t k = 0; k < width; ++k) {
+            all_blocks.push_back(
+                CcInstruction::sliceAddr(instr.src1, k) + off);
+            all_blocks.push_back(
+                CcInstruction::sliceAddr(instr.src2, k) + off);
+        }
+        for (std::size_t k = 0; k < dst_slices; ++k)
+            all_blocks.push_back(
+                CcInstruction::sliceAddr(instr.dest, k) + off);
+    }
+    CacheLevel level = params_.forceLevel
+        ? *params_.forceLevel
+        : hier_.chooseLevel(core, all_blocks);
+    if (params_.useReusePredictor && !params_.forceLevel) {
+        level = reuse_.recommend(level, all_blocks);
+        if (level != CacheLevel::L3 && stats_)
+            reuseHoistsStat_->inc();
+    }
+    if (params_.useReusePredictor) {
+        for (Addr addr : all_blocks)
+            reuse_.touch(addr);
+    }
+    res.level = level;
+
+    auto instr_id = instrTable_.allocate(instr, core, groups);
+    if (!instr_id) {
+        if (stats_)
+            instrTableFullStat_->inc();
+        return riscBitSerial(core, instr);
+    }
+
+    // ------------------------------------------------------------------
+    // Stage + pin every slice block. Sources first, so an aliased
+    // add/sub destination stack is fetched before the for-overwrite
+    // staging of dest sees it resident.
+    // ------------------------------------------------------------------
+    std::vector<Addr> &pinned = scratchPinned_;
+    std::vector<Cycles> &fetch_lats = scratchFetchLats_;
+    pinned.clear();
+    fetch_lats.clear();
+    bool fallback = false;
+
+    auto stage = [&](Addr addr, bool exclusive, bool overwrite) {
+        auto lat = stageOperand(core, addr, level, exclusive, overwrite);
+        if (!lat) {
+            fallback = true;
+            return;
+        }
+        if (*lat > 0)
+            fetch_lats.push_back(*lat);
+        pinned.push_back(addr);
+    };
+
+    for (std::size_t g = 0; g < groups && !fallback; ++g) {
+        Addr off = g * kBlockSize;
+        for (std::size_t k = 0; k < width && !fallback; ++k) {
+            stage(CcInstruction::sliceAddr(instr.src1, k) + off, false,
+                  false);
+            if (!fallback)
+                stage(CcInstruction::sliceAddr(instr.src2, k) + off,
+                      false, false);
+        }
+        for (std::size_t k = 0; k < dst_slices && !fallback; ++k)
+            stage(CcInstruction::sliceAddr(instr.dest, k) + off, true,
+                  true);
+    }
+
+    auto unpin_all = [&]() {
+        for (Addr addr : pinned)
+            hier_.cacheAt(level, core, addr).unpin(addr);
+    };
+
+    if (fallback) {
+        unpin_all();
+        instrTable_.release(*instr_id);
+        return riscBitSerial(core, instr);
+    }
+
+    if (!fetch_lats.empty()) {
+        if (sched_.streaming) {
+            sched_.fetchLats.insert(sched_.fetchLats.end(),
+                                    fetch_lats.begin(), fetch_lats.end());
+        } else {
+            Cycles fetch = foldFetchLatencies(fetch_lats,
+                                              params_.fetchMlp);
+            res.fetchLatency = fetch;
+            res.latency += fetch;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // One block op per lane group: locality holds when every slice of
+    // every operand sits in the same cache instance and partition (the
+    // page-stride layout guarantees it once the blocks are resident).
+    // ------------------------------------------------------------------
+    std::vector<BlockOp> &ops = scratchOps_;
+    ops.assign(groups, BlockOp{});
+    for (std::size_t g = 0; g < groups; ++g) {
+        BlockOp &op = ops[g];
+        op.index = g;
+        Addr off = g * kBlockSize;
+        op.src1 = instr.src1 + off;  // slice-0 anchor
+        op.src2 = instr.src2 + off;
+        op.dest = instr.dest + off;
+
+        cache::Cache &anchor_cache = hier_.cacheAt(level, core, op.src1);
+        auto place = anchor_cache.placeOf(op.src1);
+        if (!place) {
+            if (stats_)
+                stagingRacesStat_->inc();
+            unpin_all();
+            instrTable_.release(*instr_id);
+            return riscBitSerial(core, instr);
+        }
+        op.cacheIndex = level == CacheLevel::L3
+            ? hier_.sliceFor(core, op.src1)
+            : core;
+        op.partition = place->globalPartition;
+
+        op.inPlace = !params_.forceNearPlace;
+        auto check_member = [&](Addr m) {
+            unsigned idx = level == CacheLevel::L3
+                ? hier_.sliceFor(core, m)
+                : core;
+            cache::Cache &c = hier_.cacheAt(level, core, m);
+            auto p = c.placeOf(m);
+            if (!p) {
+                if (stats_)
+                    stagingRacesStat_->inc();
+                op.inPlace = false;
+                return;
+            }
+            if (idx != op.cacheIndex ||
+                p->globalPartition != op.partition)
+                op.inPlace = false;
+        };
+        for (std::size_t k = 0; k < width; ++k) {
+            check_member(CcInstruction::sliceAddr(instr.src1, k) + off);
+            check_member(CcInstruction::sliceAddr(instr.src2, k) + off);
+        }
+        for (std::size_t k = 0; k < dst_slices; ++k)
+            check_member(CcInstruction::sliceAddr(instr.dest, k) + off);
+    }
+
+    // ------------------------------------------------------------------
+    // Execute + schedule each lane group: the whole carry-latch
+    // sequence occupies its partition; near-place groups serialize on
+    // the controller's single word-serial logic unit.
+    // ------------------------------------------------------------------
+    Cycles finish = sched_.horizon;
+    auto &issue_clock = sched_.issueClock;
+    auto &partition_free = sched_.partitionFree;
+    auto &near_free = sched_.nearFree;
+    auto &power_slots = sched_.powerSlots;
+
+    const Cycles step_latency = params_.inPlaceLatency(level);
+
+    for (BlockOp &op : ops) {
+        issue_clock += 1;  // command delivery on the shared bus
+        Cycles start = issue_clock / params_.commandIssuePerCycle;
+        Cycles end;
+        BlockOpOutcome outcome;
+        Addr off = op.index * kBlockSize;
+
+        auto read_block = [&](Addr addr) -> Block {
+            cache::Cache &c = hier_.cacheAt(level, core, addr);
+            if (const Block *p = c.peek(addr))
+                return *p;
+            if (stats_)
+                operandRefetchesStat_->inc();
+            Block blk{};
+            outcome.extraLatency +=
+                hier_.read(core, addr, &blk, level).latency;
+            return blk;
+        };
+        auto write_block = [&](Addr addr, const Block &data) {
+            cache::Cache &c = hier_.cacheAt(level, core, addr);
+            if (c.poke(addr, data)) {
+                c.markDirty(addr);
+                return;
+            }
+            if (stats_)
+                operandRefetchesStat_->inc();
+            outcome.extraLatency +=
+                hier_.write(core, addr, &data, level).latency;
+        };
+
+        std::vector<Block> &a = scratchSliceA_;
+        std::vector<Block> &b = scratchSliceB_;
+        std::vector<Block> &d = scratchSliceD_;
+        a.assign(width, Block{});
+        b.assign(width, Block{});
+        d.assign(dst_slices, Block{});
+        for (std::size_t k = 0; k < width; ++k) {
+            a[k] = read_block(CcInstruction::sliceAddr(instr.src1, k) +
+                              off);
+            b[k] = read_block(CcInstruction::sliceAddr(instr.src2, k) +
+                              off);
+        }
+
+        // Fault ladder, slice-pair by slice-pair: a pair that exhausts
+        // its retries degrades the WHOLE group to the near-place unit
+        // (the carry latch cannot resume mid-sequence), and a pair that
+        // still fails there refills clean data and recovers on the
+        // scalar core's recurrences.
+        bool group_recovered = false;
+        if (faults_.enabled()) {
+            bool group_degraded = false;
+            for (std::size_t k = 0; k < width && !group_degraded; ++k) {
+                BlockOp sop = op;
+                sop.src1 =
+                    CcInstruction::sliceAddr(instr.src1, k) + off;
+                sop.src2 =
+                    CcInstruction::sliceAddr(instr.src2, k) + off;
+                if (!senseOperands(sop, level, op.inPlace, step_latency,
+                                   energy::CacheOp::Logic, &a[k], &b[k],
+                                   &outcome))
+                    group_degraded = true;
+            }
+            if (group_degraded) {
+                outcome.degradedNearPlace = true;
+                if (stats_)
+                    faultDegradedNearPlaceStat_->inc();
+                traceFault("fault.degrade_near_place", op.src1, level);
+                outcome.extraLatency += params_.nearPlace.latency(level);
+                op.inPlace = false;
+                std::uint64_t sid = fault::subarrayId(
+                    level, op.cacheIndex, op.partition);
+                bool ok = true;
+                for (std::size_t k = 0; k < width && ok; ++k) {
+                    Addr sa =
+                        CcInstruction::sliceAddr(instr.src1, k) + off;
+                    Addr sb =
+                        CcInstruction::sliceAddr(instr.src2, k) + off;
+                    Block ta = read_block(sa);
+                    Block tb = read_block(sb);
+                    a[k] = ta;
+                    b[k] = tb;
+                    ok = checkOperand(&a[k], ta, sa, sid, level,
+                                      &outcome) &&
+                        checkOperand(&b[k], tb, sb, sid, level,
+                                     &outcome);
+                }
+                if (!ok) {
+                    group_recovered = true;
+                    outcome.riscRecovered = true;
+                    if (stats_)
+                        faultRiscRecoveriesStat_->inc();
+                    traceFault("fault.risc_recovery", op.src1, level);
+                    for (std::size_t k = 0; k < width; ++k) {
+                        for (Addr addr :
+                             {CcInstruction::sliceAddr(instr.src1, k) +
+                                  off,
+                              CcInstruction::sliceAddr(instr.src2, k) +
+                                  off}) {
+                            faults_.clearLatent(addr);
+                            faults_.remap(addr);
+                        }
+                        a[k] = read_block(
+                            CcInstruction::sliceAddr(instr.src1, k) +
+                            off);
+                        b[k] = read_block(
+                            CcInstruction::sliceAddr(instr.src2, k) +
+                            off);
+                    }
+                    outcome.extraLatency += params_.faultRefillLatency;
+                    if (energy_) {
+                        energy_->chargeDram(2 * width);
+                        energy_->chargeInstructions(
+                            (2 * width + dst_slices + steps) *
+                            kWordsPerBlock);
+                    }
+                }
+            }
+        }
+
+        // Functional result from the sensed slices: one block per
+        // slice, so the scratch buffers' slice stride is kBlockSize.
+        BitSerialCompute::apply(instr, d[0].data(), a[0].data(),
+                                b[0].data(), kBlockSize);
+        for (std::size_t k = 0; k < dst_slices; ++k)
+            write_block(CcInstruction::sliceAddr(instr.dest, k) + off,
+                        d[k]);
+
+        if (op.inPlace) {
+            if (energy_)
+                energy_->chargeCacheOp(level, energy::CacheOp::Logic,
+                                       steps);
+            if (stats_)
+                inPlaceOpsStat_->inc();
+            if (faults_.enabled()) {
+                // Section IV-I: in-place results bypass the ECC
+                // datapath; the check unit recomputes each written
+                // slice's code.
+                outcome.extraLatency +=
+                    dst_slices * params_.eccCheckLatency;
+                if (energy_)
+                    energy_->addCacheAccess(
+                        level,
+                        energy_->params().eccCheckPerBlock *
+                            static_cast<double>(dst_slices));
+            }
+            if (params_.verifyCircuit)
+                verifyBitSerialCircuit(instr, a, b, d);
+
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(op.cacheIndex) << 32) |
+                (static_cast<std::uint64_t>(op.partition) & 0xffffffffULL);
+            Cycles interval = std::max<Cycles>(
+                1, static_cast<Cycles>(params_.partitionPipelineFactor *
+                                       static_cast<double>(step_latency)));
+            Cycles &pfree = partition_free[key];
+            start = std::max(start, pfree);
+            // The first step pays the full activation latency; later
+            // steps pipeline at the partition interval behind it.
+            Cycles busy = step_latency +
+                static_cast<Cycles>(steps - 1) * interval +
+                outcome.extraLatency;
+            if (!power_slots.empty()) {
+                std::pop_heap(power_slots.begin(), power_slots.end(),
+                              std::greater<>{});
+                auto &slot = power_slots.back();
+                start = std::max(start, slot.first);
+                end = start + busy;
+                slot.first = end;
+                std::push_heap(power_slots.begin(), power_slots.end(),
+                               std::greater<>{});
+            } else {
+                end = start + busy;
+            }
+            // The carry latch holds live state: the partition stays
+            // busy for the whole sequence.
+            pfree = end;
+            ++res.inPlaceOps;
+        } else {
+            // Near-place: 2W slice reads cross the H-tree, the logic
+            // unit runs W word-serial recurrence steps, results write
+            // back.
+            if (energy_ && !group_recovered) {
+                for (std::size_t k = 0; k < 2 * width; ++k)
+                    energy_->chargeCacheOp(level, energy::CacheOp::Read);
+                energy_->chargeNearPlaceLogic(width);
+                for (std::size_t k = 0; k < dst_slices; ++k)
+                    energy_->chargeCacheOp(level,
+                                           energy::CacheOp::Write);
+            }
+            if (stats_)
+                nearPlaceOpsStat_->inc();
+            if (op.cacheIndex >= near_free.size())
+                near_free.resize(op.cacheIndex + 1, 0);
+            start = std::max(start, near_free[op.cacheIndex]);
+            end = start + params_.nearPlace.latency(level) +
+                static_cast<Cycles>(2 * width) + outcome.extraLatency;
+            near_free[op.cacheIndex] = end;
+            ++res.nearPlaceOps;
+        }
+        finish = std::max(finish, end);
+
+        res.faultRetries += outcome.retries;
+        if (outcome.degradedNearPlace)
+            ++res.faultDegradedOps;
+        if (outcome.riscRecovered)
+            ++res.faultRiscRecoveries;
+        instrTable_.complete(*instr_id, 0, 0);
+    }
+
+    sched_.horizon = std::max(sched_.horizon, finish);
+    res.computeLatency = finish;
+    res.latency += finish;
+
+    if (level == CacheLevel::L3 && groups > 0) {
+        unsigned slice = ops.front().cacheIndex;
+        Cycles notify = hier_.ring().send(slice, core % hier_.cores(),
+                                          noc::MsgClass::Control);
+        if (!sched_.streaming)
+            res.latency += notify;
+    }
+
+    unpin_all();
+    instrTable_.release(*instr_id);
+
+    if (stats_) {
+        blockOpsStat_->inc(res.blockOps);
+        levelOpsStat_[static_cast<unsigned>(level)]->inc();
+    }
     return res;
 }
 

@@ -253,6 +253,29 @@ class CcController
 
     CcExecResult executeOnce(CoreId core, const CcInstruction &instr);
 
+    /**
+     * Bit-serial arithmetic path: operands are laneBits bit-slice rows
+     * at kSliceStride apart, carved into lane groups of one 64-byte
+     * block per slice. Each group runs as one carry-latch sequence in
+     * its partition (in-place) or as a word-serial pass through the
+     * near-place logic unit.
+     */
+    CcExecResult executeBitSerial(CoreId core, const CcInstruction &instr);
+
+    /** RISC translation of a bit-serial instruction (staging failure /
+     *  structural hazards): slice blocks move through the hierarchy and
+     *  the scalar core runs the same BitSerialCompute recurrences. */
+    CcExecResult riscBitSerial(CoreId core, const CcInstruction &instr);
+
+    /** Optionally verify one bit-serial lane group against the
+     *  sub-array carry-latch circuit model. Slice blocks of a/b hold
+     *  the group's sensed source slices; @p dst the functional result
+     *  (sliceCount(dest) blocks). */
+    void verifyBitSerialCircuit(const CcInstruction &instr,
+                                const std::vector<Block> &a,
+                                const std::vector<Block> &b,
+                                const std::vector<Block> &dst);
+
     /** Stage + pin one operand; returns latency or nullopt if the line
      *  could not be pinned (all ways pinned by other ops). */
     std::optional<Cycles> stageOperand(CoreId core, Addr addr,
@@ -423,6 +446,11 @@ class CcController
     std::vector<Addr> scratchPinned_;
     std::vector<Cycles> scratchFetchLats_;
     std::vector<BlockOp> scratchOps_;
+    /** Sensed source / result slice blocks of one bit-serial lane
+     *  group. */
+    std::vector<Block> scratchSliceA_;
+    std::vector<Block> scratchSliceB_;
+    std::vector<Block> scratchSliceD_;
     /** @} */
 
     /** Scratch sub-array for verifyCircuit mode. */

@@ -21,6 +21,12 @@ toString(CcOpcode op)
       case CcOpcode::Xor: return "cc_xor";
       case CcOpcode::Clmul: return "cc_clmul";
       case CcOpcode::Not: return "cc_not";
+      case CcOpcode::Add: return "cc_add";
+      case CcOpcode::Sub: return "cc_sub";
+      case CcOpcode::Mul: return "cc_mul";
+      case CcOpcode::Lt: return "cc_lt";
+      case CcOpcode::Gt: return "cc_gt";
+      case CcOpcode::Eq: return "cc_eq";
     }
     return "?";
 }
@@ -28,7 +34,30 @@ toString(CcOpcode op)
 bool
 isCcR(CcOpcode op)
 {
-    return op == CcOpcode::Cmp || op == CcOpcode::Search;
+    // Exhaustive on purpose: a new opcode must be classified here or the
+    // metadata tests fail (satellite of the bit-serial PR). The
+    // bit-serial predicates are CC-RW -- their per-lane masks exceed a
+    // 64-bit register, so they land in a destination slice instead.
+    switch (op) {
+      case CcOpcode::Cmp:
+      case CcOpcode::Search:
+        return true;
+      case CcOpcode::Copy:
+      case CcOpcode::Buz:
+      case CcOpcode::And:
+      case CcOpcode::Or:
+      case CcOpcode::Xor:
+      case CcOpcode::Clmul:
+      case CcOpcode::Not:
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        return false;
+    }
+    return false;
 }
 
 unsigned
@@ -46,9 +75,37 @@ numAddrOperands(CcOpcode op)
       case CcOpcode::Or:
       case CcOpcode::Xor:
       case CcOpcode::Clmul:
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
         return 3;
     }
     return 0;
+}
+
+bool
+isBitSerial(CcOpcode op)
+{
+    switch (op) {
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBitSerialCompare(CcOpcode op)
+{
+    return op == CcOpcode::Lt || op == CcOpcode::Gt || op == CcOpcode::Eq;
 }
 
 CcInstruction
@@ -152,6 +209,66 @@ CcInstruction::clmulReplicated(Addr a, Addr b_block, Addr c, std::size_t n,
     return i;
 }
 
+CcInstruction
+CcInstruction::add(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                   std::size_t width)
+{
+    CcInstruction i;
+    i.op = CcOpcode::Add;
+    i.src1 = a;
+    i.src2 = b;
+    i.dest = c;
+    i.size = slice_bytes;
+    i.laneBits = width;
+    return i;
+}
+
+CcInstruction
+CcInstruction::sub(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                   std::size_t width)
+{
+    CcInstruction i = add(a, b, c, slice_bytes, width);
+    i.op = CcOpcode::Sub;
+    return i;
+}
+
+CcInstruction
+CcInstruction::mul(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                   std::size_t width)
+{
+    CcInstruction i = add(a, b, c, slice_bytes, width);
+    i.op = CcOpcode::Mul;
+    return i;
+}
+
+CcInstruction
+CcInstruction::cmpLt(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                     std::size_t width, bool is_signed)
+{
+    CcInstruction i = add(a, b, c, slice_bytes, width);
+    i.op = CcOpcode::Lt;
+    i.isSigned = is_signed;
+    return i;
+}
+
+CcInstruction
+CcInstruction::cmpGt(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                     std::size_t width, bool is_signed)
+{
+    CcInstruction i = cmpLt(a, b, c, slice_bytes, width, is_signed);
+    i.op = CcOpcode::Gt;
+    return i;
+}
+
+CcInstruction
+CcInstruction::cmpEq(Addr a, Addr b, Addr c, std::size_t slice_bytes,
+                     std::size_t width)
+{
+    CcInstruction i = add(a, b, c, slice_bytes, width);
+    i.op = CcOpcode::Eq;
+    return i;
+}
+
 std::vector<Addr>
 CcInstruction::operandAddrs() const
 {
@@ -168,9 +285,25 @@ CcInstruction::operandAddrs() const
       case CcOpcode::Or:
       case CcOpcode::Xor:
       case CcOpcode::Clmul:
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
         return {src1, src2, dest};
     }
     return {};
+}
+
+std::size_t
+CcInstruction::sliceCount(Addr base) const
+{
+    if (!isBitSerial(op))
+        CC_PANIC("sliceCount is a bit-serial helper");
+    if (base == dest && isBitSerialCompare(op))
+        return 1;                    // one predicate slice
+    return laneBits;                 // full bit-slice stack
 }
 
 std::vector<Addr>
@@ -204,11 +337,46 @@ CcInstruction::validate() const
             CC_FATAL(toString(), ": operand 0x", std::hex, a,
                      " is not 64-byte aligned");
     }
+    if (isBitSerial(op)) {
+        if (laneBits < 1 || laneBits > kMaxBitSerialWidth)
+            CC_FATAL(toString(), ": lane width ", laneBits,
+                     " outside 1..", kMaxBitSerialWidth);
+        if (size % kBlockSize != 0)
+            CC_FATAL(toString(), ": bit-slice bytes ", size,
+                     " must be whole 64-byte blocks");
+        if (size > kSliceStride)
+            CC_FATAL(toString(), ": bit-slice bytes ", size,
+                     " exceed the slice stride ", kSliceStride);
+        // Page-aligned bases give the transposed layout its locality
+        // guarantee (see kSliceStride) and keep every slice row inside
+        // one page.
+        for (Addr a : operandAddrs()) {
+            if (!isAligned(a, kSliceStride))
+                CC_FATAL(toString(), ": transposed operand 0x", std::hex,
+                         a, std::dec, " is not slice-stride aligned");
+        }
+        if (op == CcOpcode::Mul) {
+            // The accumulator is read-modify-written per partial
+            // product; overlapping a source would corrupt it.
+            Addr dlo = dest;
+            Addr dhi = dest + laneBits * kSliceStride;
+            for (Addr s : {src1, src2}) {
+                if (s < dhi && dlo < s + laneBits * kSliceStride)
+                    CC_FATAL(toString(),
+                             ": mul destination overlaps a source");
+            }
+        }
+    }
 }
 
 bool
 CcInstruction::spansPage() const
 {
+    // Bit-serial operands are addressed slice-by-slice and validate()
+    // already rejects any slice that crosses a page, so the Section IV-D
+    // exception never fires for them.
+    if (isBitSerial(op))
+        return false;
     // The key operand of search is a single 64-byte block; all other
     // operands cover the full vector size.
     for (Addr a : operandAddrs()) {
@@ -227,6 +395,9 @@ CcInstruction::spansPage() const
 std::vector<CcInstruction>
 CcInstruction::splitAtPageBoundaries() const
 {
+    CC_ASSERT(!isBitSerial(op),
+              "bit-serial instructions never raise the page-split "
+              "exception (spansPage() is false by construction)");
     std::vector<CcInstruction> pieces;
     std::size_t done = 0;
     while (done < size) {
@@ -260,6 +431,11 @@ CcInstruction::toString() const
     os << cc::toString(op);
     if (op == CcOpcode::Clmul)
         os << clmulWordBits;
+    if (isBitSerial(op)) {
+        os << laneBits;
+        if (op == CcOpcode::Lt || op == CcOpcode::Gt)
+            os << (isSigned ? "s" : "u");
+    }
     os << std::hex;
     for (Addr a : operandAddrs())
         os << " 0x" << a;

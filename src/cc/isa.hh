@@ -18,7 +18,10 @@
 
 namespace ccache::cc {
 
-/** Table II opcodes. cc_clmulX is one opcode with a width field. */
+/** Table II opcodes, extended with the Neural Cache bit-serial
+ *  arithmetic class (arXiv 1805.03718). cc_clmulX is one opcode with a
+ *  width field; the bit-serial ops carry a lane-width field and operate
+ *  on the transposed bit-slice layout (see cc/transpose.hh). */
 enum class CcOpcode {
     Copy,    ///< b[i] = a[i]
     Buz,     ///< a[i] = 0
@@ -29,9 +32,25 @@ enum class CcOpcode {
     Xor,     ///< c[i] = a[i] ^ b[i]
     Clmul,   ///< c_i = xor-reduce(a[i] & b[i]) at 64/128/256-bit words
     Not,     ///< b[i] = ~a[i]
+    Add,     ///< c[l] = a[l] + b[l] (mod 2^W), bit-serial transposed
+    Sub,     ///< c[l] = a[l] - b[l] (mod 2^W), bit-serial transposed
+    Mul,     ///< c[l] = a[l] * b[l] (mod 2^W), shift-and-add
+    Lt,      ///< c bit l = (a[l] < b[l]), signed or unsigned
+    Gt,      ///< c bit l = (a[l] > b[l]), signed or unsigned
+    Eq,      ///< c bit l = (a[l] == b[l])
 };
 
 const char *toString(CcOpcode op);
+
+/** Every enumerator, for exhaustive metadata tests and sweeps. */
+inline constexpr CcOpcode kAllCcOpcodes[] = {
+    CcOpcode::Copy, CcOpcode::Buz,   CcOpcode::Cmp, CcOpcode::Search,
+    CcOpcode::And,  CcOpcode::Or,    CcOpcode::Xor, CcOpcode::Clmul,
+    CcOpcode::Not,  CcOpcode::Add,   CcOpcode::Sub, CcOpcode::Mul,
+    CcOpcode::Lt,   CcOpcode::Gt,    CcOpcode::Eq,
+};
+inline constexpr std::size_t kNumCcOpcodes =
+    sizeof(kAllCcOpcodes) / sizeof(kAllCcOpcodes[0]);
 
 /** CC-R instructions only read memory; CC-RW also write (Section IV-H). */
 bool isCcR(CcOpcode op);
@@ -39,11 +58,32 @@ bool isCcR(CcOpcode op);
 /** Number of memory operands (source + destination addresses). */
 unsigned numAddrOperands(CcOpcode op);
 
+/** True for the bit-serial arithmetic class (transposed operands). */
+bool isBitSerial(CcOpcode op);
+
+/** True for the bit-serial predicate ops (lt/gt/eq). */
+bool isBitSerialCompare(CcOpcode op);
+
 /** Maximum vector size in bytes (Section IV-A). @{ */
 inline constexpr std::size_t kMaxVectorBytes = 16 * 1024;
 inline constexpr std::size_t kMaxCmpBytes = 512;       ///< 64 words
 inline constexpr std::size_t kSearchKeyBytes = 64;
 /** @} */
+
+/** Bit-serial lane widths supported by the carry latch (1..32 bits). */
+inline constexpr std::size_t kMaxBitSerialWidth = 32;
+
+/**
+ * Address stride between consecutive bit-slice rows of a transposed
+ * operand. One page equals (or is a multiple of) the partition stride
+ * 2^minMatchBits of every cache level (Table III), so page-aligned
+ * operand bases put all W slices of a lane group into the SAME block
+ * partition at consecutive rows -- the Neural Cache layout that makes
+ * in-place bit-serial arithmetic possible. It also means a slice row
+ * never crosses a page, so bit-serial ops never take the Section IV-D
+ * page-split exception.
+ */
+inline constexpr std::size_t kSliceStride = kPageSize;
 
 /** One decoded CC instruction. */
 struct CcInstruction
@@ -52,8 +92,19 @@ struct CcInstruction
     Addr src1 = 0;          ///< a
     Addr src2 = 0;          ///< b (cmp/and/or/xor/clmul) or key (search)
     Addr dest = 0;          ///< b/c for RW ops; unused for CC-R
-    std::size_t size = 0;   ///< vector size in bytes
+    /** Vector size in bytes. For bit-serial ops this is the bytes per
+     *  bit-slice row (lanes / 8, whole 64-byte blocks); slice k of an
+     *  operand then lives at base + k * kSliceStride (see below). */
+    std::size_t size = 0;
     std::size_t clmulWordBits = 64;  ///< 64 / 128 / 256
+
+    /** Lane width W of the bit-serial ops (1..kMaxBitSerialWidth). */
+    std::size_t laneBits = 8;
+
+    /** Signed compare semantics for Lt/Gt (two's complement). Ignored
+     *  by every other opcode: add/sub/mul wrap mod 2^W, where signed
+     *  and unsigned arithmetic coincide. */
+    bool isSigned = false;
 
     /** Extension used by BMM: src2 is ONE 64-byte block replicated into
      *  every partition holding src1 data — the same controller machinery
@@ -79,6 +130,35 @@ struct CcInstruction
     static CcInstruction clmulReplicated(Addr a, Addr b_block, Addr c,
                                          std::size_t n,
                                          std::size_t word_bits);
+
+    /** Bit-serial arithmetic builders. @p slice_bytes is the bytes per
+     *  bit-slice row (lanes / 8); @p width the lane width W. @{ */
+    static CcInstruction add(Addr a, Addr b, Addr c,
+                             std::size_t slice_bytes, std::size_t width);
+    static CcInstruction sub(Addr a, Addr b, Addr c,
+                             std::size_t slice_bytes, std::size_t width);
+    static CcInstruction mul(Addr a, Addr b, Addr c,
+                             std::size_t slice_bytes, std::size_t width);
+    static CcInstruction cmpLt(Addr a, Addr b, Addr c,
+                               std::size_t slice_bytes, std::size_t width,
+                               bool is_signed);
+    static CcInstruction cmpGt(Addr a, Addr b, Addr c,
+                               std::size_t slice_bytes, std::size_t width,
+                               bool is_signed);
+    static CcInstruction cmpEq(Addr a, Addr b, Addr c,
+                               std::size_t slice_bytes, std::size_t width);
+    /** @} */
+
+    /** Address of bit-slice row @p k of the operand rooted at @p base. */
+    static Addr sliceAddr(Addr base, std::size_t k)
+    {
+        return base + k * kSliceStride;
+    }
+
+    /** Bit-slice rows of the operand rooted at @p base: laneBits for
+     *  sources (and add/sub/mul destinations), one predicate slice for
+     *  compare destinations. */
+    std::size_t sliceCount(Addr base) const;
 
     /** Parity bits produced per 64-byte block op of a clmul. */
     std::size_t clmulBitsPerBlock() const

@@ -37,6 +37,14 @@ BlockCompute::apply(CcOpcode op, const Block &a, const Block &b,
       case CcOpcode::Cmp:
       case CcOpcode::Search:
         CC_PANIC("cmp/search produce a mask, not a block");
+      case CcOpcode::Add:
+      case CcOpcode::Sub:
+      case CcOpcode::Mul:
+      case CcOpcode::Lt:
+      case CcOpcode::Gt:
+      case CcOpcode::Eq:
+        CC_PANIC("bit-serial ops act on slice stacks, not single blocks "
+                 "(see BitSerialCompute)");
     }
     return out;
 }

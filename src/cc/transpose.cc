@@ -1,0 +1,154 @@
+#include "cc/transpose.hh"
+
+#include <cstring>
+
+#include "cache/hierarchy.hh"
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+#include "energy/energy_model.hh"
+
+namespace ccache::cc {
+
+void
+transposeBits(const std::uint8_t *packed, std::uint8_t *slices,
+              std::size_t lanes, std::size_t width)
+{
+    std::size_t sb = sliceBytes(lanes);
+    std::memset(slices, 0, sb * width);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t k = 0; k < width; ++k) {
+            std::size_t bit = l * width + k;
+            if ((packed[bit / 8] >> (bit % 8)) & 1)
+                slices[k * sb + l / 8] |=
+                    static_cast<std::uint8_t>(1u << (l % 8));
+        }
+    }
+}
+
+void
+untransposeBits(const std::uint8_t *slices, std::uint8_t *packed,
+                std::size_t lanes, std::size_t width)
+{
+    std::size_t sb = sliceBytes(lanes);
+    std::memset(packed, 0, divCeil(lanes * width, 8));
+    for (std::size_t l = 0; l < lanes; ++l) {
+        for (std::size_t k = 0; k < width; ++k) {
+            if ((slices[k * sb + l / 8] >> (l % 8)) & 1) {
+                std::size_t bit = l * width + k;
+                packed[bit / 8] |=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+            }
+        }
+    }
+}
+
+TransposeManager::TransposeManager(cache::Hierarchy &hier,
+                                   energy::EnergyModel *energy,
+                                   StatRegistry *stats)
+    : hier_(hier), energy_(energy)
+{
+    if (stats) {
+        transposesStat_ = &stats->counter("cc.transposes");
+        untransposesStat_ = &stats->counter("cc.untransposes");
+        broadcastsStat_ = &stats->counter("cc.broadcasts");
+    }
+}
+
+void
+TransposeManager::chargeShuffle(std::size_t lanes, std::size_t width)
+{
+    // Software bit-matrix transpose: word-granular shift/mask network,
+    // ~one ALU op per 64 transposed bits plus per-slice bookkeeping.
+    if (energy_)
+        energy_->chargeInstructions(divCeil(lanes * width, 64) + width);
+}
+
+Cycles
+TransposeManager::transpose(CoreId core, Addr src, Addr dst,
+                            std::size_t lanes, std::size_t width)
+{
+    CC_ASSERT(width >= 1 && width <= kMaxBitSerialWidth,
+              "transpose width ", width, " outside 1..",
+              kMaxBitSerialWidth);
+    std::size_t sb = sliceBytes(lanes);
+    CC_ASSERT(sb <= kSliceStride, "slice rows of ", lanes,
+              " lanes exceed the slice stride");
+
+    packedBuf_.assign(divCeil(lanes * width, 8), 0);
+    sliceBuf_.assign(sb * width, 0);
+
+    Cycles latency = hier_.loadBytes(core, src, packedBuf_.data(),
+                                     packedBuf_.size());
+    transposeBits(packedBuf_.data(), sliceBuf_.data(), lanes, width);
+    for (std::size_t k = 0; k < width; ++k) {
+        latency += hier_.storeBytes(core,
+                                    CcInstruction::sliceAddr(dst, k),
+                                    sliceBuf_.data() + k * sb, sb);
+    }
+    chargeShuffle(lanes, width);
+    ++transposes_;
+    if (transposesStat_)
+        transposesStat_->inc();
+    return latency;
+}
+
+Cycles
+TransposeManager::untranspose(CoreId core, Addr src, Addr dst,
+                              std::size_t lanes, std::size_t width)
+{
+    CC_ASSERT(width >= 1 && width <= kMaxBitSerialWidth,
+              "untranspose width ", width, " outside 1..",
+              kMaxBitSerialWidth);
+    std::size_t sb = sliceBytes(lanes);
+
+    packedBuf_.assign(divCeil(lanes * width, 8), 0);
+    sliceBuf_.assign(sb * width, 0);
+
+    Cycles latency = 0;
+    for (std::size_t k = 0; k < width; ++k) {
+        latency += hier_.loadBytes(core,
+                                   CcInstruction::sliceAddr(src, k),
+                                   sliceBuf_.data() + k * sb, sb);
+    }
+    untransposeBits(sliceBuf_.data(), packedBuf_.data(), lanes, width);
+    latency += hier_.storeBytes(core, dst, packedBuf_.data(),
+                                packedBuf_.size());
+    chargeShuffle(lanes, width);
+    ++untransposes_;
+    if (untransposesStat_)
+        untransposesStat_->inc();
+    return latency;
+}
+
+Cycles
+TransposeManager::broadcast(CoreId core, std::uint64_t value, Addr dst,
+                            std::size_t lanes, std::size_t width)
+{
+    CC_ASSERT(width >= 1 && width <= kMaxBitSerialWidth,
+              "broadcast width ", width, " outside 1..",
+              kMaxBitSerialWidth);
+    std::size_t sb = sliceBytes(lanes);
+
+    sliceBuf_.assign(sb, 0);
+    std::vector<std::uint8_t> &ones = sliceBuf_;
+    for (std::size_t l = 0; l < lanes; ++l)
+        ones[l / 8] |= static_cast<std::uint8_t>(1u << (l % 8));
+    std::vector<std::uint8_t> zeros(sb, 0);
+
+    Cycles latency = 0;
+    for (std::size_t k = 0; k < width; ++k) {
+        const std::uint8_t *row =
+            ((value >> k) & 1) ? ones.data() : zeros.data();
+        latency += hier_.storeBytes(core,
+                                    CcInstruction::sliceAddr(dst, k),
+                                    row, sb);
+    }
+    if (energy_)
+        energy_->chargeInstructions(width + 2);
+    ++broadcasts_;
+    if (broadcastsStat_)
+        broadcastsStat_->inc();
+    return latency;
+}
+
+} // namespace ccache::cc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Transposed (bit-slice) layout manager for the bit-serial arithmetic
+ * class (Neural Cache, arXiv 1805.03718).
+ *
+ * Normal form: an N-lane, W-bit vector packed as a tight little-endian
+ * bitstream -- lane l occupies bits [l*W, (l+1)*W). Transposed form:
+ * W bit-slice rows of sliceBytes(N) bytes each, kSliceStride apart,
+ * where bit l of slice k is bit k of lane l. The pure codecs are free
+ * functions (shared with the tests); TransposeManager moves data through
+ * the simulated hierarchy and charges the shuffle work, so apps account
+ * for the transposition cost the paper's in-cache arithmetic amortizes.
+ */
+
+#ifndef CCACHE_CC_TRANSPOSE_HH
+#define CCACHE_CC_TRANSPOSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/isa.hh"
+#include "common/stats.hh"
+
+namespace ccache::cache {
+class Hierarchy;
+}
+namespace ccache::energy {
+class EnergyModel;
+}
+
+namespace ccache::cc {
+
+/** Bytes per bit-slice row for @p lanes lanes: lanes/8 rounded up to
+ *  whole 64-byte blocks (partial blocks are padded with zero lanes). */
+inline std::size_t
+sliceBytes(std::size_t lanes)
+{
+    return ((lanes + 8 * kBlockSize - 1) / (8 * kBlockSize)) * kBlockSize;
+}
+
+/**
+ * Packed bitstream -> slice buffer. @p slices must hold
+ * width * sliceBytes(lanes) bytes (slice k at offset k * sliceBytes);
+ * pad lanes beyond @p lanes are zeroed. @p packed holds
+ * ceil(lanes * width / 8) bytes.
+ */
+void transposeBits(const std::uint8_t *packed, std::uint8_t *slices,
+                   std::size_t lanes, std::size_t width);
+
+/** Slice buffer -> packed bitstream (exact inverse over real lanes). */
+void untransposeBits(const std::uint8_t *slices, std::uint8_t *packed,
+                     std::size_t lanes, std::size_t width);
+
+/** Moves vectors between normal and transposed form through the cache
+ *  hierarchy, charging the core-side shuffle instructions. */
+class TransposeManager
+{
+  public:
+    TransposeManager(cache::Hierarchy &hier, energy::EnergyModel *energy,
+                     StatRegistry *stats);
+
+    /**
+     * Read the packed W-bit vector at @p src, write its W bit-slice
+     * rows at @p dst (slice k at dst + k * kSliceStride). Returns the
+     * core-observed latency of the data movement.
+     */
+    Cycles transpose(CoreId core, Addr src, Addr dst, std::size_t lanes,
+                     std::size_t width);
+
+    /** Inverse: gather the slice rows at @p src into the packed vector
+     *  at @p dst. */
+    Cycles untranspose(CoreId core, Addr src, Addr dst, std::size_t lanes,
+                       std::size_t width);
+
+    /**
+     * Write the transposed form of @p value replicated into every lane:
+     * slice k is all-ones (within the lane range) iff bit k of @p value
+     * is set. No per-lane shuffle is needed, so this is the cheap way
+     * to stage a scalar operand for a vector-scalar bit-serial op.
+     */
+    Cycles broadcast(CoreId core, std::uint64_t value, Addr dst,
+                     std::size_t lanes, std::size_t width);
+
+    std::uint64_t transposes() const { return transposes_; }
+    std::uint64_t untransposes() const { return untransposes_; }
+    std::uint64_t broadcasts() const { return broadcasts_; }
+
+  private:
+    /** Charge the word-granular shuffle work of one (un)transpose. */
+    void chargeShuffle(std::size_t lanes, std::size_t width);
+
+    cache::Hierarchy &hier_;
+    energy::EnergyModel *energy_;
+    StatCounter *transposesStat_ = nullptr;
+    StatCounter *untransposesStat_ = nullptr;
+    StatCounter *broadcastsStat_ = nullptr;
+    std::uint64_t transposes_ = 0;
+    std::uint64_t untransposes_ = 0;
+    std::uint64_t broadcasts_ = 0;
+
+    /** Reused staging buffers (no per-call allocation). */
+    std::vector<std::uint8_t> packedBuf_;
+    std::vector<std::uint8_t> sliceBuf_;
+};
+
+} // namespace ccache::cc
+
+#endif // CCACHE_CC_TRANSPOSE_HH

@@ -63,6 +63,13 @@ cacheOpFor(sram::BitlineOp op)
       case BitlineOp::Cmp: return CacheOp::Cmp;
       case BitlineOp::Search: return CacheOp::Search;
       case BitlineOp::Clmul: return CacheOp::Clmul;
+      // Bit-serial steps are logic-class activations; the extra
+      // single-row sense of sub/cmp steps is folded into the same row
+      // (the sense amps stay local, nothing crosses the H-tree).
+      case BitlineOp::AddStep:
+      case BitlineOp::SubStep:
+      case BitlineOp::CmpStep:
+        return CacheOp::Logic;
     }
     CC_PANIC("unknown bit-line op");
 }

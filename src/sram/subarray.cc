@@ -11,7 +11,8 @@ namespace ccache::sram {
 namespace {
 
 /** Number of distinct BitlineOp values, for the op-count array. */
-constexpr std::size_t kNumOps = static_cast<std::size_t>(BitlineOp::Clmul) + 1;
+constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(BitlineOp::CmpStep) + 1;
 
 std::size_t
 opIndex(BitlineOp op)
@@ -384,6 +385,183 @@ SubArray::opClmul(const BlockLoc &a, const BlockLoc &b,
     result.cost = {params_.opDelay(BitlineOp::Clmul),
                    params_.opEnergy(BitlineOp::Clmul)};
     return result;
+}
+
+void
+SubArray::checkBitSerial(const BitSerialOperand &o, std::size_t width) const
+{
+    CC_ASSERT(width >= 1 && width <= 32, "bit-serial width ", width,
+              " out of the 1..32 range");
+    CC_ASSERT(o.partition < partitions(), "partition ", o.partition,
+              " out of range ", partitions());
+    CC_ASSERT(o.row0 + width <= params_.rows, "bit-slice rows ", o.row0,
+              "..", o.row0 + width, " exceed sub-array height ",
+              params_.rows);
+}
+
+void
+SubArray::chargeStep(BitlineOp op, OpCost *cost)
+{
+    ++opCounts_[opIndex(op)];
+    cost->delay += params_.opDelay(op);
+    cost->energy += params_.opEnergy(op);
+}
+
+OpCost
+SubArray::opBitSerialAdd(const BitSerialOperand &a, const BitSerialOperand &b,
+                         const BitSerialOperand &dst, std::size_t width)
+{
+    checkBitSerial(a, width);
+    checkBitSerial(b, width);
+    checkBitSerial(dst, width);
+    CC_ASSERT(a.partition == b.partition && a.partition == dst.partition,
+              "bit-serial operands must share a block partition");
+    // Exact aliasing (dst == a or dst == b) is safe -- slice k is
+    // consumed before it is overwritten -- but a partially-overlapping
+    // destination would clobber not-yet-read source slices.
+    auto aligned_or_disjoint = [&](const BitSerialOperand &s) {
+        return dst.row0 == s.row0 ||
+            dst.row0 + width <= s.row0 || s.row0 + width <= dst.row0;
+    };
+    CC_ASSERT(aligned_or_disjoint(a) && aligned_or_disjoint(b),
+              "bit-serial destination partially overlaps a source");
+
+    OpCost cost;
+    carryLatch_ = BitVector(8 * kBlockSize);
+    for (std::size_t k = 0; k < width; ++k) {
+        // One dual-row activation senses AND on BL and NOR on BLB; the
+        // enhanced sense amp derives XOR, folds in the carry latch and
+        // drives the sum back while latching the next carry
+        // (sum = a^b^c, c' = ab | c(a^b)).
+        auto sense = activatePair(sliceLoc(a, k), sliceLoc(b, k));
+        BitVector x = ~(sense.andBits | sense.norBits);
+        BitVector sum = x ^ carryLatch_;
+        carryLatch_ = sense.andBits | (x & carryLatch_);
+        storeBlock(sliceLoc(dst, k), sum);
+        chargeStep(BitlineOp::AddStep, &cost);
+    }
+    return cost;
+}
+
+OpCost
+SubArray::opBitSerialSub(const BitSerialOperand &a, const BitSerialOperand &b,
+                         const BitSerialOperand &dst, std::size_t width)
+{
+    checkBitSerial(a, width);
+    checkBitSerial(b, width);
+    checkBitSerial(dst, width);
+    CC_ASSERT(a.partition == b.partition && a.partition == dst.partition,
+              "bit-serial operands must share a block partition");
+    auto aligned_or_disjoint = [&](const BitSerialOperand &s) {
+        return dst.row0 == s.row0 ||
+            dst.row0 + width <= s.row0 || s.row0 + width <= dst.row0;
+    };
+    CC_ASSERT(aligned_or_disjoint(a) && aligned_or_disjoint(b),
+              "bit-serial destination partially overlaps a source");
+
+    OpCost cost;
+    carryLatch_ = BitVector(8 * kBlockSize);  // borrow latch
+    for (std::size_t k = 0; k < width; ++k) {
+        // diff = a^b^borrow; borrow' = (~a & b) | (~(a^b) & borrow).
+        // ~a & b is not directly sensed by the pair activation, but
+        // b & (a^b) equals it, so one extra single-row sense of the b
+        // slice recovers the borrow term (costed by SubStep).
+        auto sense = activatePair(sliceLoc(a, k), sliceLoc(b, k));
+        BitVector x = ~(sense.andBits | sense.norBits);
+        BitVector bbits = senseBlock(sliceLoc(b, k));
+        BitVector diff = x ^ carryLatch_;
+        carryLatch_ = (bbits & x) | (~x & carryLatch_);
+        storeBlock(sliceLoc(dst, k), diff);
+        chargeStep(BitlineOp::SubStep, &cost);
+    }
+    return cost;
+}
+
+OpCost
+SubArray::opBitSerialMul(const BitSerialOperand &a, const BitSerialOperand &b,
+                         const BitSerialOperand &dst, std::size_t width)
+{
+    checkBitSerial(a, width);
+    checkBitSerial(b, width);
+    checkBitSerial(dst, width);
+    CC_ASSERT(a.partition == b.partition && a.partition == dst.partition,
+              "bit-serial operands must share a block partition");
+    // The accumulator is read-modify-written per partial product, so it
+    // cannot overlay either source.
+    auto overlaps = [&](const BitSerialOperand &s) {
+        return dst.row0 < s.row0 + width && s.row0 < dst.row0 + width;
+    };
+    CC_ASSERT(!overlaps(a) && !overlaps(b),
+              "bit-serial mul accumulator must not alias a source");
+
+    OpCost cost;
+    // Zero the accumulator slices through the reset data latch.
+    for (std::size_t k = 0; k < width; ++k) {
+        storeBlock(sliceLoc(dst, k), BitVector(8 * kBlockSize));
+        chargeStep(BitlineOp::Buz, &cost);
+    }
+
+    // Shift-and-add: partial product j is (a & b_j) << j, accumulated
+    // bit-serially into the dst slices; bits at or above width truncate
+    // (mod 2^width, matching two's-complement wraparound).
+    for (std::size_t j = 0; j < width; ++j) {
+        carryLatch_ = BitVector(8 * kBlockSize);
+        for (std::size_t k = 0; k + j < width; ++k) {
+            // Dual-row activation of (a_k, b_j) senses the partial-
+            // product bit on BL; the accumulator slice is sensed
+            // single-row and the full-adder result written back.
+            auto sense = activatePair(sliceLoc(a, k), sliceLoc(b, j));
+            BitVector pp = sense.andBits;
+            BitVector acc = senseBlock(sliceLoc(dst, j + k));
+            chargeStep(BitlineOp::Read, &cost);
+            BitVector x = acc ^ pp;
+            BitVector sum = x ^ carryLatch_;
+            carryLatch_ = (acc & pp) | (x & carryLatch_);
+            storeBlock(sliceLoc(dst, j + k), sum);
+            chargeStep(BitlineOp::AddStep, &cost);
+        }
+    }
+    return cost;
+}
+
+BitSerialCmpResult
+SubArray::opBitSerialCompare(const BitSerialOperand &a,
+                             const BitSerialOperand &b, std::size_t width,
+                             bool is_signed)
+{
+    checkBitSerial(a, width);
+    checkBitSerial(b, width);
+    CC_ASSERT(a.partition == b.partition,
+              "bit-serial operands must share a block partition");
+
+    BitSerialCmpResult res;
+    res.lt = BitVector(8 * kBlockSize);
+    res.gt = BitVector(8 * kBlockSize);
+    BitVector decided(8 * kBlockSize);
+
+    // MSB-first: the first differing bit decides each lane. The pair
+    // activation yields a^b; a single-row sense of the a slice splits
+    // the difference into a>b (a=1) and a<b (a=0). For signed compares
+    // the sign-bit slice decides with the roles swapped (a negative,
+    // b non-negative means a < b).
+    for (std::size_t k = width; k-- > 0;) {
+        auto sense = activatePair(sliceLoc(a, k), sliceLoc(b, k));
+        BitVector x = ~(sense.andBits | sense.norBits);
+        BitVector abits = senseBlock(sliceLoc(a, k));
+        BitVector fresh = ~decided & x;
+        bool sign_slice = is_signed && k == width - 1;
+        if (sign_slice) {
+            res.lt |= fresh & abits;
+            res.gt |= fresh & ~abits;
+        } else {
+            res.gt |= fresh & abits;
+            res.lt |= fresh & ~abits;
+        }
+        decided |= x;
+        chargeStep(BitlineOp::CmpStep, &res.cost);
+    }
+    res.eq = ~decided;
+    return res;
 }
 
 SubArray::RawSense

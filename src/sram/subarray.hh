@@ -71,6 +71,27 @@ struct ClmulResult
     OpCost cost;
 };
 
+/**
+ * One bit-serial operand: @p width consecutive bit-slice rows starting at
+ * @p row0 within @p partition. Bit-line (lane) l of slice row k holds bit
+ * k of lane l's value, so a 512-column partition computes 512 lanes per
+ * row activation (the Neural Cache transposed layout).
+ */
+struct BitSerialOperand
+{
+    std::size_t partition;
+    std::size_t row0;
+};
+
+/** Result of a bit-serial compare: one predicate bit per lane. */
+struct BitSerialCmpResult
+{
+    BitVector lt;   ///< lane i set iff a[i] < b[i]
+    BitVector gt;   ///< lane i set iff a[i] > b[i]
+    BitVector eq;   ///< lane i set iff a[i] == b[i]
+    OpCost cost;
+};
+
 /** One compute-capable sub-array. */
 class SubArray
 {
@@ -115,6 +136,40 @@ class SubArray
     /** Carryless multiply: AND then XOR-reduce at @p word_bits. */
     ClmulResult opClmul(const BlockLoc &a, const BlockLoc &b,
                         std::size_t word_bits);
+
+    /**
+     * Bit-serial arithmetic over the transposed layout (Neural Cache,
+     * arXiv 1805.03718): operands are @p width bit-slice rows in one
+     * partition, one lane per bit-line. Each bit-plane step is a
+     * dual-row activation whose AND/NOR senses feed the per-column
+     * carry latch in the sense amplifiers; the sum bit is written back
+     * in the same step. All results are mod 2^width (two's-complement
+     * wraparound), so signed and unsigned add/sub/mul coincide. @{
+     */
+
+    /** dst = a + b (mod 2^width). dst may alias a or b. */
+    OpCost opBitSerialAdd(const BitSerialOperand &a,
+                          const BitSerialOperand &b,
+                          const BitSerialOperand &dst, std::size_t width);
+
+    /** dst = a - b (mod 2^width) via the borrow latch. */
+    OpCost opBitSerialSub(const BitSerialOperand &a,
+                          const BitSerialOperand &b,
+                          const BitSerialOperand &dst, std::size_t width);
+
+    /** dst = a * b (mod 2^width), shift-and-add over partial products.
+     *  dst rows must be disjoint from both source row ranges. */
+    OpCost opBitSerialMul(const BitSerialOperand &a,
+                          const BitSerialOperand &b,
+                          const BitSerialOperand &dst, std::size_t width);
+
+    /** Per-lane lt/gt/eq masks, MSB-first. @p is_signed treats the MSB
+     *  slice as a two's-complement sign bit. */
+    BitSerialCmpResult opBitSerialCompare(const BitSerialOperand &a,
+                                          const BitSerialOperand &b,
+                                          std::size_t width,
+                                          bool is_signed);
+    /** @} */
 
     /**
      * Raw multi-row activation exposed for robustness studies: activates
@@ -199,6 +254,18 @@ class SubArray
     void checkLoc(const BlockLoc &loc) const;
     void checkSamePartition(const BlockLoc &a, const BlockLoc &b) const;
 
+    /** Bounds/partition checks for a bit-serial operand. */
+    void checkBitSerial(const BitSerialOperand &o, std::size_t width) const;
+
+    /** Slice row @p k of a bit-serial operand as a block location. */
+    static BlockLoc sliceLoc(const BitSerialOperand &o, std::size_t k)
+    {
+        return {o.partition, o.row0 + k};
+    }
+
+    /** Charge one bit-serial step of kind @p op into @p cost. */
+    void chargeStep(BitlineOp op, OpCost *cost);
+
     SubArrayParams params_;
     BitcellArray cells_;
     SenseAmpArray senseAmps_;
@@ -207,6 +274,10 @@ class SubArray
 
     /** Scratch row list reused by activatePair (no per-op allocation). */
     std::vector<std::size_t> pairRows_ = {0, 0};
+
+    /** Per-column carry/borrow latch in the sense amplifiers, reset at
+     *  the start of every bit-serial sequence. */
+    BitVector carryLatch_;
 
     fault::FaultInjector *faults_ = nullptr;
     std::uint64_t faultBaseId_ = 0;

@@ -23,6 +23,9 @@ toString(BitlineOp op)
       case BitlineOp::Cmp: return "cmp";
       case BitlineOp::Search: return "search";
       case BitlineOp::Clmul: return "clmul";
+      case BitlineOp::AddStep: return "add_step";
+      case BitlineOp::SubStep: return "sub_step";
+      case BitlineOp::CmpStep: return "cmp_step";
     }
     return "?";
 }
@@ -38,6 +41,9 @@ isTwoRowOp(BitlineOp op)
       case BitlineOp::Cmp:
       case BitlineOp::Search:
       case BitlineOp::Clmul:
+      case BitlineOp::AddStep:
+      case BitlineOp::SubStep:
+      case BitlineOp::CmpStep:
         return true;
       default:
         return false;
@@ -56,6 +62,8 @@ writesResultRow(BitlineOp op)
       case BitlineOp::Not:
       case BitlineOp::Copy:
       case BitlineOp::Buz:
+      case BitlineOp::AddStep:
+      case BitlineOp::SubStep:
         return true;
       default:
         return false;
@@ -75,7 +83,14 @@ SubArrayParams::opDelay(BitlineOp op) const
       case BitlineOp::Nor:
       case BitlineOp::Or:
       case BitlineOp::Xor:
+      case BitlineOp::AddStep:
         factor = logicDelayFactor;
+        break;
+      case BitlineOp::SubStep:
+      case BitlineOp::CmpStep:
+        // One dual-row activation plus the extra single-row sense that
+        // recovers an individual operand for the borrow / lt-gt terms.
+        factor = logicDelayFactor + 1.0;
         break;
       default:
         factor = otherDelayFactor;
@@ -104,7 +119,12 @@ SubArrayParams::opEnergy(BitlineOp op) const
       case BitlineOp::Nor:
       case BitlineOp::Or:
       case BitlineOp::Xor:
+      case BitlineOp::AddStep:
         return accessEnergy * logicEnergyFactor;
+      case BitlineOp::SubStep:
+      case BitlineOp::CmpStep:
+        // Logic-class activation plus one extra single-row sense.
+        return accessEnergy * (logicEnergyFactor + 1.0);
     }
     return accessEnergy;
 }

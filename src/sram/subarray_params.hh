@@ -31,6 +31,12 @@ enum class BitlineOp {
     Cmp,       ///< word-granular equality via wired-NOR of XOR bits
     Search,    ///< iterative cmp of a replicated key against data rows
     Clmul,     ///< AND followed by XOR-reduction tree
+    AddStep,   ///< one bit-plane of a bit-serial add (dual-row activation
+               ///< + carry-latch update + sum write-back)
+    SubStep,   ///< one bit-plane of a bit-serial subtract (adds a
+               ///< single-row sense for the borrow term)
+    CmpStep,   ///< one bit-plane of a bit-serial magnitude compare
+               ///< (updates the lt/gt latches, writes nothing)
 };
 
 const char *toString(BitlineOp op);

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Quantized-GEMM application tests: the bit-serial CC engine must
+ * reproduce the int8 x int8 -> int32 reference product bit-exactly on
+ * every engine, and the neural_gemm sweep must be byte-identical at 1,
+ * 2 and 8 worker threads (DESIGN.md §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/gemm.hh"
+#include "bench/bench_util.hh"
+
+namespace ccache::apps {
+namespace {
+
+QuantGemmConfig
+smallConfig()
+{
+    QuantGemmConfig cfg;
+    cfg.m = 2;
+    cfg.k = 4;
+    cfg.n = 512;
+    return cfg;
+}
+
+TEST(QuantGemmApp, AllEnginesMatchReference)
+{
+    QuantGemm app(smallConfig());
+    std::uint64_t checks[3];
+    int i = 0;
+    for (Engine e : {Engine::Base, Engine::Base32, Engine::Cc}) {
+        sim::System sys;
+        auto res = app.run(sys, e);  // asserts computed == expected
+        checks[i++] = res.checksum;
+        EXPECT_GT(res.cycles, 0u) << toString(e);
+        EXPECT_EQ(app.computed(), app.expected()) << toString(e);
+    }
+    EXPECT_EQ(checks[0], checks[1]);
+    EXPECT_EQ(checks[1], checks[2]);
+}
+
+TEST(QuantGemmApp, SignedOperandsExerciseWraparound)
+{
+    // A seed chosen so A and B contain negative values (they always do
+    // at 256-way uniform draws); the mod-2^32 bit-serial accumulation
+    // must equal the signed int32 reference for every element.
+    QuantGemmConfig cfg = smallConfig();
+    cfg.seed = 7;
+    QuantGemm app(cfg);
+    bool has_negative = false;
+    for (std::int8_t v : app.a())
+        has_negative |= v < 0;
+    ASSERT_TRUE(has_negative);
+    bool has_negative_out = false;
+    for (std::int32_t v : app.expected())
+        has_negative_out |= v < 0;
+    ASSERT_TRUE(has_negative_out);
+
+    sim::System sys;
+    app.run(sys, Engine::Cc);
+    EXPECT_EQ(app.computed(), app.expected());
+}
+
+TEST(QuantGemmApp, MultiGroupColumnsComputeCorrectly)
+{
+    QuantGemmConfig cfg = smallConfig();
+    cfg.n = 1024;  // two 512-lane groups per slice row
+    QuantGemm app(cfg);
+    sim::System sys;
+    auto res = app.run(sys, Engine::Cc);
+    EXPECT_EQ(app.computed(), app.expected());
+    EXPECT_GT(res.instructions, 0u);
+}
+
+TEST(QuantGemmApp, CcReducesInstructions)
+{
+    QuantGemmConfig cfg;  // default 4 x 16 x 512
+    QuantGemm app(cfg);
+    sim::System base_sys, cc_sys;
+    auto base = app.run(base_sys, Engine::Base);
+    auto cc = app.run(cc_sys, Engine::Cc);
+    EXPECT_EQ(base.checksum, cc.checksum);
+    // The bit-serial MAC replaces per-element core work with one
+    // instruction stream per (i, kk) pair.
+    EXPECT_LT(cc.instructions, base.instructions);
+}
+
+/** The neural_gemm sweep body, as the bench runs it (sans printing). */
+std::string
+runGemmSweepAt(unsigned jobs)
+{
+    bench::ResultsWriter results("neural_gemm_probe");
+    bench::SweepRunner sweep(&results);
+    std::vector<double> checksums(2);
+    std::size_t i = 0;
+    for (std::size_t n : {512u, 1024u}) {
+        std::string key = "n" + std::to_string(n);
+        std::size_t slot = i++;
+        sweep.add(key, [&, key, slot, n](bench::SweepContext &ctx) {
+            QuantGemmConfig cfg;
+            cfg.m = 2;
+            cfg.k = 4;
+            cfg.n = n;
+            cfg.seed = ctx.seed();
+            QuantGemm app(cfg);
+            AppRunResult base, cc;
+            {
+                sim::System sys;
+                base = app.run(sys, Engine::Base32);
+            }
+            {
+                sim::System sys;
+                cc = app.run(sys, Engine::Cc);
+            }
+            checksums[slot] = static_cast<double>(cc.checksum);
+            ctx.metric(key + ".speedup",
+                       static_cast<double>(base.cycles) /
+                           static_cast<double>(cc.cycles));
+            ctx.metric(key + ".functional_match",
+                       base.checksum == cc.checksum ? 1 : 0);
+        });
+    }
+    sweep.run(jobs);
+    EXPECT_EQ(sweep.errorCount(), 0u);
+    return results.document().dump(2);
+}
+
+TEST(QuantGemmApp, SweepByteIdenticalAcrossThreadCounts)
+{
+    std::string serial = runGemmSweepAt(1);
+    EXPECT_EQ(serial, runGemmSweepAt(2));
+    EXPECT_EQ(serial, runGemmSweepAt(8));
+}
+
+} // namespace
+} // namespace ccache::apps

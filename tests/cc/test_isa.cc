@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "cc/isa.hh"
 #include "common/logging.hh"
 
@@ -141,6 +144,148 @@ TEST(CcIsa, Disassembly)
     EXPECT_EQ(instr.toString(), "cc_and 0x1000 0x2000 0x3000 256");
     auto cl = CcInstruction::clmul(0x40, 0x80, 0xc0, 64, 128);
     EXPECT_EQ(cl.toString(), "cc_clmul128 0x40 0x80 0xc0 64");
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive metadata coverage: every enumerator must have explicit
+// toString / numAddrOperands / isCcR / bit-serial classifications — a
+// silent default or fallthrough for a newly added opcode fails here.
+// ---------------------------------------------------------------------
+
+TEST(CcIsaExhaustive, EveryOpcodeHasDistinctName)
+{
+    static_assert(kNumCcOpcodes == 15u,
+                  "new opcode: extend kAllCcOpcodes and these tests");
+    std::set<std::string> names;
+    for (CcOpcode op : kAllCcOpcodes) {
+        std::string name = toString(op);
+        EXPECT_NE(name, "?") << static_cast<int>(op);
+        EXPECT_EQ(name.rfind("cc_", 0), 0u) << name;
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), kNumCcOpcodes);
+}
+
+TEST(CcIsaExhaustive, NumAddrOperandsCoversEveryOpcode)
+{
+    for (CcOpcode op : kAllCcOpcodes) {
+        unsigned n = numAddrOperands(op);
+        EXPECT_GE(n, 1u) << toString(op);
+        EXPECT_LE(n, 3u) << toString(op);
+    }
+    // Exact expectations, opcode by opcode.
+    EXPECT_EQ(numAddrOperands(CcOpcode::Buz), 1u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Copy), 2u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Not), 2u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Cmp), 2u);
+    EXPECT_EQ(numAddrOperands(CcOpcode::Search), 2u);
+    for (CcOpcode op : {CcOpcode::And, CcOpcode::Or, CcOpcode::Xor,
+                        CcOpcode::Clmul, CcOpcode::Add, CcOpcode::Sub,
+                        CcOpcode::Mul, CcOpcode::Lt, CcOpcode::Gt,
+                        CcOpcode::Eq})
+        EXPECT_EQ(numAddrOperands(op), 3u) << toString(op);
+}
+
+TEST(CcIsaExhaustive, CcRAndBitSerialPartitions)
+{
+    std::size_t ccr = 0, bitserial = 0, compares = 0;
+    for (CcOpcode op : kAllCcOpcodes) {
+        if (isCcR(op))
+            ++ccr;
+        if (isBitSerial(op))
+            ++bitserial;
+        if (isBitSerialCompare(op)) {
+            ++compares;
+            // Every compare is bit-serial; no op is both CC-R and
+            // bit-serial (predicates write a destination slice).
+            EXPECT_TRUE(isBitSerial(op)) << toString(op);
+        }
+        EXPECT_FALSE(isCcR(op) && isBitSerial(op)) << toString(op);
+    }
+    EXPECT_EQ(ccr, 2u);        // cmp, search
+    EXPECT_EQ(bitserial, 6u);  // add, sub, mul, lt, gt, eq
+    EXPECT_EQ(compares, 3u);   // lt, gt, eq
+}
+
+// ---------------------------------------------------------------------
+// Bit-serial encodings: builders, slice addressing, validation.
+// ---------------------------------------------------------------------
+
+TEST(CcIsaBitSerial, BuildersEncodeOperandsAndWidth)
+{
+    Addr a = 0x100000, b = 0x200000, d = 0x300000;
+    auto add = CcInstruction::add(a, b, d, 64, 8);
+    EXPECT_EQ(add.op, CcOpcode::Add);
+    EXPECT_EQ(add.laneBits, 8u);
+    EXPECT_EQ(add.operandAddrs(), (std::vector<Addr>{a, b, d}));
+    EXPECT_NO_THROW(add.validate());
+
+    auto lt = CcInstruction::cmpLt(a, b, d, 64, 16, /*is_signed=*/true);
+    EXPECT_EQ(lt.op, CcOpcode::Lt);
+    EXPECT_TRUE(lt.isSigned);
+    EXPECT_EQ(lt.sliceCount(d), 1u);   // predicate: one slice
+    EXPECT_EQ(lt.sliceCount(a), 16u);  // source: full stack
+    EXPECT_NO_THROW(lt.validate());
+
+    auto mul = CcInstruction::mul(a, b, d, 64, 32);
+    EXPECT_EQ(mul.sliceCount(d), 32u);
+    EXPECT_EQ(CcInstruction::sliceAddr(d, 0), d);
+    EXPECT_EQ(CcInstruction::sliceAddr(d, 5), d + 5 * kSliceStride);
+}
+
+TEST(CcIsaBitSerial, DisassemblyCarriesWidthAndSign)
+{
+    EXPECT_EQ(CcInstruction::add(0x1000, 0x2000, 0x3000, 64, 8)
+                  .toString(),
+              "cc_add8 0x1000 0x2000 0x3000 64");
+    EXPECT_EQ(CcInstruction::cmpLt(0x1000, 0x2000, 0x3000, 64, 16, true)
+                  .toString(),
+              "cc_lt16s 0x1000 0x2000 0x3000 64");
+    EXPECT_EQ(CcInstruction::cmpGt(0x1000, 0x2000, 0x3000, 64, 16,
+                                   false)
+                  .toString(),
+              "cc_gt16u 0x1000 0x2000 0x3000 64");
+    EXPECT_EQ(CcInstruction::cmpEq(0x1000, 0x2000, 0x3000, 64, 4)
+                  .toString(),
+              "cc_eq4 0x1000 0x2000 0x3000 64");
+}
+
+TEST(CcIsaBitSerial, ValidateRejectsBadEncodings)
+{
+    Addr a = 0x100000, b = 0x200000, d = 0x300000;
+    // Lane width outside 1..32.
+    EXPECT_THROW(CcInstruction::add(a, b, d, 64, 0).validate(),
+                 FatalError);
+    EXPECT_THROW(CcInstruction::add(a, b, d, 64, 33).validate(),
+                 FatalError);
+    // Slice rows must be whole blocks and fit the slice stride.
+    EXPECT_THROW(CcInstruction::add(a, b, d, 60, 8).validate(),
+                 FatalError);
+    EXPECT_THROW(
+        CcInstruction::add(a, b, d, kSliceStride + 64, 8).validate(),
+        FatalError);
+    // Operand bases must be slice-stride (page) aligned.
+    EXPECT_THROW(CcInstruction::add(a + 64, b, d, 64, 8).validate(),
+                 FatalError);
+    // Mul destination stack must not overlap either source stack.
+    EXPECT_THROW(CcInstruction::mul(a, b, a, 64, 8).validate(),
+                 FatalError);
+    EXPECT_THROW(
+        CcInstruction::mul(a, b, b + 4 * kSliceStride, 64, 8).validate(),
+        FatalError);
+    // Add may alias (accumulate in place).
+    EXPECT_NO_THROW(CcInstruction::add(a, b, a, 64, 8).validate());
+}
+
+TEST(CcIsaBitSerial, NeverSpansPagesAndNeverSplits)
+{
+    // The page-stride layout keeps every slice row inside one page, so
+    // the page-split exception cannot fire for bit-serial ops.
+    for (std::size_t w : {1u, 8u, 32u}) {
+        auto instr = CcInstruction::add(0x100000, 0x200000, 0x300000,
+                                        kSliceStride, w);
+        EXPECT_FALSE(instr.spansPage()) << w;
+    }
 }
 
 } // namespace

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property tests for the transposed (bit-slice) layout: the pure
+ * transpose/untranspose codecs must round-trip byte-identically for
+ * every (lanes x width) combination including ragged tails that only
+ * part-fill the last slice block, and the TransposeManager path through
+ * the simulated hierarchy must compose with the bit-serial ops —
+ * transpose, compute, untranspose lands the value-correct packed
+ * result. Broadcast must equal the transpose of an explicitly
+ * replicated vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cc/bitserial.hh"
+#include "cc/cc_controller.hh"
+#include "cc/transpose.hh"
+#include "common/bit_util.hh"
+#include "common/rng.hh"
+
+namespace ccache::cc {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes
+randomPacked(Rng &rng, std::size_t lanes, std::size_t width)
+{
+    Bytes packed(divCeil(lanes * width, 8));
+    for (auto &b : packed)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    // Mask the padding bits of the final byte so the round-trip can be
+    // compared byte-identically.
+    std::size_t used = lanes * width % 8;
+    if (used)
+        packed.back() &= static_cast<std::uint8_t>((1u << used) - 1);
+    return packed;
+}
+
+TEST(TransposeCodec, RoundTripsByteIdenticallyAcrossGeometries)
+{
+    Rng rng(0x7777);
+    // Lane counts cover whole blocks (512, 1024), sub-block ragged
+    // tails (1, 7, 100, 511) and block+tail (513, 777).
+    for (std::size_t lanes : {1u, 7u, 100u, 511u, 512u, 513u, 777u,
+                              1024u}) {
+        for (std::size_t width : {1u, 2u, 8u, 13u, 32u}) {
+            Bytes packed = randomPacked(rng, lanes, width);
+            Bytes slices(sliceBytes(lanes) * width, 0xab);
+            transposeBits(packed.data(), slices.data(), lanes, width);
+            Bytes back(packed.size(), 0xcd);
+            untransposeBits(slices.data(), back.data(), lanes, width);
+            EXPECT_EQ(back, packed)
+                << "lanes " << lanes << " width " << width;
+
+            // Pad lanes of the ragged tail must be zero: they share the
+            // slice rows with real lanes and feed the same bit-line ops.
+            for (std::size_t k = 0; k < width; ++k)
+                for (std::size_t l = lanes; l < sliceBytes(lanes) * 8;
+                     ++l) {
+                    bool bit = (slices[k * sliceBytes(lanes) + l / 8] >>
+                                (l % 8)) &
+                        1;
+                    ASSERT_FALSE(bit) << "pad lane " << l << " slice "
+                                      << k << " is set";
+                }
+        }
+    }
+}
+
+TEST(TransposeCodec, SliceBitsMatchLaneValueBits)
+{
+    // Direct definition check on a tiny case: lane l's value bit k is
+    // slice k's bit l.
+    const std::size_t lanes = 4, width = 3;
+    Bytes packed(divCeil(lanes * width, 8), 0);
+    std::uint64_t vals[lanes] = {0b101, 0b010, 0b111, 0b000};
+    for (std::size_t l = 0; l < lanes; ++l)
+        for (std::size_t k = 0; k < width; ++k)
+            if ((vals[l] >> k) & 1) {
+                std::size_t bit = l * width + k;
+                packed[bit / 8] |=
+                    static_cast<std::uint8_t>(1u << (bit % 8));
+            }
+    Bytes slices(sliceBytes(lanes) * width, 0);
+    transposeBits(packed.data(), slices.data(), lanes, width);
+    for (std::size_t k = 0; k < width; ++k)
+        for (std::size_t l = 0; l < lanes; ++l) {
+            bool bit =
+                (slices[k * sliceBytes(lanes) + l / 8] >> (l % 8)) & 1;
+            EXPECT_EQ(bit, ((vals[l] >> k) & 1) != 0)
+                << "slice " << k << " lane " << l;
+        }
+}
+
+class TransposeHierarchy : public ::testing::Test
+{
+  protected:
+    TransposeHierarchy()
+        : hier(cache::HierarchyParams{}, &em, &stats),
+          ctrl(hier, &em, &stats, CcControllerParams{}),
+          trans(hier, &em, &stats)
+    {
+    }
+
+    Bytes
+    dump(Addr addr, std::size_t len)
+    {
+        Bytes out(len);
+        for (std::size_t off = 0; off < len; off += kBlockSize) {
+            Block b = hier.debugRead(addr + off);
+            std::size_t n = std::min(kBlockSize, len - off);
+            std::copy_n(b.begin(), n, out.begin() + off);
+        }
+        return out;
+    }
+
+    energy::EnergyModel em;
+    StatRegistry stats;
+    cache::Hierarchy hier;
+    CcController ctrl;
+    TransposeManager trans;
+};
+
+TEST_F(TransposeHierarchy, TransposeUntransposeRoundTripsThroughCaches)
+{
+    Rng rng(0x5151);
+    const std::size_t lanes = 512, width = 32;
+    Bytes packed = randomPacked(rng, lanes, width);
+    hier.memory().writeBytes(0x1000000, packed.data(), packed.size());
+
+    Cycles t = trans.transpose(0, 0x1000000, 0x2000000, lanes, width);
+    Cycles u = trans.untranspose(0, 0x2000000, 0x3000000, lanes, width);
+    EXPECT_GT(t, 0u);
+    EXPECT_GT(u, 0u);
+    EXPECT_EQ(dump(0x3000000, packed.size()), packed);
+    EXPECT_EQ(trans.transposes(), 1u);
+    EXPECT_EQ(trans.untransposes(), 1u);
+    EXPECT_EQ(stats.value("cc.transposes"), 1u);
+}
+
+TEST_F(TransposeHierarchy, TransposeComputeUntransposeIsValueCorrect)
+{
+    // The end-to-end contract the GEMM app relies on: packed int32
+    // vectors in, one cc_add over the transposed forms, packed int32
+    // sum out.
+    Rng rng(0x600d);
+    const std::size_t lanes = 512, width = 32;
+    std::vector<std::uint32_t> va(lanes), vb(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        va[l] = static_cast<std::uint32_t>(rng.next());
+        vb[l] = static_cast<std::uint32_t>(rng.next());
+    }
+    hier.memory().writeBytes(
+        0x1000000, reinterpret_cast<const std::uint8_t *>(va.data()),
+        4 * lanes);
+    hier.memory().writeBytes(
+        0x1100000, reinterpret_cast<const std::uint8_t *>(vb.data()),
+        4 * lanes);
+
+    trans.transpose(0, 0x1000000, 0x4000000, lanes, width);
+    trans.transpose(0, 0x1100000, 0x4100000, lanes, width);
+    ctrl.execute(0, CcInstruction::add(0x4000000, 0x4100000, 0x4200000,
+                                       sliceBytes(lanes), width));
+    trans.untranspose(0, 0x4200000, 0x1200000, lanes, width);
+
+    Bytes out = dump(0x1200000, 4 * lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        std::uint32_t got;
+        std::memcpy(&got, out.data() + 4 * l, 4);
+        ASSERT_EQ(got, va[l] + vb[l]) << "lane " << l;
+    }
+}
+
+TEST_F(TransposeHierarchy, BroadcastEqualsTransposedReplication)
+{
+    const std::size_t lanes = 512, width = 32;
+    const std::uint32_t value = 0xdeadbeef;
+    std::vector<std::uint32_t> rep(lanes, value);
+    hier.memory().writeBytes(
+        0x1000000, reinterpret_cast<const std::uint8_t *>(rep.data()),
+        4 * lanes);
+
+    trans.transpose(0, 0x1000000, 0x5000000, lanes, width);
+    trans.broadcast(0, value, 0x6000000, lanes, width);
+
+    for (std::size_t k = 0; k < width; ++k)
+        ASSERT_EQ(dump(CcInstruction::sliceAddr(0x6000000, k),
+                       sliceBytes(lanes)),
+                  dump(CcInstruction::sliceAddr(0x5000000, k),
+                       sliceBytes(lanes)))
+            << "slice " << k;
+    EXPECT_EQ(trans.broadcasts(), 1u);
+    EXPECT_EQ(stats.value("cc.broadcasts"), 1u);
+}
+
+TEST_F(TransposeHierarchy, RaggedLaneCountsRoundTripThroughHierarchy)
+{
+    Rng rng(0x0dd);
+    for (std::size_t lanes : {60u, 512u + 37u}) {
+        const std::size_t width = 9;
+        Bytes packed = randomPacked(rng, lanes, width);
+        Addr src = 0x9000000 + 0x1000000 * (lanes & 0xff);
+        hier.memory().writeBytes(src, packed.data(), packed.size());
+        trans.transpose(0, src, src + 0x100000, lanes, width);
+        trans.untranspose(0, src + 0x100000, src + 0x400000, lanes,
+                          width);
+        EXPECT_EQ(dump(src + 0x400000, packed.size()), packed)
+            << "lanes " << lanes;
+    }
+}
+
+} // namespace
+} // namespace ccache::cc

@@ -138,6 +138,70 @@ runCatalog(bool scalar, std::uint64_t seed, const fault::FaultParams &fp)
     return t;
 }
 
+/**
+ * Same contract for the bit-serial arithmetic class: the carry-latch
+ * sequences (add/sub/mul/compare) under the scalar per-bit path and the
+ * word-at-a-time path must agree on results, costs, compare masks and
+ * the seeded fault stream.
+ */
+OpTrace
+runBitSerialCatalog(bool scalar, std::uint64_t seed,
+                    const fault::FaultParams &fp)
+{
+    BitlinePath path(scalar);
+    SubArrayParams sp = smallParams();
+    sp.rows = 128;  // three 32-slice operand stacks
+    SubArray sa(sp);
+    fault::FaultInjector inj(fp);
+    if (fp.enabled)
+        sa.attachFaults(&inj, /*base_id=*/13);
+
+    Rng rng(seed);
+    OpTrace t;
+    auto note_read = [&](const BlockLoc &loc) {
+        Block b = sa.read(loc);
+        t.reads.emplace_back(b.begin(), b.end());
+        t.marginFails.push_back(sa.lastMarginFailed());
+    };
+
+    for (std::size_t w : {1u, 8u, 17u, 32u}) {
+        BitSerialOperand a{0, 0}, b{0, 32}, dst{0, 64};
+        for (std::size_t k = 0; k < w; ++k) {
+            sa.write({a.partition, a.row0 + k}, randomBlock(rng));
+            sa.write({b.partition, b.row0 + k}, randomBlock(rng));
+        }
+
+        OpCost c = sa.opBitSerialAdd(a, b, dst, w);
+        t.delays.push_back(c.delay);
+        for (std::size_t k = 0; k < w; ++k)
+            note_read({dst.partition, dst.row0 + k});
+        c = sa.opBitSerialSub(a, b, dst, w);
+        t.delays.push_back(c.delay);
+        for (std::size_t k = 0; k < w; ++k)
+            note_read({dst.partition, dst.row0 + k});
+        c = sa.opBitSerialMul(a, b, dst, w);
+        t.delays.push_back(c.delay);
+        for (std::size_t k = 0; k < w; ++k)
+            note_read({dst.partition, dst.row0 + k});
+
+        for (bool is_signed : {false, true}) {
+            BitSerialCmpResult cmp =
+                sa.opBitSerialCompare(a, b, w, is_signed);
+            t.reads.push_back(cmp.lt.toBytes());
+            t.reads.push_back(cmp.gt.toBytes());
+            t.reads.push_back(cmp.eq.toBytes());
+            t.delays.push_back(cmp.cost.delay);
+        }
+
+        // Sources must survive under both paths.
+        for (std::size_t k = 0; k < w; ++k) {
+            note_read({a.partition, a.row0 + k});
+            note_read({b.partition, b.row0 + k});
+        }
+    }
+    return t;
+}
+
 class ScalarVectorized : public ::testing::TestWithParam<std::uint64_t>
 {
 };
@@ -192,6 +256,26 @@ TEST_P(ScalarVectorized, RawMultiRowDisturbBitIdentical)
         return out;
     };
     EXPECT_EQ(run(true), run(false));
+}
+
+TEST_P(ScalarVectorized, BitSerialCatalogBitIdentical)
+{
+    fault::FaultParams off;
+    EXPECT_EQ(runBitSerialCatalog(/*scalar=*/true, GetParam(), off),
+              runBitSerialCatalog(/*scalar=*/false, GetParam(), off));
+}
+
+TEST_P(ScalarVectorized, BitSerialSeededFaultRunsBitIdentical)
+{
+    fault::FaultParams fp;
+    fp.enabled = true;
+    fp.seed = GetParam() * 2654435761u + 23;
+    fp.transientPerBlockOp = 0.2;
+    fp.doubleBitFraction = 0.25;
+    fp.stuckAtPerBlock = 0.1;
+    fp.marginFailPerDualRowOp = 0.2;
+    EXPECT_EQ(runBitSerialCatalog(/*scalar=*/true, GetParam(), fp),
+              runBitSerialCatalog(/*scalar=*/false, GetParam(), fp));
 }
 
 INSTANTIATE_TEST_SUITE_P(FixedSeeds, ScalarVectorized,
