@@ -41,8 +41,16 @@ namespace ccache {
  * [lower, upper, count] triples plus a "quantiles" object, and
  * quantile keys (p50/p90/p99/p999) are part of the contract
  * (DESIGN.md §7.2).
+ *
+ * v3: the serve-layer shed_log reason vocabulary grew three fleet
+ * reasons — "partial_result" (fan-out parent shed after a leg failed
+ * terminally), "global_queue_full" (fleet-wide admission budget
+ * exhausted with no lower-QoS victim), and "migration_drain"
+ * (request expelled from a draining shard during live tenant
+ * migration).  Consumers that enumerate reasons exhaustively must
+ * learn the new strings (DESIGN.md §7.2).
  */
-inline constexpr int kStatsSchemaVersion = 2;
+inline constexpr int kStatsSchemaVersion = 3;
 
 /** A named monotonically-updated scalar statistic. */
 class StatCounter

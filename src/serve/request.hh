@@ -40,10 +40,17 @@ enum class RejectReason {
     ShardDown,        ///< no live shard available for placement
     NoCapacity,       ///< operand heap exhausted at request build
     RetriesExhausted, ///< every retry attempt failed
+    PartialResult,    ///< a fan-out leg failed terminally; the parent
+                      ///< request degrades to a structured partial
+                      ///< result instead of committing (DESIGN.md §15)
+    GlobalQueueFull,  ///< fleet-wide admission budget reached; lowest-
+                      ///< QoS work is shed fleet-wide (§15)
+    MigrationDrain,   ///< request could not be completed inside a
+                      ///< tenant migration's drain window (§15)
 };
 
 /** Number of RejectReason values (dense-array sizing). */
-inline constexpr std::size_t kNumRejectReasons = 8;
+inline constexpr std::size_t kNumRejectReasons = 11;
 
 const char *toString(RejectReason reason);
 

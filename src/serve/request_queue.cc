@@ -16,6 +16,9 @@ toString(RejectReason reason)
       case RejectReason::ShardDown: return "shard_down";
       case RejectReason::NoCapacity: return "no_capacity";
       case RejectReason::RetriesExhausted: return "retries_exhausted";
+      case RejectReason::PartialResult: return "partial_result";
+      case RejectReason::GlobalQueueFull: return "global_queue_full";
+      case RejectReason::MigrationDrain: return "migration_drain";
     }
     return "unknown";
 }
@@ -125,6 +128,19 @@ RequestQueue::removeById(RequestId id)
         }
     }
     return std::nullopt;
+}
+
+std::optional<Request>
+RequestQueue::removeYoungest(TenantId t)
+{
+    CC_ASSERT(t < pending_.size(), "unknown tenant");
+    std::deque<Request> &fifo = pending_[t];
+    if (fifo.empty())
+        return std::nullopt;
+    Request req = std::move(fifo.back());
+    fifo.pop_back();
+    --size_;
+    return req;
 }
 
 } // namespace ccache::serve

@@ -84,6 +84,12 @@ class RequestQueue
      *  removed request is returned for buffer recycling. */
     std::optional<Request> removeById(RequestId id);
 
+    /** Remove tenant @p t's youngest pending request (FIFO back), if
+     *  any — the global-backpressure eviction victim (DESIGN.md §15):
+     *  evicting the most recent admission wastes the least sunk queue
+     *  time. Removal records nothing; pair with recordShed(). */
+    std::optional<Request> removeYoungest(TenantId t);
+
     /** Record a shed that happened outside offer() — deadline expiry,
      *  breaker brownout, heap exhaustion, retry exhaustion. */
     void recordShed(RequestId id, TenantId tenant, RejectReason reason,

@@ -33,6 +33,28 @@ FleetReport::toJson() const
     doc["golden_checked"] = goldenChecked;
     doc["golden_mismatch"] = goldenMismatch;
     doc["elapsed_cycles"] = elapsed;
+    doc["fanout_parents"] = fanoutParents;
+    doc["fanout_legs"] = fanoutLegs;
+    doc["fanout_partial"] = fanoutPartial;
+    doc["fanout_discarded"] = fanoutDiscarded;
+    doc["migrations"] = migrations;
+    doc["migration_dual_dispatch"] = migrationDualDispatch;
+    doc["migration_transplants"] = migrationTransplants;
+    doc["global_evictions"] = globalEvictions;
+    doc["global_sheds"] = globalSheds;
+
+    Json ph = Json::array();
+    for (const PhaseSummary &p : phases) {
+        Json e = Json::object();
+        e["start"] = p.start;
+        e["end"] = p.end;
+        e["offered"] = p.offered;
+        e["served"] = p.served;
+        e["shed"] = p.shed;
+        e["availability"] = p.availability;
+        ph.push(std::move(e));
+    }
+    doc["phases"] = std::move(ph);
 
     Json sh = Json::array();
     for (const ShardSummary &s : shards) {
@@ -149,6 +171,8 @@ ShardRouter::ShardRouter(const sim::SystemConfig &sys_config,
         }
         order_.push_back(std::move(order));
     }
+
+    ewma_.assign(params_.shards, 0.0);
 }
 
 ShardRouter::~ShardRouter() = default;
@@ -168,16 +192,18 @@ ShardRouter::note(Cycles now, const std::string &what)
 
 std::optional<unsigned>
 ShardRouter::routeShard(TenantId t, Cycles now, int avoid,
-                        RejectReason *why) const
+                        RejectReason *why, std::size_t startOffset,
+                        bool fullSpan) const
 {
     const std::vector<unsigned> &ord = order_[t];
     // Brownout policy: low-QoS tenants only ever use their home shard;
     // when it is dark they shed, so rerouted capacity goes to high-QoS
-    // tenants first.
-    const std::size_t span = hiQos(t) ? ord.size() : 1;
+    // tenants first. Fan-out legs span the whole order regardless of
+    // QoS — a multi-shard request is multi-shard by construction.
+    const std::size_t span = (fullSpan || hiQos(t)) ? ord.size() : 1;
     bool saw_breaker = false;
     for (std::size_t i = 0; i < span; ++i) {
-        unsigned s = ord[i];
+        unsigned s = ord[(startOffset + i) % ord.size()];
         if (static_cast<int>(s) == avoid)
             continue;
         const Shard &sh = shards_[s];
@@ -209,7 +235,12 @@ ShardRouter::placeCopy(Track &tr, unsigned s, Cycles now, bool hedge)
     build.warmL3 = serve_.warmL3;
     build.allocGroups = serve_.allocGroups;
     build.fillPattern = params_.verifyGolden;
-    build.patternSeed = params_.patternSeed;
+    // Fold the Zipf content key into the operand pattern: hot keys
+    // carry hot data, and the golden check (which re-reads the placed
+    // bytes) keeps working wherever the request is re-placed.
+    build.patternSeed = tr.spec.key != 0
+        ? mix64(params_.patternSeed ^ mix64(tr.spec.key))
+        : params_.patternSeed;
 
     RejectReason why = RejectReason::NoCapacity;
     std::optional<Request> req =
@@ -237,9 +268,12 @@ ShardRouter::failCopy(Track &tr, Cycles now, int shard, RejectReason reason)
     if (tr.inFlight > 0)
         return;   // a sibling copy is still alive; let it decide
     if (tr.attempts >= params_.retry.maxAttempts) {
-        shedTrack(tr, now, reason == RejectReason::DeadlineExpired
-                               ? reason
-                               : RejectReason::RetriesExhausted);
+        // Deadline and drain-window sheds keep their reason: a rebuilt
+        // copy would fail the same policy again.
+        bool terminal = reason == RejectReason::DeadlineExpired ||
+                        reason == RejectReason::MigrationDrain;
+        shedTrack(tr, now,
+                  terminal ? reason : RejectReason::RetriesExhausted);
         return;
     }
     Cycles delay = backoff_.delay(tr.id, tr.attempts);
@@ -257,10 +291,33 @@ ShardRouter::shedTrack(Track &tr, Cycles now, RejectReason reason)
     if (tr.done)
         return;
     tr.done = true;
+    if (tr.parent != kNoParent) {
+        // A leg's terminal failure rolls up to the fan-in barrier; the
+        // parent's partial_result record is the structured shed.
+        note(now, "leg shed id=" + std::to_string(tr.id) + " reason=" +
+                      toString(reason));
+        legFailed(tr.parent, now, reason);
+        return;
+    }
     ++report_.shed;
+    notePhaseShed(tr.spec.arrival);
     fleetShed_->record(tr.id, tr.spec.tenant, reason, tr.spec.arrival);
     note(now, "shed id=" + std::to_string(tr.id) + " reason=" +
                   toString(reason));
+}
+
+unsigned
+ShardRouter::cancelQueuedCopies(RequestId id)
+{
+    unsigned removed = 0;
+    for (unsigned o = 0; o < shards_.size(); ++o) {
+        if (std::optional<Request> twin =
+                shards_[o].queue->removeById(id)) {
+            recycleRequest(*shards_[o].alloc, *twin);
+            ++removed;
+        }
+    }
+    return removed;
 }
 
 void
@@ -278,13 +335,8 @@ ShardRouter::commitCopy(Track &tr, unsigned s, const Request &req,
     recycleRequest(*sh.alloc, req);
 
     tr.done = true;
-    ++report_.served;
     sh.servedCtr->inc();
     sh.serviceHist->sample(result.latency);
-    Cycles sojourn = now > tr.spec.arrival ? now - tr.spec.arrival : 0;
-    fleetSojourn_->sample(sojourn);
-    tenantServed_[tr.spec.tenant]->inc();
-    tenantSojourn_[tr.spec.tenant]->sample(sojourn);
     if (tr.hedged && s != tr.primaryShard)
         ++report_.hedgeWins;
     note(now, "commit id=" + std::to_string(tr.id) + " shard=" +
@@ -293,15 +345,350 @@ ShardRouter::commitCopy(Track &tr, unsigned s, const Request &req,
     // First commit wins: cancel any still-queued sibling copy. An
     // executing sibling is discarded (hedge_wasted) at its completion.
     if (tr.inFlight > 0) {
-        for (unsigned o = 0; o < shards_.size(); ++o) {
-            if (std::optional<Request> twin =
-                    shards_[o].queue->removeById(tr.id)) {
-                recycleRequest(*shards_[o].alloc, *twin);
-                --tr.inFlight;
-                ++report_.hedgeCancelled;
-            }
+        unsigned cancelled = cancelQueuedCopies(tr.id);
+        tr.inFlight -= cancelled;
+        report_.hedgeCancelled += cancelled;
+    }
+
+    if (tr.parent != kNoParent) {
+        // A leg's commit advances the fan-in barrier; fleet-level
+        // served/sojourn accounting happens once, at the parent.
+        legCommitted(tr.parent, now);
+        return;
+    }
+
+    ++report_.served;
+    notePhaseServed(tr.spec.arrival);
+    Cycles sojourn = now > tr.spec.arrival ? now - tr.spec.arrival : 0;
+    fleetSojourn_->sample(sojourn);
+    tenantServed_[tr.spec.tenant]->inc();
+    tenantSojourn_[tr.spec.tenant]->sample(sojourn);
+}
+
+void
+ShardRouter::spawnFanout(Track &parent, Cycles now)
+{
+    const workload::RequestSpec &spec = parent.spec;
+    unsigned legs = std::min<unsigned>(spec.fanout, shardCount());
+    Fanout &fan = fanouts_.emplace(parent.id, Fanout{}).first->second;
+    fan.legs = legs;
+    ++report_.fanoutParents;
+    note(now, "fanout id=" + std::to_string(parent.id) + " legs=" +
+                  std::to_string(legs));
+
+    // Split the payload evenly (rounded up to whole blocks); vary the
+    // content key per leg so each leg carries its own slice of data.
+    std::size_t per = (spec.bytes + legs - 1) / legs;
+    per = std::max<std::size_t>(
+        kBlockSize, (per + kBlockSize - 1) / kBlockSize * kBlockSize);
+
+    for (unsigned l = 0; l < legs; ++l) {
+        if (parent.done)
+            break;   // an earlier leg already degraded the barrier
+        RequestId lid = nextId_++;
+        workload::RequestSpec ls = spec;
+        ls.fanout = 1;
+        ls.bytes = per;
+        if (spec.key != 0) {
+            std::uint64_t k = mix64(spec.key ^ (l + 1));
+            ls.key = k != 0 ? k : 1;
+        }
+        Track &leg =
+            tracks_
+                .emplace(lid, Track{ls, lid, 0, 0, 0, false, false,
+                                    parent.id})
+                .first->second;
+        fanouts_.at(parent.id).legIds.push_back(lid);
+        ++report_.fanoutLegs;
+
+        RejectReason why = RejectReason::ShardDown;
+        std::optional<unsigned> s =
+            routeShard(spec.tenant, now, -1, &why, l, true);
+        if (!s) {
+            shedTrack(leg, now, why);
+            continue;
+        }
+        if (!admitGlobal(leg, now))
+            continue;
+        if (placeCopy(leg, *s, now, false) && params_.hedgeAge != 0 &&
+            hiQos(spec.tenant)) {
+            hedges_.push(Timer{now + params_.hedgeAge, lid, -1});
         }
     }
+}
+
+void
+ShardRouter::legCommitted(RequestId parentId, Cycles now)
+{
+    Fanout &fan = fanouts_.at(parentId);
+    Track &parent = tracks_.at(parentId);
+    if (parent.done)
+        return;   // barrier already resolved (defensive)
+    ++fan.committed;
+    if (fan.committed < fan.legs)
+        return;
+
+    // Fan-in: every leg committed (and golden-verified when enabled);
+    // the parent serves with sojourn measured to the last leg.
+    parent.done = true;
+    ++report_.served;
+    notePhaseServed(parent.spec.arrival);
+    Cycles sojourn =
+        now > parent.spec.arrival ? now - parent.spec.arrival : 0;
+    fleetSojourn_->sample(sojourn);
+    tenantServed_[parent.spec.tenant]->inc();
+    tenantSojourn_[parent.spec.tenant]->sample(sojourn);
+    note(now, "fanin commit id=" + std::to_string(parentId));
+}
+
+void
+ShardRouter::legFailed(RequestId parentId, Cycles now, RejectReason why)
+{
+    Track &parent = tracks_.at(parentId);
+    if (parent.done)
+        return;
+    ++report_.fanoutPartial;
+    note(now, "fanout partial id=" + std::to_string(parentId) +
+                  " leg_reason=" + toString(why));
+    shedTrack(parent, now, RejectReason::PartialResult);
+
+    // The barrier is dead: cancel the surviving legs' queued copies;
+    // executing copies are discarded at their wave completion.
+    for (RequestId lid : fanouts_.at(parentId).legIds) {
+        Track &leg = tracks_.at(lid);
+        if (leg.done)
+            continue;
+        leg.done = true;
+        unsigned cancelled = cancelQueuedCopies(lid);
+        leg.inFlight -= cancelled;
+        report_.fanoutDiscarded += cancelled;
+    }
+}
+
+void
+ShardRouter::rebalanceTick(Cycles now)
+{
+    // EWMA of instantaneous load: queued requests plus the executing
+    // wave's occupancy.
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        const Shard &sh = shards_[s];
+        double load = static_cast<double>(sh.queue->size());
+        if (sh.busy)
+            load += static_cast<double>(sh.wave.requests.size());
+        ewma_[s] = params_.ewmaAlpha * load +
+                   (1.0 - params_.ewmaAlpha) * ewma_[s];
+    }
+    if (migration_.active || now < cooldownUntil_)
+        return;
+
+    int hot = -1;
+    int cold = -1;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        if (!shards_[s].up)
+            continue;
+        if (hot < 0 || ewma_[s] > ewma_[hot])
+            hot = static_cast<int>(s);
+        if (cold < 0 || ewma_[s] < ewma_[cold])
+            cold = static_cast<int>(s);
+    }
+    if (hot < 0 || cold < 0 || hot == cold)
+        return;
+    if (ewma_[hot] < params_.hotspotMinLoad)
+        return;
+    if (ewma_[hot] < params_.hotspotRatio * (ewma_[cold] + 1.0))
+        return;
+    // p99 guard: only rebalance toward a shard that is actually
+    // serving no worse than the congested one.
+    if (shards_[hot].serviceHist->quantile(0.99) <
+        shards_[cold].serviceHist->quantile(0.99)) {
+        return;
+    }
+
+    // Hottest tenant homed on the hot shard: most pending work there,
+    // ties to the lowest tenant id.
+    int tenant = -1;
+    std::size_t best = 0;
+    for (TenantId t = 0; t < serve_.tenants.size(); ++t) {
+        if (order_[t][0] != static_cast<unsigned>(hot))
+            continue;
+        std::size_t pend = shards_[hot].queue->pending(t).size();
+        if (pend > best) {
+            best = pend;
+            tenant = static_cast<int>(t);
+        }
+    }
+    if (tenant < 0)
+        return;
+    startMigration(static_cast<TenantId>(tenant),
+                   static_cast<unsigned>(hot),
+                   static_cast<unsigned>(cold), now);
+}
+
+void
+ShardRouter::startMigration(TenantId t, unsigned from, unsigned to,
+                            Cycles now)
+{
+    migration_ = Migration{true, t, from, to,
+                           now + params_.migrationDrain};
+    ++report_.migrations;
+
+    // Re-home instantly: the target becomes the head of the failover
+    // order (new arrivals route there); the old home is the first
+    // fallback, so crash failover still works mid-handoff.
+    std::vector<unsigned> &ord = order_[t];
+    ord.erase(std::remove(ord.begin(), ord.end(), to), ord.end());
+    ord.insert(ord.begin(), to);
+
+    note(now, "migrate tenant=" + serve_.tenants[t].name + " from=" +
+                  std::to_string(from) + " to=" + std::to_string(to) +
+                  " drain_until=" +
+                  std::to_string(migration_.drainUntil));
+}
+
+void
+ShardRouter::finishMigration(Cycles now)
+{
+    Migration mig = migration_;
+    migration_.active = false;
+    cooldownUntil_ = now + params_.migrationCooldown;
+
+    // Transplant leftovers: queued requests of the migrated tenant
+    // still on the source rebuild on the target. A refused transplant
+    // goes through the retry pipeline carrying migration_drain, so it
+    // only sheds (with that reason) once its budget is spent.
+    Shard &src = shards_[mig.from];
+    std::vector<Request> left = src.queue->pruneIf(
+        [&](const Request &r) { return r.tenant == mig.tenant; });
+    for (const Request &req : left) {
+        recycleRequest(*src.alloc, req);
+        Track &tr = tracks_.at(req.id);
+        --tr.inFlight;
+        if (tr.done) {
+            ++report_.hedgeCancelled;   // stale dual-dispatch twin
+            continue;
+        }
+        if (shards_[mig.to].up && placeCopy(tr, mig.to, now, true)) {
+            tr.primaryShard = mig.to;
+            ++report_.migrationTransplants;
+        } else {
+            failCopy(tr, now, static_cast<int>(mig.from),
+                     RejectReason::MigrationDrain);
+        }
+    }
+    note(now, "migration drained tenant=" +
+                  serve_.tenants[mig.tenant].name + " transplants=" +
+                  std::to_string(left.size()));
+}
+
+std::size_t
+ShardRouter::totalQueued() const
+{
+    std::size_t total = 0;
+    for (const Shard &sh : shards_)
+        total += sh.queue->size();
+    return total;
+}
+
+bool
+ShardRouter::admitGlobal(Track &tr, Cycles now)
+{
+    if (params_.globalQueueCap == 0 ||
+        totalQueued() < params_.globalQueueCap) {
+        return true;
+    }
+
+    // Over budget: the fleet sheds its lowest-QoS queued work first.
+    // Victim tenant = strictly lower weight than the arrival, lowest
+    // weight first, ties to the lowest tenant id.
+    unsigned myWeight = serve_.tenants[tr.spec.tenant].weight;
+    int victim = -1;
+    for (TenantId t = 0; t < serve_.tenants.size(); ++t) {
+        if (serve_.tenants[t].weight >= myWeight)
+            continue;
+        bool queued = false;
+        for (const Shard &sh : shards_) {
+            if (!sh.queue->pending(t).empty()) {
+                queued = true;
+                break;
+            }
+        }
+        if (!queued)
+            continue;
+        if (victim < 0 ||
+            serve_.tenants[t].weight <
+                serve_.tenants[static_cast<TenantId>(victim)].weight) {
+            victim = static_cast<int>(t);
+        }
+    }
+    if (victim < 0) {
+        // Nothing below this arrival's QoS: the arrival itself sheds.
+        ++report_.globalSheds;
+        shedTrack(tr, now, RejectReason::GlobalQueueFull);
+        return false;
+    }
+
+    // Evict the victim tenant's youngest queued request fleet-wide
+    // (latest arrival, ties to the highest id — the least sunk cost).
+    TenantId vt = static_cast<TenantId>(victim);
+    int vShard = -1;
+    Cycles vArrival = 0;
+    RequestId vId = 0;
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        const std::deque<Request> &fifo = shards_[s].queue->pending(vt);
+        if (fifo.empty())
+            continue;
+        const Request &back = fifo.back();
+        if (vShard < 0 || back.arrival > vArrival ||
+            (back.arrival == vArrival && back.id > vId)) {
+            vShard = static_cast<int>(s);
+            vArrival = back.arrival;
+            vId = back.id;
+        }
+    }
+    Shard &sh = shards_[static_cast<unsigned>(vShard)];
+    std::optional<Request> evicted = sh.queue->removeYoungest(vt);
+    CC_ASSERT(evicted.has_value(), "victim queue emptied underneath us");
+    recycleRequest(*sh.alloc, *evicted);
+    ++report_.globalEvictions;
+    note(now, "global evict id=" + std::to_string(evicted->id) +
+                  " tenant=" + serve_.tenants[vt].name + " for id=" +
+                  std::to_string(tr.id));
+
+    Track &victimTrack = tracks_.at(evicted->id);
+    --victimTrack.inFlight;
+    if (victimTrack.done) {
+        ++report_.hedgeCancelled;   // evicted a stale twin
+    } else if (victimTrack.inFlight == 0) {
+        sh.queue->recordShed(evicted->id, evicted->tenant,
+                             RejectReason::GlobalQueueFull,
+                             evicted->arrival);
+        shedTrack(victimTrack, now, RejectReason::GlobalQueueFull);
+    }
+    return true;
+}
+
+std::size_t
+ShardRouter::phaseOf(Cycles arrival) const
+{
+    const std::vector<Cycles> &bounds = params_.phaseBoundaries;
+    std::size_t i = 0;
+    while (i < bounds.size() && arrival >= bounds[i])
+        ++i;
+    return i;
+}
+
+void
+ShardRouter::notePhaseServed(Cycles arrival)
+{
+    if (!report_.phases.empty())
+        ++report_.phases[phaseOf(arrival)].served;
+}
+
+void
+ShardRouter::notePhaseShed(Cycles arrival)
+{
+    if (!report_.phases.empty())
+        ++report_.phases[phaseOf(arrival)].shed;
 }
 
 void
@@ -476,7 +863,10 @@ ShardRouter::completeWave(unsigned s, Cycles now)
         if (tr.done) {
             // The sibling copy already committed (or the track shed
             // while this copy was executing): discard this result.
-            ++report_.hedgeWasted;
+            if (tr.parent != kNoParent)
+                ++report_.fanoutDiscarded;
+            else
+                ++report_.hedgeWasted;
             recycleRequest(*sh.alloc, req);
             continue;
         }
@@ -498,6 +888,26 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
     }
     report_.offered = specs.size();
     report_.chaos = chaos.toJson();
+
+    // Per-phase availability windows (classified by offered arrival).
+    if (!params_.phaseBoundaries.empty()) {
+        CC_ASSERT(std::is_sorted(params_.phaseBoundaries.begin(),
+                                 params_.phaseBoundaries.end()),
+                  "phase boundaries must be sorted");
+        Cycles prev = 0;
+        for (Cycles b : params_.phaseBoundaries) {
+            report_.phases.push_back(
+                FleetReport::PhaseSummary{prev, b, 0, 0, 0, 1.0});
+            prev = b;
+        }
+        report_.phases.push_back(
+            FleetReport::PhaseSummary{prev, 0, 0, 0, 0, 1.0});
+        for (const workload::RequestSpec &spec : specs)
+            ++report_.phases[phaseOf(spec.arrival)].offered;
+    }
+
+    if (params_.rebalancePeriod != 0)
+        nextRebalance_ = params_.rebalancePeriod;
 
     // Merge the schedule into a boundary timeline; at equal times ends
     // apply before starts (a shard recovering exactly when another
@@ -554,6 +964,14 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
                             .emplace(id, Track{spec, id, 0, 0, 0, false,
                                                false})
                             .first->second;
+
+            // Multi-shard request: split into fan-out legs behind a
+            // fan-in barrier (needs at least two live-able shards).
+            if (spec.fanout > 1 && shardCount() > 1) {
+                spawnFanout(tr, now);
+                continue;
+            }
+
             RejectReason why = RejectReason::ShardDown;
             std::optional<unsigned> s =
                 routeShard(spec.tenant, now, -1, &why);
@@ -563,11 +981,31 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
                 shedTrack(tr, now, why);
                 continue;
             }
+            if (!admitGlobal(tr, now))
+                continue;
             if (*s != order_[spec.tenant][0])
                 ++report_.reroutes;
             if (placeCopy(tr, *s, now, false) && params_.hedgeAge != 0 &&
                 hiQos(spec.tenant)) {
                 hedges_.push(Timer{now + params_.hedgeAge, id, -1});
+            }
+
+            // Migration handoff: inside the drain window the migrating
+            // tenant dual-dispatches a shadow copy on the source, so a
+            // target crash mid-handoff cannot drop the request.
+            if (migration_.active && spec.tenant == migration_.tenant &&
+                tr.inFlight > 0 && *s == migration_.to) {
+                Shard &src = shards_[migration_.from];
+                bool capped = params_.globalQueueCap != 0 &&
+                              totalQueued() >= params_.globalQueueCap;
+                if (src.up && src.breaker.allowDispatch(now) &&
+                    !capped &&
+                    placeCopy(tr, migration_.from, now, true)) {
+                    ++report_.migrationDualDispatch;
+                    note(now, "dual dispatch id=" + std::to_string(id) +
+                                  " src=" +
+                                  std::to_string(migration_.from));
+                }
             }
         }
 
@@ -578,11 +1016,12 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
             Track &tr = tracks_.at(t.id);
             if (tr.done)
                 continue;
+            bool isLeg = tr.parent != kNoParent;
             RejectReason why = RejectReason::ShardDown;
-            std::optional<unsigned> s =
-                routeShard(tr.spec.tenant, now, t.avoidShard, &why);
+            std::optional<unsigned> s = routeShard(
+                tr.spec.tenant, now, t.avoidShard, &why, 0, isLeg);
             if (!s)   // nowhere else: the avoided shard may have healed
-                s = routeShard(tr.spec.tenant, now, -1, &why);
+                s = routeShard(tr.spec.tenant, now, -1, &why, 0, isLeg);
             if (!s) {
                 ++tr.attempts;   // a consumed (failed) attempt
                 failCopy(tr, now, -1, why);
@@ -600,9 +1039,15 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
             Track &tr = tracks_.at(t.id);
             if (tr.done || tr.hedged || tr.inFlight == 0)
                 continue;
+            // Hedges are optional redundancy: skip at the fleet-wide
+            // budget rather than evicting admitted work for them.
+            if (params_.globalQueueCap != 0 &&
+                totalQueued() >= params_.globalQueueCap) {
+                continue;
+            }
             std::optional<unsigned> s = routeShard(
-                tr.spec.tenant, now,
-                static_cast<int>(tr.primaryShard), nullptr);
+                tr.spec.tenant, now, static_cast<int>(tr.primaryShard),
+                nullptr, 0, tr.parent != kNoParent);
             if (!s)
                 continue;   // no live sibling to hedge onto
             tr.hedged = true;
@@ -615,17 +1060,29 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
             }
         }
 
-        // 6. Dispatch every idle live shard with pending work.
+        // 6. Fleet controller: finish an expired drain window, then
+        //    run hot-spot detector ticks that are due.
+        if (params_.rebalancePeriod != 0) {
+            if (migration_.active && migration_.drainUntil <= now)
+                finishMigration(now);
+            while (nextRebalance_ <= now) {
+                rebalanceTick(now);
+                nextRebalance_ += params_.rebalancePeriod;
+            }
+        }
+
+        // 7. Dispatch every idle live shard with pending work.
         for (unsigned s = 0; s < shards_.size(); ++s)
             dispatchShard(s, now);
 
-        // 7. Done when every offered request is committed or shed.
+        // 8. Done when every offered request is committed or shed
+        //    (fan-out parents count once; legs roll up to them).
         if (next_spec == specs.size() &&
             report_.served + report_.shed == report_.offered) {
             break;
         }
 
-        // 8. Advance simulated time to the next pending event.
+        // 9. Advance simulated time to the next pending event.
         Cycles nxt = kNever;
         if (next_spec < specs.size())
             nxt = std::min(nxt, specs[next_spec].arrival);
@@ -644,6 +1101,11 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
             nxt = std::min(nxt, retries_.top().at);
         if (!hedges_.empty())
             nxt = std::min(nxt, hedges_.top().at);
+        if (params_.rebalancePeriod != 0) {
+            nxt = std::min(nxt, nextRebalance_);
+            if (migration_.active)
+                nxt = std::min(nxt, migration_.drainUntil);
+        }
         CC_ASSERT(nxt != kNever, "router stalled with ",
                   report_.offered - report_.served - report_.shed,
                   " requests outstanding at cycle ", now);
@@ -657,6 +1119,16 @@ ShardRouter::run(const std::vector<workload::RequestSpec> &specs,
               static_cast<double>(report_.offered)
         : 1.0;
     report_.elapsed = now;
+
+    for (FleetReport::PhaseSummary &p : report_.phases) {
+        CC_ASSERT(p.served + p.shed == p.offered,
+                  "phase accounting leak: ", p.served, " + ", p.shed,
+                  " != ", p.offered);
+        p.availability = p.offered
+            ? static_cast<double>(p.served) /
+                  static_cast<double>(p.offered)
+            : 1.0;
+    }
 
     for (unsigned s = 0; s < shards_.size(); ++s) {
         Shard &sh = shards_[s];

@@ -39,12 +39,42 @@
  * bytes derived from (patternSeed, id) — identical on every shard it
  * lands on — and every commit is checked bit-for-bit against a
  * host-side reference model (request_builder.hh), so "availability"
- * counts only provably correct completions.
+ * counts only provably correct completions. A request's Zipf content
+ * key (RequestSpec::key) folds into that pattern seed, so hot keys
+ * carry hot data and stay verifiable wherever they are re-placed.
+ *
+ * Fleet controller (DESIGN.md §15) — three cooperating mechanisms
+ * layered over the reliability pipeline:
+ *
+ *  - cross-shard fan-out/fan-in: a request with spec.fanout > 1 splits
+ *    into that many legs placed on distinct shards (clockwise along
+ *    the tenant's failover order). Each leg runs the full pipeline
+ *    independently (per-leg deadlines, retries, hedges); the parent is
+ *    a fan-in barrier that commits only when every leg golden-verifies
+ *    and degrades to a structured partial_result shed record the
+ *    moment any leg fails terminally (remaining queued legs cancel);
+ *  - live tenant migration: with rebalancePeriod set, a seeded
+ *    hot-spot detector (EWMA of per-shard queue depth, guarded by the
+ *    per-shard p99 service latency) drains the hottest tenant to the
+ *    coldest shard. New arrivals flip to the target instantly while a
+ *    dual-dispatch handoff window keeps a shadow copy on the source
+ *    (first commit wins), so no request is dropped mid-migration even
+ *    if either end crashes; at the drain deadline leftover queued
+ *    requests transplant to the target, shedding migration_drain only
+ *    when the target refuses them;
+ *  - global backpressure: with globalQueueCap set, a fleet-wide
+ *    admission budget spans all shard queues. An arrival over budget
+ *    evicts the youngest queued request of the lowest-QoS tenant that
+ *    is strictly below the arrival's weight (shed global_queue_full);
+ *    with no lower-QoS victim the arrival itself sheds. One saturated
+ *    shard therefore sheds the fleet's lowest-QoS work first instead
+ *    of its own tenants indiscriminately.
  */
 
 #ifndef CCACHE_SERVE_SHARD_ROUTER_HH
 #define CCACHE_SERVE_SHARD_ROUTER_HH
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -103,6 +133,39 @@ struct RouterParams
 
     /** Keep a human-readable event log (determinism tests). */
     bool recordEvents = false;
+
+    /** Fleet controller (DESIGN.md §15). @{ */
+
+    /** Hot-spot detector tick period; 0 disables rebalancing. */
+    Cycles rebalancePeriod = 0;
+
+    /** EWMA smoothing for per-shard queue depth (per tick). */
+    double ewmaAlpha = 0.3;
+
+    /** Migrate when the hottest shard's depth EWMA is at least
+     *  hotspotRatio x (coldest EWMA + 1) and at least hotspotMinLoad
+     *  absolute (and its p99 service latency is no better than the
+     *  cold shard's). @{ */
+    double hotspotRatio = 3.0;
+    double hotspotMinLoad = 4.0;
+    /** @} */
+
+    /** Dual-dispatch handoff window after a migration starts; at its
+     *  end leftover queued requests transplant source -> target. */
+    Cycles migrationDrain = 20000;
+
+    /** Minimum gap between migrations (detector hysteresis). */
+    Cycles migrationCooldown = 60000;
+
+    /** Fleet-wide queued-request budget across every shard queue
+     *  (0 = no global backpressure). */
+    std::size_t globalQueueCap = 0;
+
+    /** Report availability separately per [boundary, boundary) window
+     *  (sorted cycle boundaries; empty = single-window report only).
+     *  Requests are classified by offered arrival time. */
+    std::vector<Cycles> phaseBoundaries;
+    /** @} */
 };
 
 /** End-of-run fleet summary (also exported as JSON). */
@@ -127,6 +190,25 @@ struct FleetReport
     std::uint64_t goldenMismatch = 0;
     Cycles elapsed = 0;
 
+    /** Fan-out/fan-in barrier accounting (§15). @{ */
+    std::uint64_t fanoutParents = 0;   ///< offered multi-shard requests
+    std::uint64_t fanoutLegs = 0;      ///< legs launched
+    std::uint64_t fanoutPartial = 0;   ///< parents degraded to partial
+    std::uint64_t fanoutDiscarded = 0; ///< leg results discarded after
+                                       ///< the barrier resolved
+    /** @} */
+
+    /** Live-migration accounting (§15). @{ */
+    std::uint64_t migrations = 0;
+    std::uint64_t migrationDualDispatch = 0;  ///< shadow copies placed
+    std::uint64_t migrationTransplants = 0;   ///< drain-end transfers
+    /** @} */
+
+    /** Global-backpressure accounting (§15). @{ */
+    std::uint64_t globalEvictions = 0;  ///< lower-QoS victims evicted
+    std::uint64_t globalSheds = 0;      ///< arrivals shed at the budget
+    /** @} */
+
     struct ShardSummary
     {
         unsigned index = 0;
@@ -150,6 +232,20 @@ struct FleetReport
         std::uint64_t p999SojournCycles = 0;
     };
     std::vector<TenantSummary> tenants;
+
+    /** Per-window availability (RouterParams::phaseBoundaries);
+     *  requests are classified by offered arrival time, counted at
+     *  their terminal commit/shed. */
+    struct PhaseSummary
+    {
+        Cycles start = 0;
+        Cycles end = 0;   ///< exclusive; 0 = open-ended
+        std::uint64_t offered = 0;
+        std::uint64_t served = 0;
+        std::uint64_t shed = 0;
+        double availability = 1.0;
+    };
+    std::vector<PhaseSummary> phases;
 
     /** Structured shed records: router pipeline sheds plus each
      *  shard's admission-queue log. */
@@ -176,6 +272,12 @@ class ShardRouter
 
     unsigned shardCount() const { return static_cast<unsigned>(shards_.size()); }
     sim::System &shardSystem(unsigned i) { return *shards_[i].sys; }
+
+    /** A shard's circuit breaker (observability / tests). */
+    const CircuitBreaker &shardBreaker(unsigned i) const
+    {
+        return shards_[i].breaker;
+    }
 
     /** A tenant's ring failover order (home shard first). */
     const std::vector<unsigned> &failoverOrder(TenantId t) const
@@ -217,6 +319,9 @@ class ShardRouter
         StatLogHistogram *serviceHist = nullptr;
     };
 
+    static constexpr RequestId kNoParent =
+        std::numeric_limits<RequestId>::max();
+
     /** Lifecycle of one offered request across attempts and copies. */
     struct Track
     {
@@ -227,6 +332,28 @@ class ShardRouter
         unsigned primaryShard = 0;
         bool hedged = false;
         bool done = false;
+        /** Fan-out parent id; kNoParent for ordinary requests and for
+         *  parents themselves (a leg's terminal events roll up to the
+         *  parent's barrier instead of the fleet counters). */
+        RequestId parent = kNoParent;
+    };
+
+    /** Fan-in barrier state of one multi-shard request. */
+    struct Fanout
+    {
+        unsigned legs = 0;
+        unsigned committed = 0;
+        std::vector<RequestId> legIds;
+    };
+
+    /** One in-progress tenant migration (at most one at a time). */
+    struct Migration
+    {
+        bool active = false;
+        TenantId tenant = 0;
+        unsigned from = 0;
+        unsigned to = 0;
+        Cycles drainUntil = 0;
     };
 
     /** (ready cycle, request id, shard to avoid) — min-heap. */
@@ -247,10 +374,15 @@ class ShardRouter
     void note(Cycles now, const std::string &what);
 
     /** First dispatchable shard in @p t's failover order (skipping
-     *  @p avoid); lo-QoS tenants only consider their home shard. On
-     *  failure @p why says whether brownout or a dead fleet refused. */
+     *  @p avoid); lo-QoS tenants only consider their home shard unless
+     *  @p fullSpan (fan-out legs span regardless of QoS). The walk
+     *  starts @p startOffset positions along the order, which spreads
+     *  fan-out legs over distinct shards. On failure @p why says
+     *  whether brownout or a dead fleet refused. */
     std::optional<unsigned> routeShard(TenantId t, Cycles now, int avoid,
-                                       RejectReason *why) const;
+                                       RejectReason *why,
+                                       std::size_t startOffset = 0,
+                                       bool fullSpan = false) const;
 
     /** Build + enqueue one copy of @p tr on shard @p s. */
     bool placeCopy(Track &tr, unsigned s, Cycles now, bool hedge);
@@ -271,6 +403,32 @@ class ShardRouter
     void pruneDeadlines(unsigned s, Cycles now);
     bool dispatchShard(unsigned s, Cycles now);
 
+    /** Fan-out/fan-in barrier (§15). @{ */
+    void spawnFanout(Track &parent, Cycles now);
+    void legCommitted(RequestId parentId, Cycles now);
+    void legFailed(RequestId parentId, Cycles now, RejectReason why);
+    /** Pull every still-queued copy of @p id off every shard queue. */
+    unsigned cancelQueuedCopies(RequestId id);
+    /** @} */
+
+    /** Live migration (§15). @{ */
+    void rebalanceTick(Cycles now);
+    void startMigration(TenantId t, unsigned from, unsigned to,
+                        Cycles now);
+    void finishMigration(Cycles now);
+    /** @} */
+
+    /** Global backpressure (§15): make room for (or refuse) one copy
+     *  of @p tr at the fleet-wide budget. True = place the copy. */
+    bool admitGlobal(Track &tr, Cycles now);
+    std::size_t totalQueued() const;
+
+    /** Per-phase availability (§15). @{ */
+    std::size_t phaseOf(Cycles arrival) const;
+    void notePhaseServed(Cycles arrival);
+    void notePhaseShed(Cycles arrival);
+    /** @} */
+
     ServerParams serve_;
     RouterParams params_;
     BackoffPolicy backoff_;
@@ -282,10 +440,18 @@ class ShardRouter
     std::vector<std::vector<unsigned>> order_;
 
     std::unordered_map<RequestId, Track> tracks_;
+    std::unordered_map<RequestId, Fanout> fanouts_;
     TimerHeap retries_;
     TimerHeap hedges_;
     RequestId nextId_ = 0;
     bool ran_ = false;
+
+    /** Fleet-controller state (§15). @{ */
+    Migration migration_;
+    std::vector<double> ewma_;       ///< per-shard queue-depth EWMA
+    Cycles nextRebalance_ = 0;
+    Cycles cooldownUntil_ = 0;
+    /** @} */
 
     StatRegistry fleetStats_;
     std::unique_ptr<ShedLog> fleetShed_;

@@ -1,7 +1,5 @@
 #include "workload/text_gen.hh"
 
-#include <algorithm>
-#include <cmath>
 #include <set>
 
 #include "common/logging.hh"
@@ -9,7 +7,8 @@
 namespace ccache::workload {
 
 TextGen::TextGen(const TextGenParams &params)
-    : params_(params), rng_(params.seed)
+    : params_(params), rng_(params.seed),
+      zipf_(params.vocabulary, params.zipfExponent)
 {
     CC_ASSERT(params.vocabulary > 0, "empty vocabulary");
     CC_ASSERT(params.minWordLen >= 1 &&
@@ -28,31 +27,12 @@ TextGen::TextGen(const TextGenParams &params)
         if (seen.insert(w).second)
             vocab_.push_back(std::move(w));
     }
-
-    // CDF of Zipf(s) over ranks 1..V.
-    cdf_.resize(params.vocabulary);
-    double sum = 0.0;
-    for (std::size_t r = 0; r < params.vocabulary; ++r) {
-        sum += 1.0 / std::pow(static_cast<double>(r + 1),
-                              params.zipfExponent);
-        cdf_[r] = sum;
-    }
-    for (auto &v : cdf_)
-        v /= sum;
-}
-
-std::size_t
-TextGen::sampleRank()
-{
-    double u = rng_.uniform();
-    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return static_cast<std::size_t>(it - cdf_.begin());
 }
 
 const std::string &
 TextGen::nextWord()
 {
-    return vocab_[sampleRank()];
+    return vocab_[zipf_.sample(rng_)];
 }
 
 std::string

@@ -6,7 +6,8 @@
  * and StringMatch (Section VI-B). Real English word frequency is roughly
  * Zipf(1.0); the generator draws words from a synthetic vocabulary with
  * that distribution so dictionary size and hit locality match the shape
- * of a real corpus.
+ * of a real corpus. The rank draw itself is the shared O(1) alias-table
+ * sampler (workload/zipf.hh); TextGen only owns the vocabulary.
  */
 
 #ifndef CCACHE_WORKLOAD_TEXT_GEN_HH
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "workload/zipf.hh"
 
 namespace ccache::workload {
 
@@ -51,12 +53,10 @@ class TextGen
     std::string corpus(std::size_t bytes);
 
   private:
-    std::size_t sampleRank();
-
     TextGenParams params_;
     Rng rng_;
     std::vector<std::string> vocab_;
-    std::vector<double> cdf_;
+    ZipfSampler zipf_;
 };
 
 } // namespace ccache::workload

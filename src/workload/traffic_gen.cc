@@ -2,33 +2,95 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "workload/zipf.hh"
 
 namespace ccache::workload {
 
 namespace {
 
-/** Per-tenant generation state: an independent arrival clock + RNG. */
+/** Per-tenant generation state: an independent arrival clock + RNG.
+ *  Key draws use their own derived stream so enabling a key space
+ *  never perturbs the arrival/size/op sequence (§8 stream contract —
+ *  the keyed run replays the unkeyed run's timing exactly). */
 struct TenantState
 {
     Rng rng{0};
+    Rng keyRng{0};
     Cycles clock = 0;
-    double rate = 0.0;                  ///< requests per cycle
+    double rate = 0.0;                  ///< base requests per cycle
     std::vector<std::pair<double, cc::CcOpcode>> mix;  ///< cumulative
     double mixTotal = 0.0;
 };
 
-/** Exponential inter-arrival draw, at least one cycle. */
+/** Rate multiplier active at @p at (phases sorted by start cycle). */
+double
+rateMultiplier(const TenantTraffic &spec, Cycles at)
+{
+    double m = 1.0;
+    for (const TenantTraffic::RatePhase &p : spec.phases) {
+        if (p.at > at)
+            break;
+        m = p.multiplier;
+    }
+    return m;
+}
+
+/** Next boundary strictly after @p at where the multiplier actually
+ *  changes (or 0 when none). A phase that re-states the current
+ *  multiplier is a no-op and must not restart the exponential draw —
+ *  a unit-multiplier phase list is stream-invisible. */
 Cycles
-interArrival(TenantState &t)
+nextRateChange(const TenantTraffic &spec, Cycles at)
+{
+    double m = rateMultiplier(spec, at);
+    for (const TenantTraffic::RatePhase &p : spec.phases) {
+        if (p.at <= at)
+            continue;
+        if (p.multiplier != m)
+            return p.at;
+        m = p.multiplier;
+    }
+    return 0;
+}
+
+/** One exponential gap at @p rate, at least one cycle. */
+Cycles
+expGap(TenantState &t, double rate)
 {
     double u = t.rng.uniform();                   // [0, 1)
-    double gap = -std::log1p(-u) / t.rate;        // cycles
+    double gap = -std::log1p(-u) / rate;          // cycles
     if (gap > 1e15)                               // degenerate rate guard
         gap = 1e15;
     return std::max<Cycles>(1, static_cast<Cycles>(std::llround(gap)));
+}
+
+/**
+ * Advance @p t's arrival clock by one inter-arrival time under the
+ * tenant's (possibly phased) rate. A draw that crosses a phase
+ * boundary restarts from the boundary at the new rate (the exponential
+ * is memoryless, so the restart keeps the process Poisson per phase);
+ * with no phases this consumes exactly one uniform draw, identical to
+ * the flat-rate generator.
+ */
+void
+advanceClock(TenantState &t, const TenantTraffic &spec)
+{
+    for (;;) {
+        double rate = t.rate * rateMultiplier(spec, t.clock);
+        CC_ASSERT(rate > 0.0, "tenant phase rate must stay positive");
+        Cycles gap = expGap(t, rate);
+        Cycles boundary = nextRateChange(spec, t.clock);
+        if (boundary != 0 && t.clock + gap >= boundary) {
+            t.clock = boundary;
+            continue;
+        }
+        t.clock += gap;
+        return;
+    }
 }
 
 cc::CcOpcode
@@ -62,6 +124,14 @@ generateTraffic(const TrafficParams &params)
 {
     CC_ASSERT(!params.tenants.empty(), "traffic needs at least one tenant");
 
+    // Shared key-space alias table; each tenant samples it through its
+    // own RNG stream, so keyed and unkeyed tenants stay decorrelated.
+    std::unique_ptr<ZipfSampler> keys;
+    if (params.zipfKeys > 0) {
+        keys = std::make_unique<ZipfSampler>(params.zipfKeys,
+                                             params.keyExponent);
+    }
+
     std::vector<TenantState> state(params.tenants.size());
     for (std::size_t i = 0; i < params.tenants.size(); ++i) {
         const TenantTraffic &spec = params.tenants[i];
@@ -70,8 +140,16 @@ generateTraffic(const TrafficParams &params)
         // renaming tenants decorrelates every stream.
         t.rng = Rng(deriveSeed(params.seed,
                                std::to_string(i) + ":" + spec.name));
+        t.keyRng = Rng(deriveSeed(
+            params.seed, std::to_string(i) + ":" + spec.name + ":key"));
         CC_ASSERT(spec.requestsPerKilocycle > 0.0,
                   "tenant arrival rate must be positive");
+        CC_ASSERT(std::is_sorted(
+                      spec.phases.begin(), spec.phases.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.at < b.at;
+                      }),
+                  "tenant rate phases must be sorted by start cycle");
         t.rate = spec.requestsPerKilocycle / 1000.0;
         const std::pair<double, cc::CcOpcode> weights[] = {
             {spec.weightAnd, cc::CcOpcode::And},
@@ -90,7 +168,7 @@ generateTraffic(const TrafficParams &params)
             t.mix.emplace_back(t.mixTotal, op);
         }
         CC_ASSERT(!t.mix.empty(), "tenant op mix is empty");
-        t.clock = interArrival(t);
+        advanceClock(t, spec);
     }
 
     // Deterministic k-way merge: always emit the earliest pending
@@ -113,9 +191,21 @@ generateTraffic(const TrafficParams &params)
         req.bytes = drawBytes(t, spec, req.op);
         req.scattered = spec.scatterFraction > 0.0 &&
             t.rng.chance(spec.scatterFraction);
+        // Keys come from the tenant's dedicated key stream and fan-out
+        // draws are conditional, so a keyless, fanout-less config
+        // replays the exact historical arrival sequence — and enabling
+        // keys never shifts arrivals, sizes, or ops.
+        if (keys) {
+            req.key =
+                static_cast<std::uint64_t>(keys->sample(t.keyRng)) + 1;
+        }
+        if (spec.fanoutFraction > 0.0 &&
+            t.rng.chance(spec.fanoutFraction)) {
+            req.fanout = std::max(2u, spec.fanoutLegs);
+        }
         out.push_back(req);
 
-        t.clock += interArrival(t);
+        advanceClock(t, spec);
     }
     return out;
 }

@@ -1,7 +1,7 @@
 /**
  * @file
  * Synthetic multi-tenant open-loop traffic generator for the serving
- * layer (DESIGN.md §11).
+ * layer (DESIGN.md §11, §15).
  *
  * Each tenant is an independent Poisson arrival process with its own
  * op mix and size distribution; the generator performs a deterministic
@@ -10,6 +10,22 @@
  * seed — the serving determinism contract (§8) starts here. Arrivals
  * are open-loop: the offered load never adapts to the server, which is
  * what makes saturation and shed-load measurements meaningful.
+ *
+ * Fleet-scale extensions (DESIGN.md §15):
+ *
+ *  - Zipfian keys: with TrafficParams::zipfKeys set, every request
+ *    draws a key from a multi-million-rank Zipf(keyExponent) space
+ *    through the O(1) alias sampler (workload/zipf.hh). Keys model
+ *    content addressing: the serving layer folds them into the golden
+ *    operand pattern, so hot keys carry hot data. Key draws use a
+ *    dedicated per-tenant RNG stream, so enabling keys never shifts
+ *    the arrival/size/op sequence.
+ *  - Hot-spot phases: a tenant's arrival rate may step at fixed cycle
+ *    boundaries (RatePhase), modelling a traffic surge onto one tenant
+ *    — the signal the fleet's hot-spot detector rebalances on.
+ *  - Fan-out: a tenant may mark a fraction of its requests as spanning
+ *    fanoutLegs shards; the router splits them into scatter/gather
+ *    legs with a fan-in barrier.
  */
 
 #ifndef CCACHE_WORKLOAD_TRAFFIC_GEN_HH
@@ -60,6 +76,23 @@ struct TenantTraffic
      * exercise the controller's near-place fallback inside a wave.
      */
     double scatterFraction = 0.0;
+
+    /** Stepwise arrival-rate schedule: at cycle `at` the tenant's rate
+     *  becomes requestsPerKilocycle * multiplier (phases sorted by
+     *  `at`; an empty list keeps the flat rate). Hot-spot surges are
+     *  one phase up, one phase back down. */
+    struct RatePhase
+    {
+        Cycles at = 0;
+        double multiplier = 1.0;
+    };
+    std::vector<RatePhase> phases;
+
+    /** Fraction of requests that span shards: each becomes fanoutLegs
+     *  scatter/gather legs on distinct shards (DESIGN.md §15). @{ */
+    double fanoutFraction = 0.0;
+    unsigned fanoutLegs = 2;
+    /** @} */
 };
 
 /** Aggregate traffic description. */
@@ -68,6 +101,12 @@ struct TrafficParams
     std::vector<TenantTraffic> tenants;
     std::size_t totalRequests = 1000;   ///< across all tenants
     std::uint64_t seed = 0x5e47ed7aff1cULL;
+
+    /** Zipfian key space: > 0 draws every request's key from
+     *  Zipf(keyExponent) over this many ranks (0 = unkeyed). @{ */
+    std::size_t zipfKeys = 0;
+    double keyExponent = 0.99;
+    /** @} */
 };
 
 /** One generated request before placement (no addresses yet). */
@@ -78,6 +117,14 @@ struct RequestSpec
     cc::CcOpcode op = cc::CcOpcode::And;
     std::size_t bytes = 256;
     bool scattered = false;
+
+    /** Zipf-drawn content key (0 when the key space is disabled); the
+     *  serving layer folds it into the golden operand pattern. */
+    std::uint64_t key = 0;
+
+    /** Shards this request spans: 1 = ordinary single-shard request,
+     *  > 1 = split into that many scatter/gather legs (§15). */
+    unsigned fanout = 1;
 };
 
 /** Generate @p params.totalRequests specs sorted by (arrival, tenant). */

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reusable O(1) Zipf sampler (Walker/Vose alias table).
+ *
+ * Zipfian skew shows up in every serving-scale workload this repo
+ * models: word frequency in the text corpora (text_gen), tenant
+ * popularity, and the multi-million-key traffic model that drives the
+ * fleet bench (DESIGN.md §15). The naive inverse-CDF sampler is
+ * O(log N) per draw and was fine at vocabulary sizes of a few
+ * thousand; a fleet run drawing keys from millions of ranks needs the
+ * alias method: O(N) build, O(1) per draw (one bounded integer + one
+ * uniform double from the caller's Rng).
+ *
+ * Determinism: the table is a pure function of (size, exponent) — no
+ * RNG is consumed at construction — and a draw consumes exactly one
+ * Rng::below plus one Rng::uniform, so sampling streams are
+ * reproducible wherever they are replayed (DESIGN.md §8).
+ */
+
+#ifndef CCACHE_WORKLOAD_ZIPF_HH
+#define CCACHE_WORKLOAD_ZIPF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ccache::workload {
+
+/**
+ * Zipf(s) over ranks 0..n-1: P(rank r) proportional to 1/(r+1)^s.
+ * Rank 0 is the hottest key.
+ */
+class ZipfSampler
+{
+  public:
+    /** Build the alias table for @p n ranks at exponent @p s. */
+    ZipfSampler(std::size_t n, double s);
+
+    std::size_t size() const { return prob_.size(); }
+    double exponent() const { return exponent_; }
+
+    /** Probability mass of @p rank (host-side reference for tests). */
+    double pmf(std::size_t rank) const;
+
+    /** Draw one rank in O(1): one below(n) + one uniform() from @p rng. */
+    std::size_t sample(Rng &rng) const
+    {
+        std::size_t column = static_cast<std::size_t>(rng.below(prob_.size()));
+        return rng.uniform() < prob_[column] ? column : alias_[column];
+    }
+
+  private:
+    double exponent_;
+    double norm_ = 0.0;          ///< sum of 1/(r+1)^s (pmf denominator)
+    /** Alias table: accept column with prob_[c], else take alias_[c]. */
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+} // namespace ccache::workload
+
+#endif // CCACHE_WORKLOAD_ZIPF_HH

@@ -103,7 +103,7 @@ TEST(StatRegistry, LogHistogramsRegisterAndExport)
 
     Json doc = reg.dumpJson();
     EXPECT_EQ(doc["version"].asNumber(), kStatsSchemaVersion);
-    EXPECT_EQ(kStatsSchemaVersion, 2);
+    EXPECT_EQ(kStatsSchemaVersion, 3);
     Json &lh = doc["log_histograms"]["serve.t0.queue_cycles"];
     EXPECT_EQ(lh["count"].asNumber(), 64.0);
     EXPECT_EQ(lh["min"].asNumber(), 1.0);

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "serve/shard_router.hh"
 #include "workload/traffic_gen.hh"
 
@@ -219,6 +221,96 @@ TEST(ShardRouter, HeapExhaustionShedsAfterRetries)
     EXPECT_GT(report.retries, 0u);
     EXPECT_NE(report.rejections.dump().find("retries_exhausted"),
               std::string::npos);
+}
+
+TEST(ShardRouter, HalfOpenProbeRacingCrashNeverRecloses)
+{
+    // First crash trips the breaker; it half-opens mid-outage and
+    // probe traffic resumes at recovery. A second crash then lands at
+    // varying offsets around the probe window — including inside a
+    // probe wave's execution. Chaos boundaries are processed before
+    // wave completions at the same cycle, so a probe wave killed by
+    // the crash must count as a failure: the breaker may never end the
+    // run Closed while the second crash extends past the last commit.
+    std::vector<workload::RequestSpec> specs = makeTraffic(2, 500, 77);
+    std::uint64_t maxTrips = 0;
+    for (Cycles offset = 0; offset <= 4000; offset += 500) {
+        RouterParams router = makeRouter();
+        ShardRouter fleet(sim::SystemConfig{}, makeServe({4, 4}), router);
+        unsigned home = fleet.failoverOrder(0)[0];
+        ChaosSchedule chaos;
+        ChaosEvent first;
+        first.kind = ChaosKind::Crash;
+        first.shard = home;
+        first.start = 30000;
+        first.duration = 40000;   // > breaker cooloff: half-open mid-crash
+        ChaosEvent second = first;
+        second.start = 70000 + offset;   // around recovery + probes
+        second.duration = 100'000'000;   // dark through end of run
+        chaos.events = {first, second};
+        FleetReport report = fleet.run(specs, chaos);
+
+        EXPECT_EQ(report.served + report.shed, report.offered)
+            << "offset " << offset;
+        EXPECT_EQ(report.goldenMismatch, 0u) << "offset " << offset;
+        const CircuitBreaker &breaker = fleet.shardBreaker(home);
+        // At tiny offsets the heal window is too short for a probe to
+        // complete, so the breaker may stay tripped-once; it must
+        // never have recovered to Closed regardless.
+        EXPECT_GE(breaker.trips(), 1u) << "offset " << offset;
+        maxTrips = std::max(maxTrips, breaker.trips());
+        EXPECT_NE(breaker.state(report.elapsed),
+                  CircuitBreaker::State::Closed)
+            << "offset " << offset;
+    }
+    // Some offset in the sweep leaves room for the probes to re-close
+    // the breaker before the second crash re-trips it: the
+    // close -> re-trip path must have been exercised.
+    EXPECT_GE(maxTrips, 2u);
+}
+
+TEST(ShardRouter, RetriesAndHedgesComposeWithFanoutLegs)
+{
+    // Fan-out legs run the full reliability pipeline: under a slow
+    // storm they time out, retry across shards and hedge like any
+    // hi-QoS request, while the fan-in barrier keeps parent accounting
+    // exact (each parent counted once, never double-served).
+    workload::TrafficParams traffic;
+    traffic.totalRequests = 400;
+    traffic.seed = 83;
+    workload::TenantTraffic t;
+    t.name = "t0";
+    t.requestsPerKilocycle = 0.5;
+    t.minBytes = 4096;
+    t.maxBytes = 32768;
+    t.fanoutFraction = 0.6;
+    t.fanoutLegs = 3;
+    traffic.tenants = {t};
+    std::vector<workload::RequestSpec> specs = generateTraffic(traffic);
+
+    ChaosSchedule chaos;
+    ASSERT_TRUE(ChaosSchedule::parse("slow@5000+500000:0*20;"
+                                     "slow@5000+500000:1*20;"
+                                     "slow@5000+500000:2*20;"
+                                     "slow@5000+500000:3*20",
+                                     kShards, &chaos, nullptr));
+    auto once = [&]() {
+        RouterParams router = makeRouter();
+        router.shardTimeout = 800;
+        router.hedgeAge = 400;
+        ShardRouter fleet(sim::SystemConfig{}, makeServe({4}), router);
+        return fleet.run(specs, chaos);
+    };
+    FleetReport report = once();
+    EXPECT_EQ(report.served + report.shed, report.offered);
+    EXPECT_GT(report.fanoutParents, 0u);
+    EXPECT_GE(report.fanoutLegs, 2 * report.fanoutParents);
+    EXPECT_GT(report.retries, 0u);
+    EXPECT_GT(report.hedgesLaunched, 0u);
+    EXPECT_EQ(report.goldenMismatch, 0u);
+
+    FleetReport again = once();
+    EXPECT_EQ(report.toJson().dump(), again.toJson().dump());
 }
 
 } // namespace

@@ -12,6 +12,8 @@
  *               [--shards N] [--chaos SPEC] [--deadline CY]
  *               [--timeout CY] [--attempts N] [--hedge CY]
  *               [--verify-golden]
+ *               [--zipf-keys N] [--fanout FRAC[:LEGS]] [--rebalance]
+ *               [--global-queue N]
  *
  * Tenant 0 is a small-request interactive tenant with weight 4; the
  * remaining tenants are heavier background traffic (some scattered
@@ -27,6 +29,15 @@
  * `--timeout`, `--attempts` and `--hedge` tune the reliability
  * pipeline; `--verify-golden` checks every completed request against
  * a host-side reference model.
+ *
+ * Fleet-controller flags (sharded mode, DESIGN.md §15):
+ * `--zipf-keys N` draws every request's content key from a Zipf(0.99)
+ * space of N ranks (the key folds into the golden operand pattern);
+ * `--fanout FRAC[:LEGS]` makes that fraction of background requests
+ * span LEGS shards (default 2) behind a fan-in barrier;
+ * `--rebalance` turns on the hot-spot detector and live tenant
+ * migration; `--global-queue N` caps fleet-wide queued requests and
+ * sheds lowest-QoS work at the budget.
  *
  * Output: a human summary on stdout, plus the report JSON (`--json -`
  * for stdout, or a file path). `--stats` embeds the stats registry
@@ -71,6 +82,14 @@ struct Options
     unsigned attempts = 3;
     Cycles hedge = 0;
     bool verifyGolden = false;
+
+    /** Fleet controller (sharded mode, DESIGN.md §15). @{ */
+    std::size_t zipfKeys = 0;
+    double fanoutFraction = 0.0;
+    unsigned fanoutLegs = 2;
+    bool rebalance = false;
+    std::size_t globalQueue = 0;
+    /** @} */
 };
 
 void
@@ -84,7 +103,9 @@ usage(const char *argv0)
                  "[--stats] [--trace PATH]\n"
                  "       [--shards N] [--chaos SPEC] [--deadline CY] "
                  "[--timeout CY]\n"
-                 "       [--attempts N] [--hedge CY] [--verify-golden]\n",
+                 "       [--attempts N] [--hedge CY] [--verify-golden]\n"
+                 "       [--zipf-keys N] [--fanout FRAC[:LEGS]] "
+                 "[--rebalance] [--global-queue N]\n",
                  argv0);
 }
 
@@ -149,6 +170,27 @@ main(int argc, char **argv)
             opt.hedge = std::strtoull(needArg("--hedge"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--verify-golden")) {
             opt.verifyGolden = true;
+        } else if (!std::strcmp(argv[i], "--zipf-keys")) {
+            opt.zipfKeys =
+                std::strtoull(needArg("--zipf-keys"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--fanout")) {
+            const char *arg = needArg("--fanout");
+            opt.fanoutFraction = std::atof(arg);
+            if (const char *colon = std::strchr(arg, ':')) {
+                opt.fanoutLegs = static_cast<unsigned>(
+                    std::strtoul(colon + 1, nullptr, 10));
+            }
+            if (opt.fanoutFraction < 0.0 || opt.fanoutFraction > 1.0 ||
+                opt.fanoutLegs < 2) {
+                std::fprintf(stderr, "cc_server: --fanout wants "
+                                     "FRAC in [0,1] and LEGS >= 2\n");
+                return 2;
+            }
+        } else if (!std::strcmp(argv[i], "--rebalance")) {
+            opt.rebalance = true;
+        } else if (!std::strcmp(argv[i], "--global-queue")) {
+            opt.globalQueue =
+                std::strtoull(needArg("--global-queue"), nullptr, 10);
         } else if (!std::strcmp(argv[i], "--help") ||
                    !std::strcmp(argv[i], "-h")) {
             usage(argv[0]);
@@ -165,10 +207,12 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // Traffic: tenant 0 interactive, the rest background.
+    // Traffic: tenant 0 interactive, the rest background (fan-out, if
+    // enabled, applies to the background tenants).
     workload::TrafficParams traffic;
     traffic.totalRequests = opt.requests;
     traffic.seed = opt.seed;
+    traffic.zipfKeys = opt.zipfKeys;
     for (unsigned i = 0; i < opt.tenants; ++i) {
         workload::TenantTraffic t;
         t.name = "t" + std::to_string(i);
@@ -184,6 +228,8 @@ main(int argc, char **argv)
             t.maxBytes = 8192;
             t.weightCmp = 0.5;
             t.scatterFraction = opt.scatter;
+            t.fanoutFraction = opt.fanoutFraction;
+            t.fanoutLegs = opt.fanoutLegs;
         }
         traffic.tenants.push_back(std::move(t));
     }
@@ -222,6 +268,9 @@ main(int argc, char **argv)
         router.hedgeAge = opt.hedge;
         router.verifyGolden = opt.verifyGolden;
         router.patternSeed = opt.seed;
+        if (opt.rebalance)
+            router.rebalancePeriod = 5000;
+        router.globalQueueCap = opt.globalQueue;
 
         serve::ShardRouter fleet(sim::SystemConfig{}, params, router);
         serve::FleetReport report =
@@ -246,6 +295,30 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(report.hedgesLaunched),
                     static_cast<unsigned long long>(report.hedgeWins),
                     static_cast<unsigned long long>(report.breakerTrips));
+        if (report.fanoutParents != 0)
+            std::printf("  fanout: %llu parents, %llu legs, %llu "
+                        "partial\n",
+                        static_cast<unsigned long long>(
+                            report.fanoutParents),
+                        static_cast<unsigned long long>(
+                            report.fanoutLegs),
+                        static_cast<unsigned long long>(
+                            report.fanoutPartial));
+        if (opt.rebalance)
+            std::printf("  migrations %llu (dual-dispatch %llu, "
+                        "transplants %llu)\n",
+                        static_cast<unsigned long long>(
+                            report.migrations),
+                        static_cast<unsigned long long>(
+                            report.migrationDualDispatch),
+                        static_cast<unsigned long long>(
+                            report.migrationTransplants));
+        if (opt.globalQueue != 0)
+            std::printf("  global budget: %llu evictions, %llu sheds\n",
+                        static_cast<unsigned long long>(
+                            report.globalEvictions),
+                        static_cast<unsigned long long>(
+                            report.globalSheds));
         if (opt.verifyGolden)
             std::printf("  golden: %llu checked, %llu mismatches\n",
                         static_cast<unsigned long long>(
