@@ -19,8 +19,10 @@ using namespace ccache;
 using namespace ccache::cc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Section IV-I: XOR-check unit vs scrubbing ECC ablation");
     bench::header("Ablation: ECC strategies for in-place logical ops "
                   "(Section IV-I)");
 

@@ -110,8 +110,10 @@ printRow(const Row &row, const RunResult &base)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Fault-injection ladder: rate vs slowdown/energy/corruption");
     bench::header("Ablation: fault rate vs slowdown / energy / silent "
                   "corruption (degradation ladder)");
 

@@ -59,8 +59,10 @@ runMix(int misaligned_of_8)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Section IV-C: operand-misalignment sensitivity sweep");
     bench::header("Ablation: operand-locality sensitivity "
                   "(8 x 4 KB copies)");
 

@@ -53,8 +53,10 @@ runCores(unsigned cores)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Multi-core CC scaling over NUCA slices");
     bench::header("Ablation: multi-core CC scaling (16 KB in-place copy "
                   "per core, local slices)");
 

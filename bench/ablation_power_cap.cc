@@ -37,8 +37,10 @@ runWithCap(unsigned cap)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Section IV-D: active-sub-array power cap sweep");
     bench::header("Ablation: peak-power cap (max active sub-arrays) vs "
                   "16 KB in-place copy");
 

@@ -26,8 +26,10 @@ struct RowResult
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Section II-B: multi-row activation robustness sweep");
     bench::header("Ablation: multi-row activation robustness "
                   "(Section II-B)");
 

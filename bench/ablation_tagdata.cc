@@ -12,8 +12,10 @@
 using namespace ccache;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Section IV-C: serial vs parallel tag-data access");
     bench::header("Ablation: serial vs parallel tag-data access in L1 "
                   "(Section IV-C)");
 

@@ -12,8 +12,10 @@ using namespace ccache;
 using namespace ccache::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 10: checkpointing performance overhead");
     bench::header("Figure 10: checkpointing performance overhead (%)");
 
     CheckpointConfig cfg;

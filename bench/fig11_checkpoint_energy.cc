@@ -12,8 +12,10 @@ using namespace ccache;
 using namespace ccache::apps;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 11: checkpointing total energy");
     bench::header("Figure 11: checkpointing total energy (uJ)");
 
     CheckpointConfig cfg;

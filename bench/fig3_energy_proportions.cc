@@ -64,8 +64,10 @@ runCompare(int mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 3: instruction-processing vs data-movement energy");
     bench::header("Figure 3: energy proportions, bulk compare of 4 KB "
                   "operands");
 

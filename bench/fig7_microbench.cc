@@ -80,8 +80,10 @@ runKernel(BulkKernel kernel, bool use_cc, Json *stats_out = nullptr,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 7: throughput + energy of the four CC kernels");
     const BulkKernel kernels[] = {BulkKernel::Copy, BulkKernel::Compare,
                                   BulkKernel::Search,
                                   BulkKernel::LogicalOr};

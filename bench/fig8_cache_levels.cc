@@ -51,8 +51,10 @@ runOnce(BulkKernel kernel, CacheLevel level, bool use_cc)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 8b: CC savings with operands at L1/L2/L3");
     bench::header("Figure 8b: dynamic-energy savings per cache level, "
                   "4 KB operands");
 

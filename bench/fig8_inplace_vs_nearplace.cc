@@ -59,8 +59,10 @@ runKernel(BulkKernel kernel, bool near_place)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 8a: in-place vs near-place energy & throughput");
     bench::header("Figure 8a: in-place vs near-place Compute Cache, "
                   "4 KB operands");
 

@@ -56,8 +56,10 @@ runApp(const char *name, App &app, double paper_speedup)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Figure 9: application speedup & energy (BMM, WordCount, ...)");
     bench::header("Figure 9: application speedup and total-energy savings"
                   " (CC vs Base_32)");
 

@@ -84,8 +84,10 @@ runPoint(const std::string &name, const QuantGemmConfig &cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Bit-serial int8 GEMM (Neural Cache MACs) vs scalar/SIMD");
     bench::header("Neural GEMM: bit-serial int8 MAC throughput "
                   "(CC vs Base / Base_32)");
 

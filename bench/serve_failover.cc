@@ -163,8 +163,10 @@ emitMetrics(bench::SweepContext &ctx, const Scenario &slot)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Sharded serving: availability through shard kill+recovery");
     bench::header("Fault-tolerant serving: 4-shard fleet under chaos");
     bench::note("all scenarios golden-verified; availability counts only "
                 "bit-exact completions");

@@ -207,8 +207,10 @@ emitMetrics(bench::SweepContext &ctx, const Scenario &slot)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Fleet controller: fan-out, migration, global backpressure");
     bench::header(
         "Fleet controller: Zipf hot-spot traffic over a 4-shard fleet");
     bench::note("2M-key Zipf(0.99) space; every commit golden-verified; "

@@ -99,8 +99,10 @@ runPoint(unsigned tenants, double load_rpkc, serve::ServePolicy policy,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Multi-tenant DRR batch scheduler vs FIFO at saturation");
     bench::header("Serving-layer scheduler: load x tenants x policy");
     bench::note("open-loop Poisson traffic; throughput in requests per "
                 "million cycles (rpMc)");

@@ -12,8 +12,10 @@ using namespace ccache;
 using namespace ccache::energy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Table I: per-access read energy split (H-tree vs bit-array)");
     bench::header("Table I: Cache energy per read access");
     EnergyParams params;
 

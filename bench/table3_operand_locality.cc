@@ -14,8 +14,10 @@ using namespace ccache;
 using namespace ccache::geometry;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Table III: geometry-derived operand-locality constraint");
     bench::header("Table III: Cache geometry and operand locality "
                   "constraint");
 

@@ -12,8 +12,10 @@ using namespace ccache;
 using namespace ccache::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Table IV: the simulated machine, from live config");
     bench::header("Table IV: simulator parameters (live configuration)");
 
     SystemConfig cfg;

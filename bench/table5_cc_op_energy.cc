@@ -14,8 +14,10 @@ using namespace ccache;
 using namespace ccache::energy;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::maybeDescribe(argc, argv,
+                         "Table V: per-block energy for every op at every level");
     bench::header("Table V: Cache energy (pJ) per 64-byte cache block");
     EnergyParams params;
 

@@ -1,6 +1,8 @@
 #include "sim/trace.hh"
 
 #include <algorithm>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -110,15 +112,61 @@ buildCcInstruction(const std::string &mnemonic,
 
 } // namespace
 
+namespace {
+
+/**
+ * Bounded line read: up to kMaxTraceLineBytes land in @p line; an
+ * over-long line is consumed to its newline with a fixed-size buffer
+ * (never an unbounded std::string) and flagged via @p oversized.
+ * Returns false at end of stream with nothing extracted.
+ */
+bool
+getlineBounded(std::istream &in, std::string &line, bool &oversized)
+{
+    line.clear();
+    oversized = false;
+    char buf[kMaxTraceLineBytes + 1];
+    while (true) {
+        in.getline(buf, sizeof buf);
+        std::streamsize got = in.gcount();
+        if (in.fail() && !in.eof() && got == sizeof buf - 1) {
+            // Buffer filled without a newline: the line is oversized.
+            // Keep draining it in buffer-sized chunks.
+            oversized = true;
+            if (line.size() < kMaxTraceLineBytes)
+                line.append(buf, kMaxTraceLineBytes - line.size());
+            in.clear();
+            continue;
+        }
+        if (got == 0 && !in.good())
+            return !line.empty() || oversized;
+        if (!oversized)
+            line.append(buf, static_cast<std::size_t>(
+                                 got > 0 && in.good() ? got - 1 : got));
+        return true;
+    }
+}
+
+} // namespace
+
 ParsedTrace
 parseTrace(std::istream &in)
 {
     ParsedTrace parsed;
     std::string line;
     std::size_t lineno = 0;
+    bool oversized = false;
 
-    while (std::getline(in, line)) {
+    while (getlineBounded(in, line, oversized)) {
         ++lineno;
+        if (oversized) {
+            parsed.errors.push_back(
+                {lineno, line.substr(0, 64) + "...",
+                 "oversized line (> " +
+                     std::to_string(kMaxTraceLineBytes) +
+                     " bytes) skipped"});
+            continue;
+        }
         auto tokens = tokenize(line);
         if (tokens.empty())
             continue;
@@ -188,36 +236,58 @@ parseTrace(const std::string &text)
     return parseTrace(is);
 }
 
+ParsedTrace
+parseTraceFile(const std::string &path)
+{
+    if (path == "-")
+        return parseTrace(std::cin);
+    std::ifstream in(path);
+    if (!in) {
+        ParsedTrace parsed;
+        parsed.errors.push_back({0, path, "cannot open trace file"});
+        return parsed;
+    }
+    return parseTrace(in);
+}
+
+void
+replayRecord(System &sys, const TraceRecord &rec, TraceReplayResult &res)
+{
+    auto &hier = sys.hierarchy();
+    switch (rec.kind) {
+      case TraceRecord::Kind::Read: {
+        auto r = hier.read(rec.core, rec.addr);
+        sys.advance(rec.core, r.latency);
+        ++res.reads;
+        res.l1Misses += r.servedBy != cache::ServedBy::L1;
+        res.memAccesses += r.servedBy == cache::ServedBy::Memory;
+        break;
+      }
+      case TraceRecord::Kind::Write: {
+        auto r = hier.write(rec.core, rec.addr);
+        sys.advance(rec.core, r.latency);
+        ++res.writes;
+        res.l1Misses += r.servedBy != cache::ServedBy::L1;
+        res.memAccesses += r.servedBy == cache::ServedBy::Memory;
+        break;
+      }
+      case TraceRecord::Kind::CcOp: {
+        auto r = sys.cc().execute(rec.core, rec.instr);
+        sys.advance(rec.core, r.latency);
+        ++res.ccInstructions;
+        res.ccBlockOps += r.blockOps;
+        res.resultChecksum ^= r.result;
+        break;
+      }
+    }
+}
+
 TraceReplayResult
 replayTrace(System &sys, const ParsedTrace &trace)
 {
     TraceReplayResult res;
-    auto &hier = sys.hierarchy();
-
-    for (const TraceRecord &rec : trace.records) {
-        switch (rec.kind) {
-          case TraceRecord::Kind::Read: {
-            auto r = hier.read(rec.core, rec.addr);
-            sys.advance(rec.core, r.latency);
-            ++res.reads;
-            break;
-          }
-          case TraceRecord::Kind::Write: {
-            auto r = hier.write(rec.core, rec.addr);
-            sys.advance(rec.core, r.latency);
-            ++res.writes;
-            break;
-          }
-          case TraceRecord::Kind::CcOp: {
-            auto r = sys.cc().execute(rec.core, rec.instr);
-            sys.advance(rec.core, r.latency);
-            ++res.ccInstructions;
-            res.resultChecksum ^= r.result;
-            break;
-          }
-        }
-    }
-
+    for (const TraceRecord &rec : trace.records)
+        replayRecord(sys, rec, res);
     res.cycles = sys.elapsed();
     return res;
 }
@@ -230,6 +300,9 @@ formatReport(System &sys, const TraceReplayResult &result)
        << "reads            " << result.reads << "\n"
        << "writes           " << result.writes << "\n"
        << "cc_instructions  " << result.ccInstructions << "\n"
+       << "cc_block_ops     " << result.ccBlockOps << "\n"
+       << "l1_misses        " << result.l1Misses << "\n"
+       << "mem_accesses     " << result.memAccesses << "\n"
        << "cycles           " << result.cycles << "\n"
        << "result_checksum  0x" << std::hex << result.resultChecksum
        << std::dec << "\n"

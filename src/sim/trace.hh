@@ -57,9 +57,22 @@ struct ParsedTrace
     bool ok() const { return errors.empty(); }
 };
 
+/** Longest accepted trace line. Longer lines are skipped and reported
+ *  (one error record each) without ever buffering the whole line, so a
+ *  corrupt multi-gigabyte line cannot balloon memory. */
+inline constexpr std::size_t kMaxTraceLineBytes = 4096;
+
 /** Parse a trace from text. Malformed lines are reported, not fatal. */
 ParsedTrace parseTrace(std::istream &in);
 ParsedTrace parseTrace(const std::string &text);
+
+/**
+ * Parse a trace file; "-" reads stdin (streamed, so `generator |
+ * cc_trace -` works on traces far larger than memory would allow a
+ * temp file for). An unopenable path yields a single pseudo-error at
+ * line 0.
+ */
+ParsedTrace parseTraceFile(const std::string &path);
 
 /** Outcome of replaying a trace. */
 struct TraceReplayResult
@@ -69,9 +82,43 @@ struct TraceReplayResult
     std::uint64_t ccInstructions = 0;
     Cycles cycles = 0;     ///< per-core makespan
 
+    /** Demand (R/W) accesses by where the hierarchy served them:
+     *  beyond-L1 and all-the-way-to-memory counts, for miss rates. @{ */
+    std::uint64_t l1Misses = 0;
+    std::uint64_t memAccesses = 0;
+    /** @} */
+
+    /** CC block ops executed (sub-array work units, DESIGN.md §13). */
+    std::uint64_t ccBlockOps = 0;
+
     /** XOR of cmp/search result masks, as a replay checksum. */
     std::uint64_t resultChecksum = 0;
+
+    /** Memory-served fraction of demand accesses. */
+    double memMissRate() const
+    {
+        std::uint64_t a = reads + writes;
+        return a ? static_cast<double>(memAccesses) /
+                static_cast<double>(a) : 0.0;
+    }
+
+    /** CC block ops per kilocycle (CC-op throughput). */
+    double ccOpsPerKCycle() const
+    {
+        return cycles ? 1000.0 * static_cast<double>(ccBlockOps) /
+                static_cast<double>(cycles) : 0.0;
+    }
 };
+
+/**
+ * Replay one record on @p sys, accruing its latency to its core's
+ * clock and its counts into @p res (res.cycles is NOT updated — that
+ * is the caller's end-of-run sys.elapsed() snapshot). The sampled
+ * runner replays interval slices through this same path, so full and
+ * sampled runs cannot drift apart (DESIGN.md §16).
+ */
+void replayRecord(System &sys, const TraceRecord &rec,
+                  TraceReplayResult &res);
 
 /**
  * Replay a parsed trace on @p sys. Each record's latency accrues to its

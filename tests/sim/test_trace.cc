@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "sim/trace.hh"
 
 namespace ccache::sim {
@@ -96,6 +99,75 @@ CC 0 cc_xor 0x1000 0x2000 0x3000
     ASSERT_EQ(parsed.errors.size(), 4u);
     for (const auto &err : parsed.errors)
         EXPECT_FALSE(err.message.empty());
+}
+
+TEST(TraceParser, OversizedLineSkippedAndReported)
+{
+    // A line longer than kMaxTraceLineBytes is skipped (without ever
+    // buffering it whole) and reported; surrounding records survive.
+    std::string text = "R 0 0x1000\n";
+    text += "W 0 0x2000" + std::string(2 * kMaxTraceLineBytes, ' ') +
+        "junk\n";
+    text += "W 0 0x3000\n";
+    auto parsed = parseTrace(text);
+
+    ASSERT_EQ(parsed.records.size(), 2u);
+    EXPECT_EQ(parsed.records[0].addr, 0x1000u);
+    EXPECT_EQ(parsed.records[1].addr, 0x3000u);
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    EXPECT_EQ(parsed.errors[0].lineNumber, 2u);
+    EXPECT_NE(parsed.errors[0].message.find("oversized"),
+              std::string::npos);
+    // The diagnostic keeps only an excerpt, never the whole line.
+    EXPECT_LT(parsed.errors[0].line.size(), 128u);
+}
+
+TEST(TraceParser, LineExactlyAtLimitParses)
+{
+    // Pad a valid record with trailing spaces to exactly the limit
+    // (content chars, newline excluded): still parsed, no error.
+    std::string record = "R 0 0x4000";
+    std::string text = record +
+        std::string(kMaxTraceLineBytes - record.size(), ' ') + "\n";
+    ASSERT_EQ(text.size(), kMaxTraceLineBytes + 1);
+    auto parsed = parseTrace(text);
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].addr, 0x4000u);
+}
+
+TEST(TraceParser, ConsecutiveOversizedLinesEachReported)
+{
+    std::string big(kMaxTraceLineBytes + 10, 'x');
+    std::string text = big + "\n" + big + "\nR 0 0x1000\n";
+    auto parsed = parseTrace(text);
+    ASSERT_EQ(parsed.records.size(), 1u);
+    ASSERT_EQ(parsed.errors.size(), 2u);
+    EXPECT_EQ(parsed.errors[0].lineNumber, 1u);
+    EXPECT_EQ(parsed.errors[1].lineNumber, 2u);
+}
+
+TEST(TraceParser, FileRoundTripAndMissingFile)
+{
+    namespace fs = std::filesystem;
+    fs::path path =
+        fs::temp_directory_path() / "ccache_trace_parse_test.trace";
+    {
+        std::ofstream out(path);
+        out << "# file round trip\nR 0 0x1000\nCC 1 cc_buz 0x2000 "
+               "128\n";
+    }
+    auto parsed = parseTraceFile(path.string());
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.records.size(), 2u);
+    fs::remove(path);
+
+    auto missing = parseTraceFile(path.string());
+    EXPECT_TRUE(missing.records.empty());
+    ASSERT_EQ(missing.errors.size(), 1u);
+    EXPECT_EQ(missing.errors[0].lineNumber, 0u);
+    EXPECT_NE(missing.errors[0].message.find("cannot open"),
+              std::string::npos);
 }
 
 TEST(TraceReplay, FunctionalAndCounted)

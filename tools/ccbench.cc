@@ -182,6 +182,29 @@ discoverCatalog(const std::string &dir, const cctools::CatalogFilter &filter)
     return catalog;
 }
 
+/**
+ * One-line self-description of a bench: every catalog binary responds
+ * to --describe by printing its registered description and exiting
+ * (bench::maybeDescribe). Empty on any failure — the list then simply
+ * shows a blank column for that binary.
+ */
+std::string
+describeBench(const fs::path &binary)
+{
+    std::string cmd = binary.string() + " --describe 2>/dev/null";
+    FILE *p = ::popen(cmd.c_str(), "r");
+    if (!p)
+        return "";
+    char buf[256] = {};
+    std::string line;
+    if (std::fgets(buf, sizeof buf, p))
+        line.assign(buf);
+    ::pclose(p);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+        line.pop_back();
+    return line;
+}
+
 /** Names journaled as complete in `<results>/ccbench.journal`. */
 std::set<std::string>
 readJournal(const std::string &path)
@@ -336,8 +359,13 @@ main(int argc, char **argv)
         return 2;
     }
     if (opt.listOnly) {
-        for (const BenchRun &b : catalog)
-            std::printf("%s\n", b.name.c_str());
+        for (const BenchRun &b : catalog) {
+            std::string what = describeBench(b.binary);
+            if (what.empty())
+                std::printf("%s\n", b.name.c_str());
+            else
+                std::printf("%-28s %s\n", b.name.c_str(), what.c_str());
+        }
         return 0;
     }
 
